@@ -1,0 +1,538 @@
+//! §3.3: fake-publisher detection and group assignment.
+//!
+//! Two signals expose fake publishers, both available to the crawler
+//! without ground truth:
+//!
+//! 1. **account takedowns** — portals remove fake listings and ban the
+//!    accounts; a username any of whose torrents was observed removed is
+//!    fake-tainted (the paper: "we exploit this fact to identify if a
+//!    username has been used by a fake publisher");
+//! 2. **IP ↔ username fan-out** — fake entities publish under many hacked
+//!    or throwaway accounts from the same rented servers, so an initial-
+//!    seeder IP mapping to several usernames is a fake-publisher IP.
+//!
+//! The *Top* group is then the top-`k` username ranking minus the tainted
+//! accounts, split into Top-HP / Top-CI by each publisher's dominant ISP
+//! kind.
+
+use std::collections::{HashMap, HashSet};
+
+use btpub_crawler::Dataset;
+use btpub_geodb::{GeoDb, IspKind};
+
+use crate::isp::dominant_kind;
+use crate::publishers::{ip_to_usernames, top_ips_by_content, PublisherKey, PublisherStats};
+
+/// The analysis groups of §4's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// A random sample of all publishers (the paper uses 400).
+    All,
+    /// Fake publishers.
+    Fake,
+    /// Top-k non-fake publishers.
+    Top,
+    /// Top publishers at hosting providers.
+    TopHp,
+    /// Top publishers at commercial ISPs.
+    TopCi,
+}
+
+impl Group {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Group::All => "All",
+            Group::Fake => "Fake",
+            Group::Top => "Top",
+            Group::TopHp => "Top-HP",
+            Group::TopCi => "Top-CI",
+        }
+    }
+
+    /// All groups in figure order.
+    pub const ALL: [Group; 5] = [Group::All, Group::Fake, Group::Top, Group::TopHp, Group::TopCi];
+}
+
+/// Result of group assignment.
+#[derive(Debug, Clone, Default)]
+pub struct Groups {
+    /// Usernames flagged as fake (tainted by takedowns or fake IPs).
+    pub fake_usernames: HashSet<String>,
+    /// Initial-seeder IPs attributed to fake entities.
+    pub fake_ips: HashSet<u32>,
+    /// The Top set: top-k ranking minus fake-tainted usernames.
+    pub top: Vec<PublisherKey>,
+    /// Top publishers whose dominant ISP is a hosting provider.
+    pub top_hp: HashSet<PublisherKey>,
+    /// Top publishers whose dominant ISP is a commercial ISP.
+    pub top_ci: HashSet<PublisherKey>,
+    /// How many of the original top-k were dropped as compromised.
+    pub compromised_in_top_k: usize,
+}
+
+impl Groups {
+    /// Whether a publisher key belongs to a group.
+    pub fn contains(&self, key: &PublisherKey, group: Group) -> bool {
+        match group {
+            Group::All => true,
+            Group::Fake => match key {
+                PublisherKey::Username(u) => self.fake_usernames.contains(u),
+                PublisherKey::Ip(ip) => self.fake_ips.contains(ip),
+            },
+            Group::Top => self.top.contains(key),
+            Group::TopHp => self.top_hp.contains(key),
+            Group::TopCi => self.top_ci.contains(key),
+        }
+    }
+}
+
+/// Minimum distinct usernames on one IP to call it a fake-publisher IP.
+pub const FAKE_IP_USERNAME_THRESHOLD: usize = 3;
+
+/// Runs §3.3's detection and grouping over a username-bearing dataset.
+pub fn assign_groups(
+    dataset: &Dataset,
+    publishers: &[PublisherStats],
+    db: &GeoDb,
+    top_k: usize,
+) -> Groups {
+    let mut groups = Groups::default();
+    if !dataset.has_usernames {
+        // mn08 mode: no username signal; groups reduce to top-by-IP.
+        for p in publishers.iter().take(top_k) {
+            groups.top.push(p.key.clone());
+            match dominant_kind(p, db) {
+                Some(IspKind::HostingProvider) => {
+                    groups.top_hp.insert(p.key.clone());
+                }
+                Some(IspKind::CommercialIsp) => {
+                    groups.top_ci.insert(p.key.clone());
+                }
+                None => {}
+            }
+        }
+        return groups;
+    }
+    // Signal 1: takedowns taint usernames.
+    for rec in &dataset.torrents {
+        if rec.observed_removed {
+            if let Some(u) = &rec.username {
+                groups.fake_usernames.insert(u.clone());
+            }
+        }
+    }
+    // Signal 2: IP → many usernames, corroborated by takedowns. The
+    // corroboration matters: a compromised *genuine* publisher's servers
+    // must not be labelled fake because one hacked username also appears
+    // on them (the hacked publications are seeded from the fake entity's
+    // servers, not the victim's), and a one-off misidentified downloader
+    // on a removed listing must not be labelled either.
+    let by_ip = ip_to_usernames(dataset);
+    let mut ip_removed: HashMap<u32, (usize, usize)> = HashMap::new();
+    for rec in &dataset.torrents {
+        if let Some(ip) = rec.publisher_ip {
+            let e = ip_removed.entry(u32::from(ip)).or_default();
+            e.0 += 1;
+            e.1 += usize::from(rec.observed_removed);
+        }
+    }
+    for (ip, usernames) in &by_ip {
+        let (identified, removed) = ip_removed.get(ip).copied().unwrap_or((0, 0));
+        let mostly_removed = identified >= 2 && removed * 2 >= identified;
+        let username_mill = usernames.len() >= FAKE_IP_USERNAME_THRESHOLD && removed > 0;
+        if username_mill || mostly_removed {
+            groups.fake_ips.insert(*ip);
+        }
+    }
+    // Usernames published from fake IPs are fake too (throwaway accounts
+    // whose torrents happened not to be removed yet).
+    for (ip, usernames) in &by_ip {
+        if groups.fake_ips.contains(ip) {
+            for u in usernames {
+                groups.fake_usernames.insert(u.clone());
+            }
+        }
+    }
+    // Exception: a username that is ALSO heavily published from clean IPs
+    // is a compromised genuine account, not a fake entity. Keep it tainted
+    // (excluded from Top) but do not propagate its clean IPs.
+    // Top = top-k minus tainted.
+    for p in publishers.iter().take(top_k) {
+        let tainted = match &p.key {
+            PublisherKey::Username(u) => groups.fake_usernames.contains(u),
+            PublisherKey::Ip(ip) => groups.fake_ips.contains(ip),
+        };
+        if tainted {
+            groups.compromised_in_top_k += 1;
+            continue;
+        }
+        groups.top.push(p.key.clone());
+        match dominant_kind(p, db) {
+            Some(IspKind::HostingProvider) => {
+                groups.top_hp.insert(p.key.clone());
+            }
+            Some(IspKind::CommercialIsp) => {
+                groups.top_ci.insert(p.key.clone());
+            }
+            None => {}
+        }
+    }
+    groups
+}
+
+/// Content and download shares of a group, over the whole dataset
+/// (§3.3's "fake publishers are responsible for 30 % of content and 25 %
+/// of downloads"; Top: 37 % / 50 %).
+pub fn group_shares(dataset: &Dataset, publishers: &[PublisherStats], groups: &Groups, group: Group) -> (f64, f64) {
+    let total_content = dataset.torrent_count() as f64;
+    let total_downloads: u64 = dataset
+        .torrents
+        .iter()
+        .map(|t| t.observed_downloaders() as u64)
+        .sum();
+    let member_torrents: Vec<usize> = publishers
+        .iter()
+        .filter(|p| groups.contains(&p.key, group))
+        .flat_map(|p| p.torrents.iter().copied())
+        .collect();
+    let content = member_torrents.len() as f64;
+    let downloads: u64 = member_torrents
+        .iter()
+        .map(|&i| dataset.torrents[i].observed_downloaders() as u64)
+        .sum();
+    (
+        content / total_content.max(1.0),
+        downloads as f64 / (total_downloads.max(1)) as f64,
+    )
+}
+
+/// Builds per-*entity* stats for the fake group, keyed by initial-seeder
+/// IP rather than username.
+///
+/// Fake entities publish under hundreds of throwaway accounts, so
+/// username-keyed aggregation would dilute their signature to one or two
+/// torrents per "publisher". The paper studies fake publishers as the
+/// server IPs at their three hosting providers; this mirrors that.
+pub fn fake_ip_stats(dataset: &Dataset, groups: &Groups) -> Vec<PublisherStats> {
+    let mut agg: std::collections::BTreeMap<u32, PublisherStats> = Default::default();
+    for (idx, rec) in dataset.torrents.iter().enumerate() {
+        let Some(ip) = rec.publisher_ip else { continue };
+        let ip = u32::from(ip);
+        if !groups.fake_ips.contains(&ip) {
+            continue;
+        }
+        let entry = agg.entry(ip).or_insert_with(|| PublisherStats {
+            key: PublisherKey::Ip(ip),
+            torrents: Vec::new(),
+            downloads: 0,
+            ips: [ip].into_iter().collect(),
+        });
+        entry.torrents.push(idx);
+        entry.downloads += rec.observed_downloaders() as u64;
+    }
+    let mut out: Vec<PublisherStats> = agg.into_values().collect();
+    out.sort_by_key(|s| std::cmp::Reverse(s.content_count()));
+    out
+}
+
+/// §3.3's username↔IP mapping statistics for the top-k publishers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MappingStats {
+    /// Of the top-k *IPs*: fraction used by exactly one username
+    /// (paper: 55 %).
+    pub top_ips_unique_username: f64,
+    /// Of the top-k *usernames*: fraction operating from a single IP
+    /// (paper: 25 %).
+    pub single_ip: f64,
+    /// Fraction with multiple IPs at hosting providers (paper: 34 %,
+    /// 5.7 IPs on average).
+    pub multi_ip_hosting: f64,
+    /// Average IP count in that class.
+    pub avg_ips_hosting: f64,
+    /// Fraction with multiple IPs inside one commercial ISP — DHCP churn
+    /// (paper: 24 %, 13.8 IPs on average).
+    pub multi_ip_single_ci: f64,
+    /// Average IP count in that class.
+    pub avg_ips_single_ci: f64,
+    /// Fraction with IPs at several commercial ISPs — home + work
+    /// (paper: 16 %).
+    pub multi_ip_multi_ci: f64,
+    /// Average IP count in that class.
+    pub avg_ips_multi_ci: f64,
+}
+
+/// Computes [`MappingStats`] over the top-k of each ranking.
+pub fn mapping_stats(
+    dataset: &Dataset,
+    publishers: &[PublisherStats],
+    db: &GeoDb,
+    top_k: usize,
+) -> MappingStats {
+    let mut stats = MappingStats::default();
+    // Top IPs side.
+    let top_ips = top_ips_by_content(dataset);
+    let by_ip = ip_to_usernames(dataset);
+    let considered: Vec<&(u32, usize)> = top_ips.iter().take(top_k).collect();
+    if !considered.is_empty() {
+        let unique = considered
+            .iter()
+            .filter(|(ip, _)| by_ip.get(ip).is_some_and(|u| u.len() == 1))
+            .count();
+        stats.top_ips_unique_username = unique as f64 / considered.len() as f64;
+    }
+    // Top usernames side: classify multi-IP patterns. A publisher's IP
+    // set can contain rare misidentifications (a completed downloader
+    // mistaken for the initial seeder), so only *significant* IPs — those
+    // behind at least 10 % of the publisher's identified torrents — drive
+    // the classification, mirroring the paper's manual inspection.
+    let mut ip_torrents: HashMap<(&str, u32), usize> = HashMap::new();
+    for rec in &dataset.torrents {
+        if let (Some(ip), Some(user)) = (rec.publisher_ip, &rec.username) {
+            *ip_torrents.entry((user.as_str(), u32::from(ip))).or_default() += 1;
+        }
+    }
+    let mut counts: HashMap<&'static str, (usize, f64)> = HashMap::new();
+    let mut total = 0usize;
+    for p in publishers.iter().take(top_k) {
+        if p.ips.is_empty() {
+            continue; // never identified; the paper cannot classify these
+        }
+        let username = match &p.key {
+            crate::publishers::PublisherKey::Username(u) => Some(u.as_str()),
+            crate::publishers::PublisherKey::Ip(_) => None,
+        };
+        let identified: usize = p
+            .ips
+            .iter()
+            .map(|&ip| {
+                username
+                    .and_then(|u| ip_torrents.get(&(u, ip)))
+                    .copied()
+                    .unwrap_or(1)
+            })
+            .sum();
+        let cutoff = (identified as f64 * 0.10).ceil() as usize;
+        let significant: Vec<u32> = p
+            .ips
+            .iter()
+            .copied()
+            .filter(|&ip| {
+                username
+                    .and_then(|u| ip_torrents.get(&(u, ip)))
+                    .copied()
+                    .unwrap_or(1)
+                    >= cutoff.max(1)
+            })
+            .collect();
+        if significant.is_empty() {
+            continue;
+        }
+        total += 1;
+        let n_ips = significant.len() as f64;
+        if significant.len() == 1 {
+            counts.entry("single").or_default().0 += 1;
+            continue;
+        }
+        let mut kinds = HashSet::new();
+        let mut isps = HashSet::new();
+        for &ip in &significant {
+            if let Some(info) = db.lookup(std::net::Ipv4Addr::from(ip)) {
+                kinds.insert(db.isp(info.isp).kind);
+                isps.insert(info.isp);
+            }
+        }
+        let class = if kinds.contains(&IspKind::HostingProvider) {
+            "hosting"
+        } else if isps.len() == 1 {
+            "single_ci"
+        } else {
+            "multi_ci"
+        };
+        let e = counts.entry(class).or_default();
+        e.0 += 1;
+        e.1 += n_ips;
+    }
+    if total > 0 {
+        let t = total as f64;
+        let get = |k: &str| counts.get(k).copied().unwrap_or_default();
+        stats.single_ip = get("single").0 as f64 / t;
+        let (hc, hs) = get("hosting");
+        stats.multi_ip_hosting = hc as f64 / t;
+        stats.avg_ips_hosting = if hc > 0 { hs / hc as f64 } else { 0.0 };
+        let (sc, ss) = get("single_ci");
+        stats.multi_ip_single_ci = sc as f64 / t;
+        stats.avg_ips_single_ci = if sc > 0 { ss / sc as f64 } else { 0.0 };
+        let (mc, ms) = get("multi_ci");
+        stats.multi_ip_multi_ci = mc as f64 / t;
+        stats.avg_ips_multi_ci = if mc > 0 { ms / mc as f64 } else { 0.0 };
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publishers::aggregate_publishers;
+    use btpub_crawler::TorrentRecord;
+    use btpub_geodb::GeoDbBuilder;
+    use btpub_sim::content::Category;
+    use btpub_sim::{SimTime, TorrentId};
+    use std::net::Ipv4Addr;
+
+    fn db() -> GeoDb {
+        let mut b = GeoDbBuilder::new();
+        let hp = b.add_isp("HostCo", IspKind::HostingProvider, "US");
+        let ci1 = b.add_isp("CableCo", IspKind::CommercialIsp, "US");
+        let ci2 = b.add_isp("DslCo", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("X", "US");
+        b.add_slash16(0x0A00, hp, loc);
+        b.add_slash16(0x1800, ci1, loc);
+        b.add_slash16(0x2000, ci2, loc);
+        b.build().unwrap()
+    }
+
+    fn rec(id: u32, user: &str, ip: Option<[u8; 4]>, removed: bool) -> TorrentRecord {
+        TorrentRecord {
+            torrent: TorrentId(id),
+            announced_at: SimTime(0),
+            first_contact_at: None,
+            category: Category::Movies,
+            title: "t".into(),
+            filename: "t".into(),
+            textbox: None,
+            size_bytes: 1,
+            language: None,
+            username: Some(user.into()),
+            publisher_ip: ip.map(Ipv4Addr::from),
+            ip_failure: None,
+            first_complete: 0,
+            first_incomplete: 0,
+            sightings: vec![],
+            observed_ips: vec![1, 2, 3],
+            observed_removed: removed,
+        }
+    }
+
+    fn ds(torrents: Vec<TorrentRecord>) -> Dataset {
+        Dataset {
+            name: "t".into(),
+            start: SimTime(0),
+            end: SimTime(1),
+            has_usernames: true,
+            torrents,
+        }
+    }
+
+    #[test]
+    fn takedowns_taint_usernames() {
+        let d = ds(vec![
+            rec(0, "fakeacct", Some([10, 0, 0, 1]), true),
+            rec(1, "fakeacct", Some([10, 0, 0, 1]), true),
+            rec(2, "clean", Some([24, 0, 0, 1]), false),
+        ]);
+        let pubs = aggregate_publishers(&d);
+        let g = assign_groups(&d, &pubs, &db(), 10);
+        assert!(g.fake_usernames.contains("fakeacct"));
+        assert!(!g.fake_usernames.contains("clean"));
+        assert!(g.fake_ips.contains(&u32::from(Ipv4Addr::new(10, 0, 0, 1))));
+        assert_eq!(g.compromised_in_top_k, 1);
+        assert!(g.top.iter().any(|k| matches!(k, PublisherKey::Username(u) if u == "clean")));
+    }
+
+    #[test]
+    fn multi_username_ips_flagged() {
+        // A username mill needs takedown corroboration: three usernames on
+        // one IP plus at least one removed listing.
+        let shared_ip = [10, 0, 0, 9];
+        let d = ds(vec![
+            rec(0, "a1", Some(shared_ip), true),
+            rec(1, "a2", Some(shared_ip), false),
+            rec(2, "a3", Some(shared_ip), false),
+            rec(3, "clean", Some([24, 0, 0, 1]), false),
+        ]);
+        let pubs = aggregate_publishers(&d);
+        let g = assign_groups(&d, &pubs, &db(), 10);
+        assert!(g.fake_ips.contains(&u32::from(Ipv4Addr::from(shared_ip))));
+        for u in ["a1", "a2", "a3"] {
+            assert!(g.fake_usernames.contains(u), "{u} should be tainted");
+        }
+        assert!(!g.fake_usernames.contains("clean"));
+    }
+
+    #[test]
+    fn top_split_by_isp_kind() {
+        let d = ds(vec![
+            rec(0, "hosted", Some([10, 0, 0, 1]), false),
+            rec(1, "cable", Some([24, 0, 0, 1]), false),
+        ]);
+        let pubs = aggregate_publishers(&d);
+        let g = assign_groups(&d, &pubs, &db(), 10);
+        let hosted = PublisherKey::Username("hosted".into());
+        let cable = PublisherKey::Username("cable".into());
+        assert!(g.top_hp.contains(&hosted));
+        assert!(g.top_ci.contains(&cable));
+        assert!(g.contains(&hosted, Group::Top));
+        assert!(g.contains(&hosted, Group::All));
+        assert!(!g.contains(&hosted, Group::Fake));
+    }
+
+    #[test]
+    fn group_shares_sum_sensibly() {
+        let d = ds(vec![
+            rec(0, "fake1", Some([10, 0, 0, 1]), true),
+            rec(1, "fake1", Some([10, 0, 0, 1]), true),
+            rec(2, "top1", Some([24, 0, 0, 1]), false),
+            rec(3, "top1", Some([24, 0, 0, 2]), false),
+        ]);
+        let pubs = aggregate_publishers(&d);
+        let g = assign_groups(&d, &pubs, &db(), 1);
+        let (fc, fdl) = group_shares(&d, &pubs, &g, Group::Fake);
+        assert!((fc - 0.5).abs() < 1e-9);
+        assert!((fdl - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mapping_stats_classification() {
+        let d = ds(vec![
+            // "solo": one IP.
+            rec(0, "solo", Some([24, 0, 0, 1]), false),
+            // "hosted": 2 hosting IPs.
+            rec(1, "hosted", Some([10, 0, 0, 1]), false),
+            rec(2, "hosted", Some([10, 0, 0, 2]), false),
+            // "dhcp": 2 IPs inside CableCo.
+            rec(3, "dhcp", Some([24, 0, 1, 1]), false),
+            rec(4, "dhcp", Some([24, 0, 1, 2]), false),
+            // "homework": CableCo + DslCo.
+            rec(5, "homework", Some([24, 0, 2, 1]), false),
+            rec(6, "homework", Some([32, 0, 0, 1]), false),
+        ]);
+        let pubs = aggregate_publishers(&d);
+        let s = mapping_stats(&d, &pubs, &db(), 10);
+        assert!((s.single_ip - 0.25).abs() < 1e-9);
+        assert!((s.multi_ip_hosting - 0.25).abs() < 1e-9);
+        assert!((s.multi_ip_single_ci - 0.25).abs() < 1e-9);
+        assert!((s.multi_ip_multi_ci - 0.25).abs() < 1e-9);
+        assert!((s.avg_ips_hosting - 2.0).abs() < 1e-9);
+        // Every IP here is used by exactly one username.
+        assert!((s.top_ips_unique_username - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ip_mode_dataset_still_produces_top() {
+        let mut d = ds(vec![
+            rec(0, "x", Some([10, 0, 0, 1]), false),
+            rec(1, "y", Some([24, 0, 0, 1]), false),
+        ]);
+        d.has_usernames = false;
+        for t in &mut d.torrents {
+            t.username = None;
+        }
+        let pubs = aggregate_publishers(&d);
+        let g = assign_groups(&d, &pubs, &db(), 10);
+        assert_eq!(g.top.len(), 2);
+        assert_eq!(g.top_hp.len(), 1);
+        assert_eq!(g.top_ci.len(), 1);
+        assert!(g.fake_usernames.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! §3.2 / Tables 2–3: mapping publishers to ISPs.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use btpub_crawler::Dataset;
+use btpub_geodb::{prefix16, GeoDb, IspId, IspKind};
+
+use crate::publishers::PublisherStats;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspRow {
+    /// ISP display name.
+    pub name: String,
+    /// Hosting provider or commercial ISP.
+    pub kind: IspKind,
+    /// Percentage of IP-attributed content published from this ISP.
+    pub pct_content: f64,
+}
+
+/// Computes Table 2 for a dataset: the top-`k` ISPs by the share of
+/// (IP-attributed) content their publishers fed.
+pub fn top_isps(dataset: &Dataset, db: &GeoDb, k: usize) -> Vec<IspRow> {
+    let mut per_isp: HashMap<IspId, usize> = HashMap::new();
+    let mut attributed = 0usize;
+    for rec in &dataset.torrents {
+        if let Some(ip) = rec.publisher_ip {
+            if let Some(info) = db.lookup(ip) {
+                *per_isp.entry(info.isp).or_default() += 1;
+                attributed += 1;
+            }
+        }
+    }
+    let mut rows: Vec<(IspId, usize)> = per_isp.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows.truncate(k);
+    rows.into_iter()
+        .map(|(isp, count)| {
+            let rec = db.isp(isp);
+            IspRow {
+                name: rec.name.clone(),
+                kind: rec.kind,
+                pct_content: 100.0 * count as f64 / attributed.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Table 3's characterisation of one ISP's publisher footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IspFootprint {
+    /// Torrents fed by publishers at this ISP.
+    pub fed_torrents: usize,
+    /// Distinct publisher IP addresses.
+    pub ip_addresses: usize,
+    /// Distinct /16 prefixes those addresses fall in.
+    pub prefixes16: usize,
+    /// Distinct geographic locations.
+    pub geo_locations: usize,
+}
+
+/// Computes Table 3's row for one ISP (by name), e.g. OVH vs Comcast.
+pub fn isp_footprint(dataset: &Dataset, db: &GeoDb, isp_name: &str) -> IspFootprint {
+    let Some(target) = db.isp_by_name(isp_name) else {
+        return IspFootprint {
+            fed_torrents: 0,
+            ip_addresses: 0,
+            prefixes16: 0,
+            geo_locations: 0,
+        };
+    };
+    let mut fed = 0usize;
+    let mut ips: HashSet<u32> = HashSet::new();
+    let mut prefixes: HashSet<u16> = HashSet::new();
+    let mut locations: HashSet<_> = HashSet::new();
+    for rec in &dataset.torrents {
+        if let Some(ip) = rec.publisher_ip {
+            if let Some(info) = db.lookup(ip) {
+                if info.isp == target {
+                    fed += 1;
+                    ips.insert(u32::from(ip));
+                    prefixes.insert(prefix16(ip));
+                    locations.insert(info.location);
+                }
+            }
+        }
+    }
+    IspFootprint {
+        fed_torrents: fed,
+        ip_addresses: ips.len(),
+        prefixes16: prefixes.len(),
+        geo_locations: locations.len(),
+    }
+}
+
+/// Fraction of the given top publishers that sit at hosting providers,
+/// plus the share specifically at one named provider (the paper: 42 % at
+/// hosting services, 22 % at OVH alone, for pb10's top-100).
+pub fn hosting_shares(
+    publishers: &[PublisherStats],
+    db: &GeoDb,
+    provider: &str,
+) -> (f64, f64) {
+    if publishers.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut at_hosting = 0usize;
+    let mut at_named = 0usize;
+    let mut with_ip = 0usize;
+    for p in publishers {
+        let Some(kind) = dominant_kind(p, db) else {
+            continue;
+        };
+        with_ip += 1;
+        if kind == IspKind::HostingProvider {
+            at_hosting += 1;
+        }
+        if dominant_isp(p, db).is_some_and(|i| db.isp(i).name == provider) {
+            at_named += 1;
+        }
+    }
+    if with_ip == 0 {
+        return (0.0, 0.0);
+    }
+    (
+        at_hosting as f64 / with_ip as f64,
+        at_named as f64 / with_ip as f64,
+    )
+}
+
+/// The ISP a publisher's identified IPs most often map to.
+pub fn dominant_isp(p: &PublisherStats, db: &GeoDb) -> Option<IspId> {
+    let mut counts: HashMap<IspId, usize> = HashMap::new();
+    for &ip in &p.ips {
+        if let Some(info) = db.lookup(Ipv4Addr::from(ip)) {
+            *counts.entry(info.isp).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0 .0.cmp(&a.0 .0)))
+        .map(|(isp, _)| isp)
+}
+
+/// The ISP kind (hosting vs commercial) of a publisher's dominant ISP.
+pub fn dominant_kind(p: &PublisherStats, db: &GeoDb) -> Option<IspKind> {
+    dominant_isp(p, db).map(|isp| db.isp(isp).kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publishers::PublisherKey;
+    use btpub_crawler::TorrentRecord;
+    use btpub_geodb::GeoDbBuilder;
+    use btpub_sim::content::Category;
+    use btpub_sim::{SimTime, TorrentId};
+
+    fn db() -> GeoDb {
+        let mut b = GeoDbBuilder::new();
+        let ovh = b.add_isp("OVH", IspKind::HostingProvider, "FR");
+        let comcast = b.add_isp("Comcast", IspKind::CommercialIsp, "US");
+        let rbx = b.add_location("Roubaix", "FR");
+        let den = b.add_location("Denver", "US");
+        let chi = b.add_location("Chicago", "US");
+        b.add_slash16(0x0A00, ovh, rbx); // 10.0/16
+        b.add_slash16(0x1800, comcast, den); // 24.0/16
+        b.add_slash16(0x1801, comcast, chi); // 24.1/16
+        b.build().unwrap()
+    }
+
+    fn rec(id: u32, ip: [u8; 4]) -> TorrentRecord {
+        TorrentRecord {
+            torrent: TorrentId(id),
+            announced_at: SimTime(0),
+            first_contact_at: None,
+            category: Category::Movies,
+            title: "t".into(),
+            filename: "t".into(),
+            textbox: None,
+            size_bytes: 1,
+            language: None,
+            username: Some(format!("u{id}")),
+            publisher_ip: Some(Ipv4Addr::from(ip)),
+            ip_failure: None,
+            first_complete: 0,
+            first_incomplete: 0,
+            sightings: vec![],
+            observed_ips: vec![],
+            observed_removed: false,
+        }
+    }
+
+    fn ds(torrents: Vec<TorrentRecord>) -> Dataset {
+        Dataset {
+            name: "t".into(),
+            start: SimTime(0),
+            end: SimTime(1),
+            has_usernames: true,
+            torrents,
+        }
+    }
+
+    #[test]
+    fn table2_ranks_by_content() {
+        let d = ds(vec![
+            rec(0, [10, 0, 0, 1]),
+            rec(1, [10, 0, 0, 1]),
+            rec(2, [10, 0, 0, 2]),
+            rec(3, [24, 0, 5, 5]),
+        ]);
+        let rows = top_isps(&d, &db(), 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "OVH");
+        assert_eq!(rows[0].kind, IspKind::HostingProvider);
+        assert!((rows[0].pct_content - 75.0).abs() < 1e-9);
+        assert!((rows[1].pct_content - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_footprint_contrast() {
+        let d = ds(vec![
+            rec(0, [10, 0, 0, 1]),
+            rec(1, [10, 0, 0, 1]),
+            rec(2, [10, 0, 0, 2]),
+            rec(3, [24, 0, 5, 5]),
+            rec(4, [24, 1, 9, 9]),
+        ]);
+        let database = db();
+        let ovh = isp_footprint(&d, &database, "OVH");
+        assert_eq!(ovh.fed_torrents, 3);
+        assert_eq!(ovh.ip_addresses, 2);
+        assert_eq!(ovh.prefixes16, 1);
+        assert_eq!(ovh.geo_locations, 1);
+        let comcast = isp_footprint(&d, &database, "Comcast");
+        assert_eq!(comcast.fed_torrents, 2);
+        assert_eq!(comcast.prefixes16, 2);
+        assert_eq!(comcast.geo_locations, 2);
+        let nosuch = isp_footprint(&d, &database, "NoSuch");
+        assert_eq!(nosuch.fed_torrents, 0);
+    }
+
+    #[test]
+    fn hosting_share_computation() {
+        let database = db();
+        let pubs = vec![
+            PublisherStats {
+                key: PublisherKey::Username("a".into()),
+                torrents: vec![0],
+                downloads: 0,
+                ips: [u32::from(Ipv4Addr::new(10, 0, 0, 1))].into_iter().collect(),
+            },
+            PublisherStats {
+                key: PublisherKey::Username("b".into()),
+                torrents: vec![1],
+                downloads: 0,
+                ips: [u32::from(Ipv4Addr::new(24, 0, 0, 1))].into_iter().collect(),
+            },
+        ];
+        let (hosting, ovh) = hosting_shares(&pubs, &database, "OVH");
+        assert!((hosting - 0.5).abs() < 1e-9);
+        assert!((ovh - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominant_isp_majority_vote() {
+        let database = db();
+        let p = PublisherStats {
+            key: PublisherKey::Username("a".into()),
+            torrents: vec![],
+            downloads: 0,
+            ips: [
+                u32::from(Ipv4Addr::new(24, 0, 0, 1)),
+                u32::from(Ipv4Addr::new(24, 1, 0, 1)),
+                u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        assert_eq!(
+            dominant_kind(&p, &database),
+            Some(IspKind::CommercialIsp),
+            "2 Comcast IPs beat 1 OVH"
+        );
+        let empty = PublisherStats {
+            key: PublisherKey::Username("none".into()),
+            torrents: vec![],
+            downloads: 0,
+            ips: Default::default(),
+        };
+        assert_eq!(dominant_kind(&empty, &database), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! §4.2 / Figure 3: content popularity per publisher group.
+//!
+//! Popularity of a torrent = number of distinct downloaders observed,
+//! regardless of download progress. The figure plots, per group, the box
+//! of *average downloaders per torrent per publisher*.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::fake::{Group, Groups};
+use crate::publishers::PublisherStats;
+use crate::stats::BoxStats;
+
+/// The "All" group is a random sample of this many publishers in the
+/// paper (computing the seeding metrics for every publisher was too
+/// expensive for the authors; we keep the sample for comparability).
+pub const ALL_SAMPLE: usize = 400;
+
+/// Per-publisher average downloaders per torrent, for group members.
+pub fn per_publisher_popularity(
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    group: Group,
+    sample_seed: u64,
+) -> Vec<f64> {
+    let mut values: Vec<f64> = publishers
+        .iter()
+        .filter(|p| groups.contains(&p.key, group) && p.content_count() > 0)
+        .map(|p| p.downloads as f64 / p.content_count() as f64)
+        .collect();
+    if group == Group::All && values.len() > ALL_SAMPLE {
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        values.shuffle(&mut rng);
+        values.truncate(ALL_SAMPLE);
+    }
+    values
+}
+
+/// Figure 3's box for one group.
+pub fn popularity_box(
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    group: Group,
+    sample_seed: u64,
+) -> Option<BoxStats> {
+    BoxStats::of(&per_publisher_popularity(publishers, groups, group, sample_seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publishers::PublisherKey;
+    use std::collections::HashSet;
+
+    fn publisher(name: &str, torrents: usize, downloads: u64) -> PublisherStats {
+        PublisherStats {
+            key: PublisherKey::Username(name.into()),
+            torrents: (0..torrents).collect(),
+            downloads,
+            ips: HashSet::new(),
+        }
+    }
+
+    #[test]
+    fn averages_per_publisher() {
+        let pubs = vec![publisher("a", 2, 200), publisher("b", 1, 10)];
+        let groups = Groups::default();
+        let vals = per_publisher_popularity(&pubs, &groups, Group::All, 0);
+        assert_eq!(vals, vec![100.0, 10.0]);
+        let b = popularity_box(&pubs, &groups, Group::All, 0).unwrap();
+        assert_eq!(b.median, 55.0);
+    }
+
+    #[test]
+    fn all_group_is_sampled() {
+        let pubs: Vec<PublisherStats> = (0..1000)
+            .map(|i| publisher(&format!("u{i}"), 1, i as u64))
+            .collect();
+        let vals = per_publisher_popularity(&pubs, &Groups::default(), Group::All, 7);
+        assert_eq!(vals.len(), ALL_SAMPLE);
+        // Deterministic under the same seed.
+        let vals2 = per_publisher_popularity(&pubs, &Groups::default(), Group::All, 7);
+        assert_eq!(vals, vals2);
+    }
+
+    #[test]
+    fn group_filtering_applies() {
+        let pubs = vec![publisher("top", 1, 700), publisher("other", 1, 10)];
+        let mut groups = Groups::default();
+        groups.top.push(PublisherKey::Username("top".into()));
+        let vals = per_publisher_popularity(&pubs, &groups, Group::Top, 0);
+        assert_eq!(vals, vec![700.0]);
+        assert!(popularity_box(&pubs, &groups, Group::TopHp, 0).is_none());
+    }
+}

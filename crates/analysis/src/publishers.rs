@@ -1,0 +1,238 @@
+//! Per-publisher aggregation of a dataset.
+//!
+//! The paper identifies a publisher by *username* where the portal exposes
+//! one (pb09/pb10) and falls back to the initial-seeder *IP address* for
+//! mn08 (§3). This module provides that keying plus the per-publisher
+//! aggregates every later stage consumes.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use btpub_crawler::Dataset;
+
+/// How a publisher is identified in a dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PublisherKey {
+    /// Portal username (pb09 / pb10).
+    Username(String),
+    /// Initial-seeder address (mn08, which lacks usernames).
+    Ip(u32),
+}
+
+impl std::fmt::Display for PublisherKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublisherKey::Username(u) => f.write_str(u),
+            PublisherKey::Ip(ip) => write!(f, "{}", Ipv4Addr::from(*ip)),
+        }
+    }
+}
+
+/// Aggregates for one identified publisher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublisherStats {
+    /// Identification key.
+    pub key: PublisherKey,
+    /// Indices into `dataset.torrents`, in announcement order.
+    pub torrents: Vec<usize>,
+    /// Total observed downloaders across those torrents.
+    pub downloads: u64,
+    /// Initial-seeder IPs identified across the publisher's torrents.
+    pub ips: HashSet<u32>,
+}
+
+impl PublisherStats {
+    /// Number of published torrents attributed to this publisher.
+    pub fn content_count(&self) -> usize {
+        self.torrents.len()
+    }
+}
+
+/// Groups a dataset by publisher.
+///
+/// With usernames available every torrent is attributed; in IP mode only
+/// torrents whose initial seeder was identified can be attributed (the
+/// mn08 limitation the paper notes). The result is sorted by content
+/// count, descending — "top-x" publishers are prefixes of it.
+pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
+    // BTreeMap gives a deterministic tie order regardless of hash state.
+    let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
+    for (idx, rec) in dataset.torrents.iter().enumerate() {
+        let key = if dataset.has_usernames {
+            match &rec.username {
+                Some(u) => PublisherKey::Username(u.clone()),
+                None => continue,
+            }
+        } else {
+            match rec.publisher_ip {
+                Some(ip) => PublisherKey::Ip(u32::from(ip)),
+                None => continue,
+            }
+        };
+        let entry = agg.entry(key.clone()).or_insert_with(|| PublisherStats {
+            key,
+            torrents: Vec::new(),
+            downloads: 0,
+            ips: HashSet::new(),
+        });
+        entry.torrents.push(idx);
+        entry.downloads += rec.observed_downloaders() as u64;
+        if let Some(ip) = rec.publisher_ip {
+            entry.ips.insert(u32::from(ip));
+        }
+    }
+    let mut out: Vec<PublisherStats> = agg.into_values().collect();
+    out.sort_by(|a, b| {
+        b.content_count()
+            .cmp(&a.content_count())
+            .then_with(|| b.downloads.cmp(&a.downloads))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    out
+}
+
+/// The IP→usernames view of §3.3: for every identified initial-seeder IP,
+/// the set of usernames it published under. Only meaningful on datasets
+/// with usernames.
+pub fn ip_to_usernames(dataset: &Dataset) -> HashMap<u32, HashSet<String>> {
+    let mut map: HashMap<u32, HashSet<String>> = HashMap::new();
+    for rec in &dataset.torrents {
+        if let (Some(ip), Some(user)) = (rec.publisher_ip, &rec.username) {
+            map.entry(u32::from(ip)).or_default().insert(user.clone());
+        }
+    }
+    map
+}
+
+/// Content counts per identified IP, sorted descending — the "top-100 IP
+/// addresses" ranking of §3.3.
+pub fn top_ips_by_content(dataset: &Dataset) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for rec in &dataset.torrents {
+        if let Some(ip) = rec.publisher_ip {
+            *counts.entry(u32::from(ip)).or_default() += 1;
+        }
+    }
+    let mut out: Vec<(u32, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpub_crawler::{Dataset, TorrentRecord};
+    use btpub_sim::content::Category;
+    use btpub_sim::{SimTime, TorrentId};
+
+    fn rec(id: u32, user: Option<&str>, ip: Option<[u8; 4]>, ips_observed: u32) -> TorrentRecord {
+        TorrentRecord {
+            torrent: TorrentId(id),
+            announced_at: SimTime(u64::from(id)),
+            first_contact_at: None,
+            category: Category::Movies,
+            title: format!("t{id}"),
+            filename: format!("t{id}"),
+            textbox: None,
+            size_bytes: 1,
+            username: user.map(str::to_string),
+            language: None,
+            publisher_ip: ip.map(Ipv4Addr::from),
+            ip_failure: None,
+            first_complete: 0,
+            first_incomplete: 0,
+            sightings: vec![],
+            observed_ips: (0..ips_observed).collect(),
+            observed_removed: false,
+        }
+    }
+
+    fn dataset(has_usernames: bool, torrents: Vec<TorrentRecord>) -> Dataset {
+        Dataset {
+            name: "t".into(),
+            start: SimTime(0),
+            end: SimTime(100),
+            has_usernames,
+            torrents,
+        }
+    }
+
+    #[test]
+    fn username_mode_groups_by_username() {
+        let ds = dataset(
+            true,
+            vec![
+                rec(0, Some("alice"), Some([1, 1, 1, 1]), 10),
+                rec(1, Some("alice"), Some([1, 1, 1, 2]), 5),
+                rec(2, Some("bob"), None, 3),
+            ],
+        );
+        let agg = aggregate_publishers(&ds);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].key, PublisherKey::Username("alice".into()));
+        assert_eq!(agg[0].content_count(), 2);
+        assert_eq!(agg[0].downloads, 15);
+        assert_eq!(agg[0].ips.len(), 2);
+        assert_eq!(agg[1].content_count(), 1);
+    }
+
+    #[test]
+    fn ip_mode_drops_unidentified() {
+        let ds = dataset(
+            false,
+            vec![
+                rec(0, None, Some([1, 1, 1, 1]), 10),
+                rec(1, None, Some([1, 1, 1, 1]), 4),
+                rec(2, None, None, 3),
+            ],
+        );
+        let agg = aggregate_publishers(&ds);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].content_count(), 2);
+        assert!(matches!(agg[0].key, PublisherKey::Ip(_)));
+    }
+
+    #[test]
+    fn sorting_is_by_content_then_downloads() {
+        let ds = dataset(
+            true,
+            vec![
+                rec(0, Some("small"), None, 100),
+                rec(1, Some("big"), None, 1),
+                rec(2, Some("big"), None, 1),
+            ],
+        );
+        let agg = aggregate_publishers(&ds);
+        assert_eq!(agg[0].key, PublisherKey::Username("big".into()));
+    }
+
+    #[test]
+    fn ip_to_usernames_detects_multiuser_ips() {
+        let ds = dataset(
+            true,
+            vec![
+                rec(0, Some("u1"), Some([9, 9, 9, 9]), 0),
+                rec(1, Some("u2"), Some([9, 9, 9, 9]), 0),
+                rec(2, Some("u1"), Some([8, 8, 8, 8]), 0),
+            ],
+        );
+        let map = ip_to_usernames(&ds);
+        assert_eq!(map[&u32::from(Ipv4Addr::new(9, 9, 9, 9))].len(), 2);
+        assert_eq!(map[&u32::from(Ipv4Addr::new(8, 8, 8, 8))].len(), 1);
+    }
+
+    #[test]
+    fn top_ips_ranking() {
+        let ds = dataset(
+            true,
+            vec![
+                rec(0, Some("a"), Some([1, 0, 0, 1]), 0),
+                rec(1, Some("a"), Some([1, 0, 0, 1]), 0),
+                rec(2, Some("b"), Some([1, 0, 0, 2]), 0),
+            ],
+        );
+        let top = top_ips_by_content(&ds);
+        assert_eq!(top[0], (u32::from(Ipv4Addr::new(1, 0, 0, 1)), 2));
+        assert_eq!(top[1].1, 1);
+    }
+}

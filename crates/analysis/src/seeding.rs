@@ -1,0 +1,275 @@
+//! §4.3 / Figure 4: seeding-behaviour signature of publishers.
+//!
+//! All three metrics derive from the publisher's *estimated* seeding
+//! sessions, reconstructed per torrent from tracker sightings with the
+//! Appendix A threshold:
+//!
+//! * **average seeding time per torrent** (Fig. 4a),
+//! * **average number of torrents seeded in parallel** (Fig. 4b) —
+//!   computed as total per-torrent seeding time divided by the measure of
+//!   the union (the time-average of concurrency while seeding at all),
+//! * **aggregated session time** (Fig. 4c) — the measure of the union of
+//!   sessions across all the publisher's torrents.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use btpub_crawler::{Dataset, TorrentRecord};
+use btpub_sim::intervals::IntervalSet;
+use btpub_sim::{SimDuration, SimTime};
+
+use crate::fake::{Group, Groups};
+use crate::popularity::ALL_SAMPLE;
+use crate::publishers::PublisherStats;
+use crate::session::{default_offline_threshold, estimate_sessions};
+use crate::stats::BoxStats;
+
+/// One publisher's Figure 4 metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedingMetrics {
+    /// Average estimated seeding time per torrent, in hours (Fig. 4a).
+    pub avg_seed_time_h: f64,
+    /// Average number of torrents seeded in parallel (Fig. 4b).
+    pub avg_parallel: f64,
+    /// Aggregated session time across all torrents, in hours (Fig. 4c).
+    pub aggregated_session_h: f64,
+    /// Torrents that contributed (publisher IP identified + sightings).
+    pub torrents_measured: usize,
+}
+
+/// Estimates the publisher's sessions in one torrent from its sightings.
+///
+/// Padding is half the typical observed query spacing, so an isolated
+/// sighting still counts as a short presence rather than zero.
+pub fn torrent_sessions(rec: &TorrentRecord, threshold: SimDuration) -> IntervalSet {
+    let seen: Vec<SimTime> = rec
+        .sightings
+        .iter()
+        .filter(|s| s.publisher_seen)
+        .map(|s| s.at)
+        .collect();
+    if seen.is_empty() {
+        return IntervalSet::new();
+    }
+    let pad = SimDuration(typical_gap(rec).secs() / 2);
+    estimate_sessions(&seen, threshold, pad)
+}
+
+/// Median gap between consecutive sightings, clamped to [1, 15] minutes.
+fn typical_gap(rec: &TorrentRecord) -> SimDuration {
+    let mut gaps: Vec<u64> = rec
+        .sightings
+        .windows(2)
+        .map(|w| w[1].at.since(w[0].at).secs())
+        .collect();
+    if gaps.is_empty() {
+        return SimDuration(600);
+    }
+    gaps.sort_unstable();
+    SimDuration(gaps[gaps.len() / 2].clamp(60, 900))
+}
+
+/// Computes the Figure 4 metrics for one publisher, or `None` when no
+/// torrent of theirs has an identified IP with sightings.
+pub fn publisher_seeding_metrics(
+    dataset: &Dataset,
+    p: &PublisherStats,
+    threshold: SimDuration,
+) -> Option<SeedingMetrics> {
+    let mut union = IntervalSet::new();
+    let mut per_torrent_total = SimDuration::ZERO;
+    let mut measured = 0usize;
+    let mut sum_hours = 0.0f64;
+    for &idx in &p.torrents {
+        let rec = &dataset.torrents[idx];
+        if rec.publisher_ip.is_none() {
+            continue;
+        }
+        let sessions = torrent_sessions(rec, threshold);
+        if sessions.is_empty() {
+            continue;
+        }
+        measured += 1;
+        sum_hours += sessions.total().as_hours();
+        per_torrent_total += sessions.total();
+        union.union_with(&sessions);
+    }
+    if measured == 0 {
+        return None;
+    }
+    let union_h = union.total().as_hours();
+    Some(SeedingMetrics {
+        avg_seed_time_h: sum_hours / measured as f64,
+        avg_parallel: if union_h > 0.0 {
+            per_torrent_total.as_hours() / union_h
+        } else {
+            0.0
+        },
+        aggregated_session_h: union_h,
+        torrents_measured: measured,
+    })
+}
+
+/// Figure 4's three boxes for one group. The `All` group is a random
+/// 400-publisher sample, as in the paper.
+pub fn group_seeding_boxes(
+    dataset: &Dataset,
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    group: Group,
+    sample_seed: u64,
+) -> Option<(BoxStats, BoxStats, BoxStats)> {
+    let mut members: Vec<&PublisherStats> = publishers
+        .iter()
+        .filter(|p| groups.contains(&p.key, group))
+        .collect();
+    if group == Group::All && members.len() > ALL_SAMPLE {
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        members.shuffle(&mut rng);
+        members.truncate(ALL_SAMPLE);
+    }
+    let metrics: Vec<SeedingMetrics> = members
+        .iter()
+        .filter_map(|p| publisher_seeding_metrics(dataset, p, default_offline_threshold()))
+        .collect();
+    if metrics.is_empty() {
+        return None;
+    }
+    let seed_times: Vec<f64> = metrics.iter().map(|m| m.avg_seed_time_h).collect();
+    let parallel: Vec<f64> = metrics.iter().map(|m| m.avg_parallel).collect();
+    let aggregated: Vec<f64> = metrics.iter().map(|m| m.aggregated_session_h).collect();
+    Some((
+        BoxStats::of(&seed_times)?,
+        BoxStats::of(&parallel)?,
+        BoxStats::of(&aggregated)?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::publishers::PublisherKey;
+    use btpub_crawler::Sighting;
+    use btpub_sim::content::Category;
+    use btpub_sim::TorrentId;
+    use std::collections::HashSet;
+    use std::net::Ipv4Addr;
+
+    fn rec_with_sightings(id: u32, seen_hours: &[f64], gap_all_hours: f64) -> TorrentRecord {
+        // Sightings every `gap_all_hours`; publisher seen at `seen_hours`.
+        let mut sightings = Vec::new();
+        let mut t = 0.0f64;
+        while t <= 48.0 {
+            sightings.push(Sighting {
+                at: SimTime::from_hours(t),
+                complete: 1,
+                incomplete: 1,
+                sampled: 2,
+                publisher_seen: seen_hours.iter().any(|&s| (s - t).abs() < 1e-9),
+            });
+            t += gap_all_hours;
+        }
+        TorrentRecord {
+            torrent: TorrentId(id),
+            announced_at: SimTime(0),
+            first_contact_at: Some(SimTime(0)),
+            category: Category::Movies,
+            title: "t".into(),
+            filename: "t".into(),
+            textbox: None,
+            size_bytes: 1,
+            language: None,
+            username: Some("u".into()),
+            publisher_ip: Some(Ipv4Addr::new(1, 2, 3, 4)),
+            ip_failure: None,
+            first_complete: 1,
+            first_incomplete: 0,
+            sightings,
+            observed_ips: vec![],
+            observed_removed: false,
+        }
+    }
+
+    fn ds(torrents: Vec<TorrentRecord>) -> Dataset {
+        Dataset {
+            name: "t".into(),
+            start: SimTime(0),
+            end: SimTime::from_hours(48.0),
+            has_usernames: true,
+            torrents,
+        }
+    }
+
+    #[test]
+    fn torrent_sessions_from_sightings() {
+        // Away from t=0 so the left pad is not clipped by the epoch.
+        let rec = rec_with_sightings(0, &[10.0, 10.25, 10.5, 10.75, 11.0], 0.25);
+        let s = torrent_sessions(&rec, default_offline_threshold());
+        assert_eq!(s.session_count(), 1);
+        // 1 hour span + 2×pad (pad = 7.5 min).
+        let total = s.total().as_hours();
+        assert!((total - 1.25).abs() < 0.01, "total {total}");
+    }
+
+    #[test]
+    fn no_sightings_no_sessions() {
+        let rec = rec_with_sightings(0, &[], 0.25);
+        assert!(torrent_sessions(&rec, default_offline_threshold()).is_empty());
+    }
+
+    #[test]
+    fn parallel_metric_reflects_overlap() {
+        // Two torrents seeded over the same 10 h window → parallel ≈ 2.
+        let seen: Vec<f64> = (0..=40).map(|i| i as f64 * 0.25).collect();
+        let d = ds(vec![
+            rec_with_sightings(0, &seen, 0.25),
+            rec_with_sightings(1, &seen, 0.25),
+        ]);
+        let p = PublisherStats {
+            key: PublisherKey::Username("u".into()),
+            torrents: vec![0, 1],
+            downloads: 0,
+            ips: HashSet::new(),
+        };
+        let m = publisher_seeding_metrics(&d, &p, default_offline_threshold()).unwrap();
+        assert_eq!(m.torrents_measured, 2);
+        assert!((m.avg_parallel - 2.0).abs() < 0.05, "parallel {}", m.avg_parallel);
+        // Aggregated = union ≈ 10 h (not 20).
+        assert!((m.aggregated_session_h - 10.25).abs() < 0.2);
+        assert!((m.avg_seed_time_h - 10.25).abs() < 0.2);
+    }
+
+    #[test]
+    fn disjoint_seeding_is_sequential() {
+        let early: Vec<f64> = (0..=8).map(|i| i as f64 * 0.25).collect(); // 0..2h
+        let late: Vec<f64> = (0..=8).map(|i| 24.0 + i as f64 * 0.25).collect(); // 24..26h
+        let d = ds(vec![
+            rec_with_sightings(0, &early, 0.25),
+            rec_with_sightings(1, &late, 0.25),
+        ]);
+        let p = PublisherStats {
+            key: PublisherKey::Username("u".into()),
+            torrents: vec![0, 1],
+            downloads: 0,
+            ips: HashSet::new(),
+        };
+        let m = publisher_seeding_metrics(&d, &p, default_offline_threshold()).unwrap();
+        assert!((m.avg_parallel - 1.0).abs() < 0.05);
+        assert!((m.aggregated_session_h - 4.5).abs() < 0.3);
+    }
+
+    #[test]
+    fn unidentified_torrents_are_skipped() {
+        let mut r = rec_with_sightings(0, &[0.0, 0.25], 0.25);
+        r.publisher_ip = None;
+        let d = ds(vec![r]);
+        let p = PublisherStats {
+            key: PublisherKey::Username("u".into()),
+            torrents: vec![0],
+            downloads: 0,
+            ips: HashSet::new(),
+        };
+        assert!(publisher_seeding_metrics(&d, &p, default_offline_threshold()).is_none());
+    }
+}

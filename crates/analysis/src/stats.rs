@@ -1,0 +1,136 @@
+//! Descriptive statistics used by the figures and tables.
+
+use serde::Serialize;
+
+/// Linear-interpolation percentile of a sample, `q` in `[0, 1]`.
+///
+/// Returns `None` on an empty sample. NaNs are rejected by debug assert —
+/// the pipeline never produces them.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    debug_assert!((0.0..=1.0).contains(&q));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Five-number summary plus mean — one box of the paper's box plots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct BoxStats {
+    /// Smallest sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary; `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(BoxStats {
+            min: sorted[0],
+            p25: percentile(&sorted, 0.25)?,
+            median: percentile(&sorted, 0.50)?,
+            p75: percentile(&sorted, 0.75)?,
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            n: sorted.len(),
+        })
+    }
+}
+
+/// `min / median / average / max`, the format of Tables 4–5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MinMedAvgMax {
+    /// Smallest sample.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Mean.
+    pub avg: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl MinMedAvgMax {
+    /// Computes the summary; `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<MinMedAvgMax> {
+        let b = BoxStats::of(values)?;
+        Some(MinMedAvgMax {
+            min: b.min,
+            median: b.median,
+            avg: b.mean,
+            max: b.max,
+            n: b.n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(4.0));
+        assert_eq!(percentile(&data, 0.5), Some(2.5));
+        assert_eq!(percentile(&data, 0.25), Some(1.75));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.9), Some(7.0));
+    }
+
+    #[test]
+    fn box_stats_basic() {
+        let b = BoxStats::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.max, 5.0);
+        assert_eq!(b.mean, 3.0);
+        assert_eq!(b.p25, 2.0);
+        assert_eq!(b.p75, 4.0);
+        assert_eq!(b.n, 5);
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn min_med_avg_max_matches_box() {
+        let v = [10.0, 20.0, 90.0];
+        let m = MinMedAvgMax::of(&v).unwrap();
+        assert_eq!(m.min, 10.0);
+        assert_eq!(m.median, 20.0);
+        assert_eq!(m.max, 90.0);
+        assert!((m.avg - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_ordering_invariant() {
+        // p25 <= median <= p75 always.
+        let samples: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let b = BoxStats::of(&samples).unwrap();
+        assert!(b.min <= b.p25 && b.p25 <= b.median);
+        assert!(b.median <= b.p75 && b.p75 <= b.max);
+    }
+}

@@ -1,0 +1,89 @@
+//! One Criterion group per paper *table*.
+//!
+//! * `t1_dataset` — building a Table 1 row: ecosystem generation + crawl
+//!   (the full measurement pipeline) at micro scale, plus dataset
+//!   counters at tiny scale.
+//! * `t2_isp_ranking` — Table 2's ISP ranking over the crawled dataset.
+//! * `t3_footprint` — Table 3's per-ISP footprint extraction.
+//! * `t4_longitudinal` — Table 4 from portal user pages.
+//! * `t5_economics` — Table 5 via the six-monitor oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use btpub::{Scale, Scenario, Study};
+use btpub_analysis::isp::{isp_footprint, top_isps};
+use btpub_bench::tiny_study;
+
+fn t1_dataset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_dataset");
+    // The full pipeline, micro scale: this is the headline cost number.
+    g.sample_size(10);
+    g.bench_function("generate_and_crawl_micro", |b| {
+        b.iter(|| {
+            let mut scenario = Scenario::pb10(Scale {
+                torrents: 0.002,
+                downloads: 0.02,
+                majors: 0.1,
+            });
+            scenario.eco.regular_publishers = 40;
+            let study = Study::run(black_box(&scenario));
+            black_box(study.dataset.torrent_count())
+        })
+    });
+    let study = tiny_study();
+    g.bench_function("dataset_counters", |b| {
+        b.iter(|| {
+            (
+                black_box(study.dataset.torrent_count()),
+                black_box(study.dataset.ip_identified_count()),
+                black_box(study.dataset.distinct_ip_count()),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn t2_isp_ranking(c: &mut Criterion) {
+    let study = tiny_study();
+    c.bench_function("t2_isp_ranking/top10", |b| {
+        b.iter(|| black_box(top_isps(&study.dataset, &study.eco.world.db, 10)))
+    });
+}
+
+fn t3_footprint(c: &mut Criterion) {
+    let study = tiny_study();
+    let mut g = c.benchmark_group("t3_footprint");
+    for isp in ["OVH", "Comcast"] {
+        g.bench_function(isp, |b| {
+            b.iter(|| black_box(isp_footprint(&study.dataset, &study.eco.world.db, isp)))
+        });
+    }
+    g.finish();
+}
+
+fn t4_longitudinal(c: &mut Criterion) {
+    let study = tiny_study();
+    let analyses = study.analyze();
+    c.bench_function("t4_longitudinal/rows", |b| {
+        b.iter(|| black_box(analyses.experiments().t4_longitudinal()))
+    });
+}
+
+fn t5_economics(c: &mut Criterion) {
+    let study = tiny_study();
+    let analyses = study.analyze();
+    c.bench_function("t5_economics/rows", |b| {
+        b.iter(|| black_box(analyses.experiments().t5_economics()))
+    });
+}
+
+criterion_group!(
+    tables,
+    t1_dataset,
+    t2_isp_ranking,
+    t3_footprint,
+    t4_longitudinal,
+    t5_economics
+);
+criterion_main!(tables);

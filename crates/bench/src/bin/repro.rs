@@ -1,0 +1,142 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale tiny|repro|paper] [--scenario mn08|pb09|pb10|all] [--exp ID]
+//! ```
+//!
+//! Experiment ids: t1 f1 t2 t3 s33 f2 f3 f4 s51 t4 t5 s6 aa v1 (default:
+//! the full report). Output is the side-by-side "ours vs paper" text that
+//! EXPERIMENTS.md records.
+
+use btpub::{Scale, Scenario, Study};
+
+fn scenario_by_name(name: &str, scale: Scale) -> Option<Scenario> {
+    match name {
+        "mn08" => Some(Scenario::mn08(scale)),
+        "pb09" => Some(Scenario::pb09(scale)),
+        "pb10" => Some(Scenario::pb10(scale)),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_repro();
+    let mut scenario_names = vec!["pb10".to_string()];
+    let mut exp: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::tiny(),
+                    Some("repro") => Scale::default_repro(),
+                    Some("paper") => Scale::paper(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--scenario" => {
+                i += 1;
+                let v = args.get(i).cloned().unwrap_or_default();
+                scenario_names = if v == "all" {
+                    vec!["mn08".into(), "pb09".into(), "pb10".into()]
+                } else {
+                    vec![v]
+                };
+            }
+            "--exp" => {
+                i += 1;
+                exp = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    for name in &scenario_names {
+        let Some(scenario) = scenario_by_name(name, scale) else {
+            eprintln!("unknown scenario {name}");
+            std::process::exit(2);
+        };
+        eprintln!(
+            "[{name}] generating + crawling ({} torrents, {:.0} days)...",
+            scenario.eco.torrents,
+            scenario.eco.duration.as_days()
+        );
+        let started = std::time::Instant::now();
+        let study = Study::run(&scenario);
+        eprintln!(
+            "[{name}] done in {:.1}s: {} torrents, {} distinct IPs",
+            started.elapsed().as_secs_f64(),
+            study.dataset.torrent_count(),
+            study.dataset.distinct_ip_count()
+        );
+        let analyses = study.analyze();
+        let ex = analyses.experiments();
+        println!("################ scenario {name} ################");
+        match exp.as_deref() {
+            None | Some("all") => print!("{}", ex.full_report()),
+            Some("t1") => {
+                let t = ex.t1_dataset();
+                println!("{t:#?}");
+            }
+            Some("f1") => {
+                let f = ex.fig1_skewness();
+                println!(
+                    "top3%={:.1}% top_k={} shares={:.3}/{:.3}",
+                    f.share_top3pct, f.top_k, f.top_k_shares.0, f.top_k_shares.1
+                );
+                for p in f.cdf.iter().step_by((f.cdf.len() / 20).max(1)) {
+                    println!("  {:6.2}% publishers -> {:6.2}% content", p.pct_publishers, p.pct_content);
+                }
+            }
+            Some("t2") => {
+                for row in ex.t2_isps() {
+                    println!("{:<28} {:<16} {:>6.2}%", row.name, row.kind.to_string(), row.pct_content);
+                }
+            }
+            Some("t3") => println!("{:#?}", ex.t3_footprints()),
+            Some("s33") => println!("{:#?}", ex.s33_mapping()),
+            Some("f2") => {
+                for (g, d) in ex.fig2_content_types() {
+                    println!("{:<7} n={:<6} video={:.1}% fractions={:?}", g.label(), d.n, d.video_share() * 100.0, d.fractions);
+                }
+            }
+            Some("f3") => {
+                for (g, b) in ex.fig3_popularity() {
+                    println!("{:<7} {:?}", g.label(), b);
+                }
+            }
+            Some("f4") => {
+                for (g, b) in ex.fig4_seeding() {
+                    println!("{:<7} {:?}", g.label(), b);
+                }
+            }
+            Some("s51") => println!("{:#?}", ex.s51_classes()),
+            Some("t4") => {
+                for row in ex.t4_longitudinal() {
+                    println!("{row:#?}");
+                }
+            }
+            Some("t5") => {
+                for row in ex.t5_economics() {
+                    println!("{row:#?}");
+                }
+            }
+            Some("s6") => println!("{:#?}", ex.s6_hosting_income()),
+            Some("aa") => println!("{:#?}", ex.aa_session_model()),
+            Some("v1") => println!("{:#?}", ex.v1_validation()),
+            Some(other) => {
+                eprintln!("unknown experiment {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Strict bencode decoding.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Value;
+
+/// Maximum nesting depth the decoder accepts.
+///
+/// Real `.torrent` files nest 3–4 levels; the cap exists so a hostile input
+/// like `llllll…` cannot overflow the stack of a recursive parser.
+pub const MAX_DEPTH: usize = 64;
+
+/// Errors produced while decoding bencode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended in the middle of a value.
+    UnexpectedEof { offset: usize },
+    /// A byte that cannot begin or continue a value at this position.
+    UnexpectedByte { offset: usize, byte: u8 },
+    /// Integer literal violates the grammar (leading zeros, `-0`, empty).
+    MalformedInt { offset: usize },
+    /// Integer does not fit in an `i64`.
+    IntOutOfRange { offset: usize },
+    /// String length prefix violates the grammar or exceeds the input.
+    MalformedLength { offset: usize },
+    /// Dictionary keys out of lexicographic order.
+    UnsortedKeys { offset: usize },
+    /// The same dictionary key appeared twice.
+    DuplicateKey { offset: usize },
+    /// Value nesting exceeded [`MAX_DEPTH`].
+    TooDeep { offset: usize },
+    /// A complete value was decoded but bytes remain.
+    TrailingBytes { offset: usize },
+}
+
+impl DecodeError {
+    /// Byte offset in the input where the error was detected.
+    pub fn offset(&self) -> usize {
+        match *self {
+            DecodeError::UnexpectedEof { offset }
+            | DecodeError::UnexpectedByte { offset, .. }
+            | DecodeError::MalformedInt { offset }
+            | DecodeError::IntOutOfRange { offset }
+            | DecodeError::MalformedLength { offset }
+            | DecodeError::UnsortedKeys { offset }
+            | DecodeError::DuplicateKey { offset }
+            | DecodeError::TooDeep { offset }
+            | DecodeError::TrailingBytes { offset } => offset,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            DecodeError::UnexpectedByte { offset, byte } => {
+                write!(f, "unexpected byte 0x{byte:02x} at byte {offset}")
+            }
+            DecodeError::MalformedInt { offset } => {
+                write!(f, "malformed integer literal at byte {offset}")
+            }
+            DecodeError::IntOutOfRange { offset } => {
+                write!(f, "integer out of i64 range at byte {offset}")
+            }
+            DecodeError::MalformedLength { offset } => {
+                write!(f, "malformed string length at byte {offset}")
+            }
+            DecodeError::UnsortedKeys { offset } => {
+                write!(f, "dictionary keys not sorted at byte {offset}")
+            }
+            DecodeError::DuplicateKey { offset } => {
+                write!(f, "duplicate dictionary key at byte {offset}")
+            }
+            DecodeError::TooDeep { offset } => {
+                write!(f, "nesting deeper than {MAX_DEPTH} at byte {offset}")
+            }
+            DecodeError::TrailingBytes { offset } => {
+                write!(f, "trailing bytes after value at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes exactly one bencoded value spanning the whole input.
+pub fn decode(input: &[u8]) -> Result<Value, DecodeError> {
+    let mut dec = Decoder::new(input);
+    let value = dec.value()?;
+    if dec.pos != input.len() {
+        return Err(DecodeError::TrailingBytes { offset: dec.pos });
+    }
+    Ok(value)
+}
+
+/// Decodes one bencoded value from the front of the input, returning the
+/// value and the number of bytes consumed. Trailing bytes are allowed —
+/// useful when bencoded messages are concatenated on a stream.
+pub fn decode_prefix(input: &[u8]) -> Result<(Value, usize), DecodeError> {
+    let mut dec = Decoder::new(input);
+    let value = dec.value()?;
+    Ok((value, dec.pos))
+}
+
+/// A resumable decoder over a byte slice.
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder positioned at the start of `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder { input, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Decodes the next value.
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
+        self.value_at_depth(0)
+    }
+
+    fn value_at_depth(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        if depth > MAX_DEPTH {
+            return Err(DecodeError::TooDeep { offset: self.pos });
+        }
+        match self.peek()? {
+            b'i' => self.int(),
+            b'l' => self.list(depth),
+            b'd' => self.dict(depth),
+            b'0'..=b'9' => Ok(Value::Bytes(self.bytes()?.to_vec())),
+            byte => Err(DecodeError::UnexpectedByte {
+                offset: self.pos,
+                byte,
+            }),
+        }
+    }
+
+    fn peek(&self) -> Result<u8, DecodeError> {
+        self.input
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::UnexpectedEof { offset: self.pos })
+    }
+
+    fn int(&mut self) -> Result<Value, DecodeError> {
+        let start = self.pos;
+        self.pos += 1; // consume 'i'
+        let negative = if self.peek()? == b'-' {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let digits_start = self.pos;
+        let mut magnitude: u64 = 0;
+        while let Ok(b @ b'0'..=b'9') = self.peek() {
+            magnitude = magnitude
+                .checked_mul(10)
+                .and_then(|m| m.checked_add(u64::from(b - b'0')))
+                .ok_or(DecodeError::IntOutOfRange { offset: start })?;
+            self.pos += 1;
+        }
+        let digits = &self.input[digits_start..self.pos];
+        if digits.is_empty() {
+            return Err(DecodeError::MalformedInt { offset: start });
+        }
+        // "i03e" and "i-0e" are invalid per the spec.
+        if digits.len() > 1 && digits[0] == b'0' {
+            return Err(DecodeError::MalformedInt { offset: start });
+        }
+        if negative && digits == b"0" {
+            return Err(DecodeError::MalformedInt { offset: start });
+        }
+        if self.peek()? != b'e' {
+            return Err(DecodeError::UnexpectedByte {
+                offset: self.pos,
+                byte: self.input[self.pos],
+            });
+        }
+        self.pos += 1;
+        let value = if negative {
+            if magnitude > (i64::MAX as u64) + 1 {
+                return Err(DecodeError::IntOutOfRange { offset: start });
+            }
+            (magnitude as i64).wrapping_neg()
+        } else {
+            i64::try_from(magnitude).map_err(|_| DecodeError::IntOutOfRange { offset: start })?
+        };
+        Ok(Value::Int(value))
+    }
+
+    fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let start = self.pos;
+        let mut len: usize = 0;
+        let len_start = self.pos;
+        while let Ok(b @ b'0'..=b'9') = self.peek() {
+            len = len
+                .checked_mul(10)
+                .and_then(|l| l.checked_add(usize::from(b - b'0')))
+                .ok_or(DecodeError::MalformedLength { offset: start })?;
+            self.pos += 1;
+        }
+        let len_digits = &self.input[len_start..self.pos];
+        if len_digits.is_empty() || (len_digits.len() > 1 && len_digits[0] == b'0') {
+            return Err(DecodeError::MalformedLength { offset: start });
+        }
+        if self.peek()? != b':' {
+            return Err(DecodeError::UnexpectedByte {
+                offset: self.pos,
+                byte: self.input[self.pos],
+            });
+        }
+        self.pos += 1;
+        let end = self
+            .pos
+            .checked_add(len)
+            .filter(|&e| e <= self.input.len())
+            .ok_or(DecodeError::MalformedLength { offset: start })?;
+        let slice = &self.input[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn list(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.pos += 1; // consume 'l'
+        let mut items = Vec::new();
+        loop {
+            if self.peek()? == b'e' {
+                self.pos += 1;
+                return Ok(Value::List(items));
+            }
+            items.push(self.value_at_depth(depth + 1)?);
+        }
+    }
+
+    fn dict(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.pos += 1; // consume 'd'
+        let mut entries = BTreeMap::new();
+        let mut last_key: Option<Vec<u8>> = None;
+        loop {
+            if self.peek()? == b'e' {
+                self.pos += 1;
+                return Ok(Value::Dict(entries));
+            }
+            let key_offset = self.pos;
+            if !self.peek()?.is_ascii_digit() {
+                return Err(DecodeError::UnexpectedByte {
+                    offset: key_offset,
+                    byte: self.input[key_offset],
+                });
+            }
+            let key = self.bytes()?.to_vec();
+            if let Some(prev) = &last_key {
+                if key == *prev {
+                    return Err(DecodeError::DuplicateKey { offset: key_offset });
+                }
+                if key < *prev {
+                    return Err(DecodeError::UnsortedKeys { offset: key_offset });
+                }
+            }
+            let value = self.value_at_depth(depth + 1)?;
+            entries.insert(key.clone(), value);
+            last_key = Some(key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_atoms() {
+        assert_eq!(decode(b"4:spam").unwrap(), Value::from("spam"));
+        assert_eq!(decode(b"0:").unwrap(), Value::from(""));
+        assert_eq!(decode(b"i42e").unwrap(), Value::Int(42));
+        assert_eq!(decode(b"i-42e").unwrap(), Value::Int(-42));
+        assert_eq!(decode(b"i0e").unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn decodes_i64_extremes() {
+        assert_eq!(
+            decode(b"i9223372036854775807e").unwrap(),
+            Value::Int(i64::MAX)
+        );
+        assert_eq!(
+            decode(b"i-9223372036854775808e").unwrap(),
+            Value::Int(i64::MIN)
+        );
+        assert!(matches!(
+            decode(b"i9223372036854775808e"),
+            Err(DecodeError::IntOutOfRange { .. })
+        ));
+        assert!(matches!(
+            decode(b"i-9223372036854775809e"),
+            Err(DecodeError::IntOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_ints() {
+        for bad in [&b"ie"[..], b"i-e", b"i-0e", b"i03e", b"i1x2e", b"i--1e"] {
+            assert!(decode(bad).is_err(), "{:?} should fail", bad);
+        }
+    }
+
+    #[test]
+    fn decodes_nested_structures() {
+        let v = decode(b"d3:cow3:moo4:spaml1:a1:bee").unwrap();
+        assert_eq!(v.get_str("cow"), Some("moo"));
+        assert_eq!(v.get_list("spam").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_unsorted_and_duplicate_keys() {
+        assert!(matches!(
+            decode(b"d4:spam4:eggs3:cow3:mooe"),
+            Err(DecodeError::UnsortedKeys { .. })
+        ));
+        assert!(matches!(
+            decode(b"d3:cow3:moo3:cow3:mooe"),
+            Err(DecodeError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_bytes_in_strict_mode() {
+        assert!(matches!(
+            decode(b"i1ei2e"),
+            Err(DecodeError::TrailingBytes { offset: 3 })
+        ));
+        let (v, used) = decode_prefix(b"i1ei2e").unwrap();
+        assert_eq!(v, Value::Int(1));
+        assert_eq!(used, 3);
+    }
+
+    #[test]
+    fn rejects_truncated_inputs() {
+        for bad in [
+            &b""[..],
+            b"4:spa",
+            b"i42",
+            b"l",
+            b"d",
+            b"d3:cow",
+            b"10:short",
+        ] {
+            assert!(
+                matches!(
+                    decode(bad),
+                    Err(DecodeError::UnexpectedEof { .. } | DecodeError::MalformedLength { .. })
+                ),
+                "{:?} should fail with EOF/length",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_leading_zero_lengths() {
+        assert!(matches!(
+            decode(b"04:spam"),
+            Err(DecodeError::MalformedLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_string_dict_keys() {
+        assert!(matches!(
+            decode(b"di1e3:mooe"),
+            Err(DecodeError::UnexpectedByte { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_limit_blocks_list_bombs() {
+        let mut bomb = vec![b'l'; MAX_DEPTH + 10];
+        bomb.extend(vec![b'e'; MAX_DEPTH + 10]);
+        assert!(matches!(decode(&bomb), Err(DecodeError::TooDeep { .. })));
+        // Exactly at the limit is fine.
+        let mut ok = vec![b'l'; MAX_DEPTH];
+        ok.extend(vec![b'e'; MAX_DEPTH]);
+        assert!(decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_length_prefix_does_not_allocate() {
+        assert!(decode(b"99999999999999999999:x").is_err());
+        assert!(decode(b"18446744073709551616:x").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = decode(b"l4:spami-0ee").unwrap_err();
+        assert_eq!(err.offset(), 7);
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msg = decode(b"i--1e").unwrap_err().to_string();
+        assert!(msg.contains("byte"), "{msg}");
+    }
+}

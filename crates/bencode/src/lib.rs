@@ -1,0 +1,39 @@
+//! # btpub-bencode
+//!
+//! A from-scratch implementation of the bencode serialisation format used
+//! throughout the BitTorrent ecosystem (`.torrent` metainfo files, tracker
+//! announce responses, and several peer-wire extensions).
+//!
+//! Bencode supports four kinds of values:
+//!
+//! * byte strings — `4:spam`
+//! * integers — `i42e`
+//! * lists — `l4:spami42ee`
+//! * dictionaries — `d3:cow3:moo4:spam4:eggse` (keys are byte strings and
+//!   MUST appear in lexicographic order)
+//!
+//! The implementation is strict on decode (rejects leading zeros, `-0`,
+//! unsorted or duplicate dictionary keys, and trailing garbage by default)
+//! and always emits canonical output on encode, which guarantees that
+//! `decode ∘ encode` and `encode ∘ decode` are both identities. Canonical
+//! output matters for BitTorrent because the info-hash is computed over the
+//! encoded `info` dictionary.
+//!
+//! ```
+//! use btpub_bencode::Value;
+//!
+//! let v = Value::dict([
+//!     ("announce", Value::from("http://tracker.example/announce")),
+//!     ("size", Value::from(1234i64)),
+//! ]);
+//! let bytes = v.encode();
+//! assert_eq!(Value::decode(&bytes).unwrap(), v);
+//! ```
+
+mod decode;
+mod encode;
+mod value;
+
+pub use decode::{decode, decode_prefix, DecodeError, Decoder, MAX_DEPTH};
+pub use encode::{encode_into, encoded_len};
+pub use value::Value;

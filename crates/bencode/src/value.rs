@@ -1,0 +1,261 @@
+//! The bencode value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::decode::{decode, DecodeError};
+
+/// A parsed bencode value.
+///
+/// Dictionaries are stored in a [`BTreeMap`] keyed by raw bytes, which makes
+/// canonical (lexicographically sorted) re-encoding automatic.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A byte string. Not required to be valid UTF-8.
+    Bytes(Vec<u8>),
+    /// A signed 64-bit integer.
+    ///
+    /// The bencode grammar allows arbitrary-precision integers; every value
+    /// exchanged by real BitTorrent implementations fits in an `i64`, so the
+    /// decoder rejects anything wider rather than silently truncating.
+    Int(i64),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A dictionary with byte-string keys in lexicographic order.
+    Dict(BTreeMap<Vec<u8>, Value>),
+}
+
+impl Value {
+    /// Decodes a complete bencoded document, rejecting trailing bytes.
+    pub fn decode(input: &[u8]) -> Result<Value, DecodeError> {
+        decode(input)
+    }
+
+    /// Encodes the value into canonical bencode.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(crate::encode::encoded_len(self));
+        crate::encode::encode_into(self, &mut out);
+        out
+    }
+
+    /// Builds a dictionary from `(key, value)` pairs.
+    ///
+    /// Later duplicates overwrite earlier ones, mirroring how permissive
+    /// BitTorrent clients treat repeated keys.
+    pub fn dict<K, I>(pairs: I) -> Value
+    where
+        K: Into<Vec<u8>>,
+        I: IntoIterator<Item = (K, Value)>,
+    {
+        Value::Dict(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v))
+                .collect::<BTreeMap<_, _>>(),
+        )
+    }
+
+    /// Builds a list from an iterator of values.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Returns the byte-string payload, if this is a `Bytes` value.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the payload decoded as UTF-8, if this is a `Bytes` value
+    /// holding valid UTF-8.
+    pub fn as_str(&self) -> Option<&str> {
+        self.as_bytes().and_then(|b| std::str::from_utf8(b).ok())
+    }
+
+    /// Returns the integer payload, if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a `List` value.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns the dictionary payload, if this is a `Dict` value.
+    pub fn as_dict(&self) -> Option<&BTreeMap<Vec<u8>, Value>> {
+        match self {
+            Value::Dict(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a dictionary value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_dict().and_then(|d| d.get(key.as_bytes()))
+    }
+
+    /// Convenience: `self.get(key)` then [`Value::as_str`].
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Convenience: `self.get(key)` then [`Value::as_int`].
+    pub fn get_int(&self, key: &str) -> Option<i64> {
+        self.get(key).and_then(Value::as_int)
+    }
+
+    /// Convenience: `self.get(key)` then [`Value::as_bytes`].
+    pub fn get_bytes(&self, key: &str) -> Option<&[u8]> {
+        self.get(key).and_then(Value::as_bytes)
+    }
+
+    /// Convenience: `self.get(key)` then [`Value::as_list`].
+    pub fn get_list(&self, key: &str) -> Option<&[Value]> {
+        self.get(key).and_then(Value::as_list)
+    }
+
+    /// Inserts `key → value` if this is a dictionary; returns whether the
+    /// insertion happened.
+    pub fn insert(&mut self, key: impl Into<Vec<u8>>, value: Value) -> bool {
+        match self {
+            Value::Dict(d) => {
+                d.insert(key.into(), value);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Bytes(s.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Bytes(s.into_bytes())
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Self {
+        Value::Bytes(b.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u16> for Value {
+    fn from(i: u16) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bytes(b) => match std::str::from_utf8(b) {
+                Ok(s) => write!(f, "{s:?}"),
+                Err(_) => write!(f, "bytes[{}]", b.len()),
+            },
+            Value::Int(i) => write!(f, "{i}"),
+            Value::List(l) => f.debug_list().entries(l).finish(),
+            Value::Dict(d) => {
+                let mut m = f.debug_map();
+                for (k, v) in d {
+                    match std::str::from_utf8(k) {
+                        Ok(s) => m.entry(&s, v),
+                        Err(_) => m.entry(&format_args!("bytes[{}]", k.len()), v),
+                    };
+                }
+                m.finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_expected_variants() {
+        let v = Value::dict([
+            ("name", Value::from("ubuntu.iso")),
+            ("length", Value::from(42i64)),
+            ("tags", Value::list([Value::from("linux")])),
+        ]);
+        assert_eq!(v.get_str("name"), Some("ubuntu.iso"));
+        assert_eq!(v.get_int("length"), Some(42));
+        assert_eq!(v.get_list("tags").map(<[Value]>::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn dict_keys_sorted_regardless_of_insertion_order() {
+        let v = Value::dict([("zz", Value::from(1i64)), ("aa", Value::from(2i64))]);
+        let keys: Vec<_> = v.as_dict().unwrap().keys().cloned().collect();
+        assert_eq!(keys, vec![b"aa".to_vec(), b"zz".to_vec()]);
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins() {
+        let v = Value::dict([("k", Value::from(1i64)), ("k", Value::from(2i64))]);
+        assert_eq!(v.get_int("k"), Some(2));
+    }
+
+    #[test]
+    fn insert_only_works_on_dicts() {
+        let mut d = Value::dict::<&str, _>([]);
+        assert!(d.insert("a", Value::from(1i64)));
+        assert_eq!(d.get_int("a"), Some(1));
+        let mut i = Value::Int(3);
+        assert!(!i.insert("a", Value::from(1i64)));
+    }
+
+    #[test]
+    fn debug_renders_utf8_and_binary() {
+        let v = Value::dict([
+            ("s", Value::from("hi")),
+            ("b", Value::Bytes(vec![0xff, 0xfe])),
+        ]);
+        let dbg = format!("{v:?}");
+        assert!(dbg.contains("\"hi\""));
+        assert!(dbg.contains("bytes[2]"));
+    }
+
+    #[test]
+    fn non_utf8_bytes_as_str_is_none() {
+        let v = Value::Bytes(vec![0xff]);
+        assert_eq!(v.as_str(), None);
+        assert_eq!(v.as_bytes(), Some(&[0xff][..]));
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests: bencode round-trips and decoder robustness.
+
+use btpub_bencode::{decode, decode_prefix, encoded_len, Value};
+use proptest::collection::{btree_map, vec};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 0..8).prop_map(Value::List),
+            btree_map(vec(any::<u8>(), 0..16), inner, 0..8).prop_map(Value::Dict),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(v in arb_value()) {
+        let bytes = v.encode();
+        prop_assert_eq!(decode(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn encoded_len_is_exact(v in arb_value()) {
+        prop_assert_eq!(encoded_len(&v), v.encode().len());
+    }
+
+    #[test]
+    fn decode_never_panics(data in vec(any::<u8>(), 0..256)) {
+        let _ = decode(&data);
+    }
+
+    #[test]
+    fn decode_prefix_consumes_exactly_one_value(v in arb_value(), tail in vec(any::<u8>(), 0..32)) {
+        let mut bytes = v.encode();
+        let value_len = bytes.len();
+        bytes.extend_from_slice(&tail);
+        let (decoded, used) = decode_prefix(&bytes).unwrap();
+        prop_assert_eq!(decoded, v);
+        prop_assert_eq!(used, value_len);
+    }
+
+    #[test]
+    fn canonical_encoding_is_stable(v in arb_value()) {
+        // encode -> decode -> encode must be a fixed point.
+        let once = v.encode();
+        let twice = decode(&once).unwrap().encode();
+        prop_assert_eq!(once, twice);
+    }
+}

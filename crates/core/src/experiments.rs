@@ -1,0 +1,673 @@
+//! Per-experiment reports: every table and figure of the paper,
+//! regenerated from a [`crate::Study`] and rendered beside the paper's
+//! published values.
+//!
+//! Absolute numbers are not expected to match — the substrate is a scaled
+//! simulation, not the 2010 Pirate Bay — but the *shape* (orderings,
+//! ratios, crossovers) is asserted by the integration tests and recorded
+//! in `EXPERIMENTS.md`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use btpub_analysis::classify::UrlPlacement;
+use btpub_analysis::content_type::{category_distribution, CategoryDistribution};
+use btpub_analysis::economics::{economics_rows, hosting_income_estimate, site_reports, EconomicsRow};
+use btpub_analysis::fake::{group_shares, mapping_stats, Group, MappingStats};
+use btpub_analysis::isp::{hosting_shares, isp_footprint, top_isps, IspFootprint, IspRow};
+use btpub_analysis::longitudinal::{longitudinal_rows, LongitudinalRow};
+use btpub_analysis::popularity::popularity_box;
+use btpub_analysis::seeding::group_seeding_boxes;
+use btpub_analysis::session::{capture_probability, queries_needed};
+use btpub_analysis::skewness::{content_share_of_top, contribution_cdf, shares_of_top_k, CdfPoint};
+use btpub_analysis::stats::BoxStats;
+use btpub_sim::profile::BusinessClass;
+use btpub_sim::{Profile, SimDuration};
+
+use crate::study::Analyses;
+
+/// Paper-published reference values, for side-by-side reporting.
+pub mod paper {
+    /// Fig 1: top 3 % of publishers contribute ≈ 40 % of content.
+    pub const TOP3PCT_CONTENT: f64 = 40.0;
+    /// §3.3: fake publishers: ~30 % of content, ~25 % of downloads.
+    pub const FAKE_SHARES: (f64, f64) = (0.30, 0.25);
+    /// §3.3: Top publishers: ~37 % of content, ~50 % of downloads.
+    pub const TOP_SHARES: (f64, f64) = (0.375, 0.50);
+    /// §3.2: 42 % of pb10's top-100 at hosting providers, 22 % at OVH.
+    pub const HOSTING_SHARE: f64 = 0.42;
+    /// §3.3: 55 % of top-100 IPs map to a unique username.
+    pub const UNIQUE_USERNAME_IPS: f64 = 0.55;
+    /// §3.3 username multi-IP breakdown: single / hosting / one-CI / multi-CI.
+    pub const USERNAME_IP_BREAKDOWN: [f64; 4] = [0.25, 0.34, 0.24, 0.16];
+    /// §5.1 class shares of top: portal 26 %, other-web 24 %, altruistic 52 %.
+    pub const CLASS_OF_TOP: [f64; 3] = [0.26, 0.24, 0.52];
+    /// §5.1: profit-driven publishers ⇒ ~26 % content / ~40 % downloads.
+    pub const PROFIT_SHARES: (f64, f64) = (0.26, 0.40);
+    /// Fig 3: Top median popularity ≈ 7× All; Top-HP ≈ 1.5× Top-CI.
+    pub const POPULARITY_RATIOS: (f64, f64) = (7.0, 1.5);
+    /// App A: N=165, W=50 ⇒ m=13 for P>0.99.
+    pub const APPENDIX_A: (u32, u32, u32) = (165, 50, 13);
+    /// §6: OVH: 78–164 servers, ≈ 23.4–42.9 K €/month.
+    pub const OVH_SERVERS: (usize, usize) = (78, 164);
+}
+
+/// Builder for all experiment outputs.
+pub struct Experiments<'b, 'a> {
+    analyses: &'b Analyses<'a>,
+}
+
+/// Table 1-style dataset summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Campaign name.
+    pub name: String,
+    /// Window length in days.
+    pub days: f64,
+    /// Torrents with an identified username.
+    pub torrents_username: usize,
+    /// Torrents with an identified publisher IP.
+    pub torrents_ip: usize,
+    /// Total torrents crawled.
+    pub torrents_total: usize,
+    /// Distinct IP addresses observed in swarms.
+    pub ip_addresses: usize,
+}
+
+/// Figure 1 output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewnessReport {
+    /// The full CDF curve.
+    pub cdf: Vec<CdfPoint>,
+    /// Content share of the top 3 % (paper: ≈ 40 %).
+    pub share_top3pct: f64,
+    /// `(content, downloads)` shares of the top-k (paper: 2/3, 3/4).
+    pub top_k_shares: (f64, f64),
+    /// The k used.
+    pub top_k: usize,
+}
+
+/// §3.3 statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingReport {
+    /// Username↔IP mapping stats.
+    pub mapping: MappingStats,
+    /// Detected fake usernames.
+    pub fake_usernames: usize,
+    /// Detected fake IPs.
+    pub fake_ips: usize,
+    /// `(content, downloads)` shares of the fake group.
+    pub fake_shares: (f64, f64),
+    /// `(content, downloads)` shares of the Top group.
+    pub top_shares: (f64, f64),
+    /// Compromised usernames dropped from the top-k.
+    pub compromised: usize,
+    /// `(hosting share, OVH share)` of the Top publishers.
+    pub hosting: (f64, f64),
+}
+
+/// One group's Figure 4 boxes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedingBoxes {
+    /// Avg seeding time per torrent (hours).
+    pub seed_time: BoxStats,
+    /// Avg parallel torrents.
+    pub parallel: BoxStats,
+    /// Aggregated session time (hours).
+    pub aggregated: BoxStats,
+}
+
+/// §5.1 classification summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Per class: `(share of top, share of content, share of downloads)`.
+    pub shares: Vec<(BusinessClass, f64, f64, f64)>,
+    /// Profit-driven `(content, downloads)` shares.
+    pub profit_shares: (f64, f64),
+    /// Placement frequencies among profit-driven publishers.
+    pub placements: HashMap<&'static str, usize>,
+    /// Of the portal class: fraction dedicated to one language, and the
+    /// fraction of those that are Spanish.
+    pub language_dedicated: (f64, f64),
+}
+
+/// Appendix A report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendixAReport {
+    /// `P(m)` for m = 1..=20 at the paper's N, W.
+    pub capture_curve: Vec<f64>,
+    /// Queries needed for P ≥ 0.99 (paper: 13).
+    pub m_for_99: u32,
+    /// Estimated median aggregated session hours (Top group) under
+    /// 2 h / 4 h / 6 h offline thresholds — the robustness check.
+    pub threshold_sensitivity: [f64; 3],
+}
+
+/// V1: crawler-validation report (possible only in simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Fraction of torrents with an identified publisher IP (paper: ~40 %).
+    pub ip_identified_frac: f64,
+    /// Of identified IPs, fraction matching ground truth.
+    pub ip_precision: f64,
+    /// Median relative error of estimated vs true aggregated session time
+    /// over top publishers.
+    pub session_error_median: f64,
+    /// Fraction of ground-truth downloads observed by the crawler.
+    pub download_coverage: f64,
+}
+
+impl<'b, 'a> Experiments<'b, 'a> {
+    pub(crate) fn new(analyses: &'b Analyses<'a>) -> Self {
+        Experiments { analyses }
+    }
+
+    /// Table 1 row for this campaign.
+    pub fn t1_dataset(&self) -> DatasetSummary {
+        let ds = &self.analyses.study.dataset;
+        DatasetSummary {
+            name: ds.name.clone(),
+            days: self.analyses.study.eco.config.duration.as_days(),
+            torrents_username: ds.username_identified_count(),
+            torrents_ip: ds.ip_identified_count(),
+            torrents_total: ds.torrent_count(),
+            ip_addresses: ds.distinct_ip_count(),
+        }
+    }
+
+    /// Figure 1.
+    pub fn fig1_skewness(&self) -> SkewnessReport {
+        let a = self.analyses;
+        SkewnessReport {
+            cdf: contribution_cdf(&a.publishers),
+            share_top3pct: content_share_of_top(&a.publishers, 3.0),
+            top_k_shares: shares_of_top_k(&a.publishers, a.top_k),
+            top_k: a.top_k,
+        }
+    }
+
+    /// Table 2: top-10 ISPs.
+    pub fn t2_isps(&self) -> Vec<IspRow> {
+        top_isps(
+            &self.analyses.study.dataset,
+            &self.analyses.study.eco.world.db,
+            10,
+        )
+    }
+
+    /// Table 3: OVH vs Comcast footprints.
+    pub fn t3_footprints(&self) -> (IspFootprint, IspFootprint) {
+        let ds = &self.analyses.study.dataset;
+        let db = &self.analyses.study.eco.world.db;
+        (isp_footprint(ds, db, "OVH"), isp_footprint(ds, db, "Comcast"))
+    }
+
+    /// §3.3 mapping statistics.
+    pub fn s33_mapping(&self) -> MappingReport {
+        let a = self.analyses;
+        let ds = &a.study.dataset;
+        let db = &a.study.eco.world.db;
+        let top_pub_stats: Vec<_> = a
+            .publishers
+            .iter()
+            .filter(|p| a.groups.top.contains(&p.key))
+            .cloned()
+            .collect();
+        MappingReport {
+            mapping: mapping_stats(ds, &a.publishers, db, a.top_k),
+            fake_usernames: a.groups.fake_usernames.len(),
+            fake_ips: a.groups.fake_ips.len(),
+            fake_shares: group_shares(ds, &a.publishers, &a.groups, Group::Fake),
+            top_shares: group_shares(ds, &a.publishers, &a.groups, Group::Top),
+            compromised: a.groups.compromised_in_top_k,
+            hosting: hosting_shares(&top_pub_stats, db, "OVH"),
+        }
+    }
+
+    /// Figure 2: per-group category distributions.
+    pub fn fig2_content_types(&self) -> Vec<(Group, CategoryDistribution)> {
+        let a = self.analyses;
+        Group::ALL
+            .into_iter()
+            .map(|g| {
+                (
+                    g,
+                    category_distribution(&a.study.dataset, &a.publishers, &a.groups, g),
+                )
+            })
+            .collect()
+    }
+
+    /// Per-entity stats for the fake group (IP-keyed; see
+    /// [`btpub_analysis::fake::fake_ip_stats`]).
+    fn fake_stats(&self) -> Vec<btpub_analysis::publishers::PublisherStats> {
+        btpub_analysis::fake::fake_ip_stats(&self.analyses.study.dataset, &self.analyses.groups)
+    }
+
+    /// Figure 3: per-group popularity boxes. Popularity is keyed per
+    /// username for every group (the paper's Fake unit here is the 1030
+    /// throwaway accounts, which is what keeps the Fake box lowest).
+    pub fn fig3_popularity(&self) -> Vec<(Group, Option<BoxStats>)> {
+        let a = self.analyses;
+        Group::ALL
+            .into_iter()
+            .map(|g| {
+                (
+                    g,
+                    popularity_box(&a.publishers, &a.groups, g, a.study.eco.config.seed),
+                )
+            })
+            .collect()
+    }
+
+    /// Figure 4: per-group seeding boxes. The Fake group is aggregated per
+    /// IP entity, as in the paper.
+    pub fn fig4_seeding(&self) -> Vec<(Group, Option<SeedingBoxes>)> {
+        let a = self.analyses;
+        let fake_stats = self.fake_stats();
+        Group::ALL
+            .into_iter()
+            .map(|g| {
+                let stats: &[_] = if g == Group::Fake {
+                    &fake_stats
+                } else {
+                    &a.publishers
+                };
+                let boxes = group_seeding_boxes(
+                    &a.study.dataset,
+                    stats,
+                    &a.groups,
+                    g,
+                    a.study.eco.config.seed,
+                )
+                .map(|(seed_time, parallel, aggregated)| SeedingBoxes {
+                    seed_time,
+                    parallel,
+                    aggregated,
+                });
+                (g, boxes)
+            })
+            .collect()
+    }
+
+    /// §5.1 classification shares.
+    pub fn s51_classes(&self) -> ClassReport {
+        let a = self.analyses;
+        let classes = [
+            BusinessClass::BtPortal,
+            BusinessClass::OtherWeb,
+            BusinessClass::Altruistic,
+        ];
+        let shares = classes
+            .into_iter()
+            .map(|c| {
+                let (of_top, content, downloads) = btpub_analysis::classify::class_shares(
+                    &a.study.dataset,
+                    &a.publishers,
+                    &a.classified,
+                    c,
+                );
+                (c, of_top, content, downloads)
+            })
+            .collect::<Vec<_>>();
+        let profit_shares = shares
+            .iter()
+            .filter(|(c, ..)| c.is_profit_driven())
+            .fold((0.0, 0.0), |(pc, pd), (_, _, c, d)| (pc + c, pd + d));
+        let mut placements: HashMap<&'static str, usize> = HashMap::new();
+        for c in a.classified.iter().filter(|c| c.url.is_some()) {
+            for p in &c.placements {
+                let label = match p {
+                    UrlPlacement::Textbox => "textbox",
+                    UrlPlacement::Filename => "filename",
+                };
+                *placements.entry(label).or_default() += 1;
+            }
+        }
+        let portal_members: Vec<_> = a
+            .classified
+            .iter()
+            .filter(|c| c.class == BusinessClass::BtPortal)
+            .collect();
+        let dedicated: Vec<_> = portal_members
+            .iter()
+            .filter(|c| c.language.is_some())
+            .collect();
+        let spanish = dedicated
+            .iter()
+            .filter(|c| c.language.as_deref() == Some("es"))
+            .count();
+        let language_dedicated = (
+            dedicated.len() as f64 / portal_members.len().max(1) as f64,
+            spanish as f64 / dedicated.len().max(1) as f64,
+        );
+        ClassReport {
+            shares,
+            profit_shares,
+            placements,
+            language_dedicated,
+        }
+    }
+
+    /// Table 4.
+    pub fn t4_longitudinal(&self) -> Vec<LongitudinalRow> {
+        let a = self.analyses;
+        let portal = a.portal();
+        longitudinal_rows(&portal, &a.classified, a.study.eco.config.horizon())
+    }
+
+    /// Table 5, reported at paper scale.
+    ///
+    /// Per-site traffic scales with both the per-swarm downloader counts
+    /// (`downloads_scale`) and the torrents-per-major-publisher ratio
+    /// (`torrents / majors`), so the correction undoes both.
+    pub fn t5_economics(&self) -> Vec<EconomicsRow> {
+        let a = self.analyses;
+        let scale = a.study.scenario.scale;
+        let correction =
+            1.0 / a.study.eco.config.downloads_scale * (scale.majors / scale.torrents);
+        let reports = site_reports(&a.study.eco, &a.classified, correction);
+        economics_rows(&a.classified, &reports)
+    }
+
+    /// §6: hosting-provider income. Returns `(provider, servers, €/month)`
+    /// for OVH and the three fake-publisher providers.
+    pub fn s6_hosting_income(&self) -> Vec<(&'static str, usize, f64)> {
+        let ds = &self.analyses.study.dataset;
+        let db = &self.analyses.study.eco.world.db;
+        ["OVH", "tzulo", "FDCservers", "4RWEB"]
+            .into_iter()
+            .map(|p| {
+                let (servers, income) = hosting_income_estimate(ds, db, p, 300.0);
+                (p, servers, income)
+            })
+            .collect()
+    }
+
+    /// Appendix A: the model plus the 2 h / 4 h / 6 h robustness check.
+    pub fn aa_session_model(&self) -> AppendixAReport {
+        let (n, w, _) = paper::APPENDIX_A;
+        let capture_curve: Vec<f64> =
+            (1..=20).map(|m| capture_probability(w, n, m)).collect();
+        let a = self.analyses;
+        let mut medians = [0.0f64; 3];
+        for (i, hours) in [2.0, 4.0, 6.0].into_iter().enumerate() {
+            let threshold = SimDuration::from_hours(hours);
+            let mut totals: Vec<f64> = a
+                .publishers
+                .iter()
+                .filter(|p| a.groups.top.contains(&p.key))
+                .filter_map(|p| {
+                    btpub_analysis::seeding::publisher_seeding_metrics(
+                        &a.study.dataset,
+                        p,
+                        threshold,
+                    )
+                })
+                .map(|m| m.aggregated_session_h)
+                .collect();
+            totals.sort_by(f64::total_cmp);
+            medians[i] = totals.get(totals.len() / 2).copied().unwrap_or(0.0);
+        }
+        AppendixAReport {
+            capture_curve,
+            m_for_99: queries_needed(w, n, 0.99),
+            threshold_sensitivity: medians,
+        }
+    }
+
+    /// V1: validation against ground truth (simulation-only superpower).
+    pub fn v1_validation(&self) -> ValidationReport {
+        let a = self.analyses;
+        let ds = &a.study.dataset;
+        let eco = &a.study.eco;
+        let identified: Vec<_> = ds
+            .torrents
+            .iter()
+            .filter(|t| t.publisher_ip.is_some())
+            .collect();
+        let correct = identified
+            .iter()
+            .filter(|t| {
+                let truth = eco
+                    .publisher(eco.publications[t.torrent.0 as usize].publisher)
+                    .addresses
+                    .all_ips();
+                truth.contains(&t.publisher_ip.unwrap())
+            })
+            .count();
+        // Session estimation error for top publishers (by ground truth).
+        let mut errors: Vec<f64> = Vec::new();
+        let username_of: HashMap<&str, usize> = eco
+            .publishers
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.primary_username(), i))
+            .collect();
+        for p in a.publishers.iter().filter(|p| a.groups.top.contains(&p.key)) {
+            let btpub_analysis::publishers::PublisherKey::Username(u) = &p.key else {
+                continue;
+            };
+            let Some(&pi) = username_of.get(u.as_str()) else {
+                continue;
+            };
+            if !eco.publishers[pi].profile.is_top() {
+                continue;
+            }
+            let truth_h = eco.session_unions[pi].total().as_hours();
+            if truth_h < 1.0 {
+                continue;
+            }
+            let Some(m) = btpub_analysis::seeding::publisher_seeding_metrics(
+                ds,
+                p,
+                btpub_analysis::session::default_offline_threshold(),
+            ) else {
+                continue;
+            };
+            errors.push((m.aggregated_session_h - truth_h).abs() / truth_h);
+        }
+        errors.sort_by(f64::total_cmp);
+        let session_error_median = errors.get(errors.len() / 2).copied().unwrap_or(1.0);
+        let observed: u64 = ds
+            .torrents
+            .iter()
+            .map(|t| t.observed_downloaders() as u64)
+            .sum();
+        ValidationReport {
+            ip_identified_frac: identified.len() as f64 / ds.torrent_count().max(1) as f64,
+            ip_precision: correct as f64 / identified.len().max(1) as f64,
+            session_error_median,
+            download_coverage: observed as f64 / eco.total_downloads().max(1) as f64,
+        }
+    }
+
+    /// Renders every experiment as a human-readable report with the
+    /// paper's values alongside.
+    pub fn full_report(&self) -> String {
+        let mut out = String::new();
+        let t1 = self.t1_dataset();
+        let _ = writeln!(
+            out,
+            "== T1 dataset {} ==\n  days={:.0} torrents={} (username {}, ip {}), distinct IPs={}",
+            t1.name, t1.days, t1.torrents_total, t1.torrents_username, t1.torrents_ip, t1.ip_addresses
+        );
+        let f1 = self.fig1_skewness();
+        let _ = writeln!(
+            out,
+            "== F1 skewness ==\n  top3%→{:.1}% of content (paper ≈{:.0}%); top-{}: {:.1}% content / {:.1}% downloads (paper 66/75)",
+            f1.share_top3pct,
+            paper::TOP3PCT_CONTENT,
+            f1.top_k,
+            f1.top_k_shares.0 * 100.0,
+            f1.top_k_shares.1 * 100.0
+        );
+        let _ = writeln!(out, "== T2 top ISPs ==");
+        for row in self.t2_isps() {
+            let _ = writeln!(out, "  {:<28} {:<16} {:>5.2}%", row.name, row.kind.to_string(), row.pct_content);
+        }
+        let (ovh, comcast) = self.t3_footprints();
+        let _ = writeln!(
+            out,
+            "== T3 OVH vs Comcast ==\n  OVH: fed={} ips={} /16={} geo={}\n  Comcast: fed={} ips={} /16={} geo={}",
+            ovh.fed_torrents, ovh.ip_addresses, ovh.prefixes16, ovh.geo_locations,
+            comcast.fed_torrents, comcast.ip_addresses, comcast.prefixes16, comcast.geo_locations
+        );
+        let s33 = self.s33_mapping();
+        let _ = writeln!(
+            out,
+            "== S33 mapping ==\n  fake: {} usernames, {} IPs; shares {:.0}%/{:.0}% (paper 30/25)\n  top shares {:.0}%/{:.0}% (paper 37/50); compromised dropped: {}\n  unique-username IPs {:.0}% (paper 55); username IP classes [{:.0} {:.0} {:.0} {:.0}]% (paper [25 34 24 16])\n  hosting {:.0}% (paper 42), OVH {:.0}% (paper 22)",
+            s33.fake_usernames, s33.fake_ips,
+            s33.fake_shares.0 * 100.0, s33.fake_shares.1 * 100.0,
+            s33.top_shares.0 * 100.0, s33.top_shares.1 * 100.0,
+            s33.compromised,
+            s33.mapping.top_ips_unique_username * 100.0,
+            s33.mapping.single_ip * 100.0, s33.mapping.multi_ip_hosting * 100.0,
+            s33.mapping.multi_ip_single_ci * 100.0, s33.mapping.multi_ip_multi_ci * 100.0,
+            s33.hosting.0 * 100.0, s33.hosting.1 * 100.0
+        );
+        let _ = writeln!(out, "== F2 content types (video share) ==");
+        for (g, dist) in self.fig2_content_types() {
+            let _ = writeln!(out, "  {:<7} video={:.0}% n={}", g.label(), dist.video_share() * 100.0, dist.n);
+        }
+        let _ = writeln!(out, "== F3 popularity (avg downloaders/torrent/publisher) ==");
+        for (g, b) in self.fig3_popularity() {
+            if let Some(b) = b {
+                let _ = writeln!(out, "  {:<7} p25={:>7.1} med={:>7.1} p75={:>7.1}", g.label(), b.p25, b.median, b.p75);
+            }
+        }
+        let _ = writeln!(out, "== F4 seeding ==");
+        for (g, boxes) in self.fig4_seeding() {
+            if let Some(b) = boxes {
+                let _ = writeln!(
+                    out,
+                    "  {:<7} seed_time med={:>6.1}h parallel med={:>5.2} aggregated med={:>7.1}h",
+                    g.label(), b.seed_time.median, b.parallel.median, b.aggregated.median
+                );
+            }
+        }
+        let s51 = self.s51_classes();
+        let _ = writeln!(out, "== S51 classes ==");
+        for (c, of_top, content, downloads) in &s51.shares {
+            let _ = writeln!(
+                out,
+                "  {:<22} of_top={:.0}% content={:.1}% downloads={:.1}%",
+                c.label(), of_top * 100.0, content * 100.0, downloads * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  profit-driven: {:.0}% content / {:.0}% downloads (paper 26/40); placements {:?}; portal language-dedicated {:.0}% (es {:.0}%)",
+            s51.profit_shares.0 * 100.0, s51.profit_shares.1 * 100.0,
+            s51.placements, s51.language_dedicated.0 * 100.0, s51.language_dedicated.1 * 100.0
+        );
+        let _ = writeln!(out, "== T4 longitudinal ==");
+        for row in self.t4_longitudinal() {
+            let _ = writeln!(
+                out,
+                "  {:<22} lifetime {:>4.0}/{:>4.0}/{:>4.0}d rate {:>5.2}/{:>5.2}/{:>5.2}/day",
+                row.class.label(),
+                row.lifetime_days.min, row.lifetime_days.avg, row.lifetime_days.max,
+                row.rate_per_day.min, row.rate_per_day.avg, row.rate_per_day.max
+            );
+        }
+        let _ = writeln!(out, "== T5 economics (paper-scale corrected; min/med/avg/max) ==");
+        for row in self.t5_economics() {
+            let m = |v: &btpub_analysis::stats::MinMedAvgMax| {
+                format!(
+                    "{}/{}/{}/{}",
+                    human(v.min),
+                    human(v.median),
+                    human(v.avg),
+                    human(v.max)
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} value ${} income ${}/day visits {}/day",
+                row.class.label(),
+                m(&row.value_dollars),
+                m(&row.daily_income_dollars),
+                m(&row.daily_visits)
+            );
+        }
+        let _ = writeln!(out, "== S6 hosting income ==");
+        for (p, servers, income) in self.s6_hosting_income() {
+            let _ = writeln!(out, "  {:<12} servers={} income≈{:.0}€/mo", p, servers, income);
+        }
+        let aa = self.aa_session_model();
+        let _ = writeln!(
+            out,
+            "== AA session model ==\n  m for P≥0.99: {} (paper 13); P(13)={:.4}\n  top median aggregated session @2h/4h/6h thresholds: {:.1}/{:.1}/{:.1} h",
+            aa.m_for_99, aa.capture_curve[12],
+            aa.threshold_sensitivity[0], aa.threshold_sensitivity[1], aa.threshold_sensitivity[2]
+        );
+        let v1 = self.v1_validation();
+        let _ = writeln!(
+            out,
+            "== V1 validation ==\n  IP identified {:.0}% (paper ≈40%), precision {:.2}; session err med {:.2}; download coverage {:.2}",
+            v1.ip_identified_frac * 100.0, v1.ip_precision, v1.session_error_median, v1.download_coverage
+        );
+        out
+    }
+}
+
+/// Compact human rendering: `7.3K`, `2.8M`, `412`.
+fn human(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+// Silence an unused-import lint when Profile is only used in tests.
+const _: fn() = || {
+    let _ = Profile::Fake;
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::{Scale, Scenario, Study};
+
+    fn analyses() -> &'static Study {
+        static STUDY: std::sync::OnceLock<Study> = std::sync::OnceLock::new();
+        STUDY.get_or_init(|| Study::run(&Scenario::pb10(Scale::tiny())))
+    }
+
+    #[test]
+    fn full_report_renders_every_section() {
+        let study = analyses();
+        let a = study.analyze();
+        let report = a.experiments().full_report();
+        for section in [
+            "T1", "F1", "T2", "T3", "S33", "F2", "F3", "F4", "S51", "T4", "T5", "S6", "AA", "V1",
+        ] {
+            assert!(report.contains(&format!("== {section}")), "missing {section}\n{report}");
+        }
+    }
+
+    #[test]
+    fn appendix_a_matches_paper() {
+        let study = analyses();
+        let a = study.analyze();
+        let aa = a.experiments().aa_session_model();
+        assert_eq!(aa.m_for_99, 13);
+        assert!(aa.capture_curve[12] > 0.99);
+        // Monotone capture curve.
+        assert!(aa.capture_curve.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn validation_report_sane() {
+        let study = analyses();
+        let a = study.analyze();
+        let v1 = a.experiments().v1_validation();
+        assert!(v1.ip_identified_frac > 0.15 && v1.ip_identified_frac < 0.85);
+        assert!(v1.ip_precision > 0.85);
+        assert!(v1.download_coverage > 0.2);
+    }
+}

@@ -1,0 +1,244 @@
+//! The measurement dataset: what the crawler saw.
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use btpub_sim::content::Category;
+use btpub_sim::{SimTime, TorrentId};
+
+/// Why the initial publisher's IP could not be identified (§2 footnote 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IpFailure {
+    /// The swarm already had many peers at announcement — it was born on
+    /// another portal.
+    LargeSwarmAtBirth,
+    /// The tracker never reported a single-seeder state in time.
+    NoSeeder,
+    /// More than one seeder at first contact.
+    MultipleSeeders,
+    /// The single seeder was unreachable — behind a NAT.
+    SeederUnreachable,
+    /// The listing was removed before the crawler could fetch it.
+    RemovedBeforeContact,
+}
+
+/// One periodic tracker observation of a swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sighting {
+    /// Observation time.
+    pub at: SimTime,
+    /// Tracker-reported seeder count.
+    pub complete: u32,
+    /// Tracker-reported leecher count.
+    pub incomplete: u32,
+    /// Number of peers in the reply.
+    pub sampled: u32,
+    /// Whether the identified publisher IP appeared in the sample — the
+    /// raw material of Appendix A's session estimation.
+    pub publisher_seen: bool,
+}
+
+/// Everything the crawler learned about one torrent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TorrentRecord {
+    /// Torrent identity (portal index).
+    pub torrent: TorrentId,
+    /// When the RSS item appeared.
+    pub announced_at: SimTime,
+    /// When the crawler first contacted the tracker.
+    pub first_contact_at: Option<SimTime>,
+    /// Portal category from the feed.
+    pub category: Category,
+    /// Release title from the feed.
+    pub title: String,
+    /// Filename offered on the content page (may embed a promoting URL).
+    pub filename: String,
+    /// Content-page textbox captured at first contact.
+    pub textbox: Option<String>,
+    /// Payload size.
+    pub size_bytes: u64,
+    /// Publishing username (absent in mn08-style runs).
+    pub username: Option<String>,
+    /// Language tag inferred from the release, if any.
+    pub language: Option<String>,
+    /// Identified initial-publisher IP, when the §2 procedure succeeded.
+    pub publisher_ip: Option<Ipv4Addr>,
+    /// Failure cause when it did not.
+    pub ip_failure: Option<IpFailure>,
+    /// Seeder/leecher counts at first contact.
+    pub first_complete: u32,
+    /// Leecher count at first contact.
+    pub first_incomplete: u32,
+    /// All periodic observations, in time order.
+    pub sightings: Vec<Sighting>,
+    /// Distinct downloader IPs observed across all queries, sorted.
+    pub observed_ips: Vec<u32>,
+    /// Whether the crawler later found the listing removed (fake signal).
+    pub observed_removed: bool,
+}
+
+impl TorrentRecord {
+    /// Number of distinct downloaders observed — the paper's per-torrent
+    /// popularity measure.
+    pub fn observed_downloaders(&self) -> usize {
+        self.observed_ips.len()
+    }
+}
+
+/// A full measurement campaign's output (one of mn08 / pb09 / pb10).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Campaign label.
+    pub name: String,
+    /// Campaign start.
+    pub start: SimTime,
+    /// Campaign end.
+    pub end: SimTime,
+    /// Whether usernames were collected (false for mn08).
+    pub has_usernames: bool,
+    /// Per-torrent records, in announcement order.
+    pub torrents: Vec<TorrentRecord>,
+}
+
+impl Dataset {
+    /// Total torrents crawled.
+    pub fn torrent_count(&self) -> usize {
+        self.torrents.len()
+    }
+
+    /// Torrents whose publisher IP was identified.
+    pub fn ip_identified_count(&self) -> usize {
+        self.torrents
+            .iter()
+            .filter(|t| t.publisher_ip.is_some())
+            .count()
+    }
+
+    /// Torrents with a username (all, unless `has_usernames` is false).
+    pub fn username_identified_count(&self) -> usize {
+        self.torrents.iter().filter(|t| t.username.is_some()).count()
+    }
+
+    /// Number of distinct IP addresses observed across every swarm —
+    /// Table 1's "#IP addresses" column.
+    pub fn distinct_ip_count(&self) -> usize {
+        let mut all: Vec<u32> = self
+            .torrents
+            .iter()
+            .flat_map(|t| t.observed_ips.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// Serialises the dataset to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialises")
+    }
+
+    /// Parses a dataset back from [`Dataset::to_json`] output, so
+    /// campaigns can be archived and re-analysed without re-crawling.
+    pub fn from_json(json: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the dataset to a JSON file.
+    pub fn write_json_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads a dataset from a JSON file.
+    pub fn read_json_file(path: &std::path::Path) -> std::io::Result<Dataset> {
+        let json = std::fs::read_to_string(path)?;
+        Dataset::from_json(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u32, ips: Vec<u32>) -> TorrentRecord {
+        TorrentRecord {
+            torrent: TorrentId(id),
+            announced_at: SimTime(0),
+            first_contact_at: Some(SimTime(1)),
+            category: Category::Movies,
+            title: "t".into(),
+            filename: "t".into(),
+            textbox: None,
+            size_bytes: 1,
+            username: Some("u".into()),
+            language: None,
+            publisher_ip: id.is_multiple_of(2).then_some(Ipv4Addr::new(1, 2, 3, 4)),
+            ip_failure: None,
+            first_complete: 1,
+            first_incomplete: 0,
+            sightings: vec![],
+            observed_ips: ips,
+            observed_removed: false,
+        }
+    }
+
+    #[test]
+    fn dataset_counters() {
+        let ds = Dataset {
+            name: "test".into(),
+            start: SimTime(0),
+            end: SimTime(100),
+            has_usernames: true,
+            torrents: vec![record(0, vec![1, 2, 3]), record(1, vec![3, 4])],
+        };
+        assert_eq!(ds.torrent_count(), 2);
+        assert_eq!(ds.ip_identified_count(), 1);
+        assert_eq!(ds.username_identified_count(), 2);
+        assert_eq!(ds.distinct_ip_count(), 4, "IP 3 shared across swarms");
+        assert_eq!(ds.torrents[0].observed_downloaders(), 3);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let ds = Dataset {
+            name: "rt".into(),
+            start: SimTime(0),
+            end: SimTime(100),
+            has_usernames: true,
+            torrents: vec![record(0, vec![1, 2, 3]), record(1, vec![9])],
+        };
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let ds = Dataset {
+            name: "file-rt".into(),
+            start: SimTime(0),
+            end: SimTime(1),
+            has_usernames: false,
+            torrents: vec![record(2, vec![])],
+        };
+        let path = std::env::temp_dir().join("btpub-dataset-test.json");
+        ds.write_json_file(&path).unwrap();
+        let back = Dataset::read_json_file(&path).unwrap();
+        assert_eq!(back, ds);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_serialisation_works() {
+        let ds = Dataset {
+            name: "test".into(),
+            start: SimTime(0),
+            end: SimTime(1),
+            has_usernames: false,
+            torrents: vec![record(0, vec![])],
+        };
+        let json = ds.to_json();
+        assert!(json.contains("\"name\":\"test\""));
+        assert!(json.contains("\"publisher_ip\":\"1.2.3.4\""));
+    }
+}

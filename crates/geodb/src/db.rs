@@ -1,0 +1,346 @@
+//! The interval lookup database.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::{IspId, IspRecord, IspKind, Location, LocationId};
+
+/// Result of looking up an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpInfo {
+    /// Owning ISP.
+    pub isp: IspId,
+    /// City-level location.
+    pub location: LocationId,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Range {
+    start: u32,
+    /// Inclusive end.
+    end: u32,
+    info: IpInfo,
+}
+
+/// An immutable IP-interval database, queried by binary search — the
+/// same access pattern as a MaxMind GeoIP CSV snapshot.
+#[derive(Debug, Clone)]
+pub struct GeoDb {
+    ranges: Vec<Range>,
+    isps: Vec<IspRecord>,
+    locations: Vec<Location>,
+}
+
+impl GeoDb {
+    /// Maps an address to its ISP and location.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<IpInfo> {
+        let key = u32::from(ip);
+        let idx = self.ranges.partition_point(|r| r.end < key);
+        let r = self.ranges.get(idx)?;
+        (r.start <= key).then_some(r.info)
+    }
+
+    /// Returns the ISP record for an id.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this database.
+    pub fn isp(&self, id: IspId) -> &IspRecord {
+        &self.isps[id.0 as usize]
+    }
+
+    /// Returns the location record for an id.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this database.
+    pub fn location(&self, id: LocationId) -> &Location {
+        &self.locations[id.0 as usize]
+    }
+
+    /// All registered ISPs.
+    pub fn isps(&self) -> &[IspRecord] {
+        &self.isps
+    }
+
+    /// All registered locations.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// Finds an ISP id by display name.
+    pub fn isp_by_name(&self, name: &str) -> Option<IspId> {
+        self.isps.iter().find(|r| r.name == name).map(|r| r.id)
+    }
+
+    /// Number of address ranges in the database.
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Builder enforcing the interval invariants.
+#[derive(Debug, Default)]
+pub struct GeoDbBuilder {
+    ranges: Vec<Range>,
+    isps: Vec<IspRecord>,
+    locations: Vec<Location>,
+}
+
+impl GeoDbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an ISP and returns its id.
+    pub fn add_isp(&mut self, name: &str, kind: IspKind, country: &'static str) -> IspId {
+        let id = IspId(self.isps.len() as u16);
+        self.isps.push(IspRecord {
+            id,
+            name: name.to_string(),
+            kind,
+            country,
+        });
+        id
+    }
+
+    /// Registers a location and returns its id.
+    pub fn add_location(&mut self, city: &str, country: &'static str) -> LocationId {
+        let id = LocationId(self.locations.len() as u16);
+        self.locations.push(Location {
+            id,
+            city: city.to_string(),
+            country,
+        });
+        id
+    }
+
+    /// Assigns the inclusive range `[start, end]` to `(isp, location)`.
+    pub fn add_range(
+        &mut self,
+        start: Ipv4Addr,
+        end: Ipv4Addr,
+        isp: IspId,
+        location: LocationId,
+    ) -> &mut Self {
+        self.ranges.push(Range {
+            start: start.into(),
+            end: end.into(),
+            info: IpInfo { isp, location },
+        });
+        self
+    }
+
+    /// Assigns a whole `/16` block to `(isp, location)` — the allocation
+    /// granularity used for the synthetic world.
+    pub fn add_slash16(&mut self, prefix: u16, isp: IspId, location: LocationId) -> &mut Self {
+        let [a, b] = prefix.to_be_bytes();
+        self.add_range(
+            Ipv4Addr::new(a, b, 0, 0),
+            Ipv4Addr::new(a, b, 255, 255),
+            isp,
+            location,
+        )
+    }
+
+    /// Validates and freezes the database.
+    pub fn build(mut self) -> Result<GeoDb, GeoDbError> {
+        self.ranges.sort_by_key(|r| r.start);
+        for r in &self.ranges {
+            if r.start > r.end {
+                return Err(GeoDbError::EmptyRange { start: r.start });
+            }
+            if usize::from(r.info.isp.0) >= self.isps.len() {
+                return Err(GeoDbError::UnknownIsp(r.info.isp));
+            }
+            if usize::from(r.info.location.0) >= self.locations.len() {
+                return Err(GeoDbError::UnknownLocation(r.info.location));
+            }
+        }
+        for pair in self.ranges.windows(2) {
+            if pair[1].start <= pair[0].end {
+                return Err(GeoDbError::Overlap {
+                    first_start: pair[0].start,
+                    second_start: pair[1].start,
+                });
+            }
+        }
+        Ok(GeoDb {
+            ranges: self.ranges,
+            isps: self.isps,
+            locations: self.locations,
+        })
+    }
+}
+
+/// Errors detected when building the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeoDbError {
+    /// `start > end`.
+    EmptyRange {
+        /// Offending range start (as u32).
+        start: u32,
+    },
+    /// Two ranges overlap.
+    Overlap {
+        /// Start of the earlier range.
+        first_start: u32,
+        /// Start of the overlapping range.
+        second_start: u32,
+    },
+    /// A range referenced an unregistered ISP.
+    UnknownIsp(IspId),
+    /// A range referenced an unregistered location.
+    UnknownLocation(LocationId),
+}
+
+impl fmt::Display for GeoDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoDbError::EmptyRange { start } => {
+                write!(f, "range starting at {} is empty", Ipv4Addr::from(*start))
+            }
+            GeoDbError::Overlap {
+                first_start,
+                second_start,
+            } => write!(
+                f,
+                "ranges starting at {} and {} overlap",
+                Ipv4Addr::from(*first_start),
+                Ipv4Addr::from(*second_start)
+            ),
+            GeoDbError::UnknownIsp(id) => write!(f, "unknown ISP id {}", id.0),
+            GeoDbError::UnknownLocation(id) => write!(f, "unknown location id {}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for GeoDbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GeoDb {
+        let mut b = GeoDbBuilder::new();
+        let ovh = b.add_isp("OVH", IspKind::HostingProvider, "FR");
+        let comcast = b.add_isp("Comcast", IspKind::CommercialIsp, "US");
+        let roubaix = b.add_location("Roubaix", "FR");
+        let denver = b.add_location("Denver", "US");
+        b.add_slash16(0x5E17, ovh, roubaix); // 94.23/16
+        b.add_range(
+            Ipv4Addr::new(24, 0, 0, 0),
+            Ipv4Addr::new(24, 0, 127, 255),
+            comcast,
+            denver,
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_inside_and_outside_ranges() {
+        let db = sample();
+        let hit = db.lookup(Ipv4Addr::new(94, 23, 55, 1)).unwrap();
+        assert_eq!(db.isp(hit.isp).name, "OVH");
+        assert_eq!(db.location(hit.location).city, "Roubaix");
+        assert!(db.lookup(Ipv4Addr::new(94, 24, 0, 0)).is_none());
+        assert!(db.lookup(Ipv4Addr::new(8, 8, 8, 8)).is_none());
+    }
+
+    #[test]
+    fn lookup_is_inclusive_at_both_ends() {
+        let db = sample();
+        assert!(db.lookup(Ipv4Addr::new(24, 0, 0, 0)).is_some());
+        assert!(db.lookup(Ipv4Addr::new(24, 0, 127, 255)).is_some());
+        assert!(db.lookup(Ipv4Addr::new(24, 0, 128, 0)).is_none());
+        assert!(db.lookup(Ipv4Addr::new(23, 255, 255, 255)).is_none());
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut b = GeoDbBuilder::new();
+        let isp = b.add_isp("X", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("Y", "US");
+        b.add_range(
+            Ipv4Addr::new(10, 0, 0, 0),
+            Ipv4Addr::new(10, 0, 255, 255),
+            isp,
+            loc,
+        );
+        b.add_range(
+            Ipv4Addr::new(10, 0, 255, 255),
+            Ipv4Addr::new(10, 1, 0, 0),
+            isp,
+            loc,
+        );
+        assert!(matches!(b.build(), Err(GeoDbError::Overlap { .. })));
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        let mut b = GeoDbBuilder::new();
+        let isp = b.add_isp("X", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("Y", "US");
+        b.add_range(
+            Ipv4Addr::new(10, 0, 0, 2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            isp,
+            loc,
+        );
+        assert!(matches!(b.build(), Err(GeoDbError::EmptyRange { .. })));
+    }
+
+    #[test]
+    fn dangling_ids_rejected() {
+        let mut b = GeoDbBuilder::new();
+        let loc = b.add_location("Y", "US");
+        b.add_range(
+            Ipv4Addr::new(10, 0, 0, 0),
+            Ipv4Addr::new(10, 0, 0, 1),
+            IspId(5),
+            loc,
+        );
+        assert_eq!(b.build().unwrap_err(), GeoDbError::UnknownIsp(IspId(5)));
+    }
+
+    #[test]
+    fn isp_by_name() {
+        let db = sample();
+        assert!(db.isp_by_name("OVH").is_some());
+        assert!(db.isp_by_name("NoSuch").is_none());
+    }
+
+    #[test]
+    fn adjacent_ranges_allowed() {
+        let mut b = GeoDbBuilder::new();
+        let isp = b.add_isp("X", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("Y", "US");
+        b.add_range(
+            Ipv4Addr::new(10, 0, 0, 0),
+            Ipv4Addr::new(10, 0, 0, 9),
+            isp,
+            loc,
+        );
+        b.add_range(
+            Ipv4Addr::new(10, 0, 0, 10),
+            Ipv4Addr::new(10, 0, 0, 19),
+            isp,
+            loc,
+        );
+        let db = b.build().unwrap();
+        assert_eq!(db.range_count(), 2);
+        assert!(db.lookup(Ipv4Addr::new(10, 0, 0, 9)).is_some());
+        assert!(db.lookup(Ipv4Addr::new(10, 0, 0, 10)).is_some());
+    }
+
+    #[test]
+    fn single_address_range() {
+        let mut b = GeoDbBuilder::new();
+        let isp = b.add_isp("X", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("Y", "US");
+        let one = Ipv4Addr::new(1, 1, 1, 1);
+        b.add_range(one, one, isp, loc);
+        let db = b.build().unwrap();
+        assert!(db.lookup(one).is_some());
+        assert!(db.lookup(Ipv4Addr::new(1, 1, 1, 2)).is_none());
+    }
+}

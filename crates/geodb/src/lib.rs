@@ -1,0 +1,113 @@
+//! # btpub-geodb
+//!
+//! A synthetic GeoIP/ISP database standing in for the MaxMind GeoIP
+//! snapshots the paper used (§2: "We use MaxMind Database to map all the
+//! IP addresses … to their corresponding ISPs and geographical location").
+//!
+//! The paper's ISP analysis (Tables 2 and 3) needs three things from the
+//! mapping:
+//!
+//! 1. a consistent `IPv4 → (ISP, city, country)` lookup,
+//! 2. the hosting-provider / commercial-ISP distinction the authors made by
+//!    hand from each ISP's web page, and
+//! 3. realistic *address-space structure*: hosting providers concentrate
+//!    their servers in a handful of /16 prefixes at a couple of datacenter
+//!    locations, while residential ISPs scatter customers across many /16s
+//!    and hundreds of cities, re-assigning addresses over time (DHCP churn).
+//!
+//! [`registry::standard_world`] instantiates a world with the actual ISPs
+//! from the paper's tables (OVH, Comcast, tzulo, FDCservers, 4RWEB, …) plus
+//! a tail of generic consumer ISPs, and [`IpPool`] hands out addresses with
+//! the structure above so that downstream analysis reproduces the paper's
+//! prefix/location contrasts.
+
+pub mod db;
+pub mod pool;
+pub mod registry;
+
+pub use db::{GeoDb, GeoDbBuilder, GeoDbError, IpInfo};
+pub use pool::IpPool;
+pub use registry::{standard_world, World};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Whether an ISP rents servers or serves households.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IspKind {
+    /// Datacenter / server-rental company (OVH, tzulo, …).
+    HostingProvider,
+    /// Residential or business access provider (Comcast, Virgin Media, …).
+    CommercialIsp,
+}
+
+impl fmt::Display for IspKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IspKind::HostingProvider => "Hosting Provider",
+            IspKind::CommercialIsp => "Commercial ISP",
+        })
+    }
+}
+
+/// Index of an ISP in the [`World`] registry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct IspId(pub u16);
+
+/// Index of a geographic location in the [`World`] registry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct LocationId(pub u16);
+
+/// An ISP known to the database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IspRecord {
+    /// Registry id.
+    pub id: IspId,
+    /// Display name as it would appear in the paper's tables.
+    pub name: String,
+    /// Hosting provider or commercial ISP.
+    pub kind: IspKind,
+    /// ISO-ish country code of the ISP's home market.
+    pub country: &'static str,
+}
+
+/// A city-level geographic location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Location {
+    /// Registry id.
+    pub id: LocationId,
+    /// City name.
+    pub city: String,
+    /// Country code.
+    pub country: &'static str,
+}
+
+/// Returns the /16 prefix of an address (its first two octets), the prefix
+/// granularity used in Table 3 of the paper.
+pub fn prefix16(ip: Ipv4Addr) -> u16 {
+    let o = ip.octets();
+    u16::from_be_bytes([o[0], o[1]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix16_extracts_first_two_octets() {
+        assert_eq!(prefix16(Ipv4Addr::new(94, 23, 7, 9)), 0x5E17);
+        assert_eq!(prefix16(Ipv4Addr::new(0, 0, 0, 0)), 0);
+        assert_eq!(prefix16(Ipv4Addr::new(255, 255, 1, 1)), 0xFFFF);
+    }
+
+    #[test]
+    fn isp_kind_display_matches_paper_labels() {
+        assert_eq!(IspKind::HostingProvider.to_string(), "Hosting Provider");
+        assert_eq!(IspKind::CommercialIsp.to_string(), "Commercial ISP");
+    }
+}

@@ -1,0 +1,262 @@
+//! Per-ISP IP address pools.
+//!
+//! The simulator draws publisher and downloader addresses from these pools.
+//! Two draw modes mirror the paper's Table 3 contrast:
+//!
+//! * [`IpPool::allocate_server`] — a *stable, unique* address, the way a
+//!   rented dedicated server at a hosting provider keeps one IP for months;
+//! * [`IpPool::sample_customer`] — a uniform draw from the whole pool, the
+//!   way a residential subscriber receives an arbitrary address from the
+//!   ISP's DHCP space (and a different one after every re-assignment).
+
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+
+use crate::{IspId, LocationId};
+
+/// One contiguous block owned by the ISP.
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    start: u32,
+    len: u32,
+    location: LocationId,
+}
+
+/// The address space of a single ISP.
+#[derive(Debug, Clone)]
+pub struct IpPool {
+    isp: IspId,
+    blocks: Vec<Block>,
+    total: u64,
+    /// Per-block next-offset cursors for unique server allocation, plus a
+    /// rotating block cursor. Servers are spread across blocks round-robin
+    /// so even a 2-server ISP shows multiple /16 prefixes, matching how
+    /// providers assign from multiple racks.
+    server_cursors: Vec<u32>,
+    next_block: usize,
+    allocated: u64,
+}
+
+impl IpPool {
+    /// Creates an empty pool for `isp`.
+    pub fn new(isp: IspId) -> Self {
+        IpPool {
+            isp,
+            blocks: Vec::new(),
+            total: 0,
+            server_cursors: Vec::new(),
+            next_block: 0,
+            allocated: 0,
+        }
+    }
+
+    /// Owning ISP.
+    pub fn isp(&self) -> IspId {
+        self.isp
+    }
+
+    /// Adds an inclusive address block located at `location`.
+    pub fn add_block(&mut self, start: Ipv4Addr, end: Ipv4Addr, location: LocationId) {
+        let (s, e) = (u32::from(start), u32::from(end));
+        assert!(s <= e, "inverted block");
+        let len = e - s + 1;
+        self.blocks.push(Block {
+            start: s,
+            len,
+            location,
+        });
+        self.server_cursors.push(0);
+        self.total += u64::from(len);
+    }
+
+    /// Adds a whole /16 block.
+    pub fn add_slash16(&mut self, prefix: u16, location: LocationId) {
+        let [a, b] = prefix.to_be_bytes();
+        self.add_block(
+            Ipv4Addr::new(a, b, 0, 0),
+            Ipv4Addr::new(a, b, 255, 255),
+            location,
+        );
+    }
+
+    /// Total number of addresses in the pool.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the pool holds no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of distinct blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Allocates the next unique server address, striping across blocks.
+    ///
+    /// Successive calls never return the same address until the pool is
+    /// exhausted, in which case `None` is returned.
+    pub fn allocate_server(&mut self) -> Option<(Ipv4Addr, LocationId)> {
+        if self.allocated >= self.total || self.blocks.is_empty() {
+            return None;
+        }
+        // Rotate through blocks, skipping any that are exhausted.
+        for _ in 0..self.blocks.len() {
+            let idx = self.next_block;
+            self.next_block = (self.next_block + 1) % self.blocks.len();
+            let block = &self.blocks[idx];
+            let cursor = self.server_cursors[idx];
+            if cursor < block.len {
+                self.server_cursors[idx] += 1;
+                self.allocated += 1;
+                return Some((Ipv4Addr::from(block.start + cursor), block.location));
+            }
+        }
+        None
+    }
+
+    /// Samples a uniform address from the pool (customer DHCP draw).
+    pub fn sample_customer<R: Rng + ?Sized>(&self, rng: &mut R) -> (Ipv4Addr, LocationId) {
+        assert!(!self.is_empty(), "cannot sample from an empty pool");
+        let mut n = rng.gen_range(0..self.total);
+        for block in &self.blocks {
+            if n < u64::from(block.len) {
+                return (Ipv4Addr::from(block.start + n as u32), block.location);
+            }
+            n -= u64::from(block.len);
+        }
+        unreachable!("sample index within total")
+    }
+
+    /// Whether the pool contains `ip`.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        let key = u32::from(ip);
+        self.blocks
+            .iter()
+            .any(|b| b.start <= key && key - b.start < b.len)
+    }
+
+    /// The location an in-pool address belongs to.
+    pub fn location_of(&self, ip: Ipv4Addr) -> Option<LocationId> {
+        let key = u32::from(ip);
+        self.blocks
+            .iter()
+            .find(|b| b.start <= key && key - b.start < b.len)
+            .map(|b| b.location)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pool() -> IpPool {
+        let mut p = IpPool::new(IspId(0));
+        p.add_slash16(0x5E17, LocationId(0)); // 94.23/16
+        p.add_slash16(0x5E18, LocationId(1)); // 94.24/16
+        p
+    }
+
+    #[test]
+    fn server_allocation_is_unique_and_striped() {
+        let mut p = pool();
+        let (a, la) = p.allocate_server().unwrap();
+        let (b, lb) = p.allocate_server().unwrap();
+        let (c, _) = p.allocate_server().unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // striping alternates blocks, hence locations
+        assert_ne!(la, lb);
+        assert_eq!(crate::prefix16(a), 0x5E17);
+        assert_eq!(crate::prefix16(b), 0x5E18);
+        assert_eq!(crate::prefix16(c), 0x5E17);
+    }
+
+    #[test]
+    fn server_allocation_exhausts_small_pool() {
+        let mut p = IpPool::new(IspId(0));
+        p.add_block(
+            Ipv4Addr::new(1, 1, 1, 0),
+            Ipv4Addr::new(1, 1, 1, 3),
+            LocationId(0),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let (ip, _) = p.allocate_server().unwrap();
+            assert!(seen.insert(ip), "duplicate {ip}");
+        }
+        assert!(p.allocate_server().is_none());
+    }
+
+    #[test]
+    fn uneven_blocks_fully_allocated() {
+        let mut p = IpPool::new(IspId(0));
+        p.add_block(
+            Ipv4Addr::new(1, 1, 1, 0),
+            Ipv4Addr::new(1, 1, 1, 0),
+            LocationId(0),
+        );
+        p.add_block(
+            Ipv4Addr::new(2, 2, 2, 0),
+            Ipv4Addr::new(2, 2, 2, 2),
+            LocationId(1),
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let (ip, _) = p.allocate_server().unwrap();
+            assert!(seen.insert(ip));
+        }
+        assert!(p.allocate_server().is_none());
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn customer_samples_stay_in_pool() {
+        let p = pool();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let (ip, loc) = p.sample_customer(&mut rng);
+            assert!(p.contains(ip));
+            assert_eq!(p.location_of(ip), Some(loc));
+        }
+    }
+
+    #[test]
+    fn customer_samples_cover_blocks() {
+        let p = pool();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut prefixes = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let (ip, _) = p.sample_customer(&mut rng);
+            prefixes.insert(crate::prefix16(ip));
+        }
+        assert_eq!(prefixes.len(), 2, "both /16s should be drawn from");
+    }
+
+    #[test]
+    fn contains_and_location_of() {
+        let p = pool();
+        assert!(p.contains(Ipv4Addr::new(94, 23, 0, 0)));
+        assert!(p.contains(Ipv4Addr::new(94, 24, 255, 255)));
+        assert!(!p.contains(Ipv4Addr::new(94, 25, 0, 0)));
+        assert_eq!(
+            p.location_of(Ipv4Addr::new(94, 24, 1, 1)),
+            Some(LocationId(1))
+        );
+        assert_eq!(p.location_of(Ipv4Addr::new(8, 8, 8, 8)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pool")]
+    fn sampling_empty_pool_panics() {
+        let p = IpPool::new(IspId(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        p.sample_customer(&mut rng);
+    }
+}

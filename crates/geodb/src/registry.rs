@@ -1,0 +1,259 @@
+//! The standard synthetic world: the ISPs from the paper's tables plus a
+//! long tail of generic access providers.
+
+use crate::db::{GeoDb, GeoDbBuilder};
+use crate::pool::IpPool;
+use crate::{IspId, IspKind, LocationId};
+
+/// A fully-instantiated world: lookup database plus per-ISP address pools.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The lookup database (MaxMind substitute).
+    pub db: GeoDb,
+    /// Address pools, indexed by `IspId.0`.
+    pub pools: Vec<IpPool>,
+    /// Ids of all hosting providers.
+    pub hosting: Vec<IspId>,
+    /// Ids of all commercial ISPs.
+    pub commercial: Vec<IspId>,
+}
+
+impl World {
+    /// The pool for an ISP.
+    pub fn pool(&self, isp: IspId) -> &IpPool {
+        &self.pools[isp.0 as usize]
+    }
+
+    /// Mutable pool access (server allocation consumes pool state).
+    pub fn pool_mut(&mut self, isp: IspId) -> &mut IpPool {
+        &mut self.pools[isp.0 as usize]
+    }
+
+    /// Looks an ISP up by name.
+    pub fn isp_by_name(&self, name: &str) -> Option<IspId> {
+        self.db.isp_by_name(name)
+    }
+}
+
+/// Specification of one ISP in the synthetic world.
+struct IspSpec {
+    name: &'static str,
+    kind: IspKind,
+    country: &'static str,
+    /// Number of /16 blocks.
+    blocks: u16,
+    /// Number of distinct cities its blocks spread over.
+    cities: u16,
+}
+
+/// ISPs named in Tables 2 and 3 of the paper, with address-space structure
+/// that reproduces the hosting-vs-commercial contrast: hosting providers
+/// get a handful of /16s in 1–4 datacenter cities; residential providers
+/// get many /16s over many cities.
+const NAMED_ISPS: &[IspSpec] = &[
+    // -- hosting providers --
+    IspSpec { name: "OVH", kind: IspKind::HostingProvider, country: "FR", blocks: 7, cities: 4 },
+    IspSpec { name: "SoftLayer Tech.", kind: IspKind::HostingProvider, country: "US", blocks: 5, cities: 3 },
+    IspSpec { name: "FDCservers", kind: IspKind::HostingProvider, country: "US", blocks: 4, cities: 2 },
+    IspSpec { name: "tzulo", kind: IspKind::HostingProvider, country: "US", blocks: 3, cities: 2 },
+    IspSpec { name: "4RWEB", kind: IspKind::HostingProvider, country: "RU", blocks: 3, cities: 1 },
+    IspSpec { name: "Keyweb", kind: IspKind::HostingProvider, country: "DE", blocks: 3, cities: 1 },
+    IspSpec { name: "NetDirect", kind: IspKind::HostingProvider, country: "US", blocks: 3, cities: 2 },
+    IspSpec { name: "NetWork Operations Center", kind: IspKind::HostingProvider, country: "US", blocks: 3, cities: 2 },
+    IspSpec { name: "Serverflo", kind: IspKind::HostingProvider, country: "NL", blocks: 2, cities: 1 },
+    IspSpec { name: "LeaseWeb", kind: IspKind::HostingProvider, country: "NL", blocks: 4, cities: 2 },
+    // -- commercial ISPs --
+    IspSpec { name: "Comcast", kind: IspKind::CommercialIsp, country: "US", blocks: 300, cities: 400 },
+    IspSpec { name: "Road Runner", kind: IspKind::CommercialIsp, country: "US", blocks: 180, cities: 220 },
+    IspSpec { name: "Virgin Media", kind: IspKind::CommercialIsp, country: "GB", blocks: 120, cities: 150 },
+    IspSpec { name: "SBC", kind: IspKind::CommercialIsp, country: "US", blocks: 160, cities: 200 },
+    IspSpec { name: "Verizon", kind: IspKind::CommercialIsp, country: "US", blocks: 200, cities: 250 },
+    IspSpec { name: "Comcor-TV", kind: IspKind::CommercialIsp, country: "RU", blocks: 60, cities: 40 },
+    IspSpec { name: "Telecom Italia", kind: IspKind::CommercialIsp, country: "IT", blocks: 110, cities: 140 },
+    IspSpec { name: "Romania DS", kind: IspKind::CommercialIsp, country: "RO", blocks: 50, cities: 60 },
+    IspSpec { name: "MTT Network", kind: IspKind::CommercialIsp, country: "RU", blocks: 50, cities: 45 },
+    IspSpec { name: "NIB", kind: IspKind::CommercialIsp, country: "SE", blocks: 40, cities: 30 },
+    IspSpec { name: "Open Computer Network", kind: IspKind::CommercialIsp, country: "JP", blocks: 90, cities: 80 },
+    IspSpec { name: "Cosema", kind: IspKind::CommercialIsp, country: "SE", blocks: 35, cities: 25 },
+    IspSpec { name: "Telefonica", kind: IspKind::CommercialIsp, country: "ES", blocks: 100, cities: 120 },
+    IspSpec { name: "Jazz Telecom.", kind: IspKind::CommercialIsp, country: "ES", blocks: 60, cities: 70 },
+];
+
+/// Countries used for the generic long-tail access providers.
+const TAIL_COUNTRIES: &[&str] = &[
+    "US", "GB", "DE", "FR", "ES", "IT", "NL", "SE", "PL", "RO", "RU", "BR", "AR", "MX", "CA",
+    "AU", "IN", "JP", "KR", "PT", "GR", "TR", "UA", "CZ",
+];
+
+/// Number of generic tail ISPs.
+pub const TAIL_ISP_COUNT: usize = 48;
+
+/// Builds the standard world.
+///
+/// The layout is fully deterministic (no RNG): /16 prefixes are assigned
+/// sequentially starting at `1.0.0.0`, so tests can rely on stable
+/// addresses. Datacenter cities are named after the provider; consumer
+/// cities get synthetic `City-<CC>-<n>` names.
+pub fn standard_world() -> World {
+    let mut b = GeoDbBuilder::new();
+    let mut pools: Vec<IpPool> = Vec::new();
+    let mut hosting = Vec::new();
+    let mut commercial = Vec::new();
+    // /16 prefixes from 1.0.0.0 upward; prefix 0 (0.x) is left unused so no
+    // simulated peer ever has a 0.0.0.0-ish address.
+    let mut next_prefix: u16 = 0x0100;
+
+    let add = |b: &mut GeoDbBuilder,
+                   pools: &mut Vec<IpPool>,
+                   spec: &IspSpec,
+                   next_prefix: &mut u16| {
+        let isp = b.add_isp(spec.name, spec.kind, spec.country);
+        let mut pool = IpPool::new(isp);
+        // Register the cities first.
+        let cities: Vec<LocationId> = (0..spec.cities)
+            .map(|i| {
+                let city = match spec.kind {
+                    IspKind::HostingProvider => format!("{} DC-{}", spec.name, i + 1),
+                    IspKind::CommercialIsp => format!("City-{}-{:03}", spec.country, i + 1),
+                };
+                b.add_location(&city, spec.country)
+            })
+            .collect();
+        for i in 0..spec.blocks {
+            let prefix = *next_prefix;
+            *next_prefix = next_prefix.checked_add(1).expect("prefix space exhausted");
+            let city = cities[usize::from(i) % cities.len()];
+            b.add_slash16(prefix, isp, city);
+            pool.add_slash16(prefix, city);
+        }
+        pools.push(pool);
+        isp
+    };
+
+    for spec in NAMED_ISPS {
+        let isp = add(&mut b, &mut pools, spec, &mut next_prefix);
+        match spec.kind {
+            IspKind::HostingProvider => hosting.push(isp),
+            IspKind::CommercialIsp => commercial.push(isp),
+        }
+    }
+    for i in 0..TAIL_ISP_COUNT {
+        let country = TAIL_COUNTRIES[i % TAIL_COUNTRIES.len()];
+        // Leak: tail ISP names are static for the lifetime of the process;
+        // there are at most TAIL_ISP_COUNT of them.
+        let name: &'static str = Box::leak(format!("Tail ISP {country} #{i:02}").into_boxed_str());
+        let spec = IspSpec {
+            name,
+            kind: IspKind::CommercialIsp,
+            country,
+            blocks: 24,
+            cities: 30,
+        };
+        let isp = add(&mut b, &mut pools, &spec, &mut next_prefix);
+        commercial.push(isp);
+    }
+
+    World {
+        db: b.build().expect("standard world layout is valid"),
+        pools,
+        hosting,
+        commercial,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn world_has_named_isps() {
+        let w = standard_world();
+        for name in ["OVH", "Comcast", "tzulo", "FDCservers", "4RWEB", "Telefonica"] {
+            assert!(w.isp_by_name(name).is_some(), "missing {name}");
+        }
+        assert_eq!(w.hosting.len(), 10);
+        assert_eq!(w.commercial.len(), 14 + TAIL_ISP_COUNT);
+    }
+
+    #[test]
+    fn pools_agree_with_db() {
+        let mut w = standard_world();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ovh = w.isp_by_name("OVH").unwrap();
+        let comcast = w.isp_by_name("Comcast").unwrap();
+        for isp in [ovh, comcast] {
+            // server path
+            let (ip, loc) = w.pool_mut(isp).allocate_server().unwrap();
+            let info = w.db.lookup(ip).expect("allocated ip must be mapped");
+            assert_eq!(info.isp, isp);
+            assert_eq!(info.location, loc);
+            // customer path
+            let (ip, loc) = w.pool(isp).sample_customer(&mut rng);
+            let info = w.db.lookup(ip).unwrap();
+            assert_eq!(info.isp, isp);
+            assert_eq!(info.location, loc);
+        }
+    }
+
+    #[test]
+    fn hosting_structure_contrasts_with_commercial() {
+        let w = standard_world();
+        let ovh = w.pool(w.isp_by_name("OVH").unwrap());
+        let comcast = w.pool(w.isp_by_name("Comcast").unwrap());
+        assert!(ovh.block_count() <= 8);
+        assert!(comcast.block_count() >= 200);
+    }
+
+    #[test]
+    fn ovh_servers_concentrate_in_few_prefixes_and_cities() {
+        let mut w = standard_world();
+        let ovh = w.isp_by_name("OVH").unwrap();
+        let mut prefixes = std::collections::HashSet::new();
+        let mut cities = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let (ip, loc) = w.pool_mut(ovh).allocate_server().unwrap();
+            prefixes.insert(crate::prefix16(ip));
+            cities.insert(loc);
+        }
+        assert!(prefixes.len() <= 7, "OVH prefixes: {}", prefixes.len());
+        assert!(cities.len() <= 4, "OVH cities: {}", cities.len());
+    }
+
+    #[test]
+    fn comcast_customers_scatter_widely() {
+        let w = standard_world();
+        let comcast = w.isp_by_name("Comcast").unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut prefixes = std::collections::HashSet::new();
+        let mut cities = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let (ip, loc) = w.pool(comcast).sample_customer(&mut rng);
+            prefixes.insert(crate::prefix16(ip));
+            cities.insert(loc);
+        }
+        assert!(prefixes.len() > 100, "Comcast prefixes: {}", prefixes.len());
+        assert!(cities.len() > 100, "Comcast cities: {}", cities.len());
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        let a = standard_world();
+        let b = standard_world();
+        assert_eq!(a.db.range_count(), b.db.range_count());
+        let ovh_a = a.isp_by_name("OVH").unwrap();
+        let ovh_b = b.isp_by_name("OVH").unwrap();
+        assert_eq!(ovh_a, ovh_b);
+    }
+
+    #[test]
+    fn every_pool_address_maps_back_to_its_isp() {
+        let w = standard_world();
+        let mut rng = StdRng::seed_from_u64(5);
+        for pool in &w.pools {
+            let (ip, _) = pool.sample_customer(&mut rng);
+            assert_eq!(w.db.lookup(ip).unwrap().isp, pool.isp());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests: interval DB invariants and pool allocation.
+
+use btpub_geodb::{GeoDbBuilder, IpPool, IspId, IspKind, LocationId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// Non-overlapping ranges: every address inside a range resolves to that
+    /// range's info; addresses outside all ranges resolve to None.
+    #[test]
+    fn lookup_matches_linear_scan(
+        // Generate ranges as (start, len) pairs over a small space so
+        // overlap is likely to be *attempted* and must be rejected.
+        raw in proptest::collection::vec((0u32..10_000, 1u32..200), 1..20),
+        probes in proptest::collection::vec(0u32..11_000, 50),
+    ) {
+        let mut b = GeoDbBuilder::new();
+        let isp = b.add_isp("X", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("Y", "US");
+        let mut intervals: Vec<(u32, u32)> = Vec::new();
+        for (start, len) in raw {
+            let end = start.saturating_add(len - 1);
+            b.add_range(Ipv4Addr::from(start), Ipv4Addr::from(end), isp, loc);
+            intervals.push((start, end));
+        }
+        let overlaps = {
+            let mut sorted = intervals.clone();
+            sorted.sort();
+            sorted.windows(2).any(|w| w[1].0 <= w[0].1)
+        };
+        match b.build() {
+            Err(_) => prop_assert!(overlaps, "build failed without overlap"),
+            Ok(db) => {
+                prop_assert!(!overlaps, "build succeeded despite overlap");
+                for p in probes {
+                    let inside = intervals.iter().any(|&(s, e)| s <= p && p <= e);
+                    prop_assert_eq!(db.lookup(Ipv4Addr::from(p)).is_some(), inside);
+                }
+            }
+        }
+    }
+
+    /// Server allocation yields every address exactly once.
+    #[test]
+    fn allocation_is_a_permutation(blocks in proptest::collection::vec(1u32..40, 1..6)) {
+        let mut pool = IpPool::new(IspId(0));
+        let mut base = 0u32;
+        let mut expect = 0u64;
+        for (i, len) in blocks.iter().enumerate() {
+            pool.add_block(
+                Ipv4Addr::from(base),
+                Ipv4Addr::from(base + len - 1),
+                LocationId(i as u16),
+            );
+            base += len + 1000; // gap between blocks
+            expect += u64::from(*len);
+        }
+        let mut seen = HashSet::new();
+        while let Some((ip, loc)) = pool.allocate_server() {
+            prop_assert!(seen.insert(ip), "duplicate {ip}");
+            prop_assert_eq!(pool.location_of(ip), Some(loc));
+        }
+        prop_assert_eq!(seen.len() as u64, expect);
+    }
+}

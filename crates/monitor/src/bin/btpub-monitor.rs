@@ -1,0 +1,116 @@
+//! CLI front-end for the §7 monitoring application.
+//!
+//! ```text
+//! btpub-monitor [--scale tiny|repro] [--days N] [--json PATH] [--category CAT]
+//! ```
+//!
+//! Simulates a Pirate-Bay-style portal, monitors it live, then prints the
+//! publisher database summary and (optionally) dumps the store as JSON.
+
+use std::io::Write;
+
+use btpub::sim::content::Category;
+use btpub::sim::{Ecosystem, SimTime};
+use btpub::{Scale, Scenario};
+use btpub_monitor::{query, Monitor};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::tiny();
+    let mut days: Option<f64> = None;
+    let mut json_path: Option<String> = None;
+    let mut category: Option<Category> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::tiny(),
+                    Some("repro") => Scale::default_repro(),
+                    other => {
+                        eprintln!("unknown scale {other:?} (expected tiny|repro)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--days" => {
+                i += 1;
+                days = args.get(i).and_then(|d| d.parse().ok());
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+            }
+            "--category" => {
+                i += 1;
+                category = args.get(i).and_then(|c| {
+                    Category::ALL
+                        .into_iter()
+                        .find(|cat| cat.label().eq_ignore_ascii_case(c))
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scenario = Scenario::pb10(scale);
+    eprintln!(
+        "generating ecosystem ({} torrents over {:.0} days)...",
+        scenario.eco.torrents,
+        scenario.eco.duration.as_days()
+    );
+    let eco = Ecosystem::generate(scenario.eco.clone());
+    let mut monitor = Monitor::new(&eco);
+    let horizon = match days {
+        Some(d) => SimTime::from_days(d).min(eco.config.horizon()),
+        None => eco.config.horizon(),
+    };
+    // Live operation: advance day by day, like a real daemon's main loop.
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t = (t + btpub::sim::DAY).min(horizon);
+        monitor.step(t);
+        eprint!("\rmonitored {:>5.1} days, {} items", t.as_days(), monitor.store().len());
+    }
+    eprintln!();
+
+    let store = monitor.store();
+    println!("== monitor summary ==");
+    println!("items recorded: {}", store.len());
+    println!(
+        "publishers: {} ({} flagged fake)",
+        store.publishers().count(),
+        store.publishers().filter(|p| p.flagged_fake).count()
+    );
+    println!(
+        "filtered feed would hide {} items and save {} poisoned downloads",
+        eco.publications.len() - monitor.rss_filtered(SimTime::ZERO, horizon).len(),
+        monitor.downloads_saved()
+    );
+    println!("\n== top clean publishers ==");
+    for page in query::top_clean_publishers(store, 10) {
+        println!(
+            "  {:<20} items={:<4} ips={:<2} business={}",
+            page.username,
+            page.items.len(),
+            page.ips.len(),
+            page.business.as_deref().unwrap_or("-")
+        );
+    }
+    if let Some(cat) = category {
+        println!("\n== top publishers in {} ==", cat.label());
+        for (user, count) in query::top_publishers_in_category(store, cat, 10) {
+            println!("  {user:<20} {count}");
+        }
+    }
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(store.to_json().as_bytes()).expect("write json");
+        println!("\nstore dumped to {path}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # btpub-monitor
+//!
+//! The paper's §7 application: a system that continuously watches a
+//! portal's RSS feed, makes **one** tracker connection per new torrent
+//! (publisher identification only — no swarm tracking), and maintains a
+//! queryable database of content publishers:
+//!
+//! * per-item records: filename, category, username, publisher IP and its
+//!   ISP / city / country;
+//! * per-publisher pages, with promoted URL and business type for the
+//!   profit-driven ones;
+//! * the §7 "future work" feature, implemented here: a *filtered RSS
+//!   view* that drops items from publishers the monitor has flagged as
+//!   fake, so client users never start a poisoned download.
+
+pub mod daemon;
+pub mod query;
+pub mod store;
+
+pub use daemon::Monitor;
+pub use store::{ItemRecord, MonitorStore, PublisherPage};

@@ -1,0 +1,122 @@
+//! The monitor's query interface — the web front-end of §7, as a typed
+//! API. A BitTorrent user can, e.g., "easily identify those publishers
+//! that publish content aligned with her interest (an e-books consumer
+//! could find publishers responsible for publishing large numbers of
+//! e-books)".
+
+use btpub_sim::content::Category;
+
+use crate::store::{ItemRecord, MonitorStore, PublisherPage};
+
+/// Items in one category, newest first.
+pub fn items_by_category(store: &MonitorStore, category: Category) -> Vec<&ItemRecord> {
+    let mut items: Vec<&ItemRecord> = store
+        .items()
+        .iter()
+        .filter(|r| r.category == category)
+        .collect();
+    items.sort_by_key(|r| std::cmp::Reverse(r.at));
+    items
+}
+
+/// Top publishers of one category by item count — the e-books example.
+pub fn top_publishers_in_category(
+    store: &MonitorStore,
+    category: Category,
+    k: usize,
+) -> Vec<(String, usize)> {
+    let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+    for rec in store.items().iter().filter(|r| r.category == category) {
+        *counts.entry(rec.username.as_str()).or_default() += 1;
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .map(|(u, c)| (u.to_string(), c))
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
+}
+
+/// Top publishers overall, excluding flagged fakes.
+pub fn top_clean_publishers(store: &MonitorStore, k: usize) -> Vec<&PublisherPage> {
+    let mut pages: Vec<&PublisherPage> = store
+        .publishers()
+        .filter(|p| !p.flagged_fake)
+        .collect();
+    pages.sort_by(|a, b| b.items.len().cmp(&a.items.len()).then(a.username.cmp(&b.username)));
+    pages.truncate(k);
+    pages
+}
+
+/// Publishers by ISP name (e.g. "who publishes from OVH?").
+pub fn publishers_by_isp<'s>(store: &'s MonitorStore, isp: &str) -> Vec<&'s str> {
+    let mut users: Vec<&str> = store
+        .items()
+        .iter()
+        .filter(|r| r.isp.as_deref() == Some(isp))
+        .map(|r| r.username.as_str())
+        .collect();
+    users.sort_unstable();
+    users.dedup();
+    users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpub_sim::{SimTime, TorrentId};
+
+    fn store() -> MonitorStore {
+        let mut s = MonitorStore::new();
+        for (i, (user, cat, isp)) in [
+            ("bookworm", Category::Books, Some("OVH")),
+            ("bookworm", Category::Books, Some("OVH")),
+            ("moviegal", Category::Movies, None),
+            ("faker", Category::Books, Some("tzulo")),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            s.insert(ItemRecord {
+                torrent: TorrentId(i as u32),
+                at: SimTime(i as u64),
+                filename: format!("f{i}"),
+                category: cat,
+                username: user.into(),
+                publisher_ip: isp.map(|_| format!("1.2.3.{i}")),
+                isp: isp.map(str::to_string),
+                city: None,
+                country: None,
+            });
+        }
+        s.flag_fake("faker");
+        s
+    }
+
+    #[test]
+    fn category_queries() {
+        let s = store();
+        let books = items_by_category(&s, Category::Books);
+        assert_eq!(books.len(), 3);
+        assert!(books[0].at >= books[1].at, "newest first");
+        let top = top_publishers_in_category(&s, Category::Books, 5);
+        assert_eq!(top[0], ("bookworm".to_string(), 2));
+    }
+
+    #[test]
+    fn clean_top_excludes_fakes() {
+        let s = store();
+        let top = top_clean_publishers(&s, 10);
+        assert!(top.iter().all(|p| p.username != "faker"));
+        assert_eq!(top[0].username, "bookworm");
+    }
+
+    #[test]
+    fn isp_queries() {
+        let s = store();
+        assert_eq!(publishers_by_isp(&s, "OVH"), vec!["bookworm"]);
+        assert_eq!(publishers_by_isp(&s, "tzulo"), vec!["faker"]);
+        assert!(publishers_by_isp(&s, "NoSuch").is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! The monitor's database.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use btpub_sim::content::Category;
+use btpub_sim::{SimTime, TorrentId};
+
+/// One monitored publication.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ItemRecord {
+    /// Torrent identity.
+    pub torrent: TorrentId,
+    /// When it appeared.
+    pub at: SimTime,
+    /// Offered filename.
+    pub filename: String,
+    /// Portal category.
+    pub category: Category,
+    /// Publishing username.
+    pub username: String,
+    /// Publisher IP, when the single tracker connection identified it.
+    pub publisher_ip: Option<String>,
+    /// ISP of that IP.
+    pub isp: Option<String>,
+    /// City of that IP.
+    pub city: Option<String>,
+    /// Country of that IP.
+    pub country: Option<String>,
+}
+
+/// A publisher's page in the monitor (the §7 per-publisher view).
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct PublisherPage {
+    /// Username.
+    pub username: String,
+    /// Items recorded for this username.
+    pub items: Vec<TorrentId>,
+    /// Distinct IPs seen.
+    pub ips: Vec<String>,
+    /// Promoted URL, when one was discovered in their releases.
+    pub promo_url: Option<String>,
+    /// Business type label ("BT portal" / "other web site" / none).
+    pub business: Option<String>,
+    /// Whether the monitor has flagged the username as fake.
+    pub flagged_fake: bool,
+}
+
+/// The in-memory store with JSON export.
+#[derive(Debug, Default)]
+pub struct MonitorStore {
+    items: Vec<ItemRecord>,
+    by_username: HashMap<String, PublisherPage>,
+}
+
+impl MonitorStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an item and updates the publisher page.
+    pub fn insert(&mut self, item: ItemRecord) {
+        let page = self
+            .by_username
+            .entry(item.username.clone())
+            .or_insert_with(|| PublisherPage {
+                username: item.username.clone(),
+                ..PublisherPage::default()
+            });
+        page.items.push(item.torrent);
+        if let Some(ip) = &item.publisher_ip {
+            if !page.ips.contains(ip) {
+                page.ips.push(ip.clone());
+            }
+        }
+        self.items.push(item);
+    }
+
+    /// Marks a username as fake.
+    pub fn flag_fake(&mut self, username: &str) {
+        if let Some(page) = self.by_username.get_mut(username) {
+            page.flagged_fake = true;
+        } else {
+            self.by_username.insert(
+                username.to_string(),
+                PublisherPage {
+                    username: username.to_string(),
+                    flagged_fake: true,
+                    ..PublisherPage::default()
+                },
+            );
+        }
+    }
+
+    /// Attaches business info to a publisher page.
+    pub fn set_business(&mut self, username: &str, url: Option<String>, business: Option<String>) {
+        if let Some(page) = self.by_username.get_mut(username) {
+            page.promo_url = url;
+            page.business = business;
+        }
+    }
+
+    /// All items, in insertion (time) order.
+    pub fn items(&self) -> &[ItemRecord] {
+        &self.items
+    }
+
+    /// A publisher page by username.
+    pub fn publisher(&self, username: &str) -> Option<&PublisherPage> {
+        self.by_username.get(username)
+    }
+
+    /// All publisher pages.
+    pub fn publishers(&self) -> impl Iterator<Item = &PublisherPage> {
+        self.by_username.values()
+    }
+
+    /// Whether a username has been flagged fake.
+    pub fn is_fake(&self, username: &str) -> bool {
+        self.by_username
+            .get(username)
+            .is_some_and(|p| p.flagged_fake)
+    }
+
+    /// Number of items recorded.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the store holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Exports the whole store as JSON (items + publishers).
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Export<'a> {
+            items: &'a [ItemRecord],
+            publishers: Vec<&'a PublisherPage>,
+        }
+        let mut publishers: Vec<&PublisherPage> = self.by_username.values().collect();
+        publishers.sort_by(|a, b| a.username.cmp(&b.username));
+        serde_json::to_string_pretty(&Export {
+            items: &self.items,
+            publishers,
+        })
+        .expect("store serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u32, user: &str, ip: Option<&str>) -> ItemRecord {
+        ItemRecord {
+            torrent: TorrentId(id),
+            at: SimTime(u64::from(id)),
+            filename: format!("file{id}"),
+            category: Category::Movies,
+            username: user.into(),
+            publisher_ip: ip.map(str::to_string),
+            isp: ip.map(|_| "OVH".to_string()),
+            city: ip.map(|_| "Roubaix".to_string()),
+            country: ip.map(|_| "FR".to_string()),
+        }
+    }
+
+    #[test]
+    fn insert_builds_pages() {
+        let mut store = MonitorStore::new();
+        store.insert(item(0, "alice", Some("1.1.1.1")));
+        store.insert(item(1, "alice", Some("1.1.1.2")));
+        store.insert(item(2, "alice", Some("1.1.1.1")));
+        store.insert(item(3, "bob", None));
+        assert_eq!(store.len(), 4);
+        let alice = store.publisher("alice").unwrap();
+        assert_eq!(alice.items.len(), 3);
+        assert_eq!(alice.ips.len(), 2, "IPs deduplicated");
+        assert!(store.publisher("bob").unwrap().ips.is_empty());
+        assert!(store.publisher("carol").is_none());
+    }
+
+    #[test]
+    fn fake_flagging() {
+        let mut store = MonitorStore::new();
+        store.insert(item(0, "x", None));
+        assert!(!store.is_fake("x"));
+        store.flag_fake("x");
+        assert!(store.is_fake("x"));
+        // Flagging an unknown username creates a tombstone page.
+        store.flag_fake("ghost");
+        assert!(store.is_fake("ghost"));
+    }
+
+    #[test]
+    fn business_annotation() {
+        let mut store = MonitorStore::new();
+        store.insert(item(0, "seller", None));
+        store.set_business("seller", Some("www.x.com".into()), Some("BT portal".into()));
+        let page = store.publisher("seller").unwrap();
+        assert_eq!(page.promo_url.as_deref(), Some("www.x.com"));
+        assert_eq!(page.business.as_deref(), Some("BT portal"));
+    }
+
+    #[test]
+    fn json_export_contains_everything() {
+        let mut store = MonitorStore::new();
+        store.insert(item(0, "alice", Some("9.9.9.9")));
+        store.flag_fake("alice");
+        let json = store.to_json();
+        assert!(json.contains("\"alice\""));
+        assert!(json.contains("9.9.9.9"));
+        assert!(json.contains("\"flagged_fake\": true"));
+    }
+}

@@ -1,0 +1,260 @@
+//! # btpub-portal
+//!
+//! A model of a major BitTorrent portal (The Pirate Bay / Mininova) as the
+//! paper's crawler experiences it (§2):
+//!
+//! * an **index** of `.torrent` files with per-content web pages carrying
+//!   the category, size, publisher username and the description *textbox*
+//!   — the place where most profit-driven publishers advertise their URL;
+//! * an **RSS feed** announcing each new publication, the crawler's signal
+//!   to pounce on a newborn swarm;
+//! * **user pages** with each account's full publication history, which
+//!   §5.2 mines for the longitudinal lifetime/rate metrics (Table 4);
+//! * **moderation**: fake listings are taken down after a detection delay
+//!   and the offending accounts banned — the mechanism that keeps fake
+//!   swarms unpopular (Figure 3) and that the paper exploits to label fake
+//!   usernames ("their user pages are removed").
+//!
+//! The portal is a *view* over a generated [`btpub_sim::Ecosystem`]; it
+//! owns no state beyond derived indexes, so any number of crawlers can
+//! share it.
+
+pub mod pages;
+pub mod rss;
+
+use std::collections::HashMap;
+
+use btpub_proto::metainfo::{Metainfo, MetainfoBuilder};
+use btpub_sim::{Ecosystem, SimTime, TorrentId};
+
+pub use pages::{ContentPage, UserPage};
+pub use rss::RssItem;
+
+/// The announce URL baked into every `.torrent` this portal serves.
+pub const TRACKER_URL: &str = "http://opentracker.sim/announce";
+
+/// A portal view over an ecosystem.
+pub struct Portal<'a> {
+    eco: &'a Ecosystem,
+    /// Torrents per username, in publication order.
+    by_username: HashMap<&'a str, Vec<TorrentId>>,
+    /// When each username was banned (first fake takedown it's involved in).
+    ban_time: HashMap<&'a str, SimTime>,
+}
+
+impl<'a> Portal<'a> {
+    /// Builds the portal view.
+    pub fn new(eco: &'a Ecosystem) -> Self {
+        let mut by_username: HashMap<&'a str, Vec<TorrentId>> = HashMap::new();
+        let mut ban_time: HashMap<&'a str, SimTime> = HashMap::new();
+        for p in &eco.publications {
+            by_username.entry(&p.username).or_default().push(p.id);
+            if let Some(removal) = p.removal_at {
+                ban_time
+                    .entry(&p.username)
+                    .and_modify(|t| *t = (*t).min(removal))
+                    .or_insert(removal);
+            }
+        }
+        Portal {
+            eco,
+            by_username,
+            ban_time,
+        }
+    }
+
+    /// The ecosystem this portal serves.
+    pub fn ecosystem(&self) -> &'a Ecosystem {
+        self.eco
+    }
+
+    /// RSS items announced in `(since, until]`, oldest first — the
+    /// crawler's polling interface.
+    pub fn rss(&self, since: SimTime, until: SimTime) -> Vec<RssItem<'a>> {
+        // Publications are sorted by time; binary search the window.
+        let pubs = &self.eco.publications;
+        let lo = pubs.partition_point(|p| p.at <= since);
+        let hi = pubs.partition_point(|p| p.at <= until);
+        pubs[lo..hi].iter().map(RssItem::from_publication).collect()
+    }
+
+    /// Whether the listing has been removed by moderators at `t`.
+    pub fn is_removed(&self, id: TorrentId, t: SimTime) -> bool {
+        self.eco.publications[id.0 as usize]
+            .removal_at
+            .is_some_and(|r| r <= t)
+    }
+
+    /// Downloads the `.torrent` file, if the listing is live at `t`.
+    pub fn torrent_file(&self, id: TorrentId, t: SimTime) -> Option<Metainfo> {
+        let p = &self.eco.publications[id.0 as usize];
+        if p.at > t || self.is_removed(id, t) {
+            return None;
+        }
+        Some(
+            MetainfoBuilder::new(TRACKER_URL, &p.filename(), p.size_bytes)
+                .comment(&p.textbox())
+                .created_by("btpub-portal/0.1")
+                .creation_date(p.at.secs() as i64)
+                .piece_seed(u64::from(p.id.0))
+                .build(),
+        )
+    }
+
+    /// The content web page, if the listing is live at `t`.
+    pub fn content_page(&self, id: TorrentId, t: SimTime) -> Option<ContentPage<'a>> {
+        let p = &self.eco.publications[id.0 as usize];
+        if p.at > t || self.is_removed(id, t) {
+            return None;
+        }
+        Some(ContentPage::from_publication(p))
+    }
+
+    /// Whether the username's account has been banned at `t`.
+    pub fn account_banned(&self, username: &str, t: SimTime) -> bool {
+        self.ban_time.get(username).is_some_and(|&b| b <= t)
+    }
+
+    /// The user page at time `t`: `None` for unknown or banned accounts —
+    /// exactly the signal §3.3 uses to label fake-publisher usernames.
+    pub fn user_page(&self, username: &str, t: SimTime) -> Option<UserPage<'a>> {
+        if self.account_banned(username, t) {
+            return None;
+        }
+        let (stored_name, torrents) = self.by_username.get_key_value(username)?;
+        let visible: Vec<TorrentId> = torrents
+            .iter()
+            .copied()
+            .filter(|&id| self.eco.publications[id.0 as usize].at <= t)
+            .collect();
+        if visible.is_empty() {
+            return None;
+        }
+        Some(UserPage::build(self.eco, stored_name, visible, t))
+    }
+
+    /// All usernames that ever appear on the portal.
+    pub fn usernames(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.by_username.keys().copied()
+    }
+
+    /// Number of indexed torrents (including ones not yet announced).
+    pub fn torrent_count(&self) -> usize {
+        self.eco.publications.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpub_sim::{EcosystemConfig, SimDuration};
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny(50))
+    }
+
+    #[test]
+    fn rss_windows_partition_the_stream() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let horizon = e.config.horizon();
+        let mid = SimTime(horizon.secs() / 2);
+        let a = portal.rss(SimTime::ZERO, mid);
+        let b = portal.rss(mid, horizon);
+        assert_eq!(a.len() + b.len(), portal.torrent_count());
+        assert!(a.iter().all(|i| i.at <= mid));
+        assert!(b.iter().all(|i| i.at > mid));
+        // Oldest first within each window.
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn rss_boundaries_are_half_open() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let first_at = e.publications[0].at;
+        // (since=first_at, ...] excludes the item at exactly `since`.
+        let after = portal.rss(first_at, e.config.horizon());
+        assert!(after.iter().all(|i| i.at > first_at));
+    }
+
+    #[test]
+    fn torrent_file_respects_announcement_and_removal() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let fake = e.publications.iter().find(|p| p.fake).expect("fake exists");
+        let removal = fake.removal_at.unwrap();
+        assert!(portal.torrent_file(fake.id, fake.at - SimDuration(1)).is_none());
+        assert!(portal.torrent_file(fake.id, fake.at).is_some());
+        assert!(portal.is_removed(fake.id, removal));
+        assert!(portal.torrent_file(fake.id, removal).is_none());
+        assert!(portal.content_page(fake.id, removal).is_none());
+    }
+
+    #[test]
+    fn metainfo_carries_promotion() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let promo = e
+            .publications
+            .iter()
+            .find(|p| p.promo_url.is_some())
+            .expect("promoted content exists");
+        let m = portal.torrent_file(promo.id, promo.at).unwrap();
+        assert_eq!(m.announce, TRACKER_URL);
+        let url = promo.promo_url.as_ref().unwrap();
+        assert!(
+            m.comment.as_ref().unwrap().contains(url),
+            "textbox embeds URL"
+        );
+    }
+
+    #[test]
+    fn distinct_torrents_have_distinct_infohashes() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let mut hashes = std::collections::HashSet::new();
+        for p in e.publications.iter().take(100) {
+            let m = portal.torrent_file(p.id, p.at).unwrap();
+            assert!(hashes.insert(m.info_hash()), "info-hash collision");
+        }
+    }
+
+    #[test]
+    fn fake_accounts_get_banned() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let fake = e.publications.iter().find(|p| p.fake).unwrap();
+        let removal = fake.removal_at.unwrap();
+        assert!(!portal.account_banned(&fake.username, fake.at));
+        assert!(portal.account_banned(&fake.username, removal));
+        assert!(portal.user_page(&fake.username, removal).is_none());
+    }
+
+    #[test]
+    fn user_pages_report_history() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let horizon = e.config.horizon();
+        // A genuine (never-compromised) top publisher keeps a user page.
+        let top = e
+            .publications
+            .iter()
+            .find(|p| {
+                e.publisher(p.publisher).profile.is_top()
+                    && !portal.account_banned(&p.username, horizon)
+            })
+            .expect("clean top publisher exists");
+        let page = portal.user_page(&top.username, horizon).unwrap();
+        assert!(page.total_published >= 1);
+        assert!(page.lifetime_days > 0.0);
+        assert!(page.in_window.contains(&top.id));
+    }
+
+    #[test]
+    fn unknown_usernames_have_no_page() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        assert!(portal.user_page("no-such-user-xyz", e.config.horizon()).is_none());
+    }
+}

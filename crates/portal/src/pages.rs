@@ -1,0 +1,138 @@
+//! Content pages and user pages.
+
+use btpub_sim::content::Category;
+use btpub_sim::{Ecosystem, Publication, SimTime, TorrentId};
+
+/// The web page of one published content.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentPage<'a> {
+    /// The torrent it describes.
+    pub torrent: TorrentId,
+    /// Release title.
+    pub title: &'a str,
+    /// Category shown on the page.
+    pub category: Category,
+    /// Publisher username, linked to their user page.
+    pub username: &'a str,
+    /// Payload size.
+    pub size_bytes: u64,
+    /// The description textbox — where most profit-driven publishers put
+    /// their URL (§5: "the second approach (using the textbox) is the most
+    /// common technique").
+    pub textbox: String,
+    /// The filename offered for download.
+    pub filename: String,
+}
+
+impl<'a> ContentPage<'a> {
+    /// Projects a publication into its page.
+    pub fn from_publication(p: &'a Publication) -> Self {
+        ContentPage {
+            torrent: p.id,
+            title: &p.title,
+            category: p.category,
+            username: &p.username,
+            size_bytes: p.size_bytes,
+            textbox: p.textbox(),
+            filename: p.filename(),
+        }
+    }
+}
+
+/// A username's profile page: its full publication history.
+///
+/// §5.2 scrapes these for every top publisher to compute Table 4's
+/// *Lifetime* and *Average Publishing Rate* — including history from
+/// before the measurement window, which the portal displays but the
+/// tracker-side dataset cannot see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserPage<'a> {
+    /// The account name.
+    pub username: &'a str,
+    /// Days between the account's first publication ever and `as_of`.
+    pub lifetime_days: f64,
+    /// Total contents the account has ever published (history + window).
+    pub total_published: u64,
+    /// Torrents published within the measurement window, visible at
+    /// `as_of`, oldest first.
+    pub in_window: Vec<TorrentId>,
+    /// Lifetime average publishing rate, contents/day.
+    pub avg_rate_per_day: f64,
+}
+
+impl<'a> UserPage<'a> {
+    /// Builds the page for `username` as of time `as_of`.
+    pub(crate) fn build(
+        eco: &'a Ecosystem,
+        username: &'a str,
+        in_window: Vec<TorrentId>,
+        as_of: SimTime,
+    ) -> UserPage<'a> {
+        // The account's pre-window history comes from the entity that owns
+        // the username (for compromised accounts: the *legitimate* owner,
+        // since the portal page shows the whole account history).
+        let owner = in_window
+            .iter()
+            .map(|&id| &eco.publications[id.0 as usize])
+            .find(|p| eco.publisher(p.publisher).usernames.first().map(String::as_str) == Some(username))
+            .map(|p| eco.publisher(p.publisher));
+        let (history_days, historical_rate) = owner
+            .map(|o| (o.history_days_before_window, o.historical_rate_per_day))
+            .unwrap_or((0.0, 0.0));
+        let lifetime_days = history_days + as_of.as_days();
+        let historical_count = (history_days * historical_rate).round() as u64;
+        let total_published = historical_count + in_window.len() as u64;
+        UserPage {
+            username,
+            lifetime_days,
+            total_published,
+            in_window,
+            avg_rate_per_day: total_published as f64 / lifetime_days.max(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Portal;
+    use btpub_sim::EcosystemConfig;
+
+    #[test]
+    fn content_page_embeds_promotion_in_textbox() {
+        let e = Ecosystem::generate(EcosystemConfig::tiny(60));
+        let portal = Portal::new(&e);
+        let promoted = e
+            .publications
+            .iter()
+            .find(|p| {
+                p.promo_url.is_some()
+                    && p.promo_techniques
+                        .contains(&btpub_sim::content::PromoTechnique::Textbox)
+            })
+            .expect("textbox promotion exists");
+        let page = portal.content_page(promoted.id, promoted.at).unwrap();
+        assert!(page
+            .textbox
+            .contains(promoted.promo_url.as_ref().unwrap()));
+        assert_eq!(page.username, promoted.username);
+    }
+
+    #[test]
+    fn user_page_rate_is_consistent() {
+        let e = Ecosystem::generate(EcosystemConfig::tiny(60));
+        let portal = Portal::new(&e);
+        let horizon = e.config.horizon();
+        for p in e.publications.iter().take(200) {
+            if let Some(page) = portal.user_page(&p.username, horizon) {
+                let recomputed = page.total_published as f64 / page.lifetime_days.max(1.0);
+                assert!(
+                    (page.avg_rate_per_day - recomputed).abs() < 1e-9,
+                    "rate mismatch for {}",
+                    page.username
+                );
+                assert!(page.total_published >= page.in_window.len() as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Compact peer encoding (BEP 23).
+//!
+//! Trackers answer `compact=1` announces with a byte string containing one
+//! 6-byte record per peer: 4 bytes of IPv4 address in network order followed
+//! by a 2-byte big-endian port. The paper's crawler always requests compact
+//! responses because it solicits the maximum 200 peers per query.
+
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+/// Encodes peers into the 6-byte-per-peer compact format.
+pub fn encode_peers(peers: &[SocketAddrV4]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(peers.len() * 6);
+    for p in peers {
+        out.extend_from_slice(&p.ip().octets());
+        out.extend_from_slice(&p.port().to_be_bytes());
+    }
+    out
+}
+
+/// Decodes a compact peer list. Returns `None` if the length is not a
+/// multiple of 6.
+pub fn decode_peers(data: &[u8]) -> Option<Vec<SocketAddrV4>> {
+    if !data.len().is_multiple_of(6) {
+        return None;
+    }
+    Some(
+        data.chunks_exact(6)
+            .map(|c| {
+                SocketAddrV4::new(
+                    Ipv4Addr::new(c[0], c[1], c[2], c[3]),
+                    u16::from_be_bytes([c[4], c[5]]),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let peers = vec![
+            SocketAddrV4::new(Ipv4Addr::new(10, 0, 0, 1), 6881),
+            SocketAddrV4::new(Ipv4Addr::new(192, 168, 255, 254), 65535),
+            SocketAddrV4::new(Ipv4Addr::new(0, 0, 0, 0), 0),
+        ];
+        assert_eq!(decode_peers(&encode_peers(&peers)).unwrap(), peers);
+    }
+
+    #[test]
+    fn known_bytes() {
+        let peers = vec![SocketAddrV4::new(Ipv4Addr::new(1, 2, 3, 4), 0x1a2b)];
+        assert_eq!(encode_peers(&peers), vec![1, 2, 3, 4, 0x1a, 0x2b]);
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(encode_peers(&[]), Vec::<u8>::new());
+        assert_eq!(decode_peers(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_partial_records() {
+        assert_eq!(decode_peers(&[1, 2, 3, 4, 5]), None);
+        assert_eq!(decode_peers(&[0; 7]), None);
+    }
+}

@@ -1,0 +1,37 @@
+//! # btpub-proto
+//!
+//! BitTorrent wire formats, implemented from scratch on top of
+//! [`btpub_bencode`]:
+//!
+//! * [`sha1`] — the SHA-1 digest (info-hashes are SHA-1 over the canonical
+//!   bencoding of the `info` dictionary);
+//! * [`metainfo`] — `.torrent` files: build, encode, parse, info-hash;
+//! * [`tracker`] — the HTTP tracker protocol: announce / scrape requests
+//!   (query-string encoding with binary-safe percent escapes) and bencoded
+//!   responses with compact peer lists;
+//! * [`peerwire`] — the TCP peer-wire protocol: handshake and the
+//!   length-prefixed message set (`choke` … `cancel`), plus
+//!   [`peerwire::Bitfield`], which the crawler in this reproduction uses to
+//!   distinguish the initial seeder from leechers (§2 of the paper);
+//! * [`payload`] — deterministic synthetic payloads whose SHA-1 piece
+//!   digests match the metainfo, for real piece transfer + verification;
+//! * [`udp_tracker`] — the BEP 15 UDP tracker protocol (connect /
+//!   announce / scrape datagrams);
+//! * [`compact`] — the 6-byte compact `IPv4:port` peer encoding;
+//! * [`urlencode`] — percent-encoding as used in tracker GET requests.
+//!
+//! Everything here works against both the in-memory simulated network and
+//! real TCP sockets (see `btpub-tracker` and `examples/live_tracker.rs`).
+
+pub mod compact;
+pub mod metainfo;
+pub mod payload;
+pub mod peerwire;
+pub mod sha1;
+pub mod tracker;
+pub mod types;
+pub mod udp_tracker;
+pub mod urlencode;
+
+pub use metainfo::{FileEntry, InfoDict, Metainfo, MetainfoError};
+pub use types::{InfoHash, PeerId};

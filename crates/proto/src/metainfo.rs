@@ -1,0 +1,504 @@
+//! `.torrent` metainfo files.
+//!
+//! A metainfo file is a bencoded dictionary with an `announce` URL and an
+//! `info` dictionary describing the payload. The torrent's identity — its
+//! [`InfoHash`] — is the SHA-1 of the canonical bencoding of `info`, which
+//! is why this module re-encodes `info` canonically before hashing.
+
+use std::fmt;
+
+use btpub_bencode::{DecodeError, Value};
+
+use crate::types::InfoHash;
+
+/// A single file inside a multi-file torrent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Path components relative to the torrent root directory.
+    pub path: Vec<String>,
+    /// File size in bytes.
+    pub length: u64,
+}
+
+/// The `info` dictionary: payload description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InfoDict {
+    /// Suggested name for the file (single-file) or directory (multi-file).
+    pub name: String,
+    /// Piece size in bytes; real-world torrents use powers of two
+    /// (256 KiB – 4 MiB).
+    pub piece_length: u32,
+    /// Concatenated 20-byte SHA-1 digests, one per piece.
+    pub pieces: Vec<u8>,
+    /// Single-file: total length. Mutually exclusive with `files`.
+    pub length: Option<u64>,
+    /// Multi-file: the file list. Mutually exclusive with `length`.
+    pub files: Vec<FileEntry>,
+    /// BEP 27 private flag: clients must only use the listed tracker
+    /// (private BitTorrent portals from §5.1 of the paper set this).
+    pub private: bool,
+}
+
+impl InfoDict {
+    /// Total payload size in bytes.
+    pub fn total_length(&self) -> u64 {
+        self.length
+            .unwrap_or_else(|| self.files.iter().map(|f| f.length).sum())
+    }
+
+    /// Number of pieces implied by the pieces digest string.
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len() / 20
+    }
+
+    fn to_value(&self) -> Value {
+        let mut d = Value::dict([
+            ("name", Value::from(self.name.clone())),
+            ("piece length", Value::from(i64::from(self.piece_length))),
+            ("pieces", Value::from(self.pieces.clone())),
+        ]);
+        if let Some(len) = self.length {
+            d.insert("length", Value::Int(len as i64));
+        } else {
+            d.insert(
+                "files",
+                Value::list(self.files.iter().map(|f| {
+                    Value::dict([
+                        ("length", Value::Int(f.length as i64)),
+                        (
+                            "path",
+                            Value::list(f.path.iter().map(|p| Value::from(p.clone()))),
+                        ),
+                    ])
+                })),
+            );
+        }
+        if self.private {
+            d.insert("private", Value::Int(1));
+        }
+        d
+    }
+
+    fn from_value(v: &Value) -> Result<Self, MetainfoError> {
+        let name = v
+            .get_str("name")
+            .ok_or(MetainfoError::Missing("info.name"))?
+            .to_string();
+        let piece_length = v
+            .get_int("piece length")
+            .ok_or(MetainfoError::Missing("info.piece length"))?;
+        let piece_length = u32::try_from(piece_length)
+            .map_err(|_| MetainfoError::Invalid("info.piece length out of range"))?;
+        if piece_length == 0 {
+            return Err(MetainfoError::Invalid("info.piece length is zero"));
+        }
+        let pieces = v
+            .get_bytes("pieces")
+            .ok_or(MetainfoError::Missing("info.pieces"))?
+            .to_vec();
+        if pieces.len() % 20 != 0 {
+            return Err(MetainfoError::Invalid(
+                "info.pieces not a multiple of 20 bytes",
+            ));
+        }
+        let length = v.get_int("length");
+        let files_val = v.get_list("files");
+        let (length, files) = match (length, files_val) {
+            (Some(_), Some(_)) => {
+                return Err(MetainfoError::Invalid("both length and files present"))
+            }
+            (None, None) => return Err(MetainfoError::Missing("info.length or info.files")),
+            (Some(len), None) => {
+                let len =
+                    u64::try_from(len).map_err(|_| MetainfoError::Invalid("negative length"))?;
+                (Some(len), Vec::new())
+            }
+            (None, Some(list)) => {
+                let mut files = Vec::with_capacity(list.len());
+                for f in list {
+                    let length = f
+                        .get_int("length")
+                        .and_then(|l| u64::try_from(l).ok())
+                        .ok_or(MetainfoError::Invalid("file entry length"))?;
+                    let path = f
+                        .get_list("path")
+                        .ok_or(MetainfoError::Invalid("file entry path"))?
+                        .iter()
+                        .map(|p| {
+                            p.as_str()
+                                .map(str::to_string)
+                                .ok_or(MetainfoError::Invalid("non-utf8 path component"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if path.is_empty() {
+                        return Err(MetainfoError::Invalid("empty file path"));
+                    }
+                    files.push(FileEntry { path, length });
+                }
+                if files.is_empty() {
+                    return Err(MetainfoError::Invalid("empty files list"));
+                }
+                (None, files)
+            }
+        };
+        Ok(InfoDict {
+            name,
+            piece_length,
+            pieces,
+            length,
+            files,
+            private: v.get_int("private") == Some(1),
+        })
+    }
+}
+
+/// A parsed (or constructed) `.torrent` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metainfo {
+    /// Primary tracker announce URL.
+    pub announce: String,
+    /// Optional tiered announce list (BEP 12), flattened to one tier here.
+    pub announce_list: Vec<String>,
+    /// Unix creation timestamp.
+    pub creation_date: Option<i64>,
+    /// Free-text comment. Profit-driven publishers in the paper used this
+    /// (and the filename) to embed their promoting URL.
+    pub comment: Option<String>,
+    /// Client that created the torrent.
+    pub created_by: Option<String>,
+    /// The payload description.
+    pub info: InfoDict,
+}
+
+impl Metainfo {
+    /// Computes the torrent's info-hash (SHA-1 of canonical `info`).
+    pub fn info_hash(&self) -> InfoHash {
+        InfoHash::of_info(&self.info.to_value().encode())
+    }
+
+    /// Serialises to bencoded `.torrent` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut d = Value::dict([
+            ("announce", Value::from(self.announce.clone())),
+            ("info", self.info.to_value()),
+        ]);
+        if !self.announce_list.is_empty() {
+            d.insert(
+                "announce-list",
+                Value::list([Value::list(
+                    self.announce_list.iter().map(|u| Value::from(u.clone())),
+                )]),
+            );
+        }
+        if let Some(ts) = self.creation_date {
+            d.insert("creation date", Value::Int(ts));
+        }
+        if let Some(c) = &self.comment {
+            d.insert("comment", Value::from(c.clone()));
+        }
+        if let Some(c) = &self.created_by {
+            d.insert("created by", Value::from(c.clone()));
+        }
+        d.encode()
+    }
+
+    /// Parses `.torrent` bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self, MetainfoError> {
+        let v = Value::decode(bytes)?;
+        let announce = v
+            .get_str("announce")
+            .ok_or(MetainfoError::Missing("announce"))?
+            .to_string();
+        let announce_list = v
+            .get_list("announce-list")
+            .map(|tiers| {
+                tiers
+                    .iter()
+                    .filter_map(Value::as_list)
+                    .flatten()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let info = v.get("info").ok_or(MetainfoError::Missing("info"))?;
+        Ok(Metainfo {
+            announce,
+            announce_list,
+            creation_date: v.get_int("creation date"),
+            comment: v.get_str("comment").map(str::to_string),
+            created_by: v.get_str("created by").map(str::to_string),
+            info: InfoDict::from_value(info)?,
+        })
+    }
+}
+
+/// Errors from parsing a `.torrent` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetainfoError {
+    /// The outer bencode was malformed.
+    Bencode(DecodeError),
+    /// A required key was absent.
+    Missing(&'static str),
+    /// A key was present but semantically invalid.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for MetainfoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetainfoError::Bencode(e) => write!(f, "bencode error: {e}"),
+            MetainfoError::Missing(k) => write!(f, "missing key: {k}"),
+            MetainfoError::Invalid(k) => write!(f, "invalid value: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for MetainfoError {}
+
+impl From<DecodeError> for MetainfoError {
+    fn from(e: DecodeError) -> Self {
+        MetainfoError::Bencode(e)
+    }
+}
+
+/// Convenience builder for tests, the simulator and examples.
+#[derive(Debug, Clone)]
+pub struct MetainfoBuilder {
+    announce: String,
+    name: String,
+    piece_length: u32,
+    total_length: u64,
+    comment: Option<String>,
+    created_by: Option<String>,
+    creation_date: Option<i64>,
+    private: bool,
+    piece_seed: u64,
+    real_payload: bool,
+}
+
+impl MetainfoBuilder {
+    /// Starts a builder for a single-file torrent of `total_length` bytes.
+    pub fn new(announce: &str, name: &str, total_length: u64) -> Self {
+        MetainfoBuilder {
+            announce: announce.to_string(),
+            name: name.to_string(),
+            piece_length: 256 * 1024,
+            total_length,
+            comment: None,
+            created_by: None,
+            creation_date: None,
+            private: false,
+            piece_seed: 0,
+            real_payload: false,
+        }
+    }
+
+    /// Sets the piece size (bytes). Must be non-zero.
+    pub fn piece_length(mut self, len: u32) -> Self {
+        assert!(len > 0, "piece length must be non-zero");
+        self.piece_length = len;
+        self
+    }
+
+    /// Sets the comment field.
+    pub fn comment(mut self, c: &str) -> Self {
+        self.comment = Some(c.to_string());
+        self
+    }
+
+    /// Sets the creating client string.
+    pub fn created_by(mut self, c: &str) -> Self {
+        self.created_by = Some(c.to_string());
+        self
+    }
+
+    /// Sets the creation timestamp.
+    pub fn creation_date(mut self, ts: i64) -> Self {
+        self.creation_date = Some(ts);
+        self
+    }
+
+    /// Marks the torrent private (BEP 27).
+    pub fn private(mut self, p: bool) -> Self {
+        self.private = p;
+        self
+    }
+
+    /// Seeds the deterministic synthetic piece hashes, so two torrents with
+    /// identical names/sizes still get distinct info-hashes.
+    pub fn piece_seed(mut self, seed: u64) -> Self {
+        self.piece_seed = seed;
+        self
+    }
+
+    /// Backs the torrent with a real synthetic payload: piece digests are
+    /// SHA-1 over the bytes [`crate::payload`] generates for
+    /// `(piece_seed, index)`, so downloads can actually be verified.
+    /// Costs one SHA-1 pass over the whole size — testbed files only.
+    pub fn real_payload(mut self, real: bool) -> Self {
+        self.real_payload = real;
+        self
+    }
+
+    /// Builds the metainfo, synthesising per-piece digests
+    /// deterministically from `(name, seed, piece index)` — or, with
+    /// [`MetainfoBuilder::real_payload`], hashing the actual synthetic
+    /// payload bytes.
+    pub fn build(self) -> Metainfo {
+        let pieces = if self.real_payload {
+            crate::payload::pieces_digest(self.piece_seed, self.total_length, self.piece_length)
+        } else {
+            let pieces_needed = if self.total_length == 0 {
+                0
+            } else {
+                (self.total_length - 1) / u64::from(self.piece_length) + 1
+            } as usize;
+            let mut pieces = Vec::with_capacity(pieces_needed * 20);
+            for idx in 0..pieces_needed {
+                let mut h = crate::sha1::Sha1::new();
+                h.update(self.name.as_bytes());
+                h.update(&self.piece_seed.to_be_bytes());
+                h.update(&(idx as u64).to_be_bytes());
+                pieces.extend_from_slice(&h.finalize());
+            }
+            pieces
+        };
+        Metainfo {
+            announce: self.announce,
+            announce_list: Vec::new(),
+            creation_date: self.creation_date,
+            comment: self.comment,
+            created_by: self.created_by,
+            info: InfoDict {
+                name: self.name,
+                piece_length: self.piece_length,
+                pieces,
+                length: Some(self.total_length),
+                files: Vec::new(),
+                private: self.private,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metainfo {
+        MetainfoBuilder::new("http://tracker.example/announce", "show.s01e01.avi", 700_000_000)
+            .comment("visit www.example-portal.com")
+            .created_by("btpub/0.1")
+            .creation_date(1_270_512_000)
+            .build()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = sample();
+        let bytes = m.encode();
+        let back = Metainfo::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn info_hash_is_stable_and_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.info_hash(), b.info_hash());
+        let c = MetainfoBuilder::new("http://tracker.example/announce", "show.s01e01.avi", 700_000_000)
+            .piece_seed(1)
+            .build();
+        assert_ne!(a.info_hash(), c.info_hash());
+        // The comment is outside `info`, so it must not change the hash.
+        let mut d = sample();
+        d.comment = Some("something else".into());
+        assert_eq!(a.info_hash(), d.info_hash());
+    }
+
+    #[test]
+    fn piece_count_covers_length() {
+        let m = MetainfoBuilder::new("t", "f", 1_000_000)
+            .piece_length(256 * 1024)
+            .build();
+        assert_eq!(m.info.piece_count(), 4);
+        assert_eq!(m.info.total_length(), 1_000_000);
+        let exact = MetainfoBuilder::new("t", "f", 512 * 1024)
+            .piece_length(256 * 1024)
+            .build();
+        assert_eq!(exact.info.piece_count(), 2);
+        let empty = MetainfoBuilder::new("t", "f", 0).build();
+        assert_eq!(empty.info.piece_count(), 0);
+    }
+
+    #[test]
+    fn multi_file_roundtrip() {
+        let mut m = sample();
+        m.info.length = None;
+        m.info.files = vec![
+            FileEntry {
+                path: vec!["dir".into(), "a.mkv".into()],
+                length: 100,
+            },
+            FileEntry {
+                path: vec!["readme-visit-site.txt".into()],
+                length: 20,
+            },
+        ];
+        let back = Metainfo::decode(&m.encode()).unwrap();
+        assert_eq!(back.info.files.len(), 2);
+        assert_eq!(back.info.total_length(), 120);
+    }
+
+    #[test]
+    fn private_flag_roundtrip() {
+        let m = MetainfoBuilder::new("t", "f", 10).private(true).build();
+        let back = Metainfo::decode(&m.encode()).unwrap();
+        assert!(back.info.private);
+        assert_ne!(
+            m.info_hash(),
+            MetainfoBuilder::new("t", "f", 10).build().info_hash(),
+            "private flag is inside info and must alter the hash"
+        );
+    }
+
+    #[test]
+    fn rejects_semantic_garbage() {
+        // both length and files
+        let mut v = Value::decode(&sample().encode()).unwrap();
+        let info = v.get("info").unwrap().clone();
+        let mut bad_info = info.clone();
+        bad_info.insert("files", Value::list([]));
+        v.insert("info", bad_info);
+        assert!(matches!(
+            Metainfo::decode(&v.encode()),
+            Err(MetainfoError::Invalid(_))
+        ));
+        // pieces not multiple of 20
+        let mut bad_info2 = info;
+        bad_info2.insert("pieces", Value::Bytes(vec![0u8; 21]));
+        v.insert("info", bad_info2);
+        assert!(Metainfo::decode(&v.encode()).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_keys() {
+        assert!(matches!(
+            Metainfo::decode(&Value::dict([("announce", Value::from("x"))]).encode()),
+            Err(MetainfoError::Missing("info"))
+        ));
+        assert!(matches!(
+            Metainfo::decode(b"not bencode at all"),
+            Err(MetainfoError::Bencode(_))
+        ));
+    }
+
+    #[test]
+    fn announce_list_flattens_tiers() {
+        let mut m = sample();
+        m.announce_list = vec!["http://a/ann".into(), "http://b/ann".into()];
+        let back = Metainfo::decode(&m.encode()).unwrap();
+        assert_eq!(back.announce_list, m.announce_list);
+    }
+}

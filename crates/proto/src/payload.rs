@@ -1,0 +1,137 @@
+//! Deterministic synthetic payloads.
+//!
+//! The live testbed needs *actual bytes* whose SHA-1 piece digests match
+//! the metainfo, so a downloader can verify what it received — the
+//! operation behind §5's "the few downloaded files were indeed fake
+//! contents": a fake publisher serves bytes that do not hash to the
+//! advertised pieces.
+//!
+//! Payloads are generated from a seed with a SplitMix64 stream, so a
+//! seeder can serve any block on demand without storing the file.
+
+use crate::sha1::Sha1;
+
+/// Generates the bytes of one piece.
+///
+/// `len` is the piece length, except possibly shorter for the final piece.
+pub fn piece_bytes(seed: u64, piece_index: u32, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(piece_index) << 17)
+        .wrapping_add(0xD1B5_4A32_D192_ED03);
+    while out.len() < len {
+        state = splitmix(state);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// A sub-range of a piece, for serving 16 KiB blocks.
+pub fn block_bytes(seed: u64, piece_index: u32, piece_len: usize, begin: usize, len: usize) -> Vec<u8> {
+    let piece = piece_bytes(seed, piece_index, piece_len);
+    let end = (begin + len).min(piece.len());
+    piece[begin.min(piece.len())..end].to_vec()
+}
+
+/// Length of piece `index` for a file of `total_len` in `piece_len` pieces.
+pub fn piece_len_at(total_len: u64, piece_len: u32, index: u32) -> usize {
+    let start = u64::from(index) * u64::from(piece_len);
+    let remaining = total_len.saturating_sub(start);
+    remaining.min(u64::from(piece_len)) as usize
+}
+
+/// Number of pieces for a file.
+pub fn piece_count(total_len: u64, piece_len: u32) -> u32 {
+    if total_len == 0 {
+        0
+    } else {
+        ((total_len - 1) / u64::from(piece_len) + 1) as u32
+    }
+}
+
+/// The concatenated 20-byte SHA-1 digests of every piece — what goes in
+/// the metainfo's `pieces` field when the torrent is backed by a real
+/// synthetic payload.
+pub fn pieces_digest(seed: u64, total_len: u64, piece_len: u32) -> Vec<u8> {
+    let n = piece_count(total_len, piece_len);
+    let mut out = Vec::with_capacity(n as usize * 20);
+    for index in 0..n {
+        let data = piece_bytes(seed, index, piece_len_at(total_len, piece_len, index));
+        let mut h = Sha1::new();
+        h.update(&data);
+        out.extend_from_slice(&h.finalize());
+    }
+    out
+}
+
+/// The whole file at once (testbed sizes only).
+pub fn file_bytes(seed: u64, total_len: u64, piece_len: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(total_len as usize);
+    for index in 0..piece_count(total_len, piece_len) {
+        out.extend(piece_bytes(
+            seed,
+            index,
+            piece_len_at(total_len, piece_len, index),
+        ));
+    }
+    out
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::sha1;
+
+    #[test]
+    fn pieces_are_deterministic_and_distinct() {
+        let a = piece_bytes(7, 0, 1024);
+        let b = piece_bytes(7, 0, 1024);
+        assert_eq!(a, b);
+        assert_ne!(a, piece_bytes(7, 1, 1024), "pieces differ by index");
+        assert_ne!(a, piece_bytes(8, 0, 1024), "pieces differ by seed");
+        assert_eq!(a.len(), 1024);
+    }
+
+    #[test]
+    fn block_bytes_are_slices_of_pieces() {
+        let piece = piece_bytes(3, 5, 4096);
+        let block = block_bytes(3, 5, 4096, 1024, 512);
+        assert_eq!(block, &piece[1024..1536]);
+        // Out-of-range begin yields empty.
+        assert!(block_bytes(3, 5, 4096, 5000, 10).is_empty());
+        // Length clamps at the piece end.
+        assert_eq!(block_bytes(3, 5, 4096, 4000, 512).len(), 96);
+    }
+
+    #[test]
+    fn piece_geometry() {
+        assert_eq!(piece_count(0, 1024), 0);
+        assert_eq!(piece_count(1, 1024), 1);
+        assert_eq!(piece_count(1024, 1024), 1);
+        assert_eq!(piece_count(1025, 1024), 2);
+        assert_eq!(piece_len_at(1025, 1024, 0), 1024);
+        assert_eq!(piece_len_at(1025, 1024, 1), 1);
+        assert_eq!(piece_len_at(1025, 1024, 2), 0);
+    }
+
+    #[test]
+    fn digest_matches_file_bytes() {
+        let (seed, total, plen) = (42u64, 10_000u64, 4096u32);
+        let digest = pieces_digest(seed, total, plen);
+        let file = file_bytes(seed, total, plen);
+        assert_eq!(file.len() as u64, total);
+        assert_eq!(digest.len(), 3 * 20);
+        for (i, chunk) in file.chunks(plen as usize).enumerate() {
+            assert_eq!(&digest[i * 20..(i + 1) * 20], &sha1(chunk));
+        }
+    }
+}

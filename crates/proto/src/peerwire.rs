@@ -1,0 +1,566 @@
+//! The TCP peer-wire protocol.
+//!
+//! After the tracker introduces peers to each other, they speak this
+//! protocol: a 68-byte handshake followed by length-prefixed messages. The
+//! crawler in the paper only needs the opening exchange — it connects,
+//! handshakes, reads the remote `bitfield`, and disconnects: a peer whose
+//! bitfield has every piece set is a seeder, which is how the initial
+//! publisher's IP is pinned down when a young swarm has a single seeder
+//! (§2, "Identifying Initial Publisher").
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::types::{InfoHash, PeerId};
+
+/// The protocol string in the handshake.
+pub const PSTR: &[u8; 19] = b"BitTorrent protocol";
+
+/// Total handshake length: 1 + 19 + 8 + 20 + 20.
+pub const HANDSHAKE_LEN: usize = 68;
+
+/// The fixed-size opening handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// Extension bits; all zero here (no DHT/extension protocol).
+    pub reserved: [u8; 8],
+    /// Torrent the connection is about.
+    pub info_hash: InfoHash,
+    /// The remote peer's id.
+    pub peer_id: PeerId,
+}
+
+impl Handshake {
+    /// Creates a handshake with cleared reserved bits.
+    pub fn new(info_hash: InfoHash, peer_id: PeerId) -> Self {
+        Handshake {
+            reserved: [0; 8],
+            info_hash,
+            peer_id,
+        }
+    }
+
+    /// Serialises to the 68-byte wire form.
+    pub fn encode(&self) -> [u8; HANDSHAKE_LEN] {
+        let mut out = [0u8; HANDSHAKE_LEN];
+        out[0] = PSTR.len() as u8;
+        out[1..20].copy_from_slice(PSTR);
+        out[20..28].copy_from_slice(&self.reserved);
+        out[28..48].copy_from_slice(&self.info_hash.0);
+        out[48..68].copy_from_slice(&self.peer_id.0);
+        out
+    }
+
+    /// Parses the 68-byte wire form.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < HANDSHAKE_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[0] as usize != PSTR.len() || &buf[1..20] != PSTR {
+            return Err(WireError::BadProtocolString);
+        }
+        let mut reserved = [0u8; 8];
+        reserved.copy_from_slice(&buf[20..28]);
+        let mut ih = [0u8; 20];
+        ih.copy_from_slice(&buf[28..48]);
+        let mut pid = [0u8; 20];
+        pid.copy_from_slice(&buf[48..68]);
+        Ok(Handshake {
+            reserved,
+            info_hash: InfoHash(ih),
+            peer_id: PeerId(pid),
+        })
+    }
+}
+
+/// A peer's piece-availability bitmap.
+///
+/// Bit 0 of byte 0 (the most significant bit) is piece 0. Spare bits in the
+/// final byte must be zero.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitfield {
+    bits: Vec<u8>,
+    pieces: usize,
+}
+
+impl Bitfield {
+    /// An all-zero bitfield for `pieces` pieces.
+    pub fn empty(pieces: usize) -> Self {
+        Bitfield {
+            bits: vec![0u8; pieces.div_ceil(8)],
+            pieces,
+        }
+    }
+
+    /// An all-one bitfield (a seeder's bitfield).
+    pub fn full(pieces: usize) -> Self {
+        let mut bf = Bitfield::empty(pieces);
+        for i in 0..pieces {
+            bf.set(i);
+        }
+        bf
+    }
+
+    /// Reconstructs from wire bytes, validating length and spare bits.
+    pub fn from_bytes(bytes: &[u8], pieces: usize) -> Result<Self, WireError> {
+        if bytes.len() != pieces.div_ceil(8) {
+            return Err(WireError::BadBitfieldLength {
+                got: bytes.len(),
+                want: pieces.div_ceil(8),
+            });
+        }
+        let bf = Bitfield {
+            bits: bytes.to_vec(),
+            pieces,
+        };
+        // Spare bits beyond `pieces` must be zero.
+        for i in pieces..bytes.len() * 8 {
+            if bf.bit(i) {
+                return Err(WireError::SpareBitsSet);
+            }
+        }
+        Ok(bf)
+    }
+
+    /// Number of pieces this bitfield describes.
+    pub fn piece_count(&self) -> usize {
+        self.pieces
+    }
+
+    /// Marks piece `i` as held.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.pieces, "piece index {i} out of range");
+        self.bits[i / 8] |= 0x80 >> (i % 8);
+    }
+
+    /// Whether piece `i` is held.
+    pub fn has(&self, i: usize) -> bool {
+        i < self.pieces && self.bit(i)
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        self.bits[i / 8] & (0x80 >> (i % 8)) != 0
+    }
+
+    /// Number of pieces held.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// True when every piece is held — the seeder test used by the crawler.
+    pub fn is_seed(&self) -> bool {
+        self.count() == self.pieces
+    }
+
+    /// Completion in [0, 1].
+    pub fn completion(&self) -> f64 {
+        if self.pieces == 0 {
+            1.0
+        } else {
+            self.count() as f64 / self.pieces as f64
+        }
+    }
+
+    /// Raw wire bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bits
+    }
+}
+
+impl fmt::Debug for Bitfield {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitfield({}/{})", self.count(), self.pieces)
+    }
+}
+
+/// A length-prefixed peer-wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Zero-length keep-alive.
+    KeepAlive,
+    /// id 0.
+    Choke,
+    /// id 1.
+    Unchoke,
+    /// id 2.
+    Interested,
+    /// id 3.
+    NotInterested,
+    /// id 4: the sender now has piece `index`.
+    Have {
+        /// Piece index.
+        index: u32,
+    },
+    /// id 5: the sender's full availability bitmap (raw; piece count is
+    /// only known from the metainfo, so validation happens at a higher
+    /// layer via [`Bitfield::from_bytes`]).
+    Bitfield(Bytes),
+    /// id 6: request a block.
+    Request {
+        /// Piece index.
+        index: u32,
+        /// Byte offset within the piece.
+        begin: u32,
+        /// Block length in bytes.
+        length: u32,
+    },
+    /// id 7: a block of data.
+    Piece {
+        /// Piece index.
+        index: u32,
+        /// Byte offset within the piece.
+        begin: u32,
+        /// The block payload.
+        data: Bytes,
+    },
+    /// id 8: cancel a pending request.
+    Cancel {
+        /// Piece index.
+        index: u32,
+        /// Byte offset within the piece.
+        begin: u32,
+        /// Block length in bytes.
+        length: u32,
+    },
+}
+
+impl Message {
+    /// Appends the framed message to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Message::KeepAlive => buf.put_u32(0),
+            Message::Choke => frame(buf, 0, &[]),
+            Message::Unchoke => frame(buf, 1, &[]),
+            Message::Interested => frame(buf, 2, &[]),
+            Message::NotInterested => frame(buf, 3, &[]),
+            Message::Have { index } => frame(buf, 4, &index.to_be_bytes()),
+            Message::Bitfield(bits) => frame(buf, 5, bits),
+            Message::Request {
+                index,
+                begin,
+                length,
+            } => {
+                let mut p = [0u8; 12];
+                p[0..4].copy_from_slice(&index.to_be_bytes());
+                p[4..8].copy_from_slice(&begin.to_be_bytes());
+                p[8..12].copy_from_slice(&length.to_be_bytes());
+                frame(buf, 6, &p);
+            }
+            Message::Piece { index, begin, data } => {
+                buf.put_u32(9 + data.len() as u32);
+                buf.put_u8(7);
+                buf.put_u32(*index);
+                buf.put_u32(*begin);
+                buf.put_slice(data);
+            }
+            Message::Cancel {
+                index,
+                begin,
+                length,
+            } => {
+                let mut p = [0u8; 12];
+                p[0..4].copy_from_slice(&index.to_be_bytes());
+                p[4..8].copy_from_slice(&begin.to_be_bytes());
+                p[8..12].copy_from_slice(&length.to_be_bytes());
+                frame(buf, 8, &p);
+            }
+        }
+    }
+
+    /// Attempts to decode one framed message from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed; on success the
+    /// consumed bytes are removed from `buf`. This is the incremental
+    /// "framing" pattern for stream sockets.
+    pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        buf.advance(4);
+        if len == 0 {
+            return Ok(Some(Message::KeepAlive));
+        }
+        let id = buf.get_u8();
+        let mut payload = buf.split_to(len - 1);
+        let msg = match id {
+            0 => expect_empty(&payload, Message::Choke)?,
+            1 => expect_empty(&payload, Message::Unchoke)?,
+            2 => expect_empty(&payload, Message::Interested)?,
+            3 => expect_empty(&payload, Message::NotInterested)?,
+            4 => {
+                if payload.len() != 4 {
+                    return Err(WireError::BadPayload(4));
+                }
+                Message::Have {
+                    index: payload.get_u32(),
+                }
+            }
+            5 => Message::Bitfield(payload.freeze()),
+            6 | 8 => {
+                if payload.len() != 12 {
+                    return Err(WireError::BadPayload(id));
+                }
+                let index = payload.get_u32();
+                let begin = payload.get_u32();
+                let length = payload.get_u32();
+                if id == 6 {
+                    Message::Request {
+                        index,
+                        begin,
+                        length,
+                    }
+                } else {
+                    Message::Cancel {
+                        index,
+                        begin,
+                        length,
+                    }
+                }
+            }
+            7 => {
+                if payload.len() < 8 {
+                    return Err(WireError::BadPayload(7));
+                }
+                let index = payload.get_u32();
+                let begin = payload.get_u32();
+                Message::Piece {
+                    index,
+                    begin,
+                    data: payload.freeze(),
+                }
+            }
+            other => return Err(WireError::UnknownMessage(other)),
+        };
+        Ok(Some(msg))
+    }
+}
+
+/// Upper bound on a single frame; generous for 16 KiB blocks plus headers,
+/// and a guard against hostile length prefixes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+fn frame(buf: &mut BytesMut, id: u8, payload: &[u8]) {
+    buf.put_u32(1 + payload.len() as u32);
+    buf.put_u8(id);
+    buf.put_slice(payload);
+}
+
+fn expect_empty(payload: &[u8], msg: Message) -> Result<Message, WireError> {
+    if payload.is_empty() {
+        Ok(msg)
+    } else {
+        Err(WireError::BadPayload(match msg {
+            Message::Choke => 0,
+            Message::Unchoke => 1,
+            Message::Interested => 2,
+            _ => 3,
+        }))
+    }
+}
+
+/// Peer-wire protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Not enough bytes for a handshake.
+    Truncated,
+    /// Handshake protocol string mismatch.
+    BadProtocolString,
+    /// Frame length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// Message id not in the base protocol.
+    UnknownMessage(u8),
+    /// Payload length inconsistent with the message id.
+    BadPayload(u8),
+    /// Bitfield byte length does not match the piece count.
+    BadBitfieldLength {
+        /// Bytes received.
+        got: usize,
+        /// Bytes required for the piece count.
+        want: usize,
+    },
+    /// A bit beyond the last piece was set.
+    SpareBitsSet,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated handshake"),
+            WireError::BadProtocolString => write!(f, "not a BitTorrent handshake"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            WireError::UnknownMessage(id) => write!(f, "unknown message id {id}"),
+            WireError::BadPayload(id) => write!(f, "bad payload for message id {id}"),
+            WireError::BadBitfieldLength { got, want } => {
+                write!(f, "bitfield length {got}, expected {want}")
+            }
+            WireError::SpareBitsSet => write!(f, "spare bits set in bitfield"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_roundtrip() {
+        let hs = Handshake::new(InfoHash([7; 20]), PeerId([9; 20]));
+        let bytes = hs.encode();
+        assert_eq!(bytes.len(), HANDSHAKE_LEN);
+        assert_eq!(Handshake::decode(&bytes).unwrap(), hs);
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_protocol() {
+        let mut bytes = Handshake::new(InfoHash([0; 20]), PeerId([0; 20])).encode();
+        bytes[5] ^= 0xff;
+        assert_eq!(Handshake::decode(&bytes), Err(WireError::BadProtocolString));
+        assert_eq!(Handshake::decode(&bytes[..10]), Err(WireError::Truncated));
+    }
+
+    fn roundtrip(msg: Message) {
+        let mut buf = BytesMut::new();
+        msg.encode(&mut buf);
+        let decoded = Message::decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert!(buf.is_empty(), "all bytes consumed");
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::KeepAlive);
+        roundtrip(Message::Choke);
+        roundtrip(Message::Unchoke);
+        roundtrip(Message::Interested);
+        roundtrip(Message::NotInterested);
+        roundtrip(Message::Have { index: 42 });
+        roundtrip(Message::Bitfield(Bytes::from_static(&[0xf0, 0x80])));
+        roundtrip(Message::Request {
+            index: 1,
+            begin: 2,
+            length: 16384,
+        });
+        roundtrip(Message::Piece {
+            index: 3,
+            begin: 16384,
+            data: Bytes::from_static(b"payload"),
+        });
+        roundtrip(Message::Cancel {
+            index: 1,
+            begin: 2,
+            length: 3,
+        });
+    }
+
+    #[test]
+    fn partial_frames_return_none() {
+        let mut buf = BytesMut::new();
+        Message::Have { index: 7 }.encode(&mut buf);
+        let full = buf.clone();
+        for cut in 0..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert_eq!(Message::decode(&mut partial).unwrap(), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_messages_decode_in_order() {
+        let mut buf = BytesMut::new();
+        Message::Unchoke.encode(&mut buf);
+        Message::Have { index: 1 }.encode(&mut buf);
+        Message::KeepAlive.encode(&mut buf);
+        assert_eq!(Message::decode(&mut buf).unwrap(), Some(Message::Unchoke));
+        assert_eq!(
+            Message::decode(&mut buf).unwrap(),
+            Some(Message::Have { index: 1 })
+        );
+        assert_eq!(Message::decode(&mut buf).unwrap(), Some(Message::KeepAlive));
+        assert_eq!(Message::decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn hostile_length_prefix_rejected() {
+        let mut buf = BytesMut::from(&u32::MAX.to_be_bytes()[..]);
+        assert!(matches!(
+            Message::decode(&mut buf),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_and_malformed_ids_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(99);
+        assert_eq!(
+            Message::decode(&mut buf),
+            Err(WireError::UnknownMessage(99))
+        );
+        let mut buf = BytesMut::new();
+        buf.put_u32(3); // have with 2-byte payload
+        buf.put_u8(4);
+        buf.put_slice(&[0, 0]);
+        assert_eq!(Message::decode(&mut buf), Err(WireError::BadPayload(4)));
+    }
+
+    #[test]
+    fn bitfield_set_has_count() {
+        let mut bf = Bitfield::empty(10);
+        assert_eq!(bf.count(), 0);
+        assert!(!bf.is_seed());
+        bf.set(0);
+        bf.set(9);
+        assert!(bf.has(0) && bf.has(9) && !bf.has(5));
+        assert!(!bf.has(10));
+        assert_eq!(bf.count(), 2);
+        assert!((bf.completion() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_bitfield_is_seed() {
+        for pieces in [1usize, 7, 8, 9, 64, 1000] {
+            let bf = Bitfield::full(pieces);
+            assert!(bf.is_seed(), "pieces={pieces}");
+            assert_eq!(bf.count(), pieces);
+            // Round-trips through wire bytes.
+            let back = Bitfield::from_bytes(bf.as_bytes(), pieces).unwrap();
+            assert!(back.is_seed());
+        }
+    }
+
+    #[test]
+    fn zero_piece_bitfield_is_trivially_seed() {
+        assert!(Bitfield::full(0).is_seed());
+        assert_eq!(Bitfield::empty(0).completion(), 1.0);
+    }
+
+    #[test]
+    fn bitfield_wire_validation() {
+        assert!(matches!(
+            Bitfield::from_bytes(&[0xff], 10),
+            Err(WireError::BadBitfieldLength { got: 1, want: 2 })
+        ));
+        // bit 7 set for a 7-piece torrent → spare bit
+        assert_eq!(
+            Bitfield::from_bytes(&[0x01], 7),
+            Err(WireError::SpareBitsSet)
+        );
+        assert!(Bitfield::from_bytes(&[0xfe], 7).unwrap().is_seed());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitfield::empty(3).set(3);
+    }
+}

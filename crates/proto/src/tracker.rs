@@ -1,0 +1,555 @@
+//! HTTP tracker protocol: announce and scrape.
+//!
+//! An announce is an HTTP GET whose query string carries the binary
+//! `info_hash` and `peer_id` plus transfer counters; the response is a
+//! bencoded dictionary with the re-announce `interval`, seeder/leecher
+//! counts and a peer list (compact or dictionary form). The paper's
+//! crawler drives exactly this interface: it always asks for `numwant=200`
+//! and respects the tracker's 10–15 minute minimum interval to avoid being
+//! blacklisted (§2).
+
+use std::fmt;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+use btpub_bencode::Value;
+
+use crate::compact;
+use crate::types::{InfoHash, PeerId};
+use crate::urlencode;
+
+/// The event field of an announce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnnounceEvent {
+    /// First announce of a session.
+    Started,
+    /// Clean shutdown.
+    Stopped,
+    /// Download just finished (the peer became a seeder).
+    Completed,
+    /// Periodic keep-alive announce (no `event` parameter on the wire).
+    #[default]
+    Interval,
+}
+
+impl AnnounceEvent {
+    fn as_wire(self) -> Option<&'static str> {
+        match self {
+            AnnounceEvent::Started => Some("started"),
+            AnnounceEvent::Stopped => Some("stopped"),
+            AnnounceEvent::Completed => Some("completed"),
+            AnnounceEvent::Interval => None,
+        }
+    }
+
+    fn from_wire(s: &[u8]) -> Option<Self> {
+        match s {
+            b"started" => Some(AnnounceEvent::Started),
+            b"stopped" => Some(AnnounceEvent::Stopped),
+            b"completed" => Some(AnnounceEvent::Completed),
+            b"" => Some(AnnounceEvent::Interval),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed announce request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnounceRequest {
+    /// Torrent being announced.
+    pub info_hash: InfoHash,
+    /// The announcing peer's self-chosen id.
+    pub peer_id: PeerId,
+    /// TCP port the peer accepts connections on.
+    pub port: u16,
+    /// Total bytes uploaded this session.
+    pub uploaded: u64,
+    /// Total bytes downloaded this session.
+    pub downloaded: u64,
+    /// Bytes still needed; `0` means the peer is a seeder.
+    pub left: u64,
+    /// Session lifecycle event.
+    pub event: AnnounceEvent,
+    /// Number of peers the client wants (the crawler uses 200).
+    pub numwant: u32,
+    /// Whether a compact (BEP 23) peer list is requested.
+    pub compact: bool,
+}
+
+impl AnnounceRequest {
+    /// Renders the request as an HTTP query string (no leading `?`).
+    pub fn to_query(&self) -> String {
+        let port = self.port.to_string();
+        let uploaded = self.uploaded.to_string();
+        let downloaded = self.downloaded.to_string();
+        let left = self.left.to_string();
+        let numwant = self.numwant.to_string();
+        let compact = if self.compact { "1" } else { "0" };
+        let mut pairs: Vec<(&str, &[u8])> = vec![
+            ("info_hash", &self.info_hash.0[..]),
+            ("peer_id", &self.peer_id.0[..]),
+            ("port", port.as_bytes()),
+            ("uploaded", uploaded.as_bytes()),
+            ("downloaded", downloaded.as_bytes()),
+            ("left", left.as_bytes()),
+            ("numwant", numwant.as_bytes()),
+            ("compact", compact.as_bytes()),
+        ];
+        if let Some(ev) = self.event.as_wire() {
+            pairs.push(("event", ev.as_bytes()));
+        }
+        urlencode::build_query(pairs)
+    }
+
+    /// Parses a query string into an announce request.
+    pub fn from_query(query: &str) -> Result<Self, TrackerError> {
+        let mut info_hash = None;
+        let mut peer_id = None;
+        let mut port = None;
+        let mut uploaded = 0u64;
+        let mut downloaded = 0u64;
+        let mut left = 0u64;
+        let mut event = AnnounceEvent::Interval;
+        let mut numwant = 50u32;
+        let mut compact = false;
+        for (k, v) in urlencode::parse_query(query) {
+            match k.as_str() {
+                "info_hash" => {
+                    let arr: [u8; 20] = v
+                        .try_into()
+                        .map_err(|_| TrackerError::BadParam("info_hash"))?;
+                    info_hash = Some(InfoHash(arr));
+                }
+                "peer_id" => {
+                    let arr: [u8; 20] =
+                        v.try_into().map_err(|_| TrackerError::BadParam("peer_id"))?;
+                    peer_id = Some(PeerId(arr));
+                }
+                "port" => port = Some(parse_num::<u16>(&v, "port")?),
+                "uploaded" => uploaded = parse_num(&v, "uploaded")?,
+                "downloaded" => downloaded = parse_num(&v, "downloaded")?,
+                "left" => left = parse_num(&v, "left")?,
+                "numwant" => numwant = parse_num(&v, "numwant")?,
+                "compact" => compact = v == b"1",
+                "event" => {
+                    event =
+                        AnnounceEvent::from_wire(&v).ok_or(TrackerError::BadParam("event"))?;
+                }
+                _ => {} // unknown params ignored, as real trackers do
+            }
+        }
+        Ok(AnnounceRequest {
+            info_hash: info_hash.ok_or(TrackerError::MissingParam("info_hash"))?,
+            peer_id: peer_id.ok_or(TrackerError::MissingParam("peer_id"))?,
+            port: port.ok_or(TrackerError::MissingParam("port"))?,
+            uploaded,
+            downloaded,
+            left,
+            event,
+            numwant,
+            compact,
+        })
+    }
+
+    /// True when the announcing peer holds the complete payload.
+    pub fn is_seeder(&self) -> bool {
+        self.left == 0
+    }
+}
+
+/// One peer entry in a non-compact announce response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerEntry {
+    /// Peer id, if the tracker discloses it (`no_peer_id` omits it).
+    pub peer_id: Option<PeerId>,
+    /// Peer address.
+    pub addr: SocketAddrV4,
+}
+
+/// A tracker's reply to an announce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnounceResponse {
+    /// Normal reply.
+    Ok {
+        /// Seconds the client must wait before re-announcing.
+        interval: u32,
+        /// Number of seeders in the swarm (`complete`).
+        complete: u32,
+        /// Number of leechers in the swarm (`incomplete`).
+        incomplete: u32,
+        /// Sampled peers.
+        peers: Vec<PeerEntry>,
+        /// Whether `peers` was encoded compactly.
+        compact: bool,
+    },
+    /// Tracker refused the announce (`failure reason`).
+    Failure(String),
+}
+
+impl AnnounceResponse {
+    /// Bencodes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AnnounceResponse::Failure(reason) => {
+                Value::dict([("failure reason", Value::from(reason.clone()))]).encode()
+            }
+            AnnounceResponse::Ok {
+                interval,
+                complete,
+                incomplete,
+                peers,
+                compact: compact_form,
+            } => {
+                let peers_value = if *compact_form {
+                    let addrs: Vec<SocketAddrV4> = peers.iter().map(|p| p.addr).collect();
+                    Value::Bytes(compact::encode_peers(&addrs))
+                } else {
+                    Value::list(peers.iter().map(|p| {
+                        let mut d = Value::dict([
+                            ("ip", Value::from(p.addr.ip().to_string())),
+                            ("port", Value::from(p.addr.port())),
+                        ]);
+                        if let Some(id) = p.peer_id {
+                            d.insert("peer id", Value::Bytes(id.0.to_vec()));
+                        }
+                        d
+                    }))
+                };
+                Value::dict([
+                    ("interval", Value::from(*interval)),
+                    ("complete", Value::from(*complete)),
+                    ("incomplete", Value::from(*incomplete)),
+                    ("peers", peers_value),
+                ])
+                .encode()
+            }
+        }
+    }
+
+    /// Decodes a bencoded response.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TrackerError> {
+        let v = Value::decode(bytes).map_err(|_| TrackerError::BadResponse("bencode"))?;
+        if let Some(reason) = v.get_str("failure reason") {
+            return Ok(AnnounceResponse::Failure(reason.to_string()));
+        }
+        let interval = v
+            .get_int("interval")
+            .and_then(|i| u32::try_from(i).ok())
+            .ok_or(TrackerError::BadResponse("interval"))?;
+        let complete = v
+            .get_int("complete")
+            .and_then(|i| u32::try_from(i).ok())
+            .unwrap_or(0);
+        let incomplete = v
+            .get_int("incomplete")
+            .and_then(|i| u32::try_from(i).ok())
+            .unwrap_or(0);
+        let (peers, compact_form) = match v.get("peers") {
+            Some(Value::Bytes(b)) => {
+                let addrs =
+                    compact::decode_peers(b).ok_or(TrackerError::BadResponse("compact peers"))?;
+                (
+                    addrs
+                        .into_iter()
+                        .map(|addr| PeerEntry {
+                            peer_id: None,
+                            addr,
+                        })
+                        .collect(),
+                    true,
+                )
+            }
+            Some(Value::List(list)) => {
+                let mut peers = Vec::with_capacity(list.len());
+                for p in list {
+                    let ip: Ipv4Addr = p
+                        .get_str("ip")
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(TrackerError::BadResponse("peer ip"))?;
+                    let port = p
+                        .get_int("port")
+                        .and_then(|i| u16::try_from(i).ok())
+                        .ok_or(TrackerError::BadResponse("peer port"))?;
+                    let peer_id = p
+                        .get_bytes("peer id")
+                        .and_then(|b| <[u8; 20]>::try_from(b).ok())
+                        .map(PeerId);
+                    peers.push(PeerEntry {
+                        peer_id,
+                        addr: SocketAddrV4::new(ip, port),
+                    });
+                }
+                (peers, false)
+            }
+            _ => return Err(TrackerError::BadResponse("peers")),
+        };
+        Ok(AnnounceResponse::Ok {
+            interval,
+            complete,
+            incomplete,
+            peers,
+            compact: compact_form,
+        })
+    }
+}
+
+/// Per-torrent counters in a scrape response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrapeEntry {
+    /// Current seeder count.
+    pub complete: u32,
+    /// Total number of `completed` events the tracker has seen — the
+    /// closest thing the ecosystem has to a download counter.
+    pub downloaded: u32,
+    /// Current leecher count.
+    pub incomplete: u32,
+}
+
+/// A scrape response: counters per requested info-hash.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScrapeResponse {
+    /// `(info_hash, counters)` pairs.
+    pub files: Vec<(InfoHash, ScrapeEntry)>,
+}
+
+impl ScrapeResponse {
+    /// Bencodes the scrape response.
+    pub fn encode(&self) -> Vec<u8> {
+        let files = Value::Dict(
+            self.files
+                .iter()
+                .map(|(ih, e)| {
+                    (
+                        ih.0.to_vec(),
+                        Value::dict([
+                            ("complete", Value::from(e.complete)),
+                            ("downloaded", Value::from(e.downloaded)),
+                            ("incomplete", Value::from(e.incomplete)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::dict([("files", files)]).encode()
+    }
+
+    /// Decodes a bencoded scrape response.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TrackerError> {
+        let v = Value::decode(bytes).map_err(|_| TrackerError::BadResponse("bencode"))?;
+        let files = v
+            .get("files")
+            .and_then(Value::as_dict)
+            .ok_or(TrackerError::BadResponse("files"))?;
+        let mut out = Vec::with_capacity(files.len());
+        for (k, entry) in files {
+            let ih = <[u8; 20]>::try_from(k.as_slice())
+                .map_err(|_| TrackerError::BadResponse("info_hash key"))?;
+            let get = |key| {
+                entry
+                    .get_int(key)
+                    .and_then(|i| u32::try_from(i).ok())
+                    .unwrap_or(0)
+            };
+            out.push((
+                InfoHash(ih),
+                ScrapeEntry {
+                    complete: get("complete"),
+                    downloaded: get("downloaded"),
+                    incomplete: get("incomplete"),
+                },
+            ));
+        }
+        Ok(ScrapeResponse { files: out })
+    }
+}
+
+/// Errors in the tracker wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackerError {
+    /// A required query parameter was absent.
+    MissingParam(&'static str),
+    /// A query parameter failed to parse.
+    BadParam(&'static str),
+    /// The response body was malformed.
+    BadResponse(&'static str),
+}
+
+impl fmt::Display for TrackerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackerError::MissingParam(p) => write!(f, "missing announce parameter: {p}"),
+            TrackerError::BadParam(p) => write!(f, "malformed announce parameter: {p}"),
+            TrackerError::BadResponse(part) => write!(f, "malformed tracker response: {part}"),
+        }
+    }
+}
+
+impl std::error::Error for TrackerError {}
+
+fn parse_num<T: std::str::FromStr>(v: &[u8], name: &'static str) -> Result<T, TrackerError> {
+    std::str::from_utf8(v)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or(TrackerError::BadParam(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> AnnounceRequest {
+        AnnounceRequest {
+            info_hash: InfoHash([0xAB; 20]),
+            peer_id: PeerId::azureus_style("BP", "0100", [3; 12]),
+            port: 6881,
+            uploaded: 10,
+            downloaded: 20,
+            left: 30,
+            event: AnnounceEvent::Started,
+            numwant: 200,
+            compact: true,
+        }
+    }
+
+    #[test]
+    fn announce_query_roundtrip() {
+        let r = req();
+        let q = r.to_query();
+        assert_eq!(AnnounceRequest::from_query(&q).unwrap(), r);
+    }
+
+    #[test]
+    fn interval_event_omitted_on_wire() {
+        let mut r = req();
+        r.event = AnnounceEvent::Interval;
+        let q = r.to_query();
+        assert!(!q.contains("event="));
+        assert_eq!(AnnounceRequest::from_query(&q).unwrap().event, AnnounceEvent::Interval);
+    }
+
+    #[test]
+    fn seeder_detection() {
+        let mut r = req();
+        assert!(!r.is_seeder());
+        r.left = 0;
+        assert!(r.is_seeder());
+    }
+
+    #[test]
+    fn missing_params_rejected() {
+        assert_eq!(
+            AnnounceRequest::from_query("port=1"),
+            Err(TrackerError::MissingParam("info_hash"))
+        );
+        let q = req().to_query().replace("port=6881", "");
+        assert_eq!(
+            AnnounceRequest::from_query(&q),
+            Err(TrackerError::MissingParam("port"))
+        );
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        assert!(matches!(
+            AnnounceRequest::from_query("info_hash=short&peer_id=x&port=1"),
+            Err(TrackerError::BadParam("info_hash"))
+        ));
+        let q = req().to_query().replace("port=6881", "port=99999");
+        assert!(matches!(
+            AnnounceRequest::from_query(&q),
+            Err(TrackerError::BadParam("port"))
+        ));
+    }
+
+    #[test]
+    fn unknown_params_ignored() {
+        let q = format!("{}&trackerid=xyz&key=abc", req().to_query());
+        assert!(AnnounceRequest::from_query(&q).is_ok());
+    }
+
+    fn peers() -> Vec<PeerEntry> {
+        vec![
+            PeerEntry {
+                peer_id: None,
+                addr: "10.1.2.3:6881".parse().unwrap(),
+            },
+            PeerEntry {
+                peer_id: None,
+                addr: "172.16.0.9:51413".parse().unwrap(),
+            },
+        ]
+    }
+
+    #[test]
+    fn compact_response_roundtrip() {
+        let resp = AnnounceResponse::Ok {
+            interval: 900,
+            complete: 1,
+            incomplete: 41,
+            peers: peers(),
+            compact: true,
+        };
+        assert_eq!(AnnounceResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn dict_response_roundtrip_preserves_peer_ids() {
+        let mut ps = peers();
+        ps[0].peer_id = Some(PeerId([9; 20]));
+        let resp = AnnounceResponse::Ok {
+            interval: 600,
+            complete: 3,
+            incomplete: 7,
+            peers: ps,
+            compact: false,
+        };
+        let back = AnnounceResponse::decode(&resp.encode()).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn failure_response_roundtrip() {
+        let resp = AnnounceResponse::Failure("torrent not registered".into());
+        assert_eq!(AnnounceResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn empty_peer_list_is_valid() {
+        // The crawler's stop rule counts consecutive empty replies (§2).
+        let resp = AnnounceResponse::Ok {
+            interval: 900,
+            complete: 0,
+            incomplete: 0,
+            peers: vec![],
+            compact: true,
+        };
+        match AnnounceResponse::decode(&resp.encode()).unwrap() {
+            AnnounceResponse::Ok { peers, .. } => assert!(peers.is_empty()),
+            _ => panic!("expected Ok"),
+        }
+    }
+
+    #[test]
+    fn scrape_roundtrip() {
+        let resp = ScrapeResponse {
+            files: vec![
+                (
+                    InfoHash([1; 20]),
+                    ScrapeEntry {
+                        complete: 5,
+                        downloaded: 1000,
+                        incomplete: 42,
+                    },
+                ),
+                (InfoHash([2; 20]), ScrapeEntry::default()),
+            ],
+        };
+        assert_eq!(ScrapeResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(AnnounceResponse::decode(b"garbage").is_err());
+        assert!(AnnounceResponse::decode(&Value::dict([("interval", Value::Int(1))]).encode()).is_err());
+        assert!(ScrapeResponse::decode(b"de").is_err());
+    }
+}

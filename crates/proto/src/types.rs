@@ -1,0 +1,182 @@
+//! Core identifier types shared across the protocol stack.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 20-byte torrent identifier: SHA-1 of the bencoded `info` dictionary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InfoHash(pub [u8; 20]);
+
+impl InfoHash {
+    /// Computes the info-hash of an already-bencoded `info` dictionary.
+    pub fn of_info(bencoded_info: &[u8]) -> Self {
+        InfoHash(crate::sha1::sha1(bencoded_info))
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Renders as 40 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses 40 hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        parse_hex20(s).map(InfoHash)
+    }
+}
+
+impl fmt::Debug for InfoHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "InfoHash({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for InfoHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl FromStr for InfoHash {
+    type Err = &'static str;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        InfoHash::from_hex(s).ok_or("expected 40 hex characters")
+    }
+}
+
+/// A 20-byte peer identifier, conventionally using Azureus-style prefixes
+/// like `-TR2840-` followed by random bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeerId(pub [u8; 20]);
+
+impl PeerId {
+    /// Builds an Azureus-style peer id: `-XXNNNN-` + 12 random bytes.
+    ///
+    /// `client` must be exactly 2 ASCII characters and `version` 4;
+    /// anything else is normalised by truncation/padding with `0`.
+    pub fn azureus_style(client: &str, version: &str, random: [u8; 12]) -> Self {
+        let mut id = [0u8; 20];
+        id[0] = b'-';
+        let mut cl = client.bytes().chain(std::iter::repeat(b'0'));
+        id[1] = cl.next().unwrap();
+        id[2] = cl.next().unwrap();
+        let mut ver = version.bytes().chain(std::iter::repeat(b'0'));
+        for slot in &mut id[3..7] {
+            *slot = ver.next().unwrap();
+        }
+        id[7] = b'-';
+        id[8..20].copy_from_slice(&random);
+        PeerId(id)
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Extracts the 2-character client code if this is an Azureus-style id.
+    pub fn client_code(&self) -> Option<&str> {
+        if self.0[0] == b'-' && self.0[7] == b'-' {
+            std::str::from_utf8(&self.0[1..3]).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Renders as 40 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.bytes().all(|b| b.is_ascii_graphic()) => write!(f, "PeerId({s})"),
+            _ => write!(f, "PeerId({})", self.to_hex()),
+        }
+    }
+}
+
+fn parse_hex20(s: &str) -> Option<[u8; 20]> {
+    let s = s.as_bytes();
+    if s.len() != 40 {
+        return None;
+    }
+    let mut out = [0u8; 20];
+    for (i, pair) in s.chunks_exact(2).enumerate() {
+        let hi = hex_digit(pair[0])?;
+        let lo = hex_digit(pair[1])?;
+        out[i] = (hi << 4) | lo;
+    }
+    Some(out)
+}
+
+fn hex_digit(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infohash_hex_roundtrip() {
+        let h = InfoHash(*b"01234567890123456789");
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 40);
+        assert_eq!(InfoHash::from_hex(&hex), Some(h));
+        assert_eq!(hex.parse::<InfoHash>().unwrap(), h);
+    }
+
+    #[test]
+    fn infohash_rejects_bad_hex() {
+        assert_eq!(InfoHash::from_hex("zz"), None);
+        assert_eq!(InfoHash::from_hex(&"g".repeat(40)), None);
+        assert!("tooshort".parse::<InfoHash>().is_err());
+    }
+
+    #[test]
+    fn infohash_uppercase_hex_accepted() {
+        let h = InfoHash([0xAB; 20]);
+        let upper = h.to_hex().to_uppercase();
+        assert_eq!(InfoHash::from_hex(&upper), Some(h));
+    }
+
+    #[test]
+    fn azureus_peer_id_layout() {
+        let id = PeerId::azureus_style("TR", "2840", [7u8; 12]);
+        assert_eq!(&id.0[..8], b"-TR2840-");
+        assert_eq!(id.client_code(), Some("TR"));
+    }
+
+    #[test]
+    fn azureus_peer_id_pads_short_fields() {
+        let id = PeerId::azureus_style("X", "1", [0u8; 12]);
+        assert_eq!(&id.0[..8], b"-X01000-");
+    }
+
+    #[test]
+    fn non_azureus_id_has_no_client_code() {
+        let id = PeerId(*b"random_bytes_here_xx");
+        assert_eq!(id.client_code(), None);
+    }
+
+    #[test]
+    fn debug_impls_readable() {
+        let h = InfoHash([1; 20]);
+        assert!(format!("{h:?}").contains("0101"));
+        let id = PeerId::azureus_style("UT", "3300", *b"abcdefghijkl");
+        assert!(format!("{id:?}").contains("-UT3300-"));
+    }
+}

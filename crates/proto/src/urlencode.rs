@@ -1,0 +1,144 @@
+//! Percent-encoding for tracker GET requests.
+//!
+//! Tracker announce URLs carry raw 20-byte `info_hash` / `peer_id` values in
+//! the query string, so the codec must be binary-safe rather than
+//! UTF-8-only. The unreserved set follows RFC 3986 (`A–Z a–z 0–9 - _ . ~`),
+//! which matches what mainstream BitTorrent clients emit.
+
+/// Percent-encodes arbitrary bytes.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 3);
+    for &b in data {
+        if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0xf) as usize] as char);
+        }
+    }
+    out
+}
+
+/// Decodes a percent-encoded string back to raw bytes.
+///
+/// Returns `None` on a dangling `%` or non-hex escape. `+` is *not* treated
+/// as space — trackers use RFC 3986 encoding, not HTML form encoding.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = hex_val(*bytes.get(i + 1)?)?;
+            let lo = hex_val(*bytes.get(i + 2)?)?;
+            out.push((hi << 4) | lo);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    Some(out)
+}
+
+/// Splits a query string (`a=1&b=%20`) into decoded key/value pairs.
+///
+/// Pairs with undecodable escapes are dropped; a key without `=` maps to an
+/// empty value, mirroring lenient tracker implementations.
+pub fn parse_query(query: &str) -> Vec<(String, Vec<u8>)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .filter_map(|part| {
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            let key = decode(k)?;
+            let key = String::from_utf8(key).ok()?;
+            Some((key, decode(v)?))
+        })
+        .collect()
+}
+
+/// Builds a query string from key/value pairs, percent-encoding values.
+pub fn build_query<'a, I>(pairs: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a [u8])>,
+{
+    let mut out = String::new();
+    for (k, v) in pairs {
+        if !out.is_empty() {
+            out.push('&');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(&encode(v));
+    }
+    out
+}
+
+const HEX: &[u8; 16] = b"0123456789ABCDEF";
+
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreserved_passthrough() {
+        assert_eq!(encode(b"AZaz09-_.~"), "AZaz09-_.~");
+    }
+
+    #[test]
+    fn binary_bytes_escaped() {
+        assert_eq!(encode(&[0x00, 0xff, b' ']), "%00%FF%20");
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_rejects_bad_escapes() {
+        assert_eq!(decode("%"), None);
+        assert_eq!(decode("%1"), None);
+        assert_eq!(decode("%zz"), None);
+        assert_eq!(decode("ok%41"), Some(b"okA".to_vec()));
+    }
+
+    #[test]
+    fn plus_is_literal() {
+        assert_eq!(decode("a+b").unwrap(), b"a+b");
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let ih = [0x12u8, 0x34, 0xab];
+        let q = build_query([("info_hash", &ih[..]), ("port", b"6881")]);
+        assert_eq!(q, "info_hash=%124%AB&port=6881");
+        let parsed = parse_query(&q);
+        assert_eq!(parsed[0], ("info_hash".to_string(), ih.to_vec()));
+        assert_eq!(parsed[1], ("port".to_string(), b"6881".to_vec()));
+    }
+
+    #[test]
+    fn parse_query_tolerates_oddities() {
+        let parsed = parse_query("&&flag&k=v&bad=%zz&");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("flag".to_string(), vec![]));
+        assert_eq!(parsed[1], ("k".to_string(), b"v".to_vec()));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the wire formats.
+
+use btpub_proto::compact::{decode_peers, encode_peers};
+use btpub_proto::peerwire::{Bitfield, Message};
+use btpub_proto::tracker::{AnnounceEvent, AnnounceRequest};
+use btpub_proto::types::{InfoHash, PeerId};
+use btpub_proto::urlencode;
+use bytes::BytesMut;
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, SocketAddrV4};
+
+fn arb_event() -> impl Strategy<Value = AnnounceEvent> {
+    prop_oneof![
+        Just(AnnounceEvent::Started),
+        Just(AnnounceEvent::Stopped),
+        Just(AnnounceEvent::Completed),
+        Just(AnnounceEvent::Interval),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn urlencode_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        prop_assert_eq!(urlencode::decode(&urlencode::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn urlencode_decode_never_panics(s in "\\PC*") {
+        let _ = urlencode::decode(&s);
+    }
+
+    #[test]
+    fn compact_roundtrip(addrs in proptest::collection::vec((any::<u32>(), any::<u16>()), 0..64)) {
+        let peers: Vec<SocketAddrV4> = addrs
+            .into_iter()
+            .map(|(ip, port)| SocketAddrV4::new(Ipv4Addr::from(ip), port))
+            .collect();
+        prop_assert_eq!(decode_peers(&encode_peers(&peers)).unwrap(), peers);
+    }
+
+    #[test]
+    fn announce_query_roundtrip(
+        ih in any::<[u8; 20]>(),
+        pid in any::<[u8; 20]>(),
+        port in any::<u16>(),
+        up in any::<u64>(),
+        down in any::<u64>(),
+        left in any::<u64>(),
+        numwant in 0u32..500,
+        compact in any::<bool>(),
+        event in arb_event(),
+    ) {
+        let req = AnnounceRequest {
+            info_hash: InfoHash(ih),
+            peer_id: PeerId(pid),
+            port, uploaded: up, downloaded: down, left, event, numwant, compact,
+        };
+        prop_assert_eq!(AnnounceRequest::from_query(&req.to_query()).unwrap(), req);
+    }
+
+    #[test]
+    fn message_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = BytesMut::from(&data[..]);
+        // Drain until error or exhaustion; must never panic.
+        while let Ok(Some(_)) = Message::decode(&mut buf) {}
+    }
+
+    #[test]
+    fn bitfield_count_matches_set_bits(pieces in 1usize..512, set in proptest::collection::vec(any::<proptest::sample::Index>(), 0..64)) {
+        let mut bf = Bitfield::empty(pieces);
+        let mut expected = std::collections::HashSet::new();
+        for idx in set {
+            let i = idx.index(pieces);
+            bf.set(i);
+            expected.insert(i);
+        }
+        prop_assert_eq!(bf.count(), expected.len());
+        prop_assert_eq!(bf.is_seed(), expected.len() == pieces);
+        let back = Bitfield::from_bytes(bf.as_bytes(), pieces).unwrap();
+        prop_assert_eq!(back.count(), expected.len());
+    }
+}

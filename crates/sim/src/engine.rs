@@ -1,0 +1,212 @@
+//! A small generic discrete-event engine.
+//!
+//! The ecosystem traces are precomputed (see [`crate::swarm`]), so the
+//! event queue's customers are the *measurement* components: the crawler's
+//! RSS polls and per-swarm tracker queries, and the §7 monitor daemon.
+//! Events with equal timestamps pop in insertion order, which keeps runs
+//! deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A time-ordered event queue over an arbitrary payload type.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at the epoch.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the simulated past — that is always a logic
+    /// error in the caller, and silently reordering would corrupt runs.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < now {:?}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Runs the queue to completion (or until `horizon`), calling
+    /// `handler(now, event, queue)` for each event. The handler may
+    /// schedule further events.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+    {
+        while let Some(at) = self.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (now, event) = self.pop().expect("peeked event exists");
+            // The handler gets a scratch queue view via re-borrow: events it
+            // schedules land in `self` after the swap dance below.
+            let mut scratch = EventQueue::new();
+            scratch.now = now;
+            handler(now, event, &mut scratch);
+            for Reverse(e) in scratch.heap.drain() {
+                self.schedule(e.at, e.event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        assert_eq!(q.pop(), Some((t(10), "a")));
+        assert_eq!(q.pop(), Some((t(20), "b")));
+        assert_eq!(q.now(), t(20));
+        assert_eq!(q.pop(), Some((t(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), ());
+        q.pop();
+        q.schedule(t(5), ());
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_reentrancy() {
+        let mut q = EventQueue::new();
+        q.schedule(t(0), 0u64);
+        let mut seen = Vec::new();
+        q.run_until(t(50), |now, ev, q2| {
+            seen.push((now, ev));
+            if ev < 100 {
+                q2.schedule(now + crate::time::SimDuration(10), ev + 1);
+            }
+        });
+        // Events at 0,10,20,30,40,50 fire; the one scheduled for 60 stays.
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen.last(), Some(&(t(50), 5)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(60)));
+    }
+
+    #[test]
+    fn same_time_rescheduling_runs_this_pass() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), 0);
+        let mut count = 0;
+        q.run_until(t(5), |now, ev, q2| {
+            count += 1;
+            if ev == 0 {
+                q2.schedule(now, 1); // same instant
+            }
+        });
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1), ());
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Interval-set arithmetic over simulated time.
+//!
+//! Used on both sides of the reproduction: the simulator records publishers'
+//! *true* seeding sessions as interval sets, and the analysis pipeline
+//! reconstructs *estimated* sessions from sparse tracker sightings
+//! (Appendix A) — also interval sets. Aggregated session time (Figure 4c)
+//! is the measure of the union.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A set of half-open intervals `[start, end)`, kept disjoint and sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    /// Disjoint, sorted, non-empty intervals.
+    ivs: Vec<(SimTime, SimTime)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from possibly-overlapping raw intervals.
+    pub fn from_raw<I: IntoIterator<Item = (SimTime, SimTime)>>(raw: I) -> Self {
+        let mut s = IntervalSet::new();
+        for (a, b) in raw {
+            s.insert(a, b);
+        }
+        s
+    }
+
+    /// Inserts `[start, end)`, merging with any overlapping or adjacent
+    /// intervals. Empty intervals (`start >= end`) are ignored.
+    pub fn insert(&mut self, start: SimTime, end: SimTime) {
+        if start >= end {
+            return;
+        }
+        // Find the insertion window: all intervals with iv.end >= start and
+        // iv.start <= end merge with the new one (adjacency merges too).
+        let lo = self.ivs.partition_point(|iv| iv.1 < start);
+        let hi = self.ivs.partition_point(|iv| iv.0 <= end);
+        let mut new_start = start;
+        let mut new_end = end;
+        if lo < hi {
+            new_start = new_start.min(self.ivs[lo].0);
+            new_end = new_end.max(self.ivs[hi - 1].1);
+        }
+        self.ivs.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Whether `t` lies inside the set.
+    pub fn contains(&self, t: SimTime) -> bool {
+        let idx = self.ivs.partition_point(|iv| iv.1 <= t);
+        self.ivs.get(idx).is_some_and(|iv| iv.0 <= t)
+    }
+
+    /// Total measure of the set.
+    pub fn total(&self) -> SimDuration {
+        SimDuration(self.ivs.iter().map(|iv| iv.1 .0 - iv.0 .0).sum())
+    }
+
+    /// Number of disjoint intervals (sessions).
+    pub fn session_count(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Iterates the disjoint intervals in order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, SimTime)> + '_ {
+        self.ivs.iter().copied()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Earliest instant in the set.
+    pub fn start(&self) -> Option<SimTime> {
+        self.ivs.first().map(|iv| iv.0)
+    }
+
+    /// Latest instant in the set.
+    pub fn end(&self) -> Option<SimTime> {
+        self.ivs.last().map(|iv| iv.1)
+    }
+
+    /// Restricts the set to `[lo, hi)`.
+    pub fn clamp(&self, lo: SimTime, hi: SimTime) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        for (a, b) in &self.ivs {
+            let s = (*a).max(lo);
+            let e = (*b).min(hi);
+            out.insert(s, e);
+        }
+        out
+    }
+
+    /// Unions another set into this one.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for (a, b) in other.iter() {
+            self.insert(a, b);
+        }
+    }
+
+    /// Measure of overlap with `[lo, hi)`.
+    pub fn overlap(&self, lo: SimTime, hi: SimTime) -> SimDuration {
+        SimDuration(
+            self.ivs
+                .iter()
+                .map(|&(a, b)| {
+                    let s = a.max(lo).0;
+                    let e = b.min(hi).0;
+                    e.saturating_sub(s)
+                })
+                .sum(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> SimTime {
+        SimTime(x)
+    }
+
+    #[test]
+    fn insert_disjoint_and_total() {
+        let mut s = IntervalSet::new();
+        s.insert(t(10), t(20));
+        s.insert(t(30), t(40));
+        assert_eq!(s.session_count(), 2);
+        assert_eq!(s.total(), SimDuration(20));
+        assert!(s.contains(t(10)));
+        assert!(s.contains(t(19)));
+        assert!(!s.contains(t(20)), "half-open at the right end");
+        assert!(!s.contains(t(25)));
+    }
+
+    #[test]
+    fn overlapping_inserts_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(t(10), t(20));
+        s.insert(t(15), t(25));
+        s.insert(t(5), t(12));
+        assert_eq!(s.session_count(), 1);
+        assert_eq!(s.total(), SimDuration(20));
+        assert_eq!(s.start(), Some(t(5)));
+        assert_eq!(s.end(), Some(t(25)));
+    }
+
+    #[test]
+    fn adjacent_intervals_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(t(10), t(20));
+        s.insert(t(20), t(30));
+        assert_eq!(s.session_count(), 1);
+        assert_eq!(s.total(), SimDuration(20));
+    }
+
+    #[test]
+    fn spanning_insert_absorbs_many() {
+        let mut s = IntervalSet::from_raw([(t(10), t(11)), (t(20), t(21)), (t(30), t(31))]);
+        assert_eq!(s.session_count(), 3);
+        s.insert(t(5), t(40));
+        assert_eq!(s.session_count(), 1);
+        assert_eq!(s.total(), SimDuration(35));
+    }
+
+    #[test]
+    fn empty_inserts_ignored() {
+        let mut s = IntervalSet::new();
+        s.insert(t(10), t(10));
+        s.insert(t(20), t(5));
+        assert!(s.is_empty());
+        assert_eq!(s.total(), SimDuration::ZERO);
+        assert_eq!(s.start(), None);
+    }
+
+    #[test]
+    fn clamp_restricts() {
+        let s = IntervalSet::from_raw([(t(0), t(10)), (t(20), t(30)), (t(40), t(50))]);
+        let c = s.clamp(t(5), t(45));
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![(t(5), t(10)), (t(20), t(30)), (t(40), t(45))]
+        );
+    }
+
+    #[test]
+    fn union_with_merges_sets() {
+        let mut a = IntervalSet::from_raw([(t(0), t(10))]);
+        let b = IntervalSet::from_raw([(t(5), t(15)), (t(20), t(25))]);
+        a.union_with(&b);
+        assert_eq!(a.total(), SimDuration(20));
+        assert_eq!(a.session_count(), 2);
+    }
+
+    #[test]
+    fn overlap_measure() {
+        let s = IntervalSet::from_raw([(t(0), t(10)), (t(20), t(30))]);
+        assert_eq!(s.overlap(t(5), t(25)), SimDuration(10));
+        assert_eq!(s.overlap(t(100), t(200)), SimDuration::ZERO);
+        assert_eq!(s.overlap(t(0), t(100)), SimDuration(20));
+    }
+
+    #[test]
+    fn contains_at_boundaries() {
+        let s = IntervalSet::from_raw([(t(10), t(20))]);
+        assert!(!s.contains(t(9)));
+        assert!(s.contains(t(10)));
+        assert!(!s.contains(t(20)));
+    }
+}

@@ -1,0 +1,581 @@
+//! Publisher population generation.
+//!
+//! Builds the entity set for a scenario: fake publishers at their three
+//! hosting providers, top publishers split by business class and ISP kind,
+//! and the long tail of regular users. Proportions default to the pb10
+//! values the paper reports and every knob is public.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use btpub_geodb::{standard_world, IspId, World};
+
+use crate::content::PromoTechnique;
+use crate::profile::{BusinessClass, FakeKind, Profile, ProfileParamsSet};
+use crate::publisher::{AddressPlan, Publisher, PublisherId, Website};
+use crate::rngs;
+use crate::time::{SimDuration, SimTime, DAY};
+
+/// Scenario-level configuration for ecosystem generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcosystemConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Measurement window length.
+    pub duration: SimDuration,
+    /// Total torrents published on the portal during the window.
+    pub torrents: usize,
+    /// Share of torrents from fake publishers (paper pb10: 0.30).
+    pub fake_share: f64,
+    /// Share of torrents from top publishers (paper pb10: 0.375).
+    pub top_share: f64,
+    /// Number of fake entities (agencies/malware operations).
+    pub fake_entities: usize,
+    /// Throwaway usernames per fake entity (1030 usernames / 35 entities).
+    pub fake_usernames_per_entity: usize,
+    /// Number of top publishers (paper: 84 after removing compromised).
+    pub top_publishers: usize,
+    /// Number of regular publishers in the tail.
+    pub regular_publishers: usize,
+    /// Global multiplier on per-torrent downloader counts; 1.0 approximates
+    /// paper scale, tests use much less.
+    pub downloads_scale: f64,
+    /// Number of top usernames that fake entities compromise (paper: 16).
+    pub compromised_usernames: usize,
+    /// Probability a fake publication uses a hacked top username.
+    pub hacked_account_prob: f64,
+    /// Probability a non-fake torrent was cross-posted on another portal
+    /// first (large swarm at RSS time, IP unidentifiable).
+    pub cross_post_prob: f64,
+    /// Probability the publisher starts seeding only 1–12 h after the
+    /// announcement (the paper's "no seeder for a while" case).
+    pub late_seed_prob: f64,
+    /// Mean moderation delay before a fake listing is removed.
+    pub fake_removal_mean: SimDuration,
+    /// Per-profile behavioural parameters.
+    pub params: ProfileParamsSet,
+    /// Share of top publishers in each business class
+    /// `(portal, other_web, altruistic)`; paper: (0.26, 0.24, 0.52)
+    /// (rescaled to sum to 1).
+    pub business_split: (f64, f64, f64),
+    /// Probability a publisher of each business class sits at a hosting
+    /// provider `(portal, other_web, altruistic)`; overall ≈ 42 %.
+    pub hosting_prob: (f64, f64, f64),
+}
+
+impl Default for EcosystemConfig {
+    fn default() -> Self {
+        EcosystemConfig {
+            seed: 0x00B1_7704_4E17,
+            duration: SimDuration::from_days(30.0),
+            torrents: 4000,
+            fake_share: 0.30,
+            top_share: 0.375,
+            fake_entities: 35,
+            fake_usernames_per_entity: 30,
+            top_publishers: 84,
+            regular_publishers: 2700,
+            downloads_scale: 1.0,
+            compromised_usernames: 16,
+            hacked_account_prob: 0.04,
+            cross_post_prob: 0.18,
+            late_seed_prob: 0.05,
+            fake_removal_mean: SimDuration::from_hours(20.0),
+            params: ProfileParamsSet::default(),
+            business_split: (0.26, 0.24, 0.52),
+            hosting_prob: (0.70, 0.55, 0.20),
+        }
+    }
+}
+
+impl EcosystemConfig {
+    /// A small configuration for unit tests: a few hundred torrents and
+    /// tiny swarms, still exercising every profile.
+    pub fn tiny(seed: u64) -> Self {
+        EcosystemConfig {
+            seed,
+            torrents: 300,
+            fake_entities: 6,
+            fake_usernames_per_entity: 8,
+            top_publishers: 20,
+            regular_publishers: 120,
+            downloads_scale: 0.05,
+            compromised_usernames: 3,
+            ..EcosystemConfig::default()
+        }
+    }
+
+    /// End of the measurement window.
+    pub fn horizon(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+}
+
+const USER_WORDS: &[&str] = &[
+    "torrent", "divx", "rip", "scene", "warez", "crew", "team", "king", "media", "stream",
+    "share", "leech", "seed", "byte", "pirate", "ghost", "wolf", "ninja", "storm", "ultra",
+];
+
+fn gen_username(rng: &mut StdRng) -> String {
+    let a = USER_WORDS[rng.gen_range(0..USER_WORDS.len())];
+    let b = USER_WORDS[rng.gen_range(0..USER_WORDS.len())];
+    format!("{a}{b}{:03}", rng.gen_range(0..1000))
+}
+
+fn gen_random_account(rng: &mut StdRng) -> String {
+    // Fake entities register random-looking throwaway accounts.
+    let len = rng.gen_range(8..14);
+    (0..len)
+        .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+        .collect()
+}
+
+/// Builds a DHCP schedule over the window with the given mean reassignment
+/// interval, drawing addresses from the ISP's pool.
+fn dhcp_schedule(
+    world: &World,
+    isp: IspId,
+    window: SimDuration,
+    mean_interval_days: f64,
+    rng: &mut StdRng,
+) -> Vec<(SimTime, u32)> {
+    let mut schedule = Vec::new();
+    let mut t = SimTime::ZERO;
+    // Start schedules well before the window so `ip_for` at t=0 is defined.
+    loop {
+        let (ip, _) = world.pool(isp).sample_customer(rng);
+        schedule.push((t, u32::from(ip)));
+        let gap = rngs::exponential(rng, mean_interval_days * DAY.0 as f64).max(0.5 * DAY.0 as f64);
+        t += SimDuration(gap as u64);
+        if t > SimTime::ZERO + window + SimDuration::from_days(2.0) {
+            break;
+        }
+    }
+    schedule
+}
+
+/// Picks a hosting ISP with OVH dominating, as in Tables 2–3.
+fn pick_hosting_isp(world: &World, rng: &mut StdRng) -> IspId {
+    let names_weights: &[(&str, f64)] = &[
+        ("OVH", 52.0),
+        ("SoftLayer Tech.", 10.0),
+        ("Keyweb", 7.0),
+        ("NetDirect", 6.0),
+        ("NetWork Operations Center", 6.0),
+        ("LeaseWeb", 6.0),
+        ("Serverflo", 5.0),
+        ("FDCservers", 4.0),
+        ("tzulo", 2.0),
+        ("4RWEB", 2.0),
+    ];
+    let weights: Vec<f64> = names_weights.iter().map(|&(_, w)| w).collect();
+    let idx = rngs::weighted_index(rng, &weights);
+    world
+        .isp_by_name(names_weights[idx].0)
+        .expect("standard world has all named hosting ISPs")
+}
+
+/// Picks a commercial ISP: majors get most of the mass, the tail the rest.
+fn pick_commercial_isp(world: &World, rng: &mut StdRng) -> IspId {
+    // 60 % majors (weighted), 40 % uniform over the tail.
+    let majors: &[(&str, f64)] = &[
+        ("Comcast", 14.0),
+        ("Road Runner", 9.0),
+        ("Virgin Media", 7.0),
+        ("SBC", 7.0),
+        ("Verizon", 8.0),
+        ("Comcor-TV", 5.0),
+        ("Telecom Italia", 6.0),
+        ("Romania DS", 4.0),
+        ("MTT Network", 4.0),
+        ("NIB", 3.0),
+        ("Open Computer Network", 6.0),
+        ("Cosema", 3.0),
+        ("Telefonica", 8.0),
+        ("Jazz Telecom.", 5.0),
+    ];
+    if rng.gen_bool(0.6) {
+        let weights: Vec<f64> = majors.iter().map(|&(_, w)| w).collect();
+        let idx = rngs::weighted_index(rng, &weights);
+        world.isp_by_name(majors[idx].0).expect("major ISP present")
+    } else {
+        world.commercial[rng.gen_range(14..world.commercial.len())]
+    }
+}
+
+/// The three fake-publisher hosting providers from §3.3.
+fn pick_fake_isp(world: &World, rng: &mut StdRng) -> IspId {
+    let choices = [("tzulo", 0.40), ("FDCservers", 0.35), ("4RWEB", 0.25)];
+    let weights: Vec<f64> = choices.iter().map(|&(_, w)| w).collect();
+    let idx = rngs::weighted_index(rng, &weights);
+    world.isp_by_name(choices[idx].0).expect("fake ISP present")
+}
+
+/// Output of population generation.
+pub struct Population {
+    /// The instantiated world (pools partially consumed by server rental).
+    pub world: World,
+    /// All publisher entities: fake first, then top, then regular.
+    pub publishers: Vec<Publisher>,
+    /// Usernames of top publishers that fake entities also use.
+    pub compromised: Vec<String>,
+}
+
+/// Generates the publisher population for a configuration.
+pub fn generate_population(cfg: &EcosystemConfig) -> Population {
+    let mut world = standard_world();
+    let mut publishers = Vec::new();
+    let window = cfg.duration;
+
+    // --- fake entities ---
+    for i in 0..cfg.fake_entities {
+        let mut rng = rngs::derive(cfg.seed, "fake-entity", i as u64);
+        let isp = pick_fake_isp(&world, &mut rng);
+        let server_count = rng.gen_range(2..=6);
+        let servers: Vec<u32> = (0..server_count)
+            .filter_map(|_| world.pool_mut(isp).allocate_server())
+            .map(|(ip, _)| u32::from(ip))
+            .collect();
+        let usernames: Vec<String> = (0..cfg.fake_usernames_per_entity)
+            .map(|_| gen_random_account(&mut rng))
+            .collect();
+        publishers.push(Publisher {
+            id: PublisherId(publishers.len() as u32),
+            profile: Profile::Fake,
+            fake_kind: Some(if rng.gen_bool(0.5) {
+                FakeKind::Antipiracy
+            } else {
+                FakeKind::Malware
+            }),
+            business: None,
+            usernames,
+            isp,
+            second_isp: None,
+            addresses: AddressPlan::Servers(servers),
+            natted: false,
+            website: None,
+            promo: Vec::new(),
+            language: None,
+            history_days_before_window: rng.gen_range(30.0..400.0),
+            historical_rate_per_day: rng.gen_range(5.0..25.0),
+        });
+    }
+
+    // --- top publishers ---
+    let (p_portal, p_web, p_alt) = cfg.business_split;
+    let mut compromised = Vec::new();
+    for i in 0..cfg.top_publishers {
+        let mut rng = rngs::derive(cfg.seed, "top-publisher", i as u64);
+        let class = match rngs::weighted_index(&mut rng, &[p_portal, p_web, p_alt]) {
+            0 => BusinessClass::BtPortal,
+            1 => BusinessClass::OtherWeb,
+            _ => BusinessClass::Altruistic,
+        };
+        let hosting_p = match class {
+            BusinessClass::BtPortal => cfg.hosting_prob.0,
+            BusinessClass::OtherWeb => cfg.hosting_prob.1,
+            BusinessClass::Altruistic => cfg.hosting_prob.2,
+        };
+        let at_hosting = rng.gen_bool(hosting_p);
+        let username = gen_username(&mut rng);
+        let profile = if at_hosting {
+            Profile::TopHosting
+        } else {
+            Profile::TopCommercial
+        };
+        let params = cfg.params.get(profile);
+        let (isp, second_isp, addresses, natted) = if at_hosting {
+            let isp = pick_hosting_isp(&world, &mut rng);
+            // 20 % single server; otherwise 3–9 (paper: 5.7 average).
+            let k = if rng.gen_bool(0.2) { 1 } else { rng.gen_range(3..=9) };
+            let servers: Vec<u32> = (0..k)
+                .filter_map(|_| world.pool_mut(isp).allocate_server())
+                .map(|(ip, _)| u32::from(ip))
+                .collect();
+            (isp, None, AddressPlan::Servers(servers), false)
+        } else {
+            let isp = pick_commercial_isp(&world, &mut rng);
+            let natted = rng.gen_bool(params.nat_prob);
+            if rng.gen_bool(0.28) {
+                // home + work (paper case iii).
+                let isp2 = pick_commercial_isp(&world, &mut rng);
+                let home = dhcp_schedule(&world, isp, window, 6.0, &mut rng);
+                let work = dhcp_schedule(&world, isp2, window, 8.0, &mut rng);
+                (
+                    isp,
+                    Some(isp2),
+                    AddressPlan::DualDhcp { home, work },
+                    natted,
+                )
+            } else {
+                // 40 % effectively-stable leases, 60 % churning (case ii).
+                let mean_days = if rng.gen_bool(0.4) { 90.0 } else { 4.0 };
+                let sched = dhcp_schedule(&world, isp, window, mean_days, &mut rng);
+                (isp, None, AddressPlan::Dhcp(sched), natted)
+            }
+        };
+        // Longitudinal history (Table 4).
+        let (life_mu, life_lo, life_hi, rate_mu, rate_sigma, rate_lo, rate_hi) = match class {
+            BusinessClass::BtPortal => (420.0f64, 63.0, 1816.0, 8.0f64, 0.9, 0.57, 79.91),
+            BusinessClass::OtherWeb => (400.0, 50.0, 1989.0, 3.5, 0.8, 0.38, 18.98),
+            BusinessClass::Altruistic => (310.0, 10.0, 1899.0, 2.8, 0.8, 0.10, 23.67),
+        };
+        let lifetime = rngs::lognormal(&mut rng, life_mu.ln(), 0.8).clamp(life_lo, life_hi);
+        let rate = rngs::lognormal(&mut rng, rate_mu.ln(), rate_sigma).clamp(rate_lo, rate_hi);
+        let website = match class {
+            BusinessClass::BtPortal => Some(Website {
+                url: format!("www.{}.com", username.to_lowercase()),
+                conversion: rngs::lognormal(&mut rng, 1.7f64.ln(), 0.8),
+                rpm_dollars: rngs::lognormal(&mut rng, 2.6f64.ln(), 0.9),
+            }),
+            BusinessClass::OtherWeb => Some(Website {
+                url: format!("www.{}-pics.net", username.to_lowercase()),
+                conversion: rngs::lognormal(&mut rng, 1.4f64.ln(), 0.8),
+                rpm_dollars: rngs::lognormal(&mut rng, 2.4f64.ln(), 0.9),
+            }),
+            BusinessClass::Altruistic => None,
+        };
+        let promo = if website.is_some() {
+            // Textbox is the dominant technique; some add a second channel.
+            let mut p = vec![PromoTechnique::Textbox];
+            if rng.gen_bool(0.25) {
+                p.push(PromoTechnique::FilenameSuffix);
+            }
+            if rng.gen_bool(0.15) {
+                p.push(PromoTechnique::TxtFile);
+            }
+            p
+        } else {
+            Vec::new()
+        };
+        // 40 % of the portal class publish in one language; 66 % of those
+        // in Spanish (§5.1).
+        let language = if class == BusinessClass::BtPortal && rng.gen_bool(0.40) {
+            Some(if rng.gen_bool(0.66) {
+                "es"
+            } else {
+                ["it", "nl", "sv"][rng.gen_range(0..3)]
+            })
+        } else {
+            None
+        };
+        if compromised.len() < cfg.compromised_usernames {
+            compromised.push(username.clone());
+        }
+        publishers.push(Publisher {
+            id: PublisherId(publishers.len() as u32),
+            profile,
+            fake_kind: None,
+            business: Some(class),
+            usernames: vec![username],
+            isp,
+            second_isp,
+            addresses,
+            natted,
+            website,
+            promo,
+            language,
+            history_days_before_window: (lifetime - window.as_days()).max(0.0),
+            historical_rate_per_day: rate,
+        });
+    }
+
+    // --- regular publishers ---
+    for i in 0..cfg.regular_publishers {
+        let mut rng = rngs::derive(cfg.seed, "regular-publisher", i as u64);
+        let isp = pick_commercial_isp(&world, &mut rng);
+        let params = cfg.params.get(Profile::Regular);
+        let mean_days = if rng.gen_bool(0.5) { 60.0 } else { 5.0 };
+        let sched = dhcp_schedule(&world, isp, window, mean_days, &mut rng);
+        publishers.push(Publisher {
+            id: PublisherId(publishers.len() as u32),
+            profile: Profile::Regular,
+            fake_kind: None,
+            business: None,
+            usernames: vec![gen_username(&mut rng)],
+            isp,
+            second_isp: None,
+            addresses: AddressPlan::Dhcp(sched),
+            natted: rng.gen_bool(params.nat_prob),
+            website: None,
+            promo: Vec::new(),
+            language: None,
+            history_days_before_window: rng.gen_range(0.0..700.0),
+            historical_rate_per_day: rngs::lognormal(&mut rng, 0.05f64.ln(), 1.0).min(2.0),
+        });
+    }
+
+    Population {
+        world,
+        publishers,
+        compromised,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpub_geodb::IspKind;
+
+    fn pop() -> Population {
+        generate_population(&EcosystemConfig::tiny(7))
+    }
+
+    #[test]
+    fn population_counts_match_config() {
+        let cfg = EcosystemConfig::tiny(7);
+        let p = pop();
+        assert_eq!(
+            p.publishers.len(),
+            cfg.fake_entities + cfg.top_publishers + cfg.regular_publishers
+        );
+        let fake = p
+            .publishers
+            .iter()
+            .filter(|x| x.profile == Profile::Fake)
+            .count();
+        assert_eq!(fake, cfg.fake_entities);
+        assert_eq!(p.compromised.len(), cfg.compromised_usernames);
+    }
+
+    #[test]
+    fn fake_entities_sit_at_the_three_providers() {
+        let p = pop();
+        for f in p.publishers.iter().filter(|x| x.profile == Profile::Fake) {
+            let name = &p.world.db.isp(f.isp).name;
+            assert!(
+                ["tzulo", "FDCservers", "4RWEB"].contains(&name.as_str()),
+                "fake entity at {name}"
+            );
+            assert!(f.usernames.len() > 1, "fake entities use many usernames");
+            assert!(!f.natted);
+            assert!(matches!(f.addresses, AddressPlan::Servers(_)));
+        }
+    }
+
+    #[test]
+    fn top_publishers_have_consistent_profiles() {
+        let p = pop();
+        for t in p
+            .publishers
+            .iter()
+            .filter(|x| x.profile.is_top())
+        {
+            assert!(t.business.is_some());
+            let kind = p.world.db.isp(t.isp).kind;
+            match t.profile {
+                Profile::TopHosting => {
+                    assert_eq!(kind, IspKind::HostingProvider);
+                    assert!(!t.natted, "servers are not NATted");
+                }
+                Profile::TopCommercial => assert_eq!(kind, IspKind::CommercialIsp),
+                _ => unreachable!(),
+            }
+            // Profit-driven publishers have a website and promo techniques.
+            assert_eq!(t.website.is_some(), t.is_profit_driven());
+            assert_eq!(!t.promo.is_empty(), t.is_profit_driven());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = generate_population(&EcosystemConfig::tiny(3));
+        let b = generate_population(&EcosystemConfig::tiny(3));
+        assert_eq!(a.publishers, b.publishers);
+        let c = generate_population(&EcosystemConfig::tiny(4));
+        assert_ne!(a.publishers, c.publishers);
+    }
+
+    #[test]
+    fn business_split_roughly_respected() {
+        // Larger population for stable statistics.
+        let cfg = EcosystemConfig {
+            top_publishers: 400,
+            regular_publishers: 0,
+            fake_entities: 0,
+            ..EcosystemConfig::tiny(11)
+        };
+        let p = generate_population(&cfg);
+        let count = |class| {
+            p.publishers
+                .iter()
+                .filter(|x| x.business == Some(class))
+                .count() as f64
+                / 400.0
+        };
+        assert!((count(BusinessClass::BtPortal) - 0.255).abs() < 0.07);
+        assert!((count(BusinessClass::OtherWeb) - 0.235).abs() < 0.07);
+        assert!((count(BusinessClass::Altruistic) - 0.51).abs() < 0.08);
+        // Overall hosting share ≈ 42 %.
+        let hosting = p
+            .publishers
+            .iter()
+            .filter(|x| x.profile == Profile::TopHosting)
+            .count() as f64
+            / 400.0;
+        assert!((hosting - 0.42).abs() < 0.08, "hosting share {hosting}");
+    }
+
+    #[test]
+    fn ovh_dominates_hosting_choices() {
+        let cfg = EcosystemConfig {
+            top_publishers: 300,
+            regular_publishers: 0,
+            fake_entities: 0,
+            ..EcosystemConfig::tiny(13)
+        };
+        let p = generate_population(&cfg);
+        let hosted: Vec<_> = p
+            .publishers
+            .iter()
+            .filter(|x| x.profile == Profile::TopHosting)
+            .collect();
+        let ovh = p.world.isp_by_name("OVH").unwrap();
+        let at_ovh = hosted.iter().filter(|x| x.isp == ovh).count() as f64;
+        assert!(
+            at_ovh / hosted.len() as f64 > 0.35,
+            "OVH share {}",
+            at_ovh / hosted.len() as f64
+        );
+    }
+
+    #[test]
+    fn dhcp_schedules_cover_the_window() {
+        let p = pop();
+        let horizon = EcosystemConfig::tiny(7).horizon();
+        for x in &p.publishers {
+            if let AddressPlan::Dhcp(sched) = &x.addresses {
+                assert!(!sched.is_empty());
+                assert_eq!(sched[0].0, SimTime::ZERO);
+                // Schedules are sorted.
+                assert!(sched.windows(2).all(|w| w[0].0 <= w[1].0));
+                // ip_for never panics anywhere in the window.
+                let _ = x.addresses.ip_for(0, horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_style_rates_within_paper_bounds() {
+        let cfg = EcosystemConfig {
+            top_publishers: 200,
+            regular_publishers: 0,
+            fake_entities: 0,
+            ..EcosystemConfig::tiny(17)
+        };
+        let p = generate_population(&cfg);
+        for x in &p.publishers {
+            match x.business.unwrap() {
+                BusinessClass::BtPortal => {
+                    assert!((0.57..=79.91).contains(&x.historical_rate_per_day))
+                }
+                BusinessClass::OtherWeb => {
+                    assert!((0.38..=18.98).contains(&x.historical_rate_per_day))
+                }
+                BusinessClass::Altruistic => {
+                    assert!((0.10..=23.67).contains(&x.historical_rate_per_day))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Publisher behavioural profiles.
+//!
+//! The paper's central finding is that the publisher population decomposes
+//! into a handful of behavioural classes with sharply different signatures
+//! (§4). Each profile here carries the parameters that generate that
+//! signature: content popularity, seeding discipline, address structure and
+//! consumption. Defaults are calibrated so the analysis pipeline recovers
+//! the paper's Figures 3–4 shapes; every knob is public so experiments can
+//! ablate them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::content::{
+    CategoryMix, MIX_ALL, MIX_ALTRUISTIC, MIX_FAKE, MIX_OTHER_WEB, MIX_TOP_CI, MIX_TOP_HP,
+};
+
+/// The five behavioural profiles of the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Profile {
+    /// Antipiracy agencies and malware spreaders publishing fake content
+    /// from a few hosting providers under many throwaway usernames.
+    Fake,
+    /// Top publisher renting servers at a hosting provider.
+    TopHosting,
+    /// Top publisher operating from a residential/commercial ISP.
+    TopCommercial,
+    /// Average user who occasionally publishes (the long tail).
+    Regular,
+}
+
+impl Profile {
+    /// Whether this profile is part of the paper's "Top" group.
+    pub fn is_top(self) -> bool {
+        matches!(self, Profile::TopHosting | Profile::TopCommercial)
+    }
+}
+
+/// What kind of organisation runs a fake publisher (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FakeKind {
+    /// Publishes decoys named after copyrighted content it protects.
+    Antipiracy,
+    /// Publishes catchy titles that lead to malware.
+    Malware,
+}
+
+/// Business classification of a top publisher (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusinessClass {
+    /// Owns a (often private-tracker) BitTorrent portal: 26 % of top,
+    /// 18 % of content, 29 % of downloads.
+    BtPortal,
+    /// Owns an image-hosting / forum / other site: 24 % of top, mostly porn.
+    OtherWeb,
+    /// No promoting URL found: 52 % of top.
+    Altruistic,
+}
+
+impl BusinessClass {
+    /// Whether the class promotes a URL for profit.
+    pub fn is_profit_driven(self) -> bool {
+        !matches!(self, BusinessClass::Altruistic)
+    }
+
+    /// Display label as used in Tables 4–5.
+    pub fn label(self) -> &'static str {
+        match self {
+            BusinessClass::BtPortal => "BT Portals",
+            BusinessClass::OtherWeb => "Other Web sites",
+            BusinessClass::Altruistic => "Altruistic Publishers",
+        }
+    }
+}
+
+/// Behavioural parameters for one profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileParams {
+    /// Log-normal `mu` of per-torrent downloader count (before the
+    /// scenario-wide `downloads_scale` factor).
+    pub popularity_mu: f64,
+    /// Log-normal `sigma` of per-torrent downloader count.
+    pub popularity_sigma: f64,
+    /// Log-normal `mu` of per-torrent publisher seeding time, in hours.
+    pub seed_hours_mu: f64,
+    /// Log-normal `sigma` of per-torrent seeding time.
+    pub seed_hours_sigma: f64,
+    /// Whether the publisher's sessions follow a diurnal on/off pattern
+    /// (residential users) rather than continuous server uptime.
+    pub diurnal: bool,
+    /// Probability the publisher is behind a NAT (hosting: 0).
+    pub nat_prob: f64,
+    /// Contents the publisher *downloads* per day (top-HP ≈ 0: the paper
+    /// found 40 % of top IPs download nothing).
+    pub consumption_per_day: f64,
+    /// Popularity decay constant of published swarms, in days.
+    pub popularity_tau_days: f64,
+}
+
+impl ProfileParams {
+    /// Calibrated defaults per profile (see module docs).
+    pub fn default_for(profile: Profile) -> ProfileParams {
+        match profile {
+            // Fake swarms draw a burst of victims while listed, then die
+            // when the portal moderators remove them; the entity seeds for
+            // days regardless because nobody else ever seeds a fake file.
+            // Low median popularity (moderators kill the listings and
+            // users warn each other) but a heavy tail (catchy blockbuster
+            // names fool crowds before takedown), so fake publishers hold
+            // ~25 % of downloads while their per-torrent median is the
+            // lowest of all groups (Figure 3 vs §3.3).
+            Profile::Fake => ProfileParams {
+                popularity_mu: 4.2,
+                popularity_sigma: 2.0,
+                seed_hours_mu: 80.0f64.ln(),
+                seed_hours_sigma: 0.5,
+                diurnal: false,
+                nat_prob: 0.0,
+                consumption_per_day: 0.0,
+                popularity_tau_days: 2.0,
+            },
+            Profile::TopHosting => ProfileParams {
+                popularity_mu: 6.15,
+                popularity_sigma: 0.85,
+                seed_hours_mu: 14.0f64.ln(),
+                seed_hours_sigma: 0.6,
+                diurnal: false,
+                nat_prob: 0.0,
+                consumption_per_day: 0.02,
+                popularity_tau_days: 5.0,
+            },
+            Profile::TopCommercial => ProfileParams {
+                popularity_mu: 5.75,
+                popularity_sigma: 0.85,
+                seed_hours_mu: 8.0f64.ln(),
+                seed_hours_sigma: 0.6,
+                diurnal: true,
+                nat_prob: 0.45,
+                consumption_per_day: 0.2,
+                popularity_tau_days: 5.0,
+            },
+            Profile::Regular => ProfileParams {
+                popularity_mu: 4.2,
+                popularity_sigma: 1.4,
+                seed_hours_mu: 5.0f64.ln(),
+                seed_hours_sigma: 0.8,
+                diurnal: true,
+                nat_prob: 0.6,
+                consumption_per_day: 1.2,
+                popularity_tau_days: 4.0,
+            },
+        }
+    }
+
+    /// Category mix for a publisher with this profile and business class.
+    pub fn category_mix(
+        profile: Profile,
+        business: Option<BusinessClass>,
+        fake: Option<FakeKind>,
+    ) -> CategoryMix {
+        match (profile, business, fake) {
+            (Profile::Fake, _, _) => MIX_FAKE,
+            (_, Some(BusinessClass::OtherWeb), _) => MIX_OTHER_WEB,
+            (_, Some(BusinessClass::Altruistic), _) => MIX_ALTRUISTIC,
+            (Profile::TopHosting, _, _) => MIX_TOP_HP,
+            (Profile::TopCommercial, _, _) => MIX_TOP_CI,
+            (Profile::Regular, _, _) => MIX_ALL,
+        }
+    }
+}
+
+/// The full parameter set, one entry per profile, carried by the scenario
+/// config so experiments can override any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProfileParamsSet {
+    /// Parameters for [`Profile::Fake`].
+    pub fake: ProfileParams,
+    /// Parameters for [`Profile::TopHosting`].
+    pub top_hosting: ProfileParams,
+    /// Parameters for [`Profile::TopCommercial`].
+    pub top_commercial: ProfileParams,
+    /// Parameters for [`Profile::Regular`].
+    pub regular: ProfileParams,
+}
+
+impl Default for ProfileParamsSet {
+    fn default() -> Self {
+        ProfileParamsSet {
+            fake: ProfileParams::default_for(Profile::Fake),
+            top_hosting: ProfileParams::default_for(Profile::TopHosting),
+            top_commercial: ProfileParams::default_for(Profile::TopCommercial),
+            regular: ProfileParams::default_for(Profile::Regular),
+        }
+    }
+}
+
+impl ProfileParamsSet {
+    /// Parameters for a profile.
+    pub fn get(&self, profile: Profile) -> &ProfileParams {
+        match profile {
+            Profile::Fake => &self.fake,
+            Profile::TopHosting => &self.top_hosting,
+            Profile::TopCommercial => &self.top_commercial,
+            Profile::Regular => &self.regular,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_encode_paper_orderings() {
+        let set = ProfileParamsSet::default();
+        // Figure 4a: fake seeding time ≫ top-HP > top-CI > regular.
+        assert!(set.fake.seed_hours_mu > set.top_hosting.seed_hours_mu);
+        assert!(set.top_hosting.seed_hours_mu > set.top_commercial.seed_hours_mu);
+        assert!(set.top_commercial.seed_hours_mu > set.regular.seed_hours_mu);
+        // Figure 3: top-HP median popularity > top-CI > regular.
+        assert!(set.top_hosting.popularity_mu > set.top_commercial.popularity_mu);
+        assert!(set.top_commercial.popularity_mu > set.regular.popularity_mu);
+        // §3.1: hosting publishers consume (almost) nothing.
+        assert!(set.top_hosting.consumption_per_day < 0.1);
+        assert!(set.regular.consumption_per_day > 1.0);
+        // Hosting servers are never NATted.
+        assert_eq!(set.fake.nat_prob, 0.0);
+        assert_eq!(set.top_hosting.nat_prob, 0.0);
+    }
+
+    #[test]
+    fn top_group_membership() {
+        assert!(Profile::TopHosting.is_top());
+        assert!(Profile::TopCommercial.is_top());
+        assert!(!Profile::Fake.is_top());
+        assert!(!Profile::Regular.is_top());
+    }
+
+    #[test]
+    fn business_class_labels_and_profit() {
+        assert!(BusinessClass::BtPortal.is_profit_driven());
+        assert!(BusinessClass::OtherWeb.is_profit_driven());
+        assert!(!BusinessClass::Altruistic.is_profit_driven());
+        assert_eq!(BusinessClass::BtPortal.label(), "BT Portals");
+    }
+
+    #[test]
+    fn category_mix_dispatch() {
+        use crate::content::MIX_OTHER_WEB;
+        let m = ProfileParams::category_mix(
+            Profile::TopHosting,
+            Some(BusinessClass::OtherWeb),
+            None,
+        );
+        assert_eq!(m, MIX_OTHER_WEB);
+        let f = ProfileParams::category_mix(Profile::Fake, None, Some(FakeKind::Malware));
+        assert_eq!(f, crate::content::MIX_FAKE);
+    }
+
+    #[test]
+    fn params_set_get_matches_fields() {
+        let set = ProfileParamsSet::default();
+        assert_eq!(set.get(Profile::Fake), &set.fake);
+        assert_eq!(set.get(Profile::Regular), &set.regular);
+    }
+}

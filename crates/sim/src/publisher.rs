@@ -1,0 +1,206 @@
+//! Publisher entities: identities, address plans, websites.
+//!
+//! A *publisher* here is the real-world entity (person, company, agency),
+//! not a username: the paper's key methodological step (§3.3) is that the
+//! username↔IP mapping is many-to-many — fake entities burn through
+//! hundreds of throwaway usernames, while one username may appear from
+//! many addresses (multiple rented servers, DHCP churn, home+work).
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use btpub_geodb::IspId;
+
+use crate::content::{Language, PromoTechnique};
+use crate::profile::{BusinessClass, FakeKind, Profile};
+use crate::time::SimTime;
+
+/// Index of a publisher in the ecosystem.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PublisherId(pub u32);
+
+/// How a publisher's IP address(es) are determined.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressPlan {
+    /// Rented dedicated servers; torrent `n` is seeded from server
+    /// `n mod k` (paper case i: ~5.7 hosting IPs per multi-IP username).
+    Servers(Vec<u32>),
+    /// One commercial ISP whose DHCP re-assigns the address over time
+    /// (paper case ii: ~13.8 IPs within a single ISP). Entries are
+    /// `(from_time, address)`, sorted by time.
+    Dhcp(Vec<(SimTime, u32)>),
+    /// Two DHCP schedules at different ISPs — home and work (paper case
+    /// iii). Torrent parity picks the venue.
+    DualDhcp {
+        /// Home schedule.
+        home: Vec<(SimTime, u32)>,
+        /// Work schedule.
+        work: Vec<(SimTime, u32)>,
+    },
+}
+
+impl AddressPlan {
+    /// The address this publisher would use for its `seq`-th torrent at
+    /// time `t`.
+    pub fn ip_for(&self, seq: u32, t: SimTime) -> Ipv4Addr {
+        match self {
+            AddressPlan::Servers(servers) => {
+                Ipv4Addr::from(servers[(seq as usize) % servers.len()])
+            }
+            AddressPlan::Dhcp(schedule) => Ipv4Addr::from(lookup_schedule(schedule, t)),
+            AddressPlan::DualDhcp { home, work } => {
+                let schedule = if seq.is_multiple_of(2) { home } else { work };
+                Ipv4Addr::from(lookup_schedule(schedule, t))
+            }
+        }
+    }
+
+    /// Every address the plan can ever produce (for ground-truth checks).
+    pub fn all_ips(&self) -> Vec<Ipv4Addr> {
+        let raw: Vec<u32> = match self {
+            AddressPlan::Servers(s) => s.clone(),
+            AddressPlan::Dhcp(sched) => sched.iter().map(|&(_, ip)| ip).collect(),
+            AddressPlan::DualDhcp { home, work } => home
+                .iter()
+                .chain(work.iter())
+                .map(|&(_, ip)| ip)
+                .collect(),
+        };
+        let mut ips: Vec<Ipv4Addr> = raw.into_iter().map(Ipv4Addr::from).collect();
+        ips.sort();
+        ips.dedup();
+        ips
+    }
+
+    /// Number of distinct addresses.
+    pub fn distinct_ip_count(&self) -> usize {
+        self.all_ips().len()
+    }
+}
+
+fn lookup_schedule(schedule: &[(SimTime, u32)], t: SimTime) -> u32 {
+    debug_assert!(!schedule.is_empty(), "empty DHCP schedule");
+    let idx = schedule.partition_point(|&(from, _)| from <= t);
+    // Before the first entry, use the first address.
+    schedule[idx.saturating_sub(1)].1
+}
+
+/// A promoting web site owned by a profit-driven publisher (§5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Website {
+    /// The promoted URL.
+    pub url: String,
+    /// Fraction of this publisher's downloaders who end up visiting the
+    /// site per download (drives the §5.3 economics).
+    pub conversion: f64,
+    /// Revenue per thousand visits, in dollars (ads, donations, VIP fees).
+    pub rpm_dollars: f64,
+}
+
+/// One publisher entity.
+///
+/// (`Serialize`-only: the `language` field borrows `'static` strings, so
+/// deserialisation is intentionally unsupported — ecosystems are
+/// regenerated from `(config, seed)`, never loaded from disk.)
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Publisher {
+    /// Stable id.
+    pub id: PublisherId,
+    /// Behavioural profile.
+    pub profile: Profile,
+    /// Set for fake publishers.
+    pub fake_kind: Option<FakeKind>,
+    /// Business classification; only top publishers carry one.
+    pub business: Option<BusinessClass>,
+    /// Portal usernames the entity publishes under. One for normal
+    /// publishers; a large pool for fake entities.
+    pub usernames: Vec<String>,
+    /// Primary ISP.
+    pub isp: IspId,
+    /// Secondary ISP for the home+work case.
+    pub second_isp: Option<IspId>,
+    /// Address plan.
+    pub addresses: AddressPlan,
+    /// Whether the publisher is behind a NAT (blocks bitfield probes).
+    pub natted: bool,
+    /// Promoting web site, if profit-driven.
+    pub website: Option<Website>,
+    /// Promotion technique(s) used.
+    pub promo: Vec<PromoTechnique>,
+    /// If the publisher is dedicated to a single language (40 % of the
+    /// portal class; 66 % of those Spanish).
+    pub language: Option<Language>,
+    /// Days the account existed *before* the measurement window started
+    /// (drives Table 4's longitudinal lifetime).
+    pub history_days_before_window: f64,
+    /// Lifetime publishing rate in contents/day, over the whole account
+    /// history (Table 4).
+    pub historical_rate_per_day: f64,
+}
+
+impl Publisher {
+    /// The primary username (entities always have at least one).
+    pub fn primary_username(&self) -> &str {
+        &self.usernames[0]
+    }
+
+    /// Whether the entity belongs to the paper's profit-driven set.
+    pub fn is_profit_driven(&self) -> bool {
+        self.business.is_some_and(BusinessClass::is_profit_driven)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+        u32::from(Ipv4Addr::new(a, b, c, d))
+    }
+
+    #[test]
+    fn servers_round_robin() {
+        let plan = AddressPlan::Servers(vec![ip(1, 0, 0, 1), ip(1, 0, 0, 2)]);
+        assert_eq!(plan.ip_for(0, SimTime(0)), Ipv4Addr::new(1, 0, 0, 1));
+        assert_eq!(plan.ip_for(1, SimTime(0)), Ipv4Addr::new(1, 0, 0, 2));
+        assert_eq!(plan.ip_for(2, SimTime(999)), Ipv4Addr::new(1, 0, 0, 1));
+        assert_eq!(plan.distinct_ip_count(), 2);
+    }
+
+    #[test]
+    fn dhcp_schedule_lookup() {
+        let plan = AddressPlan::Dhcp(vec![
+            (SimTime(0), ip(2, 0, 0, 1)),
+            (SimTime(100), ip(2, 0, 0, 2)),
+            (SimTime(200), ip(2, 0, 0, 3)),
+        ]);
+        assert_eq!(plan.ip_for(0, SimTime(0)), Ipv4Addr::new(2, 0, 0, 1));
+        assert_eq!(plan.ip_for(0, SimTime(99)), Ipv4Addr::new(2, 0, 0, 1));
+        assert_eq!(plan.ip_for(0, SimTime(100)), Ipv4Addr::new(2, 0, 0, 2));
+        assert_eq!(plan.ip_for(5, SimTime(250)), Ipv4Addr::new(2, 0, 0, 3));
+    }
+
+    #[test]
+    fn dual_dhcp_picks_by_parity() {
+        let plan = AddressPlan::DualDhcp {
+            home: vec![(SimTime(0), ip(3, 0, 0, 1))],
+            work: vec![(SimTime(0), ip(4, 0, 0, 1))],
+        };
+        assert_eq!(plan.ip_for(0, SimTime(0)), Ipv4Addr::new(3, 0, 0, 1));
+        assert_eq!(plan.ip_for(1, SimTime(0)), Ipv4Addr::new(4, 0, 0, 1));
+        assert_eq!(plan.distinct_ip_count(), 2);
+    }
+
+    #[test]
+    fn all_ips_dedups() {
+        let plan = AddressPlan::Dhcp(vec![
+            (SimTime(0), ip(2, 0, 0, 1)),
+            (SimTime(100), ip(2, 0, 0, 2)),
+            (SimTime(200), ip(2, 0, 0, 1)), // address returns to the pool
+        ]);
+        assert_eq!(plan.distinct_ip_count(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Simulated time.
+//!
+//! The simulation counts whole seconds from a scenario-defined epoch
+//! (the start of the measurement campaign). Seconds are plenty: the finest
+//! real-world cadence in the system is the tracker's 10–15 minute
+//! re-announce interval.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// One minute, in simulation seconds.
+pub const MINUTE: SimDuration = SimDuration(60);
+/// One hour, in simulation seconds.
+pub const HOUR: SimDuration = SimDuration(3600);
+/// One day, in simulation seconds.
+pub const DAY: SimDuration = SimDuration(86_400);
+
+/// An instant: seconds since the scenario epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The scenario epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant `d` days after the epoch.
+    pub fn from_days(d: f64) -> SimTime {
+        SimTime((d * DAY.0 as f64).round() as u64)
+    }
+
+    /// Builds an instant `h` hours after the epoch.
+    pub fn from_hours(h: f64) -> SimTime {
+        SimTime((h * HOUR.0 as f64).round() as u64)
+    }
+
+    /// Seconds since epoch.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since epoch (fractional).
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / DAY.0 as f64
+    }
+
+    /// Hours since epoch (fractional).
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / HOUR.0 as f64
+    }
+
+    /// Saturating difference: `self - earlier`, zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Second-of-day, used for diurnal session patterns.
+    pub fn second_of_day(self) -> u64 {
+        self.0 % DAY.0
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a span of `h` hours.
+    pub fn from_hours(h: f64) -> SimDuration {
+        SimDuration((h * HOUR.0 as f64).round() as u64)
+    }
+
+    /// Builds a span of `d` days.
+    pub fn from_days(d: f64) -> SimDuration {
+        SimDuration((d * DAY.0 as f64).round() as u64)
+    }
+
+    /// Builds a span of `m` minutes.
+    pub fn from_mins(m: f64) -> SimDuration {
+        SimDuration((m * MINUTE.0 as f64).round() as u64)
+    }
+
+    /// Length in seconds.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Length in fractional hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / HOUR.0 as f64
+    }
+
+    /// Length in fractional days.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / DAY.0 as f64
+    }
+
+    /// Scales the span by a non-negative factor.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        assert!(factor >= 0.0, "negative scale");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+fn fmt_day_hms(s: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let (d, rem) = (s / DAY.0, s % DAY.0);
+    write!(
+        f,
+        "{}d+{:02}:{:02}:{:02}",
+        d,
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_day_hms(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_day_hms(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_days(1.0).secs(), 86_400);
+        assert_eq!(SimTime::from_hours(2.5).secs(), 9000);
+        assert_eq!(SimDuration::from_mins(15.0).secs(), 900);
+        assert!((SimTime(86_400 * 3 / 2).as_days() - 1.5).abs() < 1e-12);
+        assert!((SimDuration(5400).as_hours() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(100) + SimDuration(50);
+        assert_eq!(t, SimTime(150));
+        assert_eq!(t - SimDuration(200), SimTime(0), "saturates at epoch");
+        assert_eq!(SimTime(300).since(SimTime(100)), SimDuration(200));
+        assert_eq!(SimTime(100).since(SimTime(300)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration(10) + SimDuration(5) - SimDuration(3),
+            SimDuration(12)
+        );
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(SimDuration(100).scale(0.5), SimDuration(50));
+        assert_eq!(SimDuration(3).scale(0.5), SimDuration(2)); // 1.5 rounds to 2
+        assert_eq!(SimDuration(0).scale(9.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn second_of_day_wraps() {
+        assert_eq!(SimTime(86_400 + 7).second_of_day(), 7);
+        assert_eq!(SimTime(7).second_of_day(), 7);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(SimTime(90_061).to_string(), "1d+01:01:01");
+        assert_eq!(SimDuration(59).to_string(), "0d+00:00:59");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative scale")]
+    fn negative_scale_panics() {
+        let _ = SimDuration(1).scale(-1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Blocking HTTP tracker client.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use btpub_proto::tracker::{AnnounceRequest, AnnounceResponse, ScrapeResponse};
+use btpub_proto::types::InfoHash;
+use btpub_proto::urlencode;
+
+use crate::http;
+
+/// Parses `http://host:port/path` into `(addr, path)`.
+///
+/// Only the literal `host:port` form is supported — there is no DNS in the
+/// testbed.
+pub fn parse_tracker_url(url: &str) -> io::Result<(SocketAddr, String)> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "expected http:// URL"))?;
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], rest[i..].to_string()),
+        None => (rest, "/".to_string()),
+    };
+    let addr: SocketAddr = host
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "expected host:port"))?;
+    Ok((addr, path))
+}
+
+/// Sends an announce to `announce_url` and parses the reply.
+pub fn announce(announce_url: &str, req: &AnnounceRequest) -> io::Result<AnnounceResponse> {
+    let (addr, path) = parse_tracker_url(announce_url)?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request_line = format!(
+        "GET {path}?{} HTTP/1.0\r\nHost: tracker\r\n\r\n",
+        req.to_query()
+    );
+    io::Write::write_all(&mut (&stream), request_line.as_bytes())?;
+    let body = http::read_response(&stream)?;
+    AnnounceResponse::decode(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Scrapes counters for the given torrents. The scrape URL is derived from
+/// the announce URL by the conventional `/announce` → `/scrape` rewrite.
+pub fn scrape(announce_url: &str, torrents: &[InfoHash]) -> io::Result<ScrapeResponse> {
+    let (addr, path) = parse_tracker_url(announce_url)?;
+    let scrape_path = path.replace("/announce", "/scrape");
+    let query: String = torrents
+        .iter()
+        .map(|ih| format!("info_hash={}", urlencode::encode(&ih.0)))
+        .collect::<Vec<_>>()
+        .join("&");
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request_line = format!("GET {scrape_path}?{query} HTTP/1.0\r\nHost: tracker\r\n\r\n");
+    io::Write::write_all(&mut (&stream), request_line.as_bytes())?;
+    let body = http::read_response(&stream)?;
+    ScrapeResponse::decode(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing() {
+        let (addr, path) = parse_tracker_url("http://127.0.0.1:8080/announce").unwrap();
+        assert_eq!(addr.port(), 8080);
+        assert_eq!(path, "/announce");
+        assert!(parse_tracker_url("udp://127.0.0.1:1/x").is_err());
+        assert!(parse_tracker_url("http://nodns.example/announce").is_err());
+        let (_, path) = parse_tracker_url("http://127.0.0.1:80").unwrap();
+        assert_eq!(path, "/");
+    }
+}

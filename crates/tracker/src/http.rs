@@ -1,0 +1,158 @@
+//! A deliberately tiny HTTP/1.0 subset — just enough for the tracker's
+//! `GET /announce?…` and `GET /scrape?…` endpoints. 2010-era trackers
+//! (and clients) spoke exactly this dialect.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Path without the query string (e.g. `/announce`).
+    pub path: String,
+    /// Raw query string (no leading `?`), possibly empty.
+    pub query: String,
+}
+
+/// Reads one HTTP request from a stream. Headers are consumed and
+/// discarded; bodies are not supported (GET only).
+pub fn read_request<R: Read>(stream: R) -> std::io::Result<Request> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+    if method != "GET" {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unsupported method {method:?}"),
+        ));
+    }
+    // Drain headers until the blank line.
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Request { path, query })
+}
+
+/// Writes a `200 OK` response with a binary body.
+pub fn write_ok<W: Write>(mut stream: W, body: &[u8]) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes an error response.
+pub fn write_error<W: Write>(mut stream: W, code: u16, reason: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.0 {code} {reason}\r\nContent-Length: 0\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+/// Reads a response, returning the body on 200 or an error otherwise.
+pub fn read_response<R: Read>(stream: R) -> std::io::Result<Vec<u8>> {
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status)?;
+    let code: u16 = status
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    if code != 200 {
+        return Err(std::io::Error::other(
+            format!("HTTP {code}"),
+        ));
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /announce?a=1&b=2 HTTP/1.0\r\nHost: x\r\nUser-Agent: t\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.path, "/announce");
+        assert_eq!(req.query, "a=1&b=2");
+    }
+
+    #[test]
+    fn parses_get_without_query() {
+        let raw = b"GET /scrape HTTP/1.1\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.path, "/scrape");
+        assert_eq!(req.query, "");
+    }
+
+    #[test]
+    fn rejects_post() {
+        let raw = b"POST /announce HTTP/1.0\r\n\r\n";
+        assert!(read_request(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_ok(&mut wire, b"d8:intervali900ee").unwrap();
+        let body = read_response(&wire[..]).unwrap();
+        assert_eq!(body, b"d8:intervali900ee");
+    }
+
+    #[test]
+    fn error_response_surfaces_code() {
+        let mut wire = Vec::new();
+        write_error(&mut wire, 404, "Not Found").unwrap();
+        let err = read_response(&wire[..]).unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn binary_bodies_survive() {
+        let body: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let mut wire = Vec::new();
+        write_ok(&mut wire, &body).unwrap();
+        assert_eq!(read_response(&wire[..]).unwrap(), body);
+    }
+}

@@ -1,0 +1,37 @@
+//! # btpub-tracker
+//!
+//! Two tracker implementations sharing the paper-relevant semantics —
+//! random peer sampling capped at 200 addresses per reply, seeder/leecher
+//! counters, and per-client rate limiting with blacklisting:
+//!
+//! * [`sim::TrackerSim`] answers queries against a generated
+//!   [`btpub_sim::Ecosystem`]; this is what the measurement campaign runs
+//!   on. It also exposes [`sim::probe`], the peer-wire bitfield probe the
+//!   crawler uses to tell the initial seeder apart from leechers (NATted
+//!   peers are unreachable, reproducing the paper's identification
+//!   failures).
+//! * [`server::TrackerServer`] is a real TCP/HTTP tracker speaking the
+//!   `btpub-proto` wire formats over sockets, backed by [`registry`]; the
+//!   [`client`] module is its blocking HTTP client. The `live_tracker`
+//!   example runs the crawler against it end-to-end.
+//! * [`udp_server::UdpTrackerServer`] speaks BEP 15 (the UDP tracker
+//!   protocol OpenBitTorrent primarily served), optionally sharing swarm
+//!   state with the HTTP endpoint.
+//! * [`livepeer`] hosts TCP peers — bitfield-only for §2 probing, or full
+//!   piece-serving seeders — plus the probe client and a verifying
+//!   download client ([`livepeer::download_from_peer`], §5's fake-content
+//!   check).
+
+pub mod client;
+pub mod http;
+pub mod livepeer;
+pub mod registry;
+pub mod server;
+pub mod sim;
+pub mod udp_server;
+
+pub use sim::{ProbeOutcome, QueryError, TrackerReply, TrackerSim};
+
+/// The maximum number of peers a tracker returns per query (the value the
+/// paper's crawler always requests).
+pub const MAX_NUMWANT: usize = 200;

@@ -1,0 +1,520 @@
+//! Real peer-wire endpoints for the live testbed: a seeder peer that
+//! serves its bitfield over TCP, and the probe client the crawler uses to
+//! fetch it — the concrete mechanics behind §2's "we obtain the bitfield
+//! of available pieces at individual peers to identify the seeder".
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::BytesMut;
+
+use btpub_proto::metainfo::Metainfo;
+use btpub_proto::payload;
+use btpub_proto::peerwire::{Bitfield, Handshake, Message, HANDSHAKE_LEN};
+use btpub_proto::sha1::sha1;
+use btpub_proto::types::{InfoHash, PeerId};
+
+/// What a live peer serves beyond its bitfield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeMode {
+    /// Handshake + bitfield only (enough for §2 seeder identification).
+    BitfieldOnly,
+    /// Full piece transfer from the synthetic payload with this seed.
+    Payload {
+        seed: u64,
+        total_len: u64,
+        piece_len: u32,
+        /// Fake publishers serve bytes that fail hash verification —
+        /// §5's "the few downloaded files were indeed fake contents".
+        corrupt: bool,
+    },
+}
+
+/// A TCP peer that completes handshakes, reports a fixed bitfield, and —
+/// in payload mode — serves pieces over the wire.
+pub struct LivePeer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LivePeer {
+    /// Starts a peer for `info_hash` holding `have` of `pieces` pieces
+    /// (pass `have == pieces` for a seeder).
+    pub fn start(
+        info_hash: InfoHash,
+        peer_id: PeerId,
+        pieces: usize,
+        have: usize,
+    ) -> std::io::Result<LivePeer> {
+        Self::start_with_mode(info_hash, peer_id, pieces, have, ServeMode::BitfieldOnly)
+    }
+
+    /// Starts a *serving* seeder: it holds the complete synthetic payload
+    /// for `metainfo` (which must have been built with
+    /// `MetainfoBuilder::real_payload(true)` and the same `payload_seed`)
+    /// and answers `request` messages with `piece` data. With
+    /// `corrupt = true` the served bytes will not match the metainfo's
+    /// piece hashes — a fake publisher.
+    pub fn start_seeding(
+        metainfo: &Metainfo,
+        peer_id: PeerId,
+        payload_seed: u64,
+        corrupt: bool,
+    ) -> std::io::Result<LivePeer> {
+        let pieces = metainfo.info.piece_count();
+        Self::start_with_mode(
+            metainfo.info_hash(),
+            peer_id,
+            pieces,
+            pieces,
+            ServeMode::Payload {
+                seed: payload_seed,
+                total_len: metainfo.info.total_length(),
+                piece_len: metainfo.info.piece_length,
+                corrupt,
+            },
+        )
+    }
+
+    fn start_with_mode(
+        info_hash: InfoHash,
+        peer_id: PeerId,
+        pieces: usize,
+        have: usize,
+        mode: ServeMode,
+    ) -> std::io::Result<LivePeer> {
+        assert!(have <= pieces, "cannot have more pieces than exist");
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut bitfield = Bitfield::empty(pieces);
+        for i in 0..have {
+            bitfield.set(i);
+        }
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("live-peer".into())
+                .spawn(move || serve(listener, info_hash, peer_id, bitfield, mode, stop))?
+        };
+        Ok(LivePeer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The peer's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for LivePeer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(
+    listener: TcpListener,
+    info_hash: InfoHash,
+    peer_id: PeerId,
+    bitfield: Bitfield,
+    mode: ServeMode,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                let _ = handle_peer_connection(&mut stream, info_hash, peer_id, &bitfield, mode);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_peer_connection(
+    stream: &mut TcpStream,
+    info_hash: InfoHash,
+    peer_id: PeerId,
+    bitfield: &Bitfield,
+    mode: ServeMode,
+) -> std::io::Result<()> {
+    // Read the remote handshake; refuse on info-hash mismatch by closing,
+    // as real clients do.
+    let mut buf = [0u8; HANDSHAKE_LEN];
+    stream.read_exact(&mut buf)?;
+    let remote = Handshake::decode(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if remote.info_hash != info_hash {
+        return Ok(()); // silently drop, like production clients
+    }
+    stream.write_all(&Handshake::new(info_hash, peer_id).encode())?;
+    let mut out = BytesMut::new();
+    Message::Bitfield(bytes::Bytes::copy_from_slice(bitfield.as_bytes())).encode(&mut out);
+    stream.write_all(&out)?;
+    stream.flush()?;
+    let ServeMode::Payload {
+        seed,
+        total_len,
+        piece_len,
+        corrupt,
+    } = mode
+    else {
+        return Ok(());
+    };
+    // Serve requests until the remote disconnects.
+    let mut acc = BytesMut::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match Message::decode(&mut acc) {
+            Ok(Some(Message::Interested)) => {
+                let mut out = BytesMut::new();
+                Message::Unchoke.encode(&mut out);
+                stream.write_all(&out)?;
+            }
+            Ok(Some(Message::Request {
+                index,
+                begin,
+                length,
+            })) => {
+                let plen = payload::piece_len_at(total_len, piece_len, index);
+                let mut data = payload::block_bytes(
+                    seed,
+                    index,
+                    plen,
+                    begin as usize,
+                    length as usize,
+                );
+                if corrupt && !data.is_empty() {
+                    // A fake publisher: the payload hashes will not match.
+                    data[0] ^= 0xFF;
+                }
+                let mut out = BytesMut::new();
+                Message::Piece {
+                    index,
+                    begin,
+                    data: bytes::Bytes::from(data),
+                }
+                .encode(&mut out);
+                stream.write_all(&out)?;
+                stream.flush()?;
+            }
+            Ok(Some(_)) => {} // keep-alives, have, not-interested: ignore
+            Ok(None) => {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(());
+                }
+                acc.extend_from_slice(&chunk[..n]);
+            }
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// Block size used by the download client (the conventional 16 KiB).
+pub const BLOCK_LEN: u32 = 16 * 1024;
+
+/// Errors from a verified download.
+#[derive(Debug)]
+pub enum DownloadError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// A piece failed SHA-1 verification — fake or corrupt content.
+    HashMismatch {
+        /// Index of the offending piece.
+        piece: u32,
+    },
+}
+
+impl std::fmt::Display for DownloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DownloadError::Io(e) => write!(f, "download I/O error: {e}"),
+            DownloadError::HashMismatch { piece } => {
+                write!(f, "piece {piece} failed SHA-1 verification")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DownloadError {}
+
+impl From<std::io::Error> for DownloadError {
+    fn from(e: std::io::Error) -> Self {
+        DownloadError::Io(e)
+    }
+}
+
+/// Downloads the complete payload from one peer and verifies every piece
+/// against the metainfo's SHA-1 digests — the §5 procedure that exposed
+/// fake content.
+pub fn download_from_peer(
+    addr: SocketAddr,
+    metainfo: &Metainfo,
+    our_id: PeerId,
+) -> Result<Vec<u8>, DownloadError> {
+    let info_hash = metainfo.info_hash();
+    let total_len = metainfo.info.total_length();
+    let piece_len = metainfo.info.piece_length;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    stream.write_all(&Handshake::new(info_hash, our_id).encode())?;
+    let mut buf = [0u8; HANDSHAKE_LEN];
+    stream.read_exact(&mut buf)?;
+    Handshake::decode(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    // Express interest; the seeder unchokes us.
+    let mut out = BytesMut::new();
+    Message::Interested.encode(&mut out);
+    stream.write_all(&out)?;
+    stream.flush()?;
+
+    let mut file = Vec::with_capacity(total_len as usize);
+    let mut acc = BytesMut::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let piece_count = payload::piece_count(total_len, piece_len);
+    for index in 0..piece_count {
+        let plen = payload::piece_len_at(total_len, piece_len, index);
+        let mut piece = Vec::with_capacity(plen);
+        let mut begin = 0u32;
+        while (begin as usize) < plen {
+            let want = BLOCK_LEN.min(plen as u32 - begin);
+            let mut out = BytesMut::new();
+            Message::Request {
+                index,
+                begin,
+                length: want,
+            }
+            .encode(&mut out);
+            stream.write_all(&out)?;
+            stream.flush()?;
+            // Read until the matching piece message arrives.
+            loop {
+                match Message::decode(&mut acc) {
+                    Ok(Some(Message::Piece {
+                        index: pi,
+                        begin: pb,
+                        data,
+                    })) if pi == index && pb == begin => {
+                        piece.extend_from_slice(&data);
+                        begin += data.len() as u32;
+                        if data.is_empty() {
+                            return Err(DownloadError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "peer sent empty block",
+                            )));
+                        }
+                        break;
+                    }
+                    Ok(Some(_)) => {} // unchoke, keep-alive, stray pieces
+                    Ok(None) => {
+                        let n = stream.read(&mut chunk)?;
+                        if n == 0 {
+                            return Err(DownloadError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "peer closed mid-download",
+                            )));
+                        }
+                        acc.extend_from_slice(&chunk[..n]);
+                    }
+                    Err(e) => {
+                        return Err(DownloadError::Io(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            e.to_string(),
+                        )))
+                    }
+                }
+            }
+        }
+        // Verify the piece against the metainfo digest.
+        let expected = &metainfo.info.pieces[index as usize * 20..(index as usize + 1) * 20];
+        if sha1(&piece) != expected {
+            return Err(DownloadError::HashMismatch { piece: index });
+        }
+        file.extend_from_slice(&piece);
+    }
+    Ok(file)
+}
+
+/// Connects to a peer, handshakes, and returns its bitfield — the §2
+/// seeder test. Errors indicate an unreachable peer (NAT/firewall in the
+/// real world) or a protocol violation.
+pub fn probe_bitfield(
+    addr: SocketAddr,
+    info_hash: InfoHash,
+    our_id: PeerId,
+    pieces: usize,
+) -> std::io::Result<Bitfield> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(&Handshake::new(info_hash, our_id).encode())?;
+    let mut buf = [0u8; HANDSHAKE_LEN];
+    stream.read_exact(&mut buf)?;
+    let remote = Handshake::decode(&buf)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if remote.info_hash != info_hash {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "info-hash mismatch in handshake",
+        ));
+    }
+    // Read frames until the bitfield arrives (keep-alives may precede it).
+    let mut acc = BytesMut::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match Message::decode(&mut acc) {
+            Ok(Some(Message::Bitfield(bits))) => {
+                return Bitfield::from_bytes(&bits, pieces).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                });
+            }
+            Ok(Some(_)) => continue,
+            Ok(None) => {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed before sending bitfield",
+                    ));
+                }
+                acc.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    e.to_string(),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (InfoHash, PeerId, PeerId) {
+        (
+            InfoHash([0xAA; 20]),
+            PeerId::azureus_style("BP", "0001", [1; 12]),
+            PeerId::azureus_style("BP", "0002", [2; 12]),
+        )
+    }
+
+    #[test]
+    fn probing_a_seeder_sees_full_bitfield() {
+        let (ih, seeder_id, probe_id) = ids();
+        let peer = LivePeer::start(ih, seeder_id, 100, 100).unwrap();
+        let bf = probe_bitfield(peer.addr(), ih, probe_id, 100).unwrap();
+        assert!(bf.is_seed());
+        assert_eq!(bf.count(), 100);
+    }
+
+    #[test]
+    fn probing_a_leecher_sees_partial_bitfield() {
+        let (ih, leecher_id, probe_id) = ids();
+        let peer = LivePeer::start(ih, leecher_id, 100, 42).unwrap();
+        let bf = probe_bitfield(peer.addr(), ih, probe_id, 100).unwrap();
+        assert!(!bf.is_seed());
+        assert_eq!(bf.count(), 42);
+    }
+
+    #[test]
+    fn wrong_infohash_is_refused() {
+        let (ih, seeder_id, probe_id) = ids();
+        let peer = LivePeer::start(ih, seeder_id, 10, 10).unwrap();
+        let err = probe_bitfield(peer.addr(), InfoHash([0xBB; 20]), probe_id, 10);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn verified_download_roundtrip() {
+        use btpub_proto::metainfo::MetainfoBuilder;
+        let metainfo = MetainfoBuilder::new("http://t/announce", "payload.bin", 150_000)
+            .piece_length(64 * 1024)
+            .piece_seed(99)
+            .real_payload(true)
+            .build();
+        let seeder =
+            LivePeer::start_seeding(&metainfo, PeerId([3; 20]), 99, false).unwrap();
+        let data = download_from_peer(seeder.addr(), &metainfo, PeerId([4; 20])).unwrap();
+        assert_eq!(data.len() as u64, 150_000);
+        assert_eq!(data, payload::file_bytes(99, 150_000, 64 * 1024));
+    }
+
+    #[test]
+    fn corrupt_seeder_fails_hash_verification() {
+        use btpub_proto::metainfo::MetainfoBuilder;
+        let metainfo = MetainfoBuilder::new("http://t/announce", "fake.bin", 100_000)
+            .piece_length(32 * 1024)
+            .piece_seed(7)
+            .real_payload(true)
+            .build();
+        // The fake publisher serves bytes that do not hash correctly.
+        let seeder = LivePeer::start_seeding(&metainfo, PeerId([5; 20]), 7, true).unwrap();
+        match download_from_peer(seeder.addr(), &metainfo, PeerId([6; 20])) {
+            Err(DownloadError::HashMismatch { piece: 0 }) => {}
+            other => panic!("expected hash mismatch on piece 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_seed_also_fails_verification() {
+        use btpub_proto::metainfo::MetainfoBuilder;
+        let metainfo = MetainfoBuilder::new("http://t/announce", "swapped.bin", 40_000)
+            .piece_length(16 * 1024)
+            .piece_seed(1)
+            .real_payload(true)
+            .build();
+        // Seeder serves a *different* file under the same metainfo.
+        let seeder = LivePeer::start_seeding(&metainfo, PeerId([7; 20]), 2, false).unwrap();
+        assert!(matches!(
+            download_from_peer(seeder.addr(), &metainfo, PeerId([8; 20])),
+            Err(DownloadError::HashMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn download_handles_non_block_aligned_sizes() {
+        use btpub_proto::metainfo::MetainfoBuilder;
+        // Total length not a multiple of piece or block size.
+        let metainfo = MetainfoBuilder::new("http://t/announce", "odd.bin", 70_001)
+            .piece_length(32 * 1024)
+            .piece_seed(11)
+            .real_payload(true)
+            .build();
+        let seeder = LivePeer::start_seeding(&metainfo, PeerId([9; 20]), 11, false).unwrap();
+        let data = download_from_peer(seeder.addr(), &metainfo, PeerId([10; 20])).unwrap();
+        assert_eq!(data.len(), 70_001);
+    }
+
+    #[test]
+    fn probing_a_dead_address_fails_fast() {
+        let (ih, _, probe_id) = ids();
+        // Bind-then-drop to get a port that refuses connections.
+        let addr = {
+            let l = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(probe_bitfield(addr, ih, probe_id, 10).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! Swarm state for the real tracker: who is in which swarm.
+
+use std::collections::HashMap;
+use std::net::SocketAddrV4;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use btpub_proto::tracker::{AnnounceEvent, AnnounceRequest, ScrapeEntry};
+use btpub_proto::types::{InfoHash, PeerId};
+
+use crate::MAX_NUMWANT;
+
+/// How long a silent peer stays registered before being pruned.
+pub const PEER_TIMEOUT: Duration = Duration::from_secs(45 * 60);
+
+#[derive(Debug, Clone)]
+struct PeerState {
+    addr: SocketAddrV4,
+    left: u64,
+    last_seen: Instant,
+}
+
+#[derive(Debug, Default)]
+struct Swarm {
+    peers: HashMap<PeerId, PeerState>,
+    /// Count of `completed` events ever seen.
+    downloaded: u32,
+}
+
+/// In-memory tracker state: swarms keyed by info-hash.
+#[derive(Debug)]
+pub struct Registry {
+    swarms: HashMap<InfoHash, Swarm>,
+    rng: StdRng,
+}
+
+/// Summary of an announce's effect, used to build the HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnounceOutcome {
+    /// Current seeders.
+    pub complete: u32,
+    /// Current leechers.
+    pub incomplete: u32,
+    /// Random peer sample (excludes the announcing peer itself).
+    pub peers: Vec<SocketAddrV4>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new(seed: u64) -> Self {
+        Registry {
+            swarms: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Registers a torrent so announces for it are accepted.
+    pub fn register(&mut self, info_hash: InfoHash) {
+        self.swarms.entry(info_hash).or_default();
+    }
+
+    /// Whether the torrent is known.
+    pub fn knows(&self, info_hash: &InfoHash) -> bool {
+        self.swarms.contains_key(info_hash)
+    }
+
+    /// Processes an announce; returns `None` for unknown torrents.
+    pub fn announce(
+        &mut self,
+        req: &AnnounceRequest,
+        from_ip: std::net::Ipv4Addr,
+        now: Instant,
+    ) -> Option<AnnounceOutcome> {
+        let swarm = self.swarms.get_mut(&req.info_hash)?;
+        // Prune peers that went silent.
+        swarm
+            .peers
+            .retain(|_, p| now.duration_since(p.last_seen) < PEER_TIMEOUT);
+        match req.event {
+            AnnounceEvent::Stopped => {
+                swarm.peers.remove(&req.peer_id);
+            }
+            other => {
+                if other == AnnounceEvent::Completed {
+                    swarm.downloaded += 1;
+                }
+                swarm.peers.insert(
+                    req.peer_id,
+                    PeerState {
+                        addr: SocketAddrV4::new(from_ip, req.port),
+                        left: req.left,
+                        last_seen: now,
+                    },
+                );
+            }
+        }
+        let complete = swarm.peers.values().filter(|p| p.left == 0).count() as u32;
+        let incomplete = swarm.peers.len() as u32 - complete;
+        // Uniform sample of other peers.
+        let want = (req.numwant as usize).min(MAX_NUMWANT);
+        let mut others: Vec<SocketAddrV4> = swarm
+            .peers
+            .iter()
+            .filter(|(id, _)| **id != req.peer_id)
+            .map(|(_, p)| p.addr)
+            .collect();
+        if others.len() > want {
+            for i in 0..want {
+                let j = self.rng.gen_range(i..others.len());
+                others.swap(i, j);
+            }
+            others.truncate(want);
+        }
+        Some(AnnounceOutcome {
+            complete,
+            incomplete,
+            peers: others,
+        })
+    }
+
+    /// Scrape counters for one torrent.
+    pub fn scrape(&self, info_hash: &InfoHash) -> Option<ScrapeEntry> {
+        let swarm = self.swarms.get(info_hash)?;
+        let complete = swarm.peers.values().filter(|p| p.left == 0).count() as u32;
+        Some(ScrapeEntry {
+            complete,
+            downloaded: swarm.downloaded,
+            incomplete: swarm.peers.len() as u32 - complete,
+        })
+    }
+
+    /// Number of registered torrents.
+    pub fn torrent_count(&self) -> usize {
+        self.swarms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn req(ih: u8, pid: u8, left: u64, event: AnnounceEvent) -> AnnounceRequest {
+        AnnounceRequest {
+            info_hash: InfoHash([ih; 20]),
+            peer_id: PeerId([pid; 20]),
+            port: 6881,
+            uploaded: 0,
+            downloaded: 0,
+            left,
+            event,
+            numwant: 50,
+            compact: true,
+        }
+    }
+
+    #[test]
+    fn announce_lifecycle() {
+        let mut reg = Registry::new(1);
+        reg.register(InfoHash([1; 20]));
+        let now = Instant::now();
+        let ip = Ipv4Addr::new(10, 0, 0, 1);
+        // Leecher joins.
+        let out = reg
+            .announce(&req(1, 1, 100, AnnounceEvent::Started), ip, now)
+            .unwrap();
+        assert_eq!((out.complete, out.incomplete), (0, 1));
+        assert!(out.peers.is_empty(), "no *other* peers yet");
+        // Second peer sees the first.
+        let out = reg
+            .announce(&req(1, 2, 0, AnnounceEvent::Started), ip, now)
+            .unwrap();
+        assert_eq!((out.complete, out.incomplete), (1, 1));
+        assert_eq!(out.peers.len(), 1);
+        // First peer completes.
+        let out = reg
+            .announce(&req(1, 1, 0, AnnounceEvent::Completed), ip, now)
+            .unwrap();
+        assert_eq!((out.complete, out.incomplete), (2, 0));
+        assert_eq!(reg.scrape(&InfoHash([1; 20])).unwrap().downloaded, 1);
+        // First peer leaves.
+        let out = reg
+            .announce(&req(1, 1, 0, AnnounceEvent::Stopped), ip, now)
+            .unwrap();
+        assert_eq!((out.complete, out.incomplete), (1, 0));
+    }
+
+    #[test]
+    fn unknown_torrent_rejected() {
+        let mut reg = Registry::new(1);
+        assert!(reg
+            .announce(
+                &req(9, 1, 0, AnnounceEvent::Started),
+                Ipv4Addr::LOCALHOST,
+                Instant::now()
+            )
+            .is_none());
+        assert!(reg.scrape(&InfoHash([9; 20])).is_none());
+    }
+
+    #[test]
+    fn stale_peers_are_pruned() {
+        let mut reg = Registry::new(1);
+        reg.register(InfoHash([1; 20]));
+        let t0 = Instant::now();
+        reg.announce(&req(1, 1, 0, AnnounceEvent::Started), Ipv4Addr::LOCALHOST, t0)
+            .unwrap();
+        let later = t0 + PEER_TIMEOUT + Duration::from_secs(1);
+        let out = reg
+            .announce(&req(1, 2, 10, AnnounceEvent::Started), Ipv4Addr::LOCALHOST, later)
+            .unwrap();
+        assert_eq!((out.complete, out.incomplete), (0, 1), "peer 1 pruned");
+    }
+
+    #[test]
+    fn sample_respects_numwant() {
+        let mut reg = Registry::new(1);
+        reg.register(InfoHash([1; 20]));
+        let now = Instant::now();
+        for i in 0..60u8 {
+            reg.announce(
+                &req(1, i, 10, AnnounceEvent::Started),
+                Ipv4Addr::new(10, 0, 0, i),
+                now,
+            )
+            .unwrap();
+        }
+        let mut r = req(1, 200, 10, AnnounceEvent::Interval);
+        r.numwant = 25;
+        let out = reg.announce(&r, Ipv4Addr::LOCALHOST, now).unwrap();
+        assert_eq!(out.peers.len(), 25);
+        let unique: std::collections::HashSet<_> = out.peers.iter().collect();
+        assert_eq!(unique.len(), 25, "sample has no duplicates");
+    }
+
+    #[test]
+    fn reannounce_updates_in_place() {
+        let mut reg = Registry::new(1);
+        reg.register(InfoHash([1; 20]));
+        let now = Instant::now();
+        reg.announce(&req(1, 1, 100, AnnounceEvent::Started), Ipv4Addr::LOCALHOST, now)
+            .unwrap();
+        let out = reg
+            .announce(&req(1, 1, 50, AnnounceEvent::Interval), Ipv4Addr::LOCALHOST, now)
+            .unwrap();
+        assert_eq!((out.complete, out.incomplete), (0, 1), "still one peer");
+    }
+}

@@ -1,0 +1,161 @@
+//! The real TCP tracker server.
+
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use btpub_proto::tracker::{
+    AnnounceRequest, AnnounceResponse, PeerEntry, ScrapeResponse,
+};
+use btpub_proto::types::InfoHash;
+use btpub_proto::urlencode;
+
+use crate::http;
+use crate::registry::Registry;
+
+/// Re-announce interval handed to clients, in seconds.
+pub const ANNOUNCE_INTERVAL: u32 = 900;
+
+/// A running tracker bound to a local TCP port.
+pub struct TrackerServer {
+    registry: Arc<Mutex<Registry>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TrackerServer {
+    /// Binds to `127.0.0.1:0` and starts serving on a background thread.
+    pub fn start(seed: u64) -> std::io::Result<TrackerServer> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(Mutex::new(Registry::new(seed)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("tracker-server".into())
+                .spawn(move || serve(listener, registry, stop))?
+        };
+        Ok(TrackerServer {
+            registry,
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The `http://…/announce` URL of this tracker.
+    pub fn announce_url(&self) -> String {
+        format!("http://{}/announce", self.addr)
+    }
+
+    /// Bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a torrent (only registered torrents accept announces).
+    pub fn register(&self, info_hash: InfoHash) {
+        self.registry.lock().register(info_hash);
+    }
+
+    /// Number of registered torrents.
+    pub fn torrent_count(&self) -> usize {
+        self.registry.lock().torrent_count()
+    }
+}
+
+impl Drop for TrackerServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, registry: Arc<Mutex<Registry>>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let registry = Arc::clone(&registry);
+                // One short-lived thread per connection: tracker exchanges
+                // are a single request/response, so the cost is bounded.
+                let _ = std::thread::Builder::new()
+                    .name("tracker-conn".into())
+                    .spawn(move || handle_connection(stream, peer, registry));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, peer: SocketAddr, registry: Arc<Mutex<Registry>>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let request = match http::read_request(&stream) {
+        Ok(r) => r,
+        Err(_) => {
+            let _ = http::write_error(&stream, 400, "Bad Request");
+            return;
+        }
+    };
+    let from_ip = match peer {
+        SocketAddr::V4(v4) => *v4.ip(),
+        SocketAddr::V6(_) => Ipv4Addr::LOCALHOST,
+    };
+    match request.path.as_str() {
+        "/announce" => {
+            let response = match AnnounceRequest::from_query(&request.query) {
+                Err(_) => AnnounceResponse::Failure("malformed announce".into()),
+                Ok(req) => {
+                    match registry.lock().announce(&req, from_ip, Instant::now()) {
+                        None => AnnounceResponse::Failure("torrent not registered".into()),
+                        Some(out) => AnnounceResponse::Ok {
+                            interval: ANNOUNCE_INTERVAL,
+                            complete: out.complete,
+                            incomplete: out.incomplete,
+                            peers: out
+                                .peers
+                                .into_iter()
+                                .map(|addr| PeerEntry {
+                                    peer_id: None,
+                                    addr,
+                                })
+                                .collect(),
+                            compact: req.compact,
+                        },
+                    }
+                }
+            };
+            let _ = http::write_ok(&stream, &response.encode());
+        }
+        "/scrape" => {
+            let mut files = Vec::new();
+            for (k, v) in urlencode::parse_query(&request.query) {
+                if k == "info_hash" {
+                    if let Ok(arr) = <[u8; 20]>::try_from(v.as_slice()) {
+                        let ih = InfoHash(arr);
+                        if let Some(entry) = registry.lock().scrape(&ih) {
+                            files.push((ih, entry));
+                        }
+                    }
+                }
+            }
+            let _ = http::write_ok(&stream, &ScrapeResponse { files }.encode());
+        }
+        _ => {
+            let _ = http::write_error(&stream, 404, "Not Found");
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The in-simulation tracker.
+
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use btpub_sim::rngs;
+use btpub_sim::{Ecosystem, SimDuration, SimTime, TorrentId};
+
+use crate::MAX_NUMWANT;
+
+/// Identifies a querying client (one crawler vantage point).
+pub type ClientId = u32;
+
+/// A tracker reply to a peer-list query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackerReply {
+    /// Seeder count (`complete`), publisher included when seeding.
+    pub complete: u32,
+    /// Leecher count (`incomplete`).
+    pub incomplete: u32,
+    /// Random sample of peer addresses, at most [`MAX_NUMWANT`].
+    pub peers: Vec<Ipv4Addr>,
+    /// Minimum wait before this client may query again.
+    pub min_interval: SimDuration,
+}
+
+/// Why a query was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The client queried before its minimum interval elapsed; retry at
+    /// the contained time. Repeat offenders get blacklisted.
+    RateLimited {
+        /// Earliest permitted retry.
+        retry_at: SimTime,
+    },
+    /// The client has been blacklisted for hammering the tracker.
+    Blacklisted,
+    /// Unknown torrent.
+    UnknownTorrent,
+}
+
+/// Result of a peer-wire bitfield probe against one address.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeOutcome {
+    /// TCP connection failed: the peer is behind a NAT.
+    Unreachable,
+    /// Nobody at that address is in this swarm right now.
+    Offline,
+    /// Handshake + bitfield succeeded; completion fraction in [0, 1].
+    Completion(f64),
+}
+
+impl ProbeOutcome {
+    /// Whether the probe proves the peer is a seeder.
+    pub fn is_seed(self) -> bool {
+        matches!(self, ProbeOutcome::Completion(c) if c >= 1.0)
+    }
+}
+
+/// The simulated tracker: serves peer lists sampled from swarm traces,
+/// enforcing the 10–15-minute per-client rate limit the paper worked
+/// around with multiple vantage points.
+pub struct TrackerSim<'a> {
+    eco: &'a Ecosystem,
+    /// Last permitted query per (client, torrent).
+    last_query: HashMap<(ClientId, TorrentId), SimTime>,
+    strikes: HashMap<ClientId, u32>,
+    blacklisted: HashSet<ClientId>,
+    rng: StdRng,
+    /// Violations tolerated before blacklisting.
+    max_strikes: u32,
+}
+
+impl<'a> TrackerSim<'a> {
+    /// Creates a tracker over an ecosystem.
+    pub fn new(eco: &'a Ecosystem) -> Self {
+        TrackerSim {
+            eco,
+            last_query: HashMap::new(),
+            strikes: HashMap::new(),
+            blacklisted: HashSet::new(),
+            rng: rngs::derive(eco.config.seed, "tracker", 0),
+            max_strikes: 20,
+        }
+    }
+
+    /// The per-client minimum query interval at time `t`. Varies in
+    /// [10, 15] minutes with load, deterministically per hour.
+    pub fn min_interval(&self, t: SimTime) -> SimDuration {
+        let hour = t.secs() / 3600;
+        // Cheap deterministic jitter per hour: 600–900 s.
+        let jitter = (hour.wrapping_mul(0x9E37_79B9) >> 7) % 301;
+        SimDuration(600 + jitter)
+    }
+
+    /// Handles one peer-list query from `client` at time `t`.
+    pub fn query(
+        &mut self,
+        client: ClientId,
+        torrent: TorrentId,
+        t: SimTime,
+        numwant: usize,
+    ) -> Result<TrackerReply, QueryError> {
+        if self.blacklisted.contains(&client) {
+            return Err(QueryError::Blacklisted);
+        }
+        if torrent.0 as usize >= self.eco.swarms.len() {
+            return Err(QueryError::UnknownTorrent);
+        }
+        let interval = self.min_interval(t);
+        if let Some(&last) = self.last_query.get(&(client, torrent)) {
+            let earliest = last + interval;
+            if t < earliest {
+                // Only egregious violations (re-query within half the
+                // interval) count toward blacklisting; mild drift caused by
+                // the load-dependent interval is tolerated, as real
+                // trackers do.
+                if t < last + SimDuration(interval.secs() / 2) {
+                    let strikes = self.strikes.entry(client).or_insert(0);
+                    *strikes += 1;
+                    if *strikes > self.max_strikes {
+                        self.blacklisted.insert(client);
+                        return Err(QueryError::Blacklisted);
+                    }
+                }
+                return Err(QueryError::RateLimited { retry_at: earliest });
+            }
+        }
+        self.last_query.insert((client, torrent), t);
+
+        let numwant = numwant.min(MAX_NUMWANT);
+        let swarm = &self.eco.swarms[torrent.0 as usize];
+        let publisher_on = swarm.publisher_seeding(t);
+        // The publishing entity may seed from several servers in parallel.
+        let entity_seeders = if publisher_on {
+            usize::from(swarm.publisher_seed_count())
+        } else {
+            0
+        };
+        let complete = swarm.seeder_count(t) as u32 + entity_seeders as u32;
+        let incomplete = swarm.leecher_count(t) as u32;
+        let active_total = swarm.active_count(t) + entity_seeders;
+
+        let mut peers: Vec<Ipv4Addr> = Vec::with_capacity(numwant.min(active_total));
+        if entity_seeders > 0 {
+            // Each entity server lands in the sample with the same chance
+            // an ordinary peer would.
+            let p_include = (numwant as f64 / active_total as f64).min(1.0);
+            for addr in self.eco.publisher_addrs(torrent, t) {
+                if peers.len() < numwant
+                    && (active_total <= numwant || self.rng.gen_bool(p_include))
+                {
+                    peers.push(addr);
+                }
+            }
+        }
+        let wanted_from_trace = numwant - peers.len();
+        for p in swarm.sample_active(t, wanted_from_trace, &mut self.rng) {
+            peers.push(Ipv4Addr::from(p.ip));
+        }
+        Ok(TrackerReply {
+            complete,
+            incomplete,
+            peers,
+            min_interval: interval,
+        })
+    }
+
+    /// Whether a client has been blacklisted.
+    pub fn is_blacklisted(&self, client: ClientId) -> bool {
+        self.blacklisted.contains(&client)
+    }
+}
+
+/// Simulates a peer-wire connection to `ip` asking for its bitfield in the
+/// swarm of `torrent` at time `t` (§2's initial-seeder identification).
+pub fn probe(eco: &Ecosystem, torrent: TorrentId, ip: Ipv4Addr, t: SimTime) -> ProbeOutcome {
+    let swarm = &eco.swarms[torrent.0 as usize];
+    // One of the publishing entity's seeding servers?
+    if swarm.publisher_seeding(t) && eco.publisher_addrs(torrent, t).contains(&ip) {
+        return if eco.publisher_natted(torrent) {
+            ProbeOutcome::Unreachable
+        } else {
+            ProbeOutcome::Completion(1.0)
+        };
+    }
+    match swarm.peer_by_ip(u32::from(ip), t) {
+        None => ProbeOutcome::Offline,
+        Some(peer) if peer.natted => ProbeOutcome::Unreachable,
+        Some(peer) => ProbeOutcome::Completion(peer.completion(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpub_sim::{Ecosystem, EcosystemConfig};
+
+    fn eco() -> Ecosystem {
+        Ecosystem::generate(EcosystemConfig::tiny(70))
+    }
+
+    #[test]
+    fn query_returns_counts_and_peers() {
+        let e = eco();
+        let mut tr = TrackerSim::new(&e);
+        // Find a reasonably popular torrent and query mid-life.
+        let (idx, _) = e
+            .swarms
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.downloads())
+            .unwrap();
+        let t = e.publications[idx].at + SimDuration::from_hours(2.0);
+        let reply = tr.query(1, TorrentId(idx as u32), t, 200).unwrap();
+        let swarm = &e.swarms[idx];
+        let expected_active =
+            swarm.active_count(t) + usize::from(swarm.publisher_seeding(t));
+        assert_eq!(
+            (reply.complete + reply.incomplete) as usize,
+            expected_active
+        );
+        assert!(reply.peers.len() <= 200);
+        assert!(reply.peers.len() <= expected_active);
+        assert!(reply.min_interval >= SimDuration(600));
+        assert!(reply.min_interval <= SimDuration(900));
+    }
+
+    #[test]
+    fn numwant_caps_at_protocol_maximum() {
+        let e = eco();
+        let mut tr = TrackerSim::new(&e);
+        let reply = tr.query(1, TorrentId(0), e.publications[0].at, 100_000).unwrap();
+        assert!(reply.peers.len() <= MAX_NUMWANT);
+    }
+
+    #[test]
+    fn rate_limiting_kicks_in_per_torrent() {
+        let e = eco();
+        let mut tr = TrackerSim::new(&e);
+        let t0 = e.publications[0].at;
+        tr.query(1, TorrentId(0), t0, 50).unwrap();
+        let err = tr.query(1, TorrentId(0), t0 + SimDuration(60), 50);
+        match err {
+            Err(QueryError::RateLimited { retry_at }) => {
+                assert!(retry_at > t0 + SimDuration(60));
+                assert!(retry_at <= t0 + SimDuration(900));
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        // A different torrent is fine.
+        assert!(tr.query(1, TorrentId(1), t0 + SimDuration(60), 50).is_ok());
+        // A different client is fine.
+        assert!(tr.query(2, TorrentId(0), t0 + SimDuration(60), 50).is_ok());
+        // After the interval the same client may re-query.
+        assert!(tr.query(1, TorrentId(0), t0 + SimDuration(901), 50).is_ok());
+    }
+
+    #[test]
+    fn hammering_gets_blacklisted() {
+        let e = eco();
+        let mut tr = TrackerSim::new(&e);
+        let t0 = e.publications[0].at;
+        tr.query(9, TorrentId(0), t0, 50).unwrap();
+        let mut blacklisted = false;
+        for i in 1..100u64 {
+            match tr.query(9, TorrentId(0), t0 + SimDuration(i), 50) {
+                Err(QueryError::Blacklisted) => {
+                    blacklisted = true;
+                    break;
+                }
+                Err(QueryError::RateLimited { .. }) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(blacklisted);
+        assert!(tr.is_blacklisted(9));
+        // Polite clients are unaffected.
+        assert!(tr.query(10, TorrentId(0), t0 + SimDuration(100), 50).is_ok());
+    }
+
+    #[test]
+    fn unknown_torrent_rejected() {
+        let e = eco();
+        let mut tr = TrackerSim::new(&e);
+        assert_eq!(
+            tr.query(1, TorrentId(u32::MAX), SimTime(0), 50),
+            Err(QueryError::UnknownTorrent)
+        );
+    }
+
+    #[test]
+    fn publisher_appears_in_small_young_swarms() {
+        let e = eco();
+        let mut tr = TrackerSim::new(&e);
+        // Right after announcement most swarms are tiny, so the publisher
+        // (when seeding and the only peer) must be in the sample.
+        let mut publisher_seen = 0;
+        let mut candidates = 0;
+        for (i, p) in e.publications.iter().enumerate().take(100) {
+            let t = p.at + SimDuration(30);
+            let swarm = &e.swarms[i];
+            if swarm.publisher_seeding(t) && swarm.active_count(t) < 10 {
+                candidates += 1;
+                let reply = tr.query(77, TorrentId(i as u32), t, 200).unwrap();
+                let pub_ip = e.publisher_addr(TorrentId(i as u32), t);
+                if reply.peers.contains(&pub_ip) {
+                    publisher_seen += 1;
+                }
+            }
+        }
+        assert!(candidates > 0);
+        assert_eq!(publisher_seen, candidates, "publisher always in small samples");
+    }
+
+    #[test]
+    fn probe_identifies_publisher_and_respects_nat() {
+        let e = eco();
+        let mut tested_pub = false;
+        let mut tested_nat = false;
+        for (i, p) in e.publications.iter().enumerate() {
+            let id = TorrentId(i as u32);
+            let t = p.at + SimDuration(30);
+            let swarm = &e.swarms[i];
+            if swarm.publisher_seeding(t) {
+                let ip = e.publisher_addr(id, t);
+                let outcome = probe(&e, id, ip, t);
+                if e.publisher_natted(id) {
+                    assert_eq!(outcome, ProbeOutcome::Unreachable);
+                    tested_nat = true;
+                } else {
+                    assert!(outcome.is_seed(), "publisher must probe as seeder");
+                    tested_pub = true;
+                }
+            }
+            if tested_pub && tested_nat {
+                break;
+            }
+        }
+        assert!(tested_pub, "no publisher probed");
+    }
+
+    #[test]
+    fn probe_offline_for_unknown_ip() {
+        let e = eco();
+        assert_eq!(
+            probe(&e, TorrentId(0), Ipv4Addr::new(203, 0, 113, 1), e.publications[0].at),
+            ProbeOutcome::Offline
+        );
+    }
+
+    #[test]
+    fn probe_leechers_are_not_seeders() {
+        let e = eco();
+        let mut checked = 0;
+        'outer: for (i, s) in e.swarms.iter().enumerate() {
+            for peer in s.peers().iter().take(20) {
+                if peer.natted || peer.completed.is_none() {
+                    continue;
+                }
+                // Probe while mid-download.
+                let mid = SimTime((peer.arrival.secs() + peer.completed.unwrap().secs()) / 2);
+                if let ProbeOutcome::Completion(c) =
+                    probe(&e, TorrentId(i as u32), Ipv4Addr::from(peer.ip), mid)
+                {
+                    assert!(c < 1.0, "leecher reporting full bitfield");
+                    checked += 1;
+                    if checked > 20 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! The UDP tracker endpoint (BEP 15) over the shared [`crate::registry`].
+//!
+//! OpenBitTorrent — the tracker behind most of the paper's swarms —
+//! served announces primarily over UDP. The server issues connection ids
+//! derived from the client address and a rotating secret (stateless
+//! validation, as the BEP recommends), then answers announce/scrape from
+//! the same swarm registry the HTTP endpoint uses.
+
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use btpub_proto::tracker::{AnnounceRequest, ScrapeEntry};
+use btpub_proto::types::InfoHash;
+use btpub_proto::udp_tracker::{UdpRequest, UdpResponse};
+
+use crate::registry::Registry;
+use crate::server::ANNOUNCE_INTERVAL;
+
+/// A running UDP tracker bound to a local port.
+pub struct UdpTrackerServer {
+    registry: Arc<Mutex<Registry>>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    secret: u64,
+}
+
+impl UdpTrackerServer {
+    /// Binds `127.0.0.1:0` and serves on a background thread.
+    pub fn start(seed: u64) -> std::io::Result<UdpTrackerServer> {
+        Self::start_with_registry(seed, Arc::new(Mutex::new(Registry::new(seed))))
+    }
+
+    /// Serves an existing registry — lets HTTP and UDP endpoints share
+    /// swarm state, as OpenBitTorrent did.
+    pub fn start_with_registry(
+        seed: u64,
+        registry: Arc<Mutex<Registry>>,
+    ) -> std::io::Result<UdpTrackerServer> {
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let addr = socket.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let secret = seed ^ 0xC0FF_EE00_DEAD_BEEF;
+        let handle = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("udp-tracker".into())
+                .spawn(move || serve(socket, registry, secret, stop))?
+        };
+        Ok(UdpTrackerServer {
+            registry,
+            addr,
+            stop,
+            handle: Some(handle),
+            secret,
+        })
+    }
+
+    /// Bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers a torrent.
+    pub fn register(&self, info_hash: InfoHash) {
+        self.registry.lock().register(info_hash);
+    }
+
+    /// The connection id this server would issue to `client` — exposed
+    /// for tests of the validation path.
+    pub fn expected_connection_id(&self, client: SocketAddr) -> u64 {
+        connection_id(self.secret, client)
+    }
+}
+
+impl Drop for UdpTrackerServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Stateless connection id: hash of (secret, client address). Real
+/// trackers rotate the secret every couple of minutes; the testbed keeps
+/// one epoch.
+fn connection_id(secret: u64, client: SocketAddr) -> u64 {
+    let ip = match client {
+        SocketAddr::V4(v4) => u64::from(u32::from(*v4.ip())),
+        SocketAddr::V6(_) => 0,
+    };
+    let mut z = secret ^ ip.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(client.port()) << 32;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn serve(socket: UdpSocket, registry: Arc<Mutex<Registry>>, secret: u64, stop: Arc<AtomicBool>) {
+    let mut buf = [0u8; 2048];
+    while !stop.load(Ordering::SeqCst) {
+        let (len, from) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        let response = handle_datagram(&buf[..len], from, secret, &registry);
+        if let Some(r) = response {
+            let _ = socket.send_to(&r.encode(), from);
+        }
+    }
+}
+
+fn handle_datagram(
+    data: &[u8],
+    from: SocketAddr,
+    secret: u64,
+    registry: &Mutex<Registry>,
+) -> Option<UdpResponse> {
+    let request = UdpRequest::decode(data).ok()?;
+    let expected = connection_id(secret, from);
+    Some(match request {
+        UdpRequest::Connect { transaction_id } => UdpResponse::Connect {
+            transaction_id,
+            connection_id: expected,
+        },
+        UdpRequest::Announce {
+            connection_id: cid,
+            transaction_id,
+            info_hash,
+            peer_id,
+            downloaded,
+            left,
+            uploaded,
+            event,
+            num_want,
+            port,
+        } => {
+            if cid != expected {
+                return Some(UdpResponse::Error {
+                    transaction_id,
+                    message: "invalid connection id".into(),
+                });
+            }
+            let from_ip = match from {
+                SocketAddr::V4(v4) => *v4.ip(),
+                SocketAddr::V6(_) => Ipv4Addr::LOCALHOST,
+            };
+            let req = AnnounceRequest {
+                info_hash,
+                peer_id,
+                port,
+                uploaded,
+                downloaded,
+                left,
+                event,
+                numwant: if num_want == u32::MAX { 50 } else { num_want },
+                compact: true,
+            };
+            match registry.lock().announce(&req, from_ip, Instant::now()) {
+                None => UdpResponse::Error {
+                    transaction_id,
+                    message: "torrent not registered".into(),
+                },
+                Some(out) => UdpResponse::Announce {
+                    transaction_id,
+                    interval: ANNOUNCE_INTERVAL,
+                    leechers: out.incomplete,
+                    seeders: out.complete,
+                    peers: out.peers,
+                },
+            }
+        }
+        UdpRequest::Scrape {
+            connection_id: cid,
+            transaction_id,
+            info_hashes,
+        } => {
+            if cid != expected {
+                return Some(UdpResponse::Error {
+                    transaction_id,
+                    message: "invalid connection id".into(),
+                });
+            }
+            let reg = registry.lock();
+            UdpResponse::Scrape {
+                transaction_id,
+                entries: info_hashes
+                    .iter()
+                    .map(|ih| reg.scrape(ih).unwrap_or_default())
+                    .collect(),
+            }
+        }
+    })
+}
+
+/// Blocking UDP tracker client: connect handshake + announce.
+pub mod client {
+    use super::*;
+    use btpub_proto::tracker::AnnounceEvent;
+    use btpub_proto::types::PeerId;
+    use std::net::SocketAddrV4;
+
+    /// Outcome of a UDP announce.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct UdpAnnounceOutcome {
+        /// Re-announce interval.
+        pub interval: u32,
+        /// Leecher count.
+        pub leechers: u32,
+        /// Seeder count.
+        pub seeders: u32,
+        /// Peer sample.
+        pub peers: Vec<SocketAddrV4>,
+    }
+
+    fn exchange(socket: &UdpSocket, to: SocketAddr, req: &UdpRequest) -> std::io::Result<UdpResponse> {
+        socket.send_to(&req.encode(), to)?;
+        let mut buf = [0u8; 2048];
+        let (len, _) = socket.recv_from(&mut buf)?;
+        UdpResponse::decode(&buf[..len])
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Performs the connect handshake, returning the connection id.
+    pub fn connect(socket: &UdpSocket, tracker: SocketAddr, transaction_id: u32) -> std::io::Result<u64> {
+        match exchange(socket, tracker, &UdpRequest::Connect { transaction_id })? {
+            UdpResponse::Connect {
+                transaction_id: tid,
+                connection_id,
+            } if tid == transaction_id => Ok(connection_id),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected connect reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Connect + announce in one call.
+    #[allow(clippy::too_many_arguments)]
+    pub fn announce(
+        tracker: SocketAddr,
+        info_hash: InfoHash,
+        peer_id: PeerId,
+        port: u16,
+        left: u64,
+        event: AnnounceEvent,
+        num_want: u32,
+    ) -> std::io::Result<UdpAnnounceOutcome> {
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        socket.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let connection_id = connect(&socket, tracker, 0x1234)?;
+        let req = UdpRequest::Announce {
+            connection_id,
+            transaction_id: 0x5678,
+            info_hash,
+            peer_id,
+            downloaded: 0,
+            left,
+            uploaded: 0,
+            event,
+            num_want,
+            port,
+        };
+        match exchange(&socket, tracker, &req)? {
+            UdpResponse::Announce {
+                transaction_id: 0x5678,
+                interval,
+                leechers,
+                seeders,
+                peers,
+            } => Ok(UdpAnnounceOutcome {
+                interval,
+                leechers,
+                seeders,
+                peers,
+            }),
+            UdpResponse::Error { message, .. } => Err(std::io::Error::other(
+                message,
+            )),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected announce reply {other:?}"),
+            )),
+        }
+    }
+
+    /// Connect + scrape in one call.
+    pub fn scrape(
+        tracker: SocketAddr,
+        info_hashes: Vec<InfoHash>,
+    ) -> std::io::Result<Vec<ScrapeEntry>> {
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        socket.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let connection_id = connect(&socket, tracker, 0x9999)?;
+        let req = UdpRequest::Scrape {
+            connection_id,
+            transaction_id: 0xAAAA,
+            info_hashes,
+        };
+        match exchange(&socket, tracker, &req)? {
+            UdpResponse::Scrape { entries, .. } => Ok(entries),
+            UdpResponse::Error { message, .. } => {
+                Err(std::io::Error::other(message))
+            }
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected scrape reply {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btpub_proto::tracker::AnnounceEvent;
+    use btpub_proto::types::PeerId;
+
+    fn server() -> UdpTrackerServer {
+        UdpTrackerServer::start(99).unwrap()
+    }
+
+    #[test]
+    fn udp_announce_lifecycle() {
+        let srv = server();
+        let ih = InfoHash([7; 20]);
+        srv.register(ih);
+        // Seeder announces.
+        let out = client::announce(
+            srv.addr(),
+            ih,
+            PeerId([1; 20]),
+            6881,
+            0,
+            AnnounceEvent::Started,
+            50,
+        )
+        .unwrap();
+        assert_eq!((out.seeders, out.leechers), (1, 0));
+        assert!(out.peers.is_empty(), "no other peers yet");
+        assert_eq!(out.interval, ANNOUNCE_INTERVAL);
+        // Leecher announces and sees the seeder.
+        let out = client::announce(
+            srv.addr(),
+            ih,
+            PeerId([2; 20]),
+            6882,
+            100,
+            AnnounceEvent::Started,
+            50,
+        )
+        .unwrap();
+        assert_eq!((out.seeders, out.leechers), (1, 1));
+        assert_eq!(out.peers.len(), 1);
+        assert_eq!(out.peers[0].port(), 6881);
+    }
+
+    #[test]
+    fn udp_scrape_counts() {
+        let srv = server();
+        let ih = InfoHash([8; 20]);
+        srv.register(ih);
+        client::announce(srv.addr(), ih, PeerId([1; 20]), 1, 0, AnnounceEvent::Started, 0)
+            .unwrap();
+        client::announce(
+            srv.addr(),
+            ih,
+            PeerId([2; 20]),
+            2,
+            0,
+            AnnounceEvent::Completed,
+            0,
+        )
+        .unwrap();
+        let entries = client::scrape(srv.addr(), vec![ih, InfoHash([9; 20])]).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].complete, 2);
+        assert_eq!(entries[0].downloaded, 1);
+        assert_eq!(entries[1], ScrapeEntry::default(), "unknown hash zeroed");
+    }
+
+    #[test]
+    fn unregistered_torrent_errors() {
+        let srv = server();
+        let err = client::announce(
+            srv.addr(),
+            InfoHash([0xEE; 20]),
+            PeerId([1; 20]),
+            1,
+            0,
+            AnnounceEvent::Started,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not registered"));
+    }
+
+    #[test]
+    fn forged_connection_id_rejected() {
+        let srv = server();
+        let ih = InfoHash([1; 20]);
+        srv.register(ih);
+        let socket = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        socket
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        // Skip the handshake and guess a connection id.
+        let req = UdpRequest::Announce {
+            connection_id: 0x1111_2222_3333_4444,
+            transaction_id: 1,
+            info_hash: ih,
+            peer_id: PeerId([1; 20]),
+            downloaded: 0,
+            left: 0,
+            uploaded: 0,
+            event: AnnounceEvent::Started,
+            num_want: 10,
+            port: 1,
+        };
+        socket.send_to(&req.encode(), srv.addr()).unwrap();
+        let mut buf = [0u8; 512];
+        let (len, _) = socket.recv_from(&mut buf).unwrap();
+        match UdpResponse::decode(&buf[..len]).unwrap() {
+            UdpResponse::Error { message, .. } => {
+                assert!(message.contains("connection id"))
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_ids_differ_per_client() {
+        let srv = server();
+        let a: SocketAddr = "127.0.0.1:5001".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:5002".parse().unwrap();
+        assert_ne!(srv.expected_connection_id(a), srv.expected_connection_id(b));
+    }
+
+    #[test]
+    fn shared_registry_with_http_endpoint() {
+        // One swarm state, two protocols — as OpenBitTorrent ran it.
+        let registry = Arc::new(Mutex::new(Registry::new(5)));
+        let udp = UdpTrackerServer::start_with_registry(5, Arc::clone(&registry)).unwrap();
+        let ih = InfoHash([3; 20]);
+        registry.lock().register(ih);
+        client::announce(udp.addr(), ih, PeerId([1; 20]), 7000, 0, AnnounceEvent::Started, 0)
+            .unwrap();
+        // The peer announced over UDP is visible through the registry the
+        // HTTP server would serve from.
+        let entry = registry.lock().scrape(&ih).unwrap();
+        assert_eq!(entry.complete, 1);
+    }
+}

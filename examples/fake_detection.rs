@@ -1,0 +1,100 @@
+//! The anti-poisoning story: antipiracy agencies and malware spreaders
+//! run an index-poisoning attack; the monitor detects them and the §7
+//! "filter fake publishers" feature protects downloaders.
+//!
+//! ```text
+//! cargo run --release --example fake_detection
+//! ```
+
+use btpub::sim::{Ecosystem, Profile, SimTime, DAY};
+use btpub::{Scale, Scenario};
+use btpub_monitor::Monitor;
+
+fn main() {
+    let scenario = Scenario::pb10(Scale::tiny());
+    let eco = Ecosystem::generate(scenario.eco.clone());
+
+    // Ground truth for the final scorecard.
+    let truth_fake_usernames: std::collections::HashSet<&str> = eco
+        .publishers
+        .iter()
+        .filter(|p| p.profile == Profile::Fake)
+        .flat_map(|p| p.usernames.iter().map(String::as_str))
+        .collect();
+    let fake_torrents = eco.publications.iter().filter(|p| p.fake).count();
+    let fake_downloads: u64 = eco
+        .publications
+        .iter()
+        .zip(&eco.swarms)
+        .filter(|(p, _)| p.fake)
+        .map(|(_, s)| s.downloads() as u64)
+        .sum();
+    println!(
+        "ecosystem: {} torrents, of which {} fake ({} poisoned downloads started)\n",
+        eco.publications.len(),
+        fake_torrents,
+        fake_downloads
+    );
+
+    // Run the monitor day by day and watch the detector converge.
+    let mut monitor = Monitor::new(&eco);
+    println!("{:>4}  {:>9} {:>12} {:>16}", "day", "items", "flagged-fake", "downloads-saved");
+    let horizon = eco.config.horizon();
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t = (t + DAY).min(horizon);
+        monitor.step(t);
+        if t.secs().is_multiple_of(5 * DAY.0) || t == horizon {
+            let flagged = monitor
+                .store()
+                .publishers()
+                .filter(|p| p.flagged_fake)
+                .count();
+            println!(
+                "{:>4}  {:>9} {:>12} {:>16}",
+                t.as_days() as u64,
+                monitor.store().len(),
+                flagged,
+                monitor.downloads_saved()
+            );
+        }
+    }
+
+    // Scorecard: precision/recall of the username-level detector.
+    let flagged: std::collections::HashSet<&str> = monitor
+        .store()
+        .publishers()
+        .filter(|p| p.flagged_fake)
+        .map(|p| p.username.as_str())
+        .collect();
+    let active_fake: std::collections::HashSet<&str> = eco
+        .publications
+        .iter()
+        .filter(|p| p.fake)
+        .map(|p| p.username.as_str())
+        .collect();
+    let true_positives = flagged
+        .iter()
+        .filter(|u| truth_fake_usernames.contains(**u) || eco.compromised.contains(&u.to_string()))
+        .count();
+    let recall = active_fake.iter().filter(|u| flagged.contains(**u)).count() as f64
+        / active_fake.len().max(1) as f64;
+    println!(
+        "\ndetector: {} usernames flagged, precision {:.2}, recall over active fake accounts {:.2}",
+        flagged.len(),
+        true_positives as f64 / flagged.len().max(1) as f64,
+        recall
+    );
+
+    // The §7 future-work feature, delivered: the filtered RSS view.
+    let raw = eco.publications.len();
+    let filtered = monitor.rss_filtered(SimTime::ZERO, horizon).len();
+    println!(
+        "filtered RSS: {raw} items -> {filtered} ({} poisoned listings hidden)",
+        raw - filtered
+    );
+    println!(
+        "a client using the filter avoids {} fake downloads",
+        monitor.downloads_saved()
+    );
+}

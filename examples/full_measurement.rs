@@ -1,0 +1,38 @@
+//! The full pb10-style measurement campaign, end to end, printing every
+//! table and figure of the paper beside the published values.
+//!
+//! ```text
+//! cargo run --release --example full_measurement -- [tiny|repro]
+//! ```
+//!
+//! `repro` (the default) takes about a minute and reproduces the paper's
+//! shapes; `tiny` finishes in seconds for a smoke run.
+
+use btpub::{Scale, Scenario, Study};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::tiny(),
+        None | Some("repro") => Scale::default_repro(),
+        Some(other) => {
+            eprintln!("unknown scale {other:?} (expected tiny|repro)");
+            std::process::exit(2);
+        }
+    };
+    let scenario = Scenario::pb10(scale);
+    eprintln!(
+        "generating ecosystem and crawling: {} torrents, {:.0} days, ~{} major publishers...",
+        scenario.eco.torrents,
+        scenario.eco.duration.as_days(),
+        scenario.eco.top_publishers + scenario.eco.fake_entities
+    );
+    let started = std::time::Instant::now();
+    let study = Study::run(&scenario);
+    eprintln!(
+        "measurement done in {:.1}s ({} distinct downloader IPs observed)",
+        started.elapsed().as_secs_f64(),
+        study.dataset.distinct_ip_count()
+    );
+    let analyses = study.analyze();
+    print!("{}", analyses.experiments().full_report());
+}

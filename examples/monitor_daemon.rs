@@ -1,0 +1,73 @@
+//! The §7 application as a long-running daemon: continuous monitoring of
+//! a live portal, with the query interface a web front-end would call.
+//!
+//! ```text
+//! cargo run --release --example monitor_daemon
+//! ```
+
+use btpub::sim::content::Category;
+use btpub::sim::{Ecosystem, SimTime, DAY};
+use btpub::{Scale, Scenario};
+use btpub_monitor::{query, Monitor};
+
+fn main() {
+    let scenario = Scenario::pb10(Scale::tiny());
+    let eco = Ecosystem::generate(scenario.eco.clone());
+    let mut monitor = Monitor::new(&eco);
+
+    // The daemon's main loop: wake up every simulated day, ingest the
+    // feed, answer some standing queries.
+    let horizon = eco.config.horizon();
+    let mut t = SimTime::ZERO;
+    while t < horizon {
+        t = (t + DAY).min(horizon);
+        monitor.step(t);
+    }
+    let store = monitor.store();
+    println!(
+        "monitored {:.0} days: {} items, {} publishers ({} flagged fake)\n",
+        t.as_days(),
+        store.len(),
+        store.publishers().count(),
+        store.publishers().filter(|p| p.flagged_fake).count()
+    );
+
+    // Query 1 (the paper's own example): an e-books consumer finds the
+    // publishers responsible for large numbers of e-books.
+    println!("top e-book publishers:");
+    for (user, count) in query::top_publishers_in_category(store, Category::Books, 5) {
+        println!("  {user:<22} {count} books");
+    }
+
+    // Query 2: per-publisher pages for profit-driven publishers.
+    println!("\nprofit-driven publisher pages:");
+    for page in store
+        .publishers()
+        .filter(|p| p.business.is_some())
+        .take(8)
+    {
+        println!(
+            "  {:<22} {:<14} {} ({} items, {} IPs)",
+            page.username,
+            page.business.as_deref().unwrap_or("-"),
+            page.promo_url.as_deref().unwrap_or("-"),
+            page.items.len(),
+            page.ips.len()
+        );
+    }
+
+    // Query 3: who publishes from OVH?
+    let ovh = query::publishers_by_isp(store, "OVH");
+    println!("\n{} publishers seen publishing from OVH", ovh.len());
+
+    // Query 4: the clean top-10 (fake publishers filtered out).
+    println!("\ntop clean publishers:");
+    for page in query::top_clean_publishers(store, 10) {
+        println!("  {:<22} {} items", page.username, page.items.len());
+    }
+
+    // Persist the database the way the real system backed its web UI.
+    let path = std::env::temp_dir().join("btpub-monitor-store.json");
+    std::fs::write(&path, store.to_json()).expect("write store");
+    println!("\nstore persisted to {}", path.display());
+}

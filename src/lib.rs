@@ -1,0 +1,7 @@
+//! Umbrella crate for the btpub workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! surface lives in the `btpub` crate and its substrates.
+
+pub use btpub as core;

@@ -1,0 +1,109 @@
+//! Cross-crate property tests: invariants that hold for arbitrary inputs,
+//! spanning the wire formats, the estimator and the statistics layer.
+
+use btpub::analysis::session::{capture_probability, estimate_sessions, queries_needed};
+use btpub::analysis::stats::{percentile, BoxStats};
+use btpub::proto::metainfo::MetainfoBuilder;
+use btpub::sim::intervals::IntervalSet;
+use btpub::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The info-hash is invariant under decode∘encode and ignores
+    /// everything outside the `info` dictionary.
+    #[test]
+    fn infohash_stable_under_roundtrip(
+        name in "[a-zA-Z0-9._-]{1,40}",
+        // Bounded so the whole-file digest stays cheap: ≤16 MiB payloads
+        // still cross many piece boundaries at every piece size.
+        size in 1u64..1u64 << 24,
+        piece_log in 14u32..21,
+        comment in "[ -~]{0,80}",
+    ) {
+        let m = MetainfoBuilder::new("http://t/announce", &name, size)
+            .piece_length(1 << piece_log)
+            .comment(&comment)
+            .build();
+        let bytes = m.encode();
+        let back = btpub::proto::metainfo::Metainfo::decode(&bytes).unwrap();
+        prop_assert_eq!(back.info_hash(), m.info_hash());
+        let mut other = m.clone();
+        other.comment = Some("something entirely different".into());
+        prop_assert_eq!(other.info_hash(), m.info_hash());
+    }
+
+    /// Capture probability is monotone in every argument the right way,
+    /// and queries_needed inverts it.
+    #[test]
+    fn capture_model_consistency(w in 1u32..200, extra in 0u32..200, m in 1u32..40) {
+        let n = w + extra;
+        let p = capture_probability(w, n, m);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(capture_probability(w, n, m + 1) >= p);
+        if w < n {
+            prop_assert!(capture_probability(w, n + 1, m) <= p + 1e-12);
+        }
+        let needed = queries_needed(w, n, 0.95);
+        prop_assert!(capture_probability(w, n, needed) >= 0.95 - 1e-9);
+        if needed > 1 {
+            prop_assert!(capture_probability(w, n, needed - 1) < 0.95);
+        }
+    }
+
+    /// Estimated sessions always cover every sighting instant, never span
+    /// a gap longer than the threshold, and their measure is bounded by
+    /// span + 2·pad.
+    #[test]
+    fn estimator_structural_invariants(
+        mut offsets in proptest::collection::vec(0u64..500_000, 1..80),
+        threshold_h in 1u64..10,
+        pad_s in 0u64..1000,
+    ) {
+        offsets.sort_unstable();
+        let sightings: Vec<SimTime> = offsets.iter().map(|&o| SimTime(1_000_000 + o)).collect();
+        let threshold = SimDuration(threshold_h * 3600);
+        let pad = SimDuration(pad_s);
+        let est = estimate_sessions(&sightings, threshold, pad);
+        for &s in &sightings {
+            prop_assert!(pad_s == 0 || est.contains(s), "sighting {s:?} uncovered");
+        }
+        let span = sightings.last().unwrap().since(sightings[0]);
+        let bound = span.secs() + 2 * pad_s * est.session_count() as u64;
+        prop_assert!(est.total().secs() <= bound);
+    }
+
+    /// IntervalSet measure equals a brute-force point count at second
+    /// resolution over a small domain.
+    #[test]
+    fn interval_set_measure_matches_bruteforce(
+        raw in proptest::collection::vec((0u64..2000, 0u64..200), 0..20),
+    ) {
+        let mut set = IntervalSet::new();
+        let mut brute = vec![false; 2300];
+        for (start, len) in raw {
+            set.insert(SimTime(start), SimTime(start + len));
+            for x in start..start + len {
+                brute[x as usize] = true;
+            }
+        }
+        let brute_total = brute.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(set.total().secs(), brute_total);
+        // Contains matches point membership.
+        for probe in [0u64, 500, 1000, 1500, 2100] {
+            prop_assert_eq!(set.contains(SimTime(probe)), brute[probe as usize]);
+        }
+    }
+
+    /// BoxStats orderings and percentile bounds hold for any sample.
+    #[test]
+    fn box_stats_invariants(values in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        let b = BoxStats::of(&values).unwrap();
+        prop_assert!(b.min <= b.p25 && b.p25 <= b.median);
+        prop_assert!(b.median <= b.p75 && b.p75 <= b.max);
+        prop_assert!(b.min <= b.mean && b.mean <= b.max);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(percentile(&sorted, 0.0).unwrap(), b.min);
+        prop_assert_eq!(percentile(&sorted, 1.0).unwrap(), b.max);
+    }
+}
