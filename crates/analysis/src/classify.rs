@@ -77,6 +77,7 @@ pub fn classify_top(
     publishers: &[PublisherStats],
     groups: &Groups,
 ) -> Vec<Classified> {
+    let _span = btpub_obs::span!("analysis.classify_top");
     let by_key: HashMap<&PublisherKey, &PublisherStats> =
         publishers.iter().map(|p| (&p.key, p)).collect();
     groups

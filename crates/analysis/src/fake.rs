@@ -97,6 +97,7 @@ pub fn assign_groups(
     db: &GeoDb,
     top_k: usize,
 ) -> Groups {
+    let _span = btpub_obs::span!("analysis.assign_groups");
     let mut groups = Groups::default();
     if !dataset.has_usernames {
         // mn08 mode: no username signal; groups reduce to top-by-IP.

@@ -55,6 +55,7 @@ impl PublisherStats {
 /// mn08 limitation the paper notes). The result is sorted by content
 /// count, descending — "top-x" publishers are prefixes of it.
 pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
+    let _span = btpub_obs::span!("analysis.aggregate_publishers");
     // BTreeMap gives a deterministic tie order regardless of hash state.
     let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
     for (idx, rec) in dataset.torrents.iter().enumerate() {

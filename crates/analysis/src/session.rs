@@ -53,6 +53,7 @@ pub fn estimate_sessions(
     offline_threshold: SimDuration,
     pad: SimDuration,
 ) -> IntervalSet {
+    let _span = btpub_obs::span!("analysis.estimate_sessions");
     let mut out = IntervalSet::new();
     if sightings.is_empty() {
         return out;

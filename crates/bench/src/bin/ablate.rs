@@ -22,10 +22,7 @@ fn main() {
         downloads: 0.10,
         majors: 0.04,
     });
-    eprintln!(
-        "generating shared ecosystem ({} torrents)...",
-        scenario.eco.torrents
-    );
+    btpub_obs::info!("generating shared ecosystem"; torrents = scenario.eco.torrents);
     let eco = Ecosystem::generate(scenario.eco.clone());
 
     println!("== ablation 1: vantage points ==");

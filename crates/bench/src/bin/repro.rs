@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! repro [--scale tiny|repro|paper] [--scenario mn08|pb09|pb10|all] [--exp ID]
+//!       [--metrics out.json]
 //! ```
 //!
 //! Experiment ids: t1 f1 t2 t3 s33 f2 f3 f4 s51 t4 t5 s6 aa v1 (default:
 //! the full report). Output is the side-by-side "ours vs paper" text that
-//! EXPERIMENTS.md records.
+//! EXPERIMENTS.md records. Diagnostics go through `btpub_obs` (set
+//! `BTPUB_LOG=info` to watch progress); `--metrics` dumps the full
+//! observability snapshot as JSON and a per-experiment wall-time table is
+//! printed to stderr at the end.
 
 use btpub::{Scale, Scenario, Study};
 
@@ -24,6 +28,7 @@ fn main() {
     let mut scale = Scale::default_repro();
     let mut scenario_names = vec!["pb10".to_string()];
     let mut exp: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +57,14 @@ fn main() {
                 i += 1;
                 exp = args.get(i).cloned();
             }
+            "--metrics" => {
+                i += 1;
+                metrics_path = args.get(i).cloned();
+                if metrics_path.is_none() {
+                    eprintln!("--metrics requires a path");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -65,18 +78,18 @@ fn main() {
             eprintln!("unknown scenario {name}");
             std::process::exit(2);
         };
-        eprintln!(
-            "[{name}] generating + crawling ({} torrents, {:.0} days)...",
-            scenario.eco.torrents,
-            scenario.eco.duration.as_days()
+        btpub_obs::info!(
+            "[{name}] generating + crawling";
+            torrents = scenario.eco.torrents,
+            days = scenario.eco.duration.as_days(),
         );
         let started = std::time::Instant::now();
         let study = Study::run(&scenario);
-        eprintln!(
-            "[{name}] done in {:.1}s: {} torrents, {} distinct IPs",
-            started.elapsed().as_secs_f64(),
-            study.dataset.torrent_count(),
-            study.dataset.distinct_ip_count()
+        btpub_obs::info!(
+            "[{name}] campaign done";
+            secs = started.elapsed().as_secs_f64(),
+            torrents = study.dataset.torrent_count(),
+            distinct_ips = study.dataset.distinct_ip_count(),
         );
         let analyses = study.analyze();
         let ex = analyses.experiments();
@@ -139,4 +152,46 @@ fn main() {
             }
         }
     }
+
+    print_experiment_timings();
+    if let Some(path) = metrics_path {
+        write_metrics(&path);
+    }
+}
+
+/// Wall-time table for every `exp.*` span recorded this run, sorted by
+/// total time descending. Goes to stderr so stdout stays the report.
+fn print_experiment_timings() {
+    let reg = btpub_obs::global();
+    let mut rows: Vec<(String, u64, u64)> = reg
+        .histograms()
+        .into_iter()
+        .filter_map(|(name, h)| {
+            let short = name.strip_prefix("span.exp.")?.strip_suffix(".ns")?;
+            Some((short.to_string(), h.count(), h.sum()))
+        })
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    eprintln!("---------------- experiment timings ----------------");
+    eprintln!("{:<8} {:>5} {:>12} {:>12}", "exp", "runs", "total", "mean");
+    for (name, count, total_ns) in rows {
+        let total = std::time::Duration::from_nanos(total_ns);
+        let mean = std::time::Duration::from_nanos(total_ns / count.max(1));
+        eprintln!("{name:<8} {count:>5} {total:>12.3?} {mean:>12.3?}");
+    }
+}
+
+/// Dumps the global observability snapshot (counters, gauges, histogram
+/// quantiles) to `path` as pretty-printed JSON.
+fn write_metrics(path: &str) {
+    let snapshot = btpub_obs::global().snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
+    btpub_obs::info!("metrics snapshot written"; path = path);
 }

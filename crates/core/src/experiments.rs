@@ -164,6 +164,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Table 1 row for this campaign.
     pub fn t1_dataset(&self) -> DatasetSummary {
+        let _span = btpub_obs::span!("exp.t1");
         let ds = &self.analyses.study.dataset;
         DatasetSummary {
             name: ds.name.clone(),
@@ -177,6 +178,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Figure 1.
     pub fn fig1_skewness(&self) -> SkewnessReport {
+        let _span = btpub_obs::span!("exp.f1");
         let a = self.analyses;
         SkewnessReport {
             cdf: contribution_cdf(&a.publishers),
@@ -188,6 +190,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Table 2: top-10 ISPs.
     pub fn t2_isps(&self) -> Vec<IspRow> {
+        let _span = btpub_obs::span!("exp.t2");
         top_isps(
             &self.analyses.study.dataset,
             &self.analyses.study.eco.world.db,
@@ -197,6 +200,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Table 3: OVH vs Comcast footprints.
     pub fn t3_footprints(&self) -> (IspFootprint, IspFootprint) {
+        let _span = btpub_obs::span!("exp.t3");
         let ds = &self.analyses.study.dataset;
         let db = &self.analyses.study.eco.world.db;
         (isp_footprint(ds, db, "OVH"), isp_footprint(ds, db, "Comcast"))
@@ -204,6 +208,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// §3.3 mapping statistics.
     pub fn s33_mapping(&self) -> MappingReport {
+        let _span = btpub_obs::span!("exp.s33");
         let a = self.analyses;
         let ds = &a.study.dataset;
         let db = &a.study.eco.world.db;
@@ -226,6 +231,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Figure 2: per-group category distributions.
     pub fn fig2_content_types(&self) -> Vec<(Group, CategoryDistribution)> {
+        let _span = btpub_obs::span!("exp.f2");
         let a = self.analyses;
         Group::ALL
             .into_iter()
@@ -248,6 +254,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
     /// username for every group (the paper's Fake unit here is the 1030
     /// throwaway accounts, which is what keeps the Fake box lowest).
     pub fn fig3_popularity(&self) -> Vec<(Group, Option<BoxStats>)> {
+        let _span = btpub_obs::span!("exp.f3");
         let a = self.analyses;
         Group::ALL
             .into_iter()
@@ -263,6 +270,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
     /// Figure 4: per-group seeding boxes. The Fake group is aggregated per
     /// IP entity, as in the paper.
     pub fn fig4_seeding(&self) -> Vec<(Group, Option<SeedingBoxes>)> {
+        let _span = btpub_obs::span!("exp.f4");
         let a = self.analyses;
         let fake_stats = self.fake_stats();
         Group::ALL
@@ -292,6 +300,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// §5.1 classification shares.
     pub fn s51_classes(&self) -> ClassReport {
+        let _span = btpub_obs::span!("exp.s51");
         let a = self.analyses;
         let classes = [
             BusinessClass::BtPortal,
@@ -351,6 +360,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Table 4.
     pub fn t4_longitudinal(&self) -> Vec<LongitudinalRow> {
+        let _span = btpub_obs::span!("exp.t4");
         let a = self.analyses;
         let portal = a.portal();
         longitudinal_rows(&portal, &a.classified, a.study.eco.config.horizon())
@@ -362,6 +372,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
     /// (`downloads_scale`) and the torrents-per-major-publisher ratio
     /// (`torrents / majors`), so the correction undoes both.
     pub fn t5_economics(&self) -> Vec<EconomicsRow> {
+        let _span = btpub_obs::span!("exp.t5");
         let a = self.analyses;
         let scale = a.study.scenario.scale;
         let correction =
@@ -373,6 +384,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
     /// §6: hosting-provider income. Returns `(provider, servers, €/month)`
     /// for OVH and the three fake-publisher providers.
     pub fn s6_hosting_income(&self) -> Vec<(&'static str, usize, f64)> {
+        let _span = btpub_obs::span!("exp.s6");
         let ds = &self.analyses.study.dataset;
         let db = &self.analyses.study.eco.world.db;
         ["OVH", "tzulo", "FDCservers", "4RWEB"]
@@ -386,6 +398,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// Appendix A: the model plus the 2 h / 4 h / 6 h robustness check.
     pub fn aa_session_model(&self) -> AppendixAReport {
+        let _span = btpub_obs::span!("exp.aa");
         let (n, w, _) = paper::APPENDIX_A;
         let capture_curve: Vec<f64> =
             (1..=20).map(|m| capture_probability(w, n, m)).collect();
@@ -418,6 +431,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
 
     /// V1: validation against ground truth (simulation-only superpower).
     pub fn v1_validation(&self) -> ValidationReport {
+        let _span = btpub_obs::span!("exp.v1");
         let a = self.analyses;
         let ds = &a.study.dataset;
         let eco = &a.study.eco;

@@ -26,6 +26,7 @@ impl Study {
     /// Generates the ecosystem and runs the crawl. Deterministic in the
     /// scenario.
     pub fn run(scenario: &Scenario) -> Study {
+        let _span = btpub_obs::span!("study.run");
         let eco = Ecosystem::generate(scenario.eco.clone());
         let dataset = run_crawl(&eco, &scenario.crawler);
         Study {
@@ -37,6 +38,7 @@ impl Study {
 
     /// Runs the analysis pipeline over the dataset.
     pub fn analyze(&self) -> Analyses<'_> {
+        let _span = btpub_obs::span!("study.analyze");
         let publishers = aggregate_publishers(&self.dataset);
         let top_k = self.scenario.top_k();
         let groups = assign_groups(&self.dataset, &publishers, &self.eco.world.db, top_k);

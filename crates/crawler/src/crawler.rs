@@ -71,6 +71,8 @@ struct TorrentState {
 /// Deterministic: the tracker's sampling RNG is seeded from the ecosystem,
 /// and events at equal instants pop in insertion order.
 pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
+    let _span = btpub_obs::span!("crawler.run");
+    let wall_start = std::time::Instant::now();
     let portal = Portal::new(eco);
     let mut tracker = TrackerSim::new(eco);
     let horizon = eco.config.horizon();
@@ -84,9 +86,14 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
         if now > horizon {
             break;
         }
+        // One engine tick = one event dispatch; the guard records even on
+        // the `continue` exits below.
+        let _tick = btpub_obs::span!("sim.engine.tick");
         match event {
             Event::RssPoll => {
+                let mut batch = 0u64;
                 for item in portal.rss(last_poll, now) {
+                    batch += 1;
                     let state = TorrentState {
                         record: TorrentRecord {
                             torrent: item.torrent,
@@ -125,6 +132,9 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         },
                     );
                 }
+                btpub_obs::static_histogram!("crawler.rss.batch").record(batch);
+                btpub_obs::static_counter!("crawler.torrents.discovered").add(batch);
+                btpub_obs::trace!("rss poll"; at = now.0, batch = batch);
                 last_poll = now;
                 let next = now + cfg.rss_poll;
                 if next <= horizon {
@@ -155,6 +165,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                     state.record.first_contact_at = Some(now);
                 }
                 // Round-robin over vantage points; each is a tracker client.
+                btpub_obs::static_counter!("crawler.query.total").inc();
                 let client: ClientId = round % cfg.vantage_points;
                 let reply = match tracker.query(client, torrent, now, cfg.numwant) {
                     Ok(r) => r,
@@ -287,16 +298,40 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
             st.record.observed_ips.sort_unstable();
             st.record.observed_ips.dedup();
             st.record.observed_removed |= portal.is_removed(id, horizon);
+            // Torrents discovered on the campaign's last RSS polls may
+            // have their first query scheduled past the horizon and never
+            // be contacted; every unidentified record must still carry a
+            // cause (§2: the paper enumerates reasons for unresolved IPs).
+            if st.record.publisher_ip.is_none() && st.record.ip_failure.is_none() {
+                st.record.ip_failure = Some(IpFailure::CampaignEnded);
+            }
+            // Count *final* identification outcomes here rather than in the
+            // event loop: ip_failure is overwritten as attempts progress.
+            match (st.record.publisher_ip, st.record.ip_failure) {
+                (Some(_), _) => btpub_obs::static_counter!("crawler.identify.success").inc(),
+                (None, Some(f)) => {
+                    btpub_obs::counter(&format!("crawler.identify.failure.{f:?}")).inc();
+                }
+                (None, None) => unreachable!("backfilled above"),
+            }
             st.record
         })
         .collect();
-    Dataset {
+    let ds = Dataset {
         name: cfg.name.clone(),
         start: SimTime::ZERO,
         end: horizon,
         has_usernames: cfg.collect_usernames,
         torrents,
-    }
+    };
+    let wall = wall_start.elapsed().as_secs_f64();
+    btpub_obs::info!(
+        "crawl {} finished", cfg.name;
+        torrents = ds.torrent_count(),
+        identified = ds.ip_identified_count(),
+        torrents_per_sec = (ds.torrent_count() as f64 / wall.max(1e-9)) as u64,
+    );
+    ds
 }
 
 /// Convenience: `Ipv4Addr` of a raw stored address.

@@ -21,6 +21,9 @@ pub enum IpFailure {
     SeederUnreachable,
     /// The listing was removed before the crawler could fetch it.
     RemovedBeforeContact,
+    /// The measurement campaign ended before the crawler's first contact
+    /// (the torrent was announced in the final moments of the window).
+    CampaignEnded,
 }
 
 /// One periodic tracker observation of a swarm.

@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! btpub-monitor [--scale tiny|repro] [--days N] [--json PATH] [--category CAT]
+//!               [--metrics PATH]
 //! ```
 //!
 //! Simulates a Pirate-Bay-style portal, monitors it live, then prints the
 //! publisher database summary and (optionally) dumps the store as JSON.
+//! Progress goes through `btpub_obs` logging (`BTPUB_LOG=info` to watch);
+//! `--metrics` writes the observability snapshot as JSON on exit.
 
 use std::io::Write;
 
@@ -19,6 +22,7 @@ fn main() {
     let mut scale = Scale::tiny();
     let mut days: Option<f64> = None;
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut category: Option<Category> = None;
     let mut i = 0;
     while i < args.len() {
@@ -42,6 +46,14 @@ fn main() {
                 i += 1;
                 json_path = args.get(i).cloned();
             }
+            "--metrics" => {
+                i += 1;
+                metrics_path = args.get(i).cloned();
+                if metrics_path.is_none() {
+                    eprintln!("--metrics requires a path");
+                    std::process::exit(2);
+                }
+            }
             "--category" => {
                 i += 1;
                 category = args.get(i).and_then(|c| {
@@ -59,10 +71,10 @@ fn main() {
     }
 
     let scenario = Scenario::pb10(scale);
-    eprintln!(
-        "generating ecosystem ({} torrents over {:.0} days)...",
-        scenario.eco.torrents,
-        scenario.eco.duration.as_days()
+    btpub_obs::info!(
+        "generating ecosystem";
+        torrents = scenario.eco.torrents,
+        days = scenario.eco.duration.as_days(),
     );
     let eco = Ecosystem::generate(scenario.eco.clone());
     let mut monitor = Monitor::new(&eco);
@@ -75,9 +87,8 @@ fn main() {
     while t < horizon {
         t = (t + btpub::sim::DAY).min(horizon);
         monitor.step(t);
-        eprint!("\rmonitored {:>5.1} days, {} items", t.as_days(), monitor.store().len());
+        btpub_obs::info!("monitored"; days = t.as_days(), items = monitor.store().len());
     }
-    eprintln!();
 
     let store = monitor.store();
     println!("== monitor summary ==");
@@ -112,5 +123,11 @@ fn main() {
         let mut f = std::fs::File::create(&path).expect("create json file");
         f.write_all(store.to_json().as_bytes()).expect("write json");
         println!("\nstore dumped to {path}");
+    }
+    if let Some(path) = metrics_path {
+        let snapshot = btpub_obs::global().snapshot();
+        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        std::fs::write(&path, json).expect("write metrics file");
+        println!("metrics snapshot written to {path}");
     }
 }

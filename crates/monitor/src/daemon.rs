@@ -38,7 +38,9 @@ impl<'a> Monitor<'a> {
     /// item with a single tracker connection (§7: "we make only one
     /// connection to the tracker just after we learn of a new torrent").
     pub fn step(&mut self, until: SimTime) {
+        let _span = btpub_obs::span!("monitor.step");
         let items = self.portal.rss(self.cursor, until);
+        btpub_obs::static_histogram!("monitor.step.items").record(items.len() as u64);
         for item in items {
             let contact = item.at + SimDuration(30);
             let (publisher_ip, isp, city, country) = match self.identify(item.torrent, contact) {
@@ -102,14 +104,26 @@ impl<'a> Monitor<'a> {
             .map(|rec| rec.username.clone())
             .collect();
         for user in to_flag {
+            btpub_obs::static_counter!("monitor.fake.flagged").inc();
             self.store.flag_fake(&user);
         }
+        btpub_obs::static_gauge!("monitor.store.items").set(self.store.len() as i64);
+        btpub_obs::debug!("monitor step"; until = until.0, items = self.store.len());
         self.cursor = until;
     }
 
     /// One-connection publisher identification, as in §2 but without
     /// follow-up tracking.
     fn identify(&mut self, torrent: TorrentId, at: SimTime) -> Option<Ipv4Addr> {
+        let found = self.identify_inner(torrent, at);
+        match found {
+            Some(_) => btpub_obs::static_counter!("monitor.identify.success").inc(),
+            None => btpub_obs::static_counter!("monitor.identify.failure").inc(),
+        }
+        found
+    }
+
+    fn identify_inner(&mut self, torrent: TorrentId, at: SimTime) -> Option<Ipv4Addr> {
         let reply = self.tracker.query(self.client, torrent, at, 200).ok()?;
         if reply.complete != 1 || (reply.complete + reply.incomplete) >= 20 {
             return None;

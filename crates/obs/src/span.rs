@@ -1,0 +1,127 @@
+//! RAII span timers with nested self-time attribution.
+//!
+//! A span records its **total** elapsed time into the histogram
+//! `span.<name>.ns` and its **self** time — total minus time spent in
+//! child spans opened on the same thread — into the counter
+//! `span.<name>.self_ns`. The thread-local span stack is what lets a
+//! parent subtract its children, so a report sorted by self time points
+//! at the code that actually burned the cycles rather than at every
+//! ancestor of it.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::global;
+
+thread_local! {
+    /// Stack of open spans on this thread: accumulated child time (ns)
+    /// for each frame, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live timer returned by [`crate::span!`]; records on drop.
+///
+/// Spans must be dropped in LIFO order on the thread that created them —
+/// guaranteed when they are held in locals, which is the only way the
+/// macro hands them out.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span; prefer the [`crate::span!`] macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        STACK.with_borrow_mut(|s| s.push(0));
+        SpanGuard {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let total_ns = self.start.elapsed().as_nanos() as u64;
+        let child_ns = STACK.with_borrow_mut(|s| s.pop()).unwrap_or(0);
+        // Credit this span's total to the parent frame, if any.
+        STACK.with_borrow_mut(|s| {
+            if let Some(parent) = s.last_mut() {
+                *parent += total_ns;
+            }
+        });
+        let reg = global();
+        reg.histogram(&format!("span.{}.ns", self.name)).record(total_ns);
+        reg.counter(&format!("span.{}.self_ns", self.name))
+            .add(total_ns.saturating_sub(child_ns));
+    }
+}
+
+/// Opens an RAII span timer: `let _g = btpub_obs::span!("tracker.announce");`.
+///
+/// Elapsed time lands in the histogram `span.<name>.ns`; self time (see
+/// module docs) in the counter `span.<name>.self_ns`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spin(d: Duration) {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nested_spans_attribute_self_time_to_the_inner_frame() {
+        {
+            let _outer = crate::span!("test.outer");
+            spin(Duration::from_millis(5));
+            {
+                let _inner = crate::span!("test.inner");
+                spin(Duration::from_millis(20));
+            }
+        }
+        let reg = global();
+        let outer_total = reg.histogram("span.test.outer.ns").sum();
+        let inner_total = reg.histogram("span.test.inner.ns").sum();
+        let outer_self = reg.counter("span.test.outer.self_ns").value();
+        let inner_self = reg.counter("span.test.inner.self_ns").value();
+        // The outer span contains the inner one...
+        assert!(outer_total >= inner_total);
+        // ...but its *self* time excludes it: roughly the 5 ms spin, and
+        // strictly less than the inner span's 20 ms.
+        assert!(outer_self >= 4_000_000, "outer self {outer_self}ns");
+        assert!(outer_self < inner_total, "outer self {outer_self}ns");
+        // A leaf span's self time is its total time.
+        assert_eq!(inner_self, inner_total);
+        assert_eq!(reg.histogram("span.test.outer.ns").count(), 1);
+    }
+
+    #[test]
+    fn sequential_spans_do_not_leak_between_frames() {
+        {
+            let _a = crate::span!("test.seq_a");
+            spin(Duration::from_millis(2));
+        }
+        {
+            let _b = crate::span!("test.seq_b");
+            spin(Duration::from_millis(2));
+        }
+        let reg = global();
+        // b had no children, so b's self time equals its total even though
+        // a closed right before it on the same thread.
+        assert_eq!(
+            reg.counter("span.test.seq_b.self_ns").value(),
+            reg.histogram("span.test.seq_b.ns").sum()
+        );
+    }
+}

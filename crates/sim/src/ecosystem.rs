@@ -123,10 +123,15 @@ impl Ecosystem {
     /// Generates the ecosystem for a configuration. Deterministic in
     /// `(config, config.seed)`.
     pub fn generate(config: EcosystemConfig) -> Ecosystem {
-        let pop = generate_population(&config);
+        let _span = btpub_obs::span!("sim.generate");
+        let pop = {
+            let _span = btpub_obs::span!("sim.population");
+            generate_population(&config)
+        };
         let world = pop.world;
         let publishers = pop.publishers;
         let horizon = config.horizon();
+        btpub_obs::static_gauge!("sim.publishers").set(publishers.len() as i64);
 
         // --- 1. allocate torrent counts per publisher ---
         let n_fake = (config.torrents as f64 * config.fake_share).round() as usize;
@@ -273,6 +278,8 @@ impl Ecosystem {
         let consumer_weights: Vec<f64> = consumers.iter().map(|&(_, w)| w).collect();
 
         // --- 5. build swarm traces ---
+        let _swarm_span = btpub_obs::span!("sim.swarms");
+        let swarm_pop = btpub_obs::static_histogram!("sim.swarm.population");
         let mut swarms = Vec::with_capacity(publications.len());
         for (idx, publication) in publications.iter().enumerate() {
             let mut rng = rngs::derive(config.seed, "swarm", idx as u64);
@@ -322,8 +329,10 @@ impl Ecosystem {
                 peers,
             );
             trace.set_publisher_seed_count(publication.seeder_count);
+            swarm_pop.record(trace.downloads() as u64);
             swarms.push(trace);
         }
+        drop(_swarm_span);
 
         // --- 6. ground-truth session unions, clamped to the window ---
         let mut session_unions = vec![IntervalSet::new(); publishers.len()];
@@ -334,6 +343,15 @@ impl Ecosystem {
             *s = s.clamp(SimTime::ZERO, horizon);
         }
 
+        btpub_obs::static_gauge!("sim.torrents").set(publications.len() as i64);
+        btpub_obs::static_gauge!("sim.peers")
+            .set(swarms.iter().map(|s| s.downloads() as i64).sum());
+        btpub_obs::info!(
+            "ecosystem generated";
+            torrents = publications.len(),
+            publishers = publishers.len(),
+            horizon_days = config.duration.as_days()
+        );
         Ecosystem {
             config,
             world,

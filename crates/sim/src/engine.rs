@@ -117,6 +117,7 @@ impl<E> EventQueue<E> {
                 break;
             }
             let (now, event) = self.pop().expect("peeked event exists");
+            let _tick = btpub_obs::span!("sim.engine.tick");
             // The handler gets a scratch queue view via re-borrow: events it
             // schedules land in `self` after the swap dance below.
             let mut scratch = EventQueue::new();

@@ -104,7 +104,10 @@ impl<'a> TrackerSim<'a> {
         t: SimTime,
         numwant: usize,
     ) -> Result<TrackerReply, QueryError> {
+        let announce_start = std::time::Instant::now();
+        btpub_obs::static_counter!("tracker.announce.total").inc();
         if self.blacklisted.contains(&client) {
+            btpub_obs::static_counter!("tracker.announce.blacklisted").inc();
             return Err(QueryError::Blacklisted);
         }
         if torrent.0 as usize >= self.eco.swarms.len() {
@@ -126,6 +129,7 @@ impl<'a> TrackerSim<'a> {
                         return Err(QueryError::Blacklisted);
                     }
                 }
+                btpub_obs::static_counter!("tracker.announce.rate_limited").inc();
                 return Err(QueryError::RateLimited { retry_at: earliest });
             }
         }
@@ -161,6 +165,8 @@ impl<'a> TrackerSim<'a> {
         for p in swarm.sample_active(t, wanted_from_trace, &mut self.rng) {
             peers.push(Ipv4Addr::from(p.ip));
         }
+        btpub_obs::static_histogram!("tracker.announce.latency_ns")
+            .record(announce_start.elapsed().as_nanos() as u64);
         Ok(TrackerReply {
             complete,
             incomplete,
@@ -178,6 +184,21 @@ impl<'a> TrackerSim<'a> {
 /// Simulates a peer-wire connection to `ip` asking for its bitfield in the
 /// swarm of `torrent` at time `t` (§2's initial-seeder identification).
 pub fn probe(eco: &Ecosystem, torrent: TorrentId, ip: Ipv4Addr, t: SimTime) -> ProbeOutcome {
+    let outcome = probe_inner(eco, torrent, ip, t);
+    match outcome {
+        ProbeOutcome::Completion(c) if c >= 1.0 => {
+            btpub_obs::static_counter!("tracker.probe.seed").inc()
+        }
+        ProbeOutcome::Completion(_) => btpub_obs::static_counter!("tracker.probe.leech").inc(),
+        ProbeOutcome::Unreachable => {
+            btpub_obs::static_counter!("tracker.probe.unreachable").inc()
+        }
+        ProbeOutcome::Offline => btpub_obs::static_counter!("tracker.probe.offline").inc(),
+    }
+    outcome
+}
+
+fn probe_inner(eco: &Ecosystem, torrent: TorrentId, ip: Ipv4Addr, t: SimTime) -> ProbeOutcome {
     let swarm = &eco.swarms[torrent.0 as usize];
     // One of the publishing entity's seeding servers?
     if swarm.publisher_seeding(t) && eco.publisher_addrs(torrent, t).contains(&ip) {
@@ -296,13 +317,21 @@ mod tests {
     fn publisher_appears_in_small_young_swarms() {
         let e = eco();
         let mut tr = TrackerSim::new(&e);
-        // Right after announcement most swarms are tiny, so the publisher
-        // (when seeding and the only peer) must be in the sample.
+        // While a swarm is young and tiny, a seeding publisher must be in
+        // the sample (§2: the pounce query catches the initial seeder
+        // alone). Publishers start seeding up to ten minutes after the
+        // announcement (and diurnal ones later still), so anchor the
+        // probe 30 s into the first seeding session rather than at a
+        // fixed offset from the announce, which only a lucky subset of
+        // draws would satisfy.
         let mut publisher_seen = 0;
         let mut candidates = 0;
-        for (i, p) in e.publications.iter().enumerate().take(100) {
-            let t = p.at + SimDuration(30);
+        for (i, _p) in e.publications.iter().enumerate().take(100) {
             let swarm = &e.swarms[i];
+            let Some(start) = swarm.sessions.start() else {
+                continue;
+            };
+            let t = start + SimDuration(30);
             if swarm.publisher_seeding(t) && swarm.active_count(t) < 10 {
                 candidates += 1;
                 let reply = tr.query(77, TorrentId(i as u32), t, 200).unwrap();

@@ -168,7 +168,8 @@ fn handle_datagram(
                 numwant: if num_want == u32::MAX { 50 } else { num_want },
                 compact: true,
             };
-            match registry.lock().announce(&req, from_ip, Instant::now()) {
+            let started = Instant::now();
+            let response = match registry.lock().announce(&req, from_ip, Instant::now()) {
                 None => UdpResponse::Error {
                     transaction_id,
                     message: "torrent not registered".into(),
@@ -180,7 +181,10 @@ fn handle_datagram(
                     seeders: out.complete,
                     peers: out.peers,
                 },
-            }
+            };
+            btpub_obs::static_histogram!("tracker.udp.announce.latency_ns")
+                .record(started.elapsed().as_nanos() as u64);
+            response
         }
         UdpRequest::Scrape {
             connection_id: cid,
@@ -193,14 +197,18 @@ fn handle_datagram(
                     message: "invalid connection id".into(),
                 });
             }
+            let started = Instant::now();
             let reg = registry.lock();
-            UdpResponse::Scrape {
+            let response = UdpResponse::Scrape {
                 transaction_id,
                 entries: info_hashes
                     .iter()
                     .map(|ih| reg.scrape(ih).unwrap_or_default())
                     .collect(),
-            }
+            };
+            btpub_obs::static_histogram!("tracker.udp.scrape.latency_ns")
+                .record(started.elapsed().as_nanos() as u64);
+            response
         }
     })
 }

@@ -20,19 +20,22 @@ fn main() {
         }
     };
     let scenario = Scenario::pb10(scale);
-    eprintln!(
-        "generating ecosystem and crawling: {} torrents, {:.0} days, ~{} major publishers...",
-        scenario.eco.torrents,
-        scenario.eco.duration.as_days(),
-        scenario.eco.top_publishers + scenario.eco.fake_entities
+    btpub_obs::info!(
+        "generating ecosystem and crawling";
+        torrents = scenario.eco.torrents,
+        days = scenario.eco.duration.as_days(),
+        majors = scenario.eco.top_publishers + scenario.eco.fake_entities,
     );
     let started = std::time::Instant::now();
     let study = Study::run(&scenario);
-    eprintln!(
-        "measurement done in {:.1}s ({} distinct downloader IPs observed)",
-        started.elapsed().as_secs_f64(),
-        study.dataset.distinct_ip_count()
+    btpub_obs::info!(
+        "measurement done";
+        secs = started.elapsed().as_secs_f64(),
+        distinct_ips = study.dataset.distinct_ip_count(),
     );
     let analyses = study.analyze();
     print!("{}", analyses.experiments().full_report());
+
+    // Where the time and work went, from the observability layer.
+    eprintln!("\n{}", btpub_obs::text_report(btpub_obs::global()));
 }

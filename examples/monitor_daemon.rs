@@ -70,4 +70,7 @@ fn main() {
     let path = std::env::temp_dir().join("btpub-monitor-store.json");
     std::fs::write(&path, store.to_json()).expect("write store");
     println!("\nstore persisted to {}", path.display());
+
+    // Where the time and work went, from the observability layer.
+    eprintln!("\n{}", btpub_obs::text_report(btpub_obs::global()));
 }

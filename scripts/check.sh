@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full local gate: what CI (and the repo's tier-1 check) runs.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== tests =="
+cargo test -q --offline --workspace
+
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "all checks passed"

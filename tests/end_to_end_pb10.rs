@@ -237,8 +237,19 @@ fn s51_classification_and_profit_shares() {
     let textbox = report.placements.get("textbox").copied().unwrap_or(0);
     let filename = report.placements.get("filename").copied().unwrap_or(0);
     assert!(textbox >= filename, "textbox {textbox} vs filename {filename}");
-    // Portal-class language dedication trends Spanish (paper: 66 %).
-    if report.language_dedicated.0 > 0.0 {
+    // Portal-class language dedication trends Spanish (paper §5.1: 66 %
+    // of language-dedicated portals publish in Spanish). That rate was
+    // measured over the full dataset's portal population; the small-scale
+    // study only generates a couple of portal publishers, so the Spanish
+    // share is a handful of Bernoulli(0.66) draws and can legitimately be
+    // zero. Only assert the trend once the sample makes its absence a
+    // <1 % event (0.34^n < 0.01 needs n >= 5 dedicated portals).
+    let dedicated_portals = a
+        .classified
+        .iter()
+        .filter(|c| c.class == BusinessClass::BtPortal && c.language.is_some())
+        .count();
+    if dedicated_portals >= 5 {
         assert!(report.language_dedicated.1 >= 0.3);
     }
 }

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of the `bytes` API the workspace's wire-format code uses: a
+//! cheaply-clonable immutable [`Bytes`], a growable [`BytesMut`] with an
+//! amortised-O(1) front cursor, and the [`Buf`]/[`BufMut`] read/write
+//! traits. Unlike the real crate there is no zero-copy splitting — `freeze`
+//! and `split_to` copy — which is irrelevant at this workspace's frame
+//! sizes.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Wraps a static slice (copies here; the real crate borrows).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Arc::from(bytes))
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Byte length.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes through Deref
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer with a front cursor so `advance`/`split_to` are
+/// cheap without shifting the tail on every read.
+#[derive(Clone, Default, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Bytes before `off` have been consumed.
+    off: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            off: 0,
+        }
+    }
+
+    /// Unconsumed byte length.
+    #[allow(clippy::len_without_is_empty)] // is_empty comes through Deref
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Removes and returns the first `n` unconsumed bytes.
+    ///
+    /// # Panics
+    /// Panics if `n > self.len()`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to({n}) out of bounds");
+        let head = self.buf[self.off..self.off + n].to_vec();
+        self.off += n;
+        self.compact();
+        BytesMut { buf: head, off: 0 }
+    }
+
+    /// Converts the unconsumed bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(Arc::from(&self.buf[self.off..]))
+    }
+
+    /// Drops consumed prefix storage once it dominates the buffer.
+    fn compact(&mut self) {
+        if self.off > 64 && self.off * 2 >= self.buf.len() {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.off..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.off..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut {
+            buf: v.to_vec(),
+            off: 0,
+        }
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(self), f)
+    }
+}
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&c[..8]);
+        self.advance(8);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance({n}) out of bounds");
+        self.off += n;
+        self.compact();
+    }
+}
+
+/// Write cursor appending to a byte buffer.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, data: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cursor() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xdead_beef);
+        b.put_u8(7);
+        b.put_slice(b"xyz");
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u32(), 0xdead_beef);
+        let head = b.split_to(1);
+        assert_eq!(&head[..], &[7]);
+        assert_eq!(&b.freeze()[..], b"xyz");
+    }
+
+    #[test]
+    fn compaction_keeps_contents() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[9u8; 300]);
+        b.advance(200);
+        assert_eq!(b.len(), 100);
+        assert!(b.iter().all(|&x| x == 9));
+    }
+}

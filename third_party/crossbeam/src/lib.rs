@@ -1,0 +1,41 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access. The workspace only needs
+//! scoped threads and unbounded channels, both of which std now provides,
+//! so this shim re-exposes them under crossbeam's module paths.
+
+/// Scoped threads (std has them natively since 1.63).
+pub mod thread {
+    /// Runs `f` with a [`std::thread::Scope`], mirroring
+    /// `crossbeam::thread::scope`. Unlike crossbeam this cannot observe
+    /// child panics as an `Err` — std propagates them on join instead.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+/// Channels (std mpsc stands in for crossbeam-channel).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_and_channel() {
+        let (tx, rx) = super::channel::unbounded();
+        super::thread::scope(|s| {
+            s.spawn(move || tx.send(7).unwrap());
+        })
+        .unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

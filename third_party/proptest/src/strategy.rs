@@ -1,0 +1,449 @@
+//! Core strategy machinery: the [`Strategy`] trait, combinators, boxed
+//! strategies, unions, range strategies and a small regex-class string
+//! generator for `"[a-z0-9]{1,40}"`-style patterns.
+
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives a strategy for the
+    /// recursive positions and returns the composite case. `depth` bounds
+    /// the recursion; `_desired_size` and `_expected_branch_size` are
+    /// accepted for proptest API compatibility but unused here.
+    fn prop_recursive<F, S2>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            // Each level either recurses (via the previous level) or
+            // falls back to the leaf the recursion was rooted at.
+            current = f(current).boxed();
+        }
+        current
+    }
+
+    /// Type-erases this strategy behind a cheap `Rc`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation, used by [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<T, S: Strategy<Value = T>> DynStrategy<T> for S {
+    fn generate_dyn(&self, rng: &mut StdRng) -> T {
+        self.generate(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among several strategies of the same value type.
+pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "Union of zero strategies");
+        Union(options)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].generate(rng)
+    }
+}
+
+/// The strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+// ---------------------------------------------------------------------------
+// Regex-pattern string strategy
+// ---------------------------------------------------------------------------
+
+/// A `&str` is interpreted as a (small) regex describing strings to
+/// generate, as in real proptest. Supported syntax: literal characters,
+/// `[a-z0-9_.-]` classes, `.` (printable ASCII), `\PC` / `\p{..}`
+/// (approximated as printable ASCII), and the quantifiers `*` `+` `?`
+/// `{n}` `{m,n}`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// One unit of the pattern: a set of `(lo, hi)` inclusive char ranges.
+struct Atom {
+    ranges: Vec<(char, char)>,
+}
+
+impl Atom {
+    fn printable_ascii() -> Atom {
+        Atom {
+            ranges: vec![(' ', '~')],
+        }
+    }
+
+    fn single(c: char) -> Atom {
+        Atom {
+            ranges: vec![(c, c)],
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> char {
+        let total: u32 = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum();
+        let mut pick = rng.gen_range(0..total);
+        for &(lo, hi) in &self.ranges {
+            let width = hi as u32 - lo as u32 + 1;
+            if pick < width {
+                // Skip the surrogate gap if a range straddles it.
+                let code = lo as u32 + pick;
+                return char::from_u32(code).unwrap_or('?');
+            }
+            pick -= width;
+        }
+        unreachable!("sample within total width")
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (atom, next) = parse_class(&chars, i + 1);
+                i = next;
+                atom
+            }
+            '\\' => {
+                let (atom, next) = parse_escape(&chars, i + 1);
+                i = next;
+                atom
+            }
+            '.' => {
+                i += 1;
+                Atom::printable_ascii()
+            }
+            c => {
+                i += 1;
+                Atom::single(c)
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0usize, 16usize)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .expect("unclosed {} quantifier in proptest pattern");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((m, n)) = body.split_once(',') {
+                    let m: usize = m.trim().parse().expect("bad {m,n} quantifier");
+                    let n: usize = if n.trim().is_empty() {
+                        m + 16
+                    } else {
+                        n.trim().parse().expect("bad {m,n} quantifier")
+                    };
+                    (m, n)
+                } else {
+                    let n: usize = body.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+            _ => (1, 1),
+        };
+        let count = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+/// Parses `[...]` starting just past the `[`; returns the atom and the
+/// index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+    let mut ranges = Vec::new();
+    // Negated classes are rare in the test patterns; approximate them as
+    // printable ASCII rather than building a complement set.
+    if chars.get(i) == Some(&'^') {
+        while i < chars.len() && chars[i] != ']' {
+            i += 1;
+        }
+        return (Atom::printable_ascii(), i + 1);
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            escaped_char(chars[i])
+        } else {
+            chars[i]
+        };
+        i += 1;
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                escaped_char(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    if ranges.is_empty() {
+        return (Atom::printable_ascii(), i + 1);
+    }
+    (Atom { ranges }, i + 1)
+}
+
+/// Parses a `\x` escape starting at the char after the backslash; returns
+/// the atom and the index just past the escape.
+fn parse_escape(chars: &[char], i: usize) -> (Atom, usize) {
+    match chars.get(i) {
+        // Unicode category escapes (`\PC`, `\pL`, `\p{Greek}`) are
+        // approximated as printable ASCII — the tests only use them to
+        // mean "any reasonable text".
+        Some('P') | Some('p') => {
+            if chars.get(i + 1) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| i + off)
+                    .expect("unclosed \\p{} in proptest pattern");
+                (Atom::printable_ascii(), close + 1)
+            } else {
+                (Atom::printable_ascii(), i + 2)
+            }
+        }
+        Some('d') => (
+            Atom {
+                ranges: vec![('0', '9')],
+            },
+            i + 1,
+        ),
+        Some('w') => (
+            Atom {
+                ranges: vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')],
+            },
+            i + 1,
+        ),
+        Some(&c) => (Atom::single(escaped_char(c)), i + 1),
+        None => (Atom::single('\\'), i),
+    }
+}
+
+fn escaped_char(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn just_yields_value() {
+        assert_eq!(Just(42u32).generate(&mut rng()), 42);
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (10u32..20).generate(&mut r);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn class_pattern_respects_charset_and_length() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z0-9]{1,40}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_pattern() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = "[ -~]{0,80}".generate(&mut r);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn union_and_map() {
+        let s = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]).prop_map(|v| v * 10);
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v == 10 || v == 20);
+        }
+    }
+}

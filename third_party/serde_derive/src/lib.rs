@@ -1,0 +1,466 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace declares — named/tuple/unit structs and enums with
+//! unit/tuple/struct variants, with optional lifetime-only generics — by
+//! walking the raw `proc_macro::TokenStream` (no `syn`/`quote`; the build
+//! environment has no crates.io access) and emitting impls of the
+//! simplified value-tree traits in the vendored `serde`.
+//!
+//! `#[serde(...)]` attributes are not supported and the parser will ignore
+//! them like any other attribute; the workspace does not use them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input looks like after parsing.
+struct Input {
+    name: String,
+    /// Generic parameter list with bounds, e.g. `<'a>` (empty if none).
+    generics_decl: String,
+    /// Generic argument list without bounds, e.g. `<'a>` (empty if none).
+    generics_use: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::value::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\", ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::value::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "Self::{v} => ::serde::value::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{v}({binds}) => {{\n\
+                             let mut m = ::serde::value::Map::new();\n\
+                             m.insert(\"{v}\", {inner});\n\
+                             ::serde::value::Value::Object(m)\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("let mut fm = ::serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\", ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::value::Map::new();\n\
+                             m.insert(\"{v}\", ::serde::value::Value::Object(fm));\n\
+                             ::serde::value::Value::Object(m)\n\
+                             }}\n",
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl{decl} ::serde::Serialize for {name}{used} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n",
+        decl = input.generics_decl,
+        name = input.name,
+        used = input.generics_use,
+    );
+    out.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!("{f}: ::serde::de_field(obj, \"{f}\")?,\n"));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return Err(::serde::DeError::expected(\"{n}-tuple\", \"{name}\"));\n\
+                 }}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&arr[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut s = String::from("if let Some(s) = v.as_str() {\nmatch s {\n");
+            for (v, shape) in variants {
+                if matches!(shape, VariantShape::Unit) {
+                    s.push_str(&format!("\"{v}\" => return Ok(Self::{v}),\n"));
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n");
+            s.push_str("if let Some(obj) = v.as_object() {\n");
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "if let Some(inner) = obj.get(\"{v}\") {{\n\
+                         return Ok(Self::{v}(::serde::Deserialize::from_value(inner)?));\n}}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let mut items = String::new();
+                        for i in 0..*n {
+                            items.push_str(&format!(
+                                "::serde::Deserialize::from_value(&arr[{i}])?,\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "if let Some(inner) = obj.get(\"{v}\") {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", \"{name}::{v}\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return Err(::serde::DeError::expected(\"{n}-tuple\", \"{name}::{v}\"));\n\
+                             }}\n\
+                             return Ok(Self::{v}({items}));\n}}\n"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut items = String::new();
+                        for f in fields {
+                            items.push_str(&format!("{f}: ::serde::de_field(fm, \"{f}\")?,\n"));
+                        }
+                        s.push_str(&format!(
+                            "if let Some(inner) = obj.get(\"{v}\") {{\n\
+                             let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}::{v}\"))?;\n\
+                             return Ok(Self::{v} {{ {items} }});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s.push_str(&format!(
+                "Err(::serde::DeError::expected(\"a {name} variant\", \"{name}\"))"
+            ));
+            s
+        }
+    };
+    let out = format!(
+        "impl{decl} ::serde::Deserialize for {name}{used} {{\n\
+         fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n",
+        decl = input.generics_decl,
+        used = input.generics_use,
+    );
+    out.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    let (generics_decl, generics_use) = parse_generics(&tokens, &mut i);
+    // A where-clause would need carrying over to the impl; nothing in the
+    // workspace uses one on a serde type.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive: where-clauses are not supported");
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: malformed struct body: {other:?}"),
+        }
+    } else if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        }
+    } else {
+        panic!("serde_derive: only structs and enums are supported, found `{kind}`");
+    };
+    Input {
+        name,
+        generics_decl,
+        generics_use,
+        shape,
+    }
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses an optional `<...>` generic list, returning it with and without
+/// bounds. Lifetimes and plain type parameters are supported.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (String, String) {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return (String::new(), String::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let t = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("serde_derive: unterminated generics"));
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(t.clone());
+        *i += 1;
+    }
+    // Split the parameter list on top-level commas, keep each parameter's
+    // name (lifetime tick + ident, or the first ident), drop bounds.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for t in &inner {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    params.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        params.last_mut().unwrap().push(t.clone());
+    }
+    let mut names = Vec::new();
+    for param in params.iter().filter(|p| !p.is_empty()) {
+        match &param[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                names.push(format!("'{}", param[1]));
+            }
+            TokenTree::Ident(id) => names.push(id.to_string()),
+            other => panic!("serde_derive: unsupported generic parameter {other}"),
+        }
+    }
+    // Join the raw declaration tokens, taking care to keep lifetime ticks
+    // glued to their identifier (`' a` is a char-literal start, not `'a`).
+    let mut decl = String::new();
+    for t in &inner {
+        if !decl.is_empty() && !decl.ends_with('\'') {
+            decl.push(' ');
+        }
+        decl.push_str(&t.to_string());
+    }
+    (format!("<{decl}>"), format!("<{}>", names.join(", ")))
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and struct
+/// variants), returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}`, found {other}"),
+        }
+        // Skip the type: everything until a comma outside <...>.
+        let mut depth = 0usize;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts comma-separated fields in a tuple struct / tuple variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0usize;
+    let mut count = 1usize;
+    for (idx, t) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                // A trailing comma does not open a new field.
+                ',' if depth == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+/// Parses enum variants: `Name`, `Name(T, ...)`, `Name { f: T, ... }`,
+/// optionally with `= discriminant`.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and advance past the comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
