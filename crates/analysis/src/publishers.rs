@@ -56,30 +56,57 @@ impl PublisherStats {
 /// count, descending — "top-x" publishers are prefixes of it.
 pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
     let _span = btpub_obs::span!("analysis.aggregate_publishers");
-    // BTreeMap gives a deterministic tie order regardless of hash state.
-    let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
-    for (idx, rec) in dataset.torrents.iter().enumerate() {
-        let key = if dataset.has_usernames {
-            match &rec.username {
-                Some(u) => PublisherKey::Username(u.clone()),
-                None => continue,
+    // Parallel fold: contiguous torrent-index chunks aggregate
+    // independently, then merge left to right — per-publisher torrent
+    // lists stay in ascending index order, exactly as a serial pass
+    // builds them. BTreeMap gives a deterministic tie order regardless
+    // of hash state.
+    let n = dataset.torrents.len();
+    let chunks = (btpub_par::global().get() * 4).clamp(1, n.max(1));
+    let partials: Vec<BTreeMap<PublisherKey, PublisherStats>> =
+        btpub_par::par_map_indexed("analysis.aggregate", chunks, |c| {
+            let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
+            for idx in n * c / chunks..n * (c + 1) / chunks {
+                let rec = &dataset.torrents[idx];
+                let key = if dataset.has_usernames {
+                    match &rec.username {
+                        Some(u) => PublisherKey::Username(u.clone()),
+                        None => continue,
+                    }
+                } else {
+                    match rec.publisher_ip {
+                        Some(ip) => PublisherKey::Ip(u32::from(ip)),
+                        None => continue,
+                    }
+                };
+                let entry = agg.entry(key.clone()).or_insert_with(|| PublisherStats {
+                    key,
+                    torrents: Vec::new(),
+                    downloads: 0,
+                    ips: HashSet::new(),
+                });
+                entry.torrents.push(idx);
+                entry.downloads += rec.observed_downloaders() as u64;
+                if let Some(ip) = rec.publisher_ip {
+                    entry.ips.insert(u32::from(ip));
+                }
             }
-        } else {
-            match rec.publisher_ip {
-                Some(ip) => PublisherKey::Ip(u32::from(ip)),
-                None => continue,
-            }
-        };
-        let entry = agg.entry(key.clone()).or_insert_with(|| PublisherStats {
-            key,
-            torrents: Vec::new(),
-            downloads: 0,
-            ips: HashSet::new(),
+            agg
         });
-        entry.torrents.push(idx);
-        entry.downloads += rec.observed_downloaders() as u64;
-        if let Some(ip) = rec.publisher_ip {
-            entry.ips.insert(u32::from(ip));
+    let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
+    for part in partials {
+        for (key, mut stats) in part {
+            match agg.entry(key) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(stats);
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    let merged = o.get_mut();
+                    merged.torrents.append(&mut stats.torrents);
+                    merged.downloads += stats.downloads;
+                    merged.ips.extend(stats.ips);
+                }
+            }
         }
     }
     let mut out: Vec<PublisherStats> = agg.into_values().collect();

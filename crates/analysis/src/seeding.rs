@@ -129,9 +129,14 @@ pub fn group_seeding_boxes(
         members.shuffle(&mut rng);
         members.truncate(ALL_SAMPLE);
     }
-    let metrics: Vec<SeedingMetrics> = members
-        .iter()
-        .filter_map(|p| publisher_seeding_metrics(dataset, p, default_offline_threshold()))
+    // Per-publisher session estimation is independent work over read-only
+    // records; fan it out (results come back in member order).
+    let metrics: Vec<SeedingMetrics> =
+        btpub_par::par_map("analysis.seeding", &members, |p| {
+            publisher_seeding_metrics(dataset, p, default_offline_threshold())
+        })
+        .into_iter()
+        .flatten()
         .collect();
     if metrics.is_empty() {
         return None;

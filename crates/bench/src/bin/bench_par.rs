@@ -1,0 +1,193 @@
+//! Serial-vs-parallel wall-clock benchmark → `BENCH_par.json`.
+//!
+//! ```text
+//! bench_par [--scale tiny|repro|paper] [--jobs N] [--runs K] [--out PATH]
+//! ```
+//!
+//! Runs the `repro --scenario all` pipeline (generate → crawl → analyze →
+//! full report, for mn08 + pb09 + pb10) in-process at `--jobs 1` and at
+//! `--jobs N` (default: detected cores), taking the best of `--runs`
+//! (default 1) for each, verifies the two reports are **byte-identical**
+//! (exit 1 if not — that would be a determinism bug), and writes the
+//! measurement to `--out` (default `BENCH_par.json`). This seeds the
+//! repo's bench trajectory; `scripts/bench.sh` is the entry point.
+
+use std::time::Instant;
+
+use btpub::{Scale, Scenario, Study};
+use btpub_par::Jobs;
+
+/// The emitted measurement record.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    /// Benchmark id, for when more BENCH_*.json files join this one.
+    bench: String,
+    /// Scale preset the pipeline ran at.
+    scale: String,
+    /// Detected available parallelism of the machine the numbers are from.
+    cpus: usize,
+    /// Worker count of the parallel configuration.
+    jobs: usize,
+    /// Timed runs per configuration (best-of).
+    runs: usize,
+    /// Best wall-clock seconds at `--jobs 1`.
+    wall_s_serial: f64,
+    /// Best wall-clock seconds at `--jobs N`.
+    wall_s_parallel: f64,
+    /// `wall_s_serial / wall_s_parallel`.
+    speedup: f64,
+    /// Whether serial and parallel stdout reports matched byte for byte.
+    reports_identical: bool,
+    /// Total tasks executed across every `par.*` pool, both configs.
+    pool_tasks: u64,
+    /// Total successful steals across every `par.*` pool, both configs.
+    pool_steals: u64,
+}
+
+/// One full `--scenario all` pipeline pass; returns (seconds, report).
+fn run_all(scale: Scale, jobs: usize) -> (f64, String) {
+    btpub_par::set_global(Jobs::new(jobs));
+    let scenarios = [
+        ("mn08", Scenario::mn08(scale)),
+        ("pb09", Scenario::pb09(scale)),
+        ("pb10", Scenario::pb10(scale)),
+    ];
+    let t0 = Instant::now();
+    let chunks = btpub_par::par_map("repro.scenarios", &scenarios, |(name, scenario)| {
+        let study = Study::run(scenario);
+        let analyses = study.analyze();
+        format!(
+            "################ scenario {name} ################\n{}",
+            analyses.experiments().full_report()
+        )
+    });
+    (t0.elapsed().as_secs_f64(), chunks.concat())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_repro();
+    let mut scale_name = "repro".to_string();
+    let mut jobs = Jobs::detected().get();
+    let mut runs = 1usize;
+    let mut out = "BENCH_par.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::tiny(),
+                    Some("repro") => Scale::default_repro(),
+                    Some("paper") => Scale::paper(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+                scale_name = args[i].clone();
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--runs" => {
+                i += 1;
+                runs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--runs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cpus = Jobs::detected().get();
+    eprintln!("bench_par: scale={scale_name} jobs=1 vs jobs={jobs} (cpus={cpus}, best of {runs})");
+
+    // Warm-up pass outside the timings (allocator, page cache, lazily
+    // initialised metric handles), at tiny scale to keep it cheap.
+    let _ = run_all(Scale::tiny(), 1);
+
+    let mut wall_serial = f64::INFINITY;
+    let mut report_serial = String::new();
+    for r in 0..runs {
+        let (w, rep) = run_all(scale, 1);
+        eprintln!("  jobs=1  run {}: {w:.3}s", r + 1);
+        if w < wall_serial {
+            wall_serial = w;
+        }
+        report_serial = rep;
+    }
+    let mut wall_par = f64::INFINITY;
+    let mut report_par = String::new();
+    for r in 0..runs {
+        let (w, rep) = run_all(scale, jobs);
+        eprintln!("  jobs={jobs} run {}: {w:.3}s", r + 1);
+        if w < wall_par {
+            wall_par = w;
+        }
+        report_par = rep;
+    }
+
+    let identical = report_serial == report_par;
+    let (pool_tasks, pool_steals) = btpub_obs::global()
+        .counters()
+        .into_iter()
+        .fold((0u64, 0u64), |(t, s), (name, v)| {
+            if name.starts_with("par.") && name.ends_with(".tasks") {
+                (t + v, s)
+            } else if name.starts_with("par.") && name.ends_with(".steals") {
+                (t, s + v)
+            } else {
+                (t, s)
+            }
+        });
+    let report = BenchReport {
+        bench: "par".into(),
+        scale: scale_name,
+        cpus,
+        jobs,
+        runs,
+        wall_s_serial: wall_serial,
+        wall_s_parallel: wall_par,
+        speedup: wall_serial / wall_par.max(1e-9),
+        reports_identical: identical,
+        pool_tasks,
+        pool_steals,
+    };
+    let json = serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serializes"))
+        .expect("renders");
+    std::fs::write(&out, &json).expect("write bench report");
+    eprintln!(
+        "bench_par: serial {wall_serial:.3}s, parallel {wall_par:.3}s, speedup {:.2}x -> {out}",
+        report.speedup
+    );
+    if !identical {
+        eprintln!("bench_par: FAIL — serial and parallel reports differ (determinism bug)");
+        std::process::exit(1);
+    }
+}

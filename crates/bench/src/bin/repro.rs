@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale tiny|repro|paper] [--scenario mn08|pb09|pb10|all] [--exp ID]
-//!       [--metrics out.json]
+//!       [--jobs N] [--metrics out.json]
 //! ```
 //!
 //! Experiment ids: t1 f1 t2 t3 s33 f2 f3 f4 s51 t4 t5 s6 aa v1 (default:
@@ -11,8 +11,21 @@
 //! `BTPUB_LOG=info` to watch progress); `--metrics` dumps the full
 //! observability snapshot as JSON and a per-experiment wall-time table is
 //! printed to stderr at the end.
+//!
+//! Parallelism: `--jobs N` (else `BTPUB_JOBS`, else all cores) sets the
+//! worker count for every `btpub-par` pool; with `--scenario all` the
+//! three campaigns also run concurrently. Reports are assembled in
+//! scenario order off the workers, so stdout is **byte-identical** at any
+//! job count — `scripts/check.sh` diffs `--jobs 1` against `--jobs 4`.
+
+use std::fmt::Write as _;
 
 use btpub::{Scale, Scenario, Study};
+
+/// The known experiment ids (`--exp`), excluding `all`.
+const EXPERIMENT_IDS: [&str; 14] = [
+    "t1", "f1", "t2", "t3", "s33", "f2", "f3", "f4", "s51", "t4", "t5", "s6", "aa", "v1",
+];
 
 fn scenario_by_name(name: &str, scale: Scale) -> Option<Scenario> {
     match name {
@@ -57,6 +70,16 @@ fn main() {
                 i += 1;
                 exp = args.get(i).cloned();
             }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => btpub_par::set_global(btpub_par::Jobs::new(n)),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--metrics" => {
                 i += 1;
                 metrics_path = args.get(i).cloned();
@@ -73,90 +96,138 @@ fn main() {
         i += 1;
     }
 
-    for name in &scenario_names {
-        let Some(scenario) = scenario_by_name(name, scale) else {
-            eprintln!("unknown scenario {name}");
+    // Validate everything up front: the scenario fan-out below must not
+    // discover bad arguments mid-flight.
+    if let Some(id) = exp.as_deref() {
+        if id != "all" && !EXPERIMENT_IDS.contains(&id) {
+            eprintln!("unknown experiment {id}");
             std::process::exit(2);
-        };
-        btpub_obs::info!(
-            "[{name}] generating + crawling";
-            torrents = scenario.eco.torrents,
-            days = scenario.eco.duration.as_days(),
-        );
-        let started = std::time::Instant::now();
-        let study = Study::run(&scenario);
-        btpub_obs::info!(
-            "[{name}] campaign done";
-            secs = started.elapsed().as_secs_f64(),
-            torrents = study.dataset.torrent_count(),
-            distinct_ips = study.dataset.distinct_ip_count(),
-        );
-        let analyses = study.analyze();
-        let ex = analyses.experiments();
-        println!("################ scenario {name} ################");
-        match exp.as_deref() {
-            None | Some("all") => print!("{}", ex.full_report()),
-            Some("t1") => {
-                let t = ex.t1_dataset();
-                println!("{t:#?}");
-            }
-            Some("f1") => {
-                let f = ex.fig1_skewness();
-                println!(
-                    "top3%={:.1}% top_k={} shares={:.3}/{:.3}",
-                    f.share_top3pct, f.top_k, f.top_k_shares.0, f.top_k_shares.1
-                );
-                for p in f.cdf.iter().step_by((f.cdf.len() / 20).max(1)) {
-                    println!("  {:6.2}% publishers -> {:6.2}% content", p.pct_publishers, p.pct_content);
-                }
-            }
-            Some("t2") => {
-                for row in ex.t2_isps() {
-                    println!("{:<28} {:<16} {:>6.2}%", row.name, row.kind.to_string(), row.pct_content);
-                }
-            }
-            Some("t3") => println!("{:#?}", ex.t3_footprints()),
-            Some("s33") => println!("{:#?}", ex.s33_mapping()),
-            Some("f2") => {
-                for (g, d) in ex.fig2_content_types() {
-                    println!("{:<7} n={:<6} video={:.1}% fractions={:?}", g.label(), d.n, d.video_share() * 100.0, d.fractions);
-                }
-            }
-            Some("f3") => {
-                for (g, b) in ex.fig3_popularity() {
-                    println!("{:<7} {:?}", g.label(), b);
-                }
-            }
-            Some("f4") => {
-                for (g, b) in ex.fig4_seeding() {
-                    println!("{:<7} {:?}", g.label(), b);
-                }
-            }
-            Some("s51") => println!("{:#?}", ex.s51_classes()),
-            Some("t4") => {
-                for row in ex.t4_longitudinal() {
-                    println!("{row:#?}");
-                }
-            }
-            Some("t5") => {
-                for row in ex.t5_economics() {
-                    println!("{row:#?}");
-                }
-            }
-            Some("s6") => println!("{:#?}", ex.s6_hosting_income()),
-            Some("aa") => println!("{:#?}", ex.aa_session_model()),
-            Some("v1") => println!("{:#?}", ex.v1_validation()),
-            Some(other) => {
-                eprintln!("unknown experiment {other}");
+        }
+    }
+    let scenarios: Vec<(String, Scenario)> = scenario_names
+        .iter()
+        .map(|name| match scenario_by_name(name, scale) {
+            Some(s) => (name.clone(), s),
+            None => {
+                eprintln!("unknown scenario {name}");
                 std::process::exit(2);
             }
-        }
+        })
+        .collect();
+
+    // Run the campaigns concurrently (`--scenario all` ⇒ three independent
+    // studies), then print the assembled chunks in scenario order so
+    // stdout does not depend on completion order or job count.
+    let exp_ref = exp.as_deref();
+    let chunks = btpub_par::par_map("repro.scenarios", &scenarios, |(name, scenario)| {
+        run_scenario(name, scenario, exp_ref)
+    });
+    for chunk in &chunks {
+        print!("{chunk}");
     }
 
     print_experiment_timings();
     if let Some(path) = metrics_path {
         write_metrics(&path);
     }
+}
+
+/// Runs one campaign end to end and renders its stdout chunk.
+fn run_scenario(name: &str, scenario: &Scenario, exp: Option<&str>) -> String {
+    btpub_obs::info!(
+        "[{name}] generating + crawling";
+        torrents = scenario.eco.torrents,
+        days = scenario.eco.duration.as_days(),
+    );
+    let started = std::time::Instant::now();
+    let study = Study::run(scenario);
+    btpub_obs::info!(
+        "[{name}] campaign done";
+        secs = started.elapsed().as_secs_f64(),
+        torrents = study.dataset.torrent_count(),
+        distinct_ips = study.dataset.distinct_ip_count(),
+    );
+    let analyses = study.analyze();
+    let ex = analyses.experiments();
+    let mut out = String::new();
+    writeln!(out, "################ scenario {name} ################").unwrap();
+    match exp {
+        None | Some("all") => write!(out, "{}", ex.full_report()).unwrap(),
+        Some("t1") => {
+            let t = ex.t1_dataset();
+            writeln!(out, "{t:#?}").unwrap();
+        }
+        Some("f1") => {
+            let f = ex.fig1_skewness();
+            writeln!(
+                out,
+                "top3%={:.1}% top_k={} shares={:.3}/{:.3}",
+                f.share_top3pct, f.top_k, f.top_k_shares.0, f.top_k_shares.1
+            )
+            .unwrap();
+            for p in f.cdf.iter().step_by((f.cdf.len() / 20).max(1)) {
+                writeln!(
+                    out,
+                    "  {:6.2}% publishers -> {:6.2}% content",
+                    p.pct_publishers, p.pct_content
+                )
+                .unwrap();
+            }
+        }
+        Some("t2") => {
+            for row in ex.t2_isps() {
+                writeln!(
+                    out,
+                    "{:<28} {:<16} {:>6.2}%",
+                    row.name,
+                    row.kind.to_string(),
+                    row.pct_content
+                )
+                .unwrap();
+            }
+        }
+        Some("t3") => writeln!(out, "{:#?}", ex.t3_footprints()).unwrap(),
+        Some("s33") => writeln!(out, "{:#?}", ex.s33_mapping()).unwrap(),
+        Some("f2") => {
+            for (g, d) in ex.fig2_content_types() {
+                writeln!(
+                    out,
+                    "{:<7} n={:<6} video={:.1}% fractions={:?}",
+                    g.label(),
+                    d.n,
+                    d.video_share() * 100.0,
+                    d.fractions
+                )
+                .unwrap();
+            }
+        }
+        Some("f3") => {
+            for (g, b) in ex.fig3_popularity() {
+                writeln!(out, "{:<7} {:?}", g.label(), b).unwrap();
+            }
+        }
+        Some("f4") => {
+            for (g, b) in ex.fig4_seeding() {
+                writeln!(out, "{:<7} {:?}", g.label(), b).unwrap();
+            }
+        }
+        Some("s51") => writeln!(out, "{:#?}", ex.s51_classes()).unwrap(),
+        Some("t4") => {
+            for row in ex.t4_longitudinal() {
+                writeln!(out, "{row:#?}").unwrap();
+            }
+        }
+        Some("t5") => {
+            for row in ex.t5_economics() {
+                writeln!(out, "{row:#?}").unwrap();
+            }
+        }
+        Some("s6") => writeln!(out, "{:#?}", ex.s6_hosting_income()).unwrap(),
+        Some("aa") => writeln!(out, "{:#?}", ex.aa_session_model()).unwrap(),
+        Some("v1") => writeln!(out, "{:#?}", ex.v1_validation()).unwrap(),
+        Some(other) => unreachable!("experiment ids validated in main: {other}"),
+    }
+    out
 }
 
 /// Wall-time table for every `exp.*` span recorded this run, sorted by
@@ -185,7 +256,8 @@ fn print_experiment_timings() {
 }
 
 /// Dumps the global observability snapshot (counters, gauges, histogram
-/// quantiles) to `path` as pretty-printed JSON.
+/// quantiles) to `path` as pretty-printed JSON. Pool metrics
+/// (`par.<pool>.*`) ride along with everything else.
 fn write_metrics(path: &str) {
     let snapshot = btpub_obs::global().snapshot();
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");

@@ -7,7 +7,7 @@
 //! ratios, crossovers) is asserted by the integration tests and recorded
 //! in `EXPERIMENTS.md`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 use btpub_analysis::classify::UrlPlacement;
@@ -125,7 +125,7 @@ pub struct ClassReport {
     /// Profit-driven `(content, downloads)` shares.
     pub profit_shares: (f64, f64),
     /// Placement frequencies among profit-driven publishers.
-    pub placements: HashMap<&'static str, usize>,
+    pub placements: BTreeMap<&'static str, usize>,
     /// Of the portal class: fraction dedicated to one language, and the
     /// fraction of those that are Spanish.
     pub language_dedicated: (f64, f64),
@@ -323,7 +323,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
             .iter()
             .filter(|(c, ..)| c.is_profit_driven())
             .fold((0.0, 0.0), |(pc, pd), (_, _, c, d)| (pc + c, pd + d));
-        let mut placements: HashMap<&'static str, usize> = HashMap::new();
+        let mut placements: BTreeMap<&'static str, usize> = BTreeMap::new();
         for c in a.classified.iter().filter(|c| c.url.is_some()) {
             for p in &c.placements {
                 let label = match p {

@@ -291,32 +291,34 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
     }
 
     // Assemble records in announcement order, deduplicating observed IPs.
-    let torrents = order
+    // Per-record normalisation is independent of every other record, so
+    // it fans out; `par_map_owned` keeps announcement order.
+    let finished: Vec<TorrentState> = order
         .into_iter()
-        .map(|id| {
-            let mut st = states.remove(&id).expect("state exists");
-            st.record.observed_ips.sort_unstable();
-            st.record.observed_ips.dedup();
-            st.record.observed_removed |= portal.is_removed(id, horizon);
-            // Torrents discovered on the campaign's last RSS polls may
-            // have their first query scheduled past the horizon and never
-            // be contacted; every unidentified record must still carry a
-            // cause (§2: the paper enumerates reasons for unresolved IPs).
-            if st.record.publisher_ip.is_none() && st.record.ip_failure.is_none() {
-                st.record.ip_failure = Some(IpFailure::CampaignEnded);
-            }
-            // Count *final* identification outcomes here rather than in the
-            // event loop: ip_failure is overwritten as attempts progress.
-            match (st.record.publisher_ip, st.record.ip_failure) {
-                (Some(_), _) => btpub_obs::static_counter!("crawler.identify.success").inc(),
-                (None, Some(f)) => {
-                    btpub_obs::counter(&format!("crawler.identify.failure.{f:?}")).inc();
-                }
-                (None, None) => unreachable!("backfilled above"),
-            }
-            st.record
-        })
+        .map(|id| states.remove(&id).expect("state exists"))
         .collect();
+    let torrents = btpub_par::par_map_owned("crawler.postprocess", finished, |mut st| {
+        st.record.observed_ips.sort_unstable();
+        st.record.observed_ips.dedup();
+        st.record.observed_removed |= portal.is_removed(st.record.torrent, horizon);
+        // Torrents discovered on the campaign's last RSS polls may
+        // have their first query scheduled past the horizon and never
+        // be contacted; every unidentified record must still carry a
+        // cause (§2: the paper enumerates reasons for unresolved IPs).
+        if st.record.publisher_ip.is_none() && st.record.ip_failure.is_none() {
+            st.record.ip_failure = Some(IpFailure::CampaignEnded);
+        }
+        // Count *final* identification outcomes here rather than in the
+        // event loop: ip_failure is overwritten as attempts progress.
+        match (st.record.publisher_ip, st.record.ip_failure) {
+            (Some(_), _) => btpub_obs::static_counter!("crawler.identify.success").inc(),
+            (None, Some(f)) => {
+                btpub_obs::counter(&format!("crawler.identify.failure.{f:?}")).inc();
+            }
+            (None, None) => unreachable!("backfilled above"),
+        }
+        st.record
+    });
     let ds = Dataset {
         name: cfg.name.clone(),
         start: SimTime::ZERO,

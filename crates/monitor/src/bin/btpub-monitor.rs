@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! btpub-monitor [--scale tiny|repro] [--days N] [--json PATH] [--category CAT]
-//!               [--metrics PATH]
+//!               [--jobs N] [--metrics PATH]
 //! ```
 //!
 //! Simulates a Pirate-Bay-style portal, monitors it live, then prints the
@@ -41,6 +41,16 @@ fn main() {
             "--days" => {
                 i += 1;
                 days = args.get(i).and_then(|d| d.parse().ok());
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => btpub_par::set_global(btpub_par::Jobs::new(n)),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--json" => {
                 i += 1;

@@ -278,10 +278,13 @@ impl Ecosystem {
         let consumer_weights: Vec<f64> = consumers.iter().map(|&(_, w)| w).collect();
 
         // --- 5. build swarm traces ---
+        // Embarrassingly parallel: each trace's RNG is derived from
+        // `(seed, "swarm", idx)` alone and `par_map_indexed` returns in
+        // index order, so the result is byte-identical at any job count.
         let _swarm_span = btpub_obs::span!("sim.swarms");
         let swarm_pop = btpub_obs::static_histogram!("sim.swarm.population");
-        let mut swarms = Vec::with_capacity(publications.len());
-        for (idx, publication) in publications.iter().enumerate() {
+        let swarms = btpub_par::par_map_indexed("sim.swarms", publications.len(), |idx| {
+            let publication = &publications[idx];
             let mut rng = rngs::derive(config.seed, "swarm", idx as u64);
             let publisher = &publishers[publication.publisher.0 as usize];
             let params = config.params.get(publisher.profile);
@@ -330,18 +333,26 @@ impl Ecosystem {
             );
             trace.set_publisher_seed_count(publication.seeder_count);
             swarm_pop.record(trace.downloads() as u64);
-            swarms.push(trace);
-        }
+            trace
+        });
         drop(_swarm_span);
 
         // --- 6. ground-truth session unions, clamped to the window ---
-        let mut session_unions = vec![IntervalSet::new(); publishers.len()];
-        for swarm in &swarms {
-            session_unions[swarm.publisher.0 as usize].union_with(&swarm.sessions);
+        // Grouped serially (cheap), then unioned per publisher in
+        // parallel; each union folds that publisher's swarms in index
+        // order, matching what the serial fold produced.
+        let mut by_publisher: Vec<Vec<usize>> = vec![Vec::new(); publishers.len()];
+        for (idx, swarm) in swarms.iter().enumerate() {
+            by_publisher[swarm.publisher.0 as usize].push(idx);
         }
-        for s in &mut session_unions {
-            *s = s.clamp(SimTime::ZERO, horizon);
-        }
+        let session_unions =
+            btpub_par::par_map("sim.session_unions", &by_publisher, |swarm_ids| {
+                let mut union = IntervalSet::new();
+                for &idx in swarm_ids {
+                    union.union_with(&swarms[idx].sessions);
+                }
+                union.clamp(SimTime::ZERO, horizon)
+            });
 
         btpub_obs::static_gauge!("sim.torrents").set(publications.len() as i64);
         btpub_obs::static_gauge!("sim.peers")

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Serial-vs-parallel wall-clock benchmark for the btpub-par pool.
+#
+# Builds the release `bench_par` binary and runs the full
+# `repro --scenario all` pipeline at --jobs 1 vs --jobs N, writing the
+# measurement (wall clock, speedup, pool counters, byte-identity check)
+# to BENCH_par.json at the repo root.
+#
+# Usage: scripts/bench.sh [--scale tiny|repro|paper] [--jobs N] [--runs K]
+#        (extra arguments are passed straight through to bench_par)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline -p btpub-bench --bin bench_par
+
+echo "== bench_par =="
+./target/release/bench_par --out BENCH_par.json "$@"
+
+echo "== BENCH_par.json =="
+cat BENCH_par.json
+echo

@@ -13,4 +13,26 @@ cargo test -q --offline --workspace
 echo "== clippy (all targets, warnings are errors) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== determinism: repro --jobs 1 vs --jobs 4 (tiny scale) =="
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/repro --scenario all --scale tiny --jobs 1 \
+    > "$tmpdir/serial.txt" 2>/dev/null
+./target/release/repro --scenario all --scale tiny --jobs 4 \
+    --metrics "$tmpdir/metrics.json" > "$tmpdir/parallel.txt" 2>/dev/null
+if ! diff -u "$tmpdir/serial.txt" "$tmpdir/parallel.txt"; then
+    echo "FAIL: serial and parallel repro reports differ (determinism bug)" >&2
+    exit 1
+fi
+echo "reports byte-identical ($(wc -c < "$tmpdir/serial.txt") bytes)"
+
+echo "== pool metrics present in --metrics snapshot =="
+for key in 'par.repro.scenarios.tasks' 'par.sim.swarms.tasks'; do
+    if ! grep -q "\"$key\"" "$tmpdir/metrics.json"; then
+        echo "FAIL: metric $key missing from metrics snapshot" >&2
+        exit 1
+    fi
+done
+echo "pool counters found in snapshot"
+
 echo "all checks passed"

@@ -6,14 +6,63 @@
 
 /// Scoped threads (std has them natively since 1.63).
 pub mod thread {
-    /// Runs `f` with a [`std::thread::Scope`], mirroring
-    /// `crossbeam::thread::scope`. Unlike crossbeam this cannot observe
-    /// child panics as an `Err` — std propagates them on join instead.
-    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send>>
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    /// The collected panic payloads of a scope's children.
+    type PanicList = Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>>;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`: spawned
+    /// closures are wrapped in [`catch_unwind`], so a panicking child is
+    /// reported as an `Err` from [`scope`] instead of unwinding through
+    /// `std::thread::scope` and aborting the caller's unwind path —
+    /// matching real crossbeam's semantics.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: PanicList,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The handle's `join` yields
+        /// `Some(value)`, or `None` if the closure panicked (the payload
+        /// is collected and surfaces as the scope's `Err`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, Option<T>>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let panics = Arc::clone(&self.panics);
+            self.inner.spawn(move || match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => Some(v),
+                Err(payload) => {
+                    panics.lock().expect("panic list").push(payload);
+                    None
+                }
+            })
+        }
+    }
+
+    /// Runs `f` with a [`Scope`], mirroring `crossbeam::thread::scope`:
+    /// returns `Ok(f's result)` when every child ran to completion, or
+    /// `Err(first child's panic payload)` when one panicked.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn Any + Send + 'static>>
     where
-        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
     {
-        Ok(std::thread::scope(f))
+        let panics: PanicList = Arc::default();
+        let result = std::thread::scope(|s| {
+            f(&Scope {
+                inner: s,
+                panics: Arc::clone(&panics),
+            })
+        });
+        let mut caught = panics.lock().expect("panic list");
+        if caught.is_empty() {
+            Ok(result)
+        } else {
+            Err(caught.remove(0))
+        }
     }
 }
 
@@ -37,5 +86,38 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn join_returns_child_value() {
+        let sum = super::thread::scope(|s| {
+            let a = s.spawn(|| 20);
+            let b = s.spawn(|| 22);
+            a.join().unwrap().unwrap() + b.join().unwrap().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn child_panic_is_err_not_unwind() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|| panic!("child died"));
+            s.spawn(|| 1);
+            "scope body result"
+        });
+        let payload = result.expect_err("child panic must surface as Err");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "child died");
+    }
+
+    #[test]
+    fn panicked_child_joins_as_none() {
+        let result = super::thread::scope(|s| {
+            let h = s.spawn(|| panic!("boom"));
+            h.join().unwrap()
+        });
+        // The join observed None; the scope still reports the panic.
+        assert!(result.is_err());
     }
 }
