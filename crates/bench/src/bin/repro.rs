@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale tiny|repro|paper] [--scenario mn08|pb09|pb10|all] [--exp ID]
-//!       [--jobs N] [--metrics out.json]
+//!       [--jobs N] [--metrics out.json] [--fault-profile clean|flaky|hostile]
 //! ```
 //!
 //! Experiment ids: t1 f1 t2 t3 s33 f2 f3 f4 s51 t4 t5 s6 aa v1 (default:
@@ -11,6 +11,11 @@
 //! `BTPUB_LOG=info` to watch progress); `--metrics` dumps the full
 //! observability snapshot as JSON and a per-experiment wall-time table is
 //! printed to stderr at the end.
+//!
+//! Fault injection: `--fault-profile <name>` (else `BTPUB_FAULTS`, else
+//! `clean`) runs every campaign against a deterministically broken world —
+//! see `crates/faults`. The active profile is echoed in each scenario
+//! header so archived reports are self-describing.
 //!
 //! Parallelism: `--jobs N` (else `BTPUB_JOBS`, else all cores) sets the
 //! worker count for every `btpub-par` pool; with `--scenario all` the
@@ -21,6 +26,7 @@
 use std::fmt::Write as _;
 
 use btpub::{Scale, Scenario, Study};
+use btpub_faults::FaultProfile;
 
 /// The known experiment ids (`--exp`), excluding `all`.
 const EXPERIMENT_IDS: [&str; 14] = [
@@ -42,6 +48,7 @@ fn main() {
     let mut scenario_names = vec!["pb10".to_string()];
     let mut exp: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut fault_profile: Option<FaultProfile> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -88,6 +95,22 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--fault-profile" => {
+                i += 1;
+                fault_profile = match args.get(i).map(String::as_str) {
+                    Some(name) => match FaultProfile::by_name(name) {
+                        Some(p) => Some(p),
+                        None => {
+                            eprintln!("unknown fault profile {name} (expected clean|flaky|hostile)");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--fault-profile requires a name");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -104,10 +127,17 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // CLI beats environment, which beats the clean default.
+    let fault_profile = fault_profile
+        .or_else(FaultProfile::from_env)
+        .unwrap_or_else(FaultProfile::clean);
     let scenarios: Vec<(String, Scenario)> = scenario_names
         .iter()
         .map(|name| match scenario_by_name(name, scale) {
-            Some(s) => (name.clone(), s),
+            Some(mut s) => {
+                s.crawler.fault_profile = fault_profile.clone();
+                (name.clone(), s)
+            }
             None => {
                 eprintln!("unknown scenario {name}");
                 std::process::exit(2);
@@ -151,6 +181,7 @@ fn run_scenario(name: &str, scenario: &Scenario, exp: Option<&str>) -> String {
     let ex = analyses.experiments();
     let mut out = String::new();
     writeln!(out, "################ scenario {name} ################").unwrap();
+    writeln!(out, "# fault-profile: {}", scenario.crawler.fault_profile.name).unwrap();
     match exp {
         None | Some("all") => write!(out, "{}", ex.full_report()).unwrap(),
         Some("t1") => {

@@ -3,10 +3,11 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use btpub_faults::{CircuitBreaker, FaultPlan, FaultProfile, RetryPolicy};
 use btpub_portal::Portal;
 use btpub_sim::engine::EventQueue;
 use btpub_sim::{Ecosystem, SimDuration, SimTime, TorrentId, MINUTE};
-use btpub_tracker::sim::{probe, ClientId, ProbeOutcome, QueryError, TrackerSim};
+use btpub_tracker::sim::{probe_with, ClientId, ProbeOutcome, QueryError, TrackerSim};
 
 use crate::dataset::{Dataset, IpFailure, Sighting, TorrentRecord};
 
@@ -33,6 +34,12 @@ pub struct CrawlerConfig {
     pub probe_peer_limit: usize,
     /// Identification attempts allowed (first N queries).
     pub ident_attempts: u32,
+    /// Fault profile injected into the tracker, feed and probe paths
+    /// (`clean` = no injection, the historical behaviour).
+    pub fault_profile: FaultProfile,
+    /// Consecutive failed announces tolerated per torrent before the
+    /// crawler records a failure cause and resumes its normal cadence.
+    pub max_fault_retries: u32,
 }
 
 impl Default for CrawlerConfig {
@@ -47,6 +54,8 @@ impl Default for CrawlerConfig {
             single_query: false,
             probe_peer_limit: 20,
             ident_attempts: 6,
+            fault_profile: FaultProfile::clean(),
+            max_fault_retries: 6,
         }
     }
 }
@@ -64,6 +73,8 @@ struct TorrentState {
     empty_since: Option<SimTime>,
     done: bool,
     ident_attempts_left: u32,
+    /// Consecutive announces lost to injected faults.
+    fault_retries: u32,
 }
 
 /// Runs a full measurement campaign against an ecosystem.
@@ -73,8 +84,24 @@ struct TorrentState {
 pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
     let _span = btpub_obs::span!("crawler.run");
     let wall_start = std::time::Instant::now();
-    let portal = Portal::new(eco);
-    let mut tracker = TrackerSim::new(eco);
+    // The fault plan draws purely from (ecosystem seed, stream, index), so
+    // a crawl under a given profile is as deterministic as a clean one —
+    // serial or parallel, and across repeated runs.
+    let plan = (!cfg.fault_profile.is_clean())
+        .then(|| FaultPlan::new(eco.config.seed, cfg.fault_profile.clone()));
+    let portal = match &plan {
+        Some(p) => Portal::with_faults(eco, p.clone()),
+        None => Portal::new(eco),
+    };
+    let mut tracker = match &plan {
+        Some(p) => TrackerSim::with_faults(eco, p.clone()),
+        None => TrackerSim::new(eco),
+    };
+    // One breaker for the (single) tracker: it opens well before the
+    // tracker's blacklist threshold, so a long outage cannot goad the
+    // crawler into earning strikes.
+    let mut breaker = CircuitBreaker::tracker();
+    let retry_policy = RetryPolicy::announce();
     let horizon = eco.config.horizon();
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut states: HashMap<TorrentId, TorrentState> = HashMap::new();
@@ -91,8 +118,20 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
         let _tick = btpub_obs::span!("sim.engine.tick");
         match event {
             Event::RssPoll => {
+                let Ok(items) = portal.try_rss(last_poll, now) else {
+                    // Feed outage: `last_poll` stays put, so the next poll
+                    // re-covers this window and no announcement is lost —
+                    // only discovered late (a genuinely delayed pounce, as
+                    // the paper's crawler suffered during portal outages).
+                    btpub_obs::static_counter!("crawler.rss.outages").inc();
+                    let next = now + cfg.rss_poll;
+                    if next <= horizon {
+                        queue.schedule(next, Event::RssPoll);
+                    }
+                    continue;
+                };
                 let mut batch = 0u64;
-                for item in portal.rss(last_poll, now) {
+                for item in items {
                     batch += 1;
                     let state = TorrentState {
                         record: TorrentRecord {
@@ -120,6 +159,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         empty_since: None,
                         done: false,
                         ident_attempts_left: cfg.ident_attempts,
+                        fault_retries: 0,
                     };
                     states.insert(item.torrent, state);
                     order.push(item.torrent);
@@ -164,6 +204,50 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                     }
                     state.record.first_contact_at = Some(now);
                 }
+                // Next query under the normal cadence: the vantage fleet
+                // divides the query budget (see the scheduling comment at
+                // the bottom of this arm).
+                let spacing =
+                    SimDuration((900 / u64::from(cfg.vantage_points)).max(MINUTE.0));
+                // An open circuit breaker means the tracker has failed
+                // enough consecutive announces that further traffic risks
+                // blacklisting; hold every query until the cooldown ends,
+                // spread per-torrent so the half-open trials don't stampede.
+                // Identification is a race against swarm growth; once the
+                // tracker has been unreachable for over an hour of a
+                // torrent's infancy the pounce is lost, and whatever the
+                // tracker reports hours later would misattribute the
+                // failure. Record the outage as the cause and stop trying
+                // to identify (monitoring itself continues).
+                let pounce_lost = |state: &TorrentState, now: SimTime| {
+                    state.record.sightings.is_empty()
+                        && state.record.publisher_ip.is_none()
+                        && state.record.ip_failure.is_none()
+                        && now.since(state.record.announced_at) >= SimDuration(3600)
+                };
+                if let Some(at) = breaker.retry_at(now.secs()) {
+                    btpub_obs::static_counter!("crawler.query.breaker_deferred").inc();
+                    if pounce_lost(state, now) {
+                        state.record.ip_failure = Some(IpFailure::TrackerDown);
+                        state.ident_attempts_left = 0;
+                    }
+                    let spread = plan
+                        .as_ref()
+                        .map(|p| p.jitter("breaker.spread", u64::from(torrent.0), 120))
+                        .unwrap_or(0);
+                    let retry = SimTime(at + 1 + spread);
+                    if retry <= horizon {
+                        queue.schedule(retry, Event::Query { torrent, round });
+                    } else {
+                        if state.record.publisher_ip.is_none()
+                            && state.record.ip_failure.is_none()
+                        {
+                            state.record.ip_failure = Some(IpFailure::TrackerDown);
+                        }
+                        state.done = true;
+                    }
+                    continue;
+                }
                 // Round-robin over vantage points; each is a tracker client.
                 btpub_obs::static_counter!("crawler.query.total").inc();
                 let client: ClientId = round % cfg.vantage_points;
@@ -173,12 +257,117 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         queue.schedule(retry_at + SimDuration(1), Event::Query { torrent, round });
                         continue;
                     }
-                    Err(_) => {
-                        // Blacklisted or unknown: monitoring is over.
+                    Err(
+                        err @ (QueryError::TrackerDown { .. }
+                        | QueryError::Dropped
+                        | QueryError::Malformed { .. }),
+                    ) => {
+                        // An injected fault ate this announce. Back off and
+                        // retry within a per-torrent budget; past it, record
+                        // the cause and fall back to the normal cadence —
+                        // degraded monitoring beats a dead campaign.
+                        btpub_obs::static_counter!("crawler.query.faulted").inc();
+                        breaker.on_failure(now.secs());
+                        state.fault_retries += 1;
+                        if pounce_lost(state, now) {
+                            state.record.ip_failure = Some(match err {
+                                QueryError::TrackerDown { .. } => IpFailure::TrackerDown,
+                                QueryError::Malformed { .. } => IpFailure::MalformedReply,
+                                _ => IpFailure::GaveUpRetrying,
+                            });
+                            state.ident_attempts_left = 0;
+                        }
+                        if state.fault_retries > cfg.max_fault_retries {
+                            btpub_obs::static_counter!("crawler.query.gaveup").inc();
+                            if state.record.publisher_ip.is_none()
+                                && state.record.ip_failure.is_none()
+                            {
+                                state.record.ip_failure = Some(match err {
+                                    QueryError::TrackerDown { .. } => IpFailure::TrackerDown,
+                                    QueryError::Malformed { .. } => IpFailure::MalformedReply,
+                                    _ => IpFailure::GaveUpRetrying,
+                                });
+                            }
+                            state.fault_retries = 0;
+                            let next = now + spacing;
+                            if next <= horizon {
+                                queue.schedule(
+                                    next,
+                                    Event::Query {
+                                        torrent,
+                                        round: round + 1,
+                                    },
+                                );
+                            } else {
+                                state.done = true;
+                            }
+                            continue;
+                        }
+                        // Exponential backoff with deterministic jitter;
+                        // at least 1 s so the retry lands on a fresh draw.
+                        let draw = btpub_faults::mix(
+                            eco.config.seed,
+                            "retry.announce",
+                            btpub_faults::key(&[
+                                u64::from(torrent.0),
+                                u64::from(round),
+                                u64::from(state.fault_retries),
+                            ]),
+                        );
+                        let delay =
+                            retry_policy.delay_secs(state.fault_retries + 1, draw).max(1);
+                        // A malformed reply means the tracker *served* the
+                        // announce — its rate-limit clock reset even though
+                        // the payload was garbage. Re-announcing from the
+                        // same client inside the interval earns blacklist
+                        // strikes (§2), so the retry moves to the next
+                        // vantage client; a lone client must instead sit
+                        // out the tracker's maximum interval.
+                        let (retry_round, delay) = match err {
+                            QueryError::Malformed { .. } if cfg.vantage_points > 1 => {
+                                (round + 1, delay)
+                            }
+                            QueryError::Malformed { .. } => (round, delay.max(900)),
+                            _ => (round, delay),
+                        };
+                        // Note: `QueryError::TrackerDown` carries the
+                        // outage end as ground truth for tests, but a real
+                        // client only sees a dead endpoint — the crawler
+                        // must walk the backoff ladder blind.
+                        let mut retry = now + SimDuration(delay);
+                        if let Some(at) = breaker.retry_at(now.secs()) {
+                            retry = retry.max(SimTime(at + 1));
+                        }
+                        if retry <= horizon {
+                            queue.schedule(
+                                retry,
+                                Event::Query {
+                                    torrent,
+                                    round: retry_round,
+                                },
+                            );
+                        } else {
+                            if state.record.publisher_ip.is_none()
+                                && state.record.ip_failure.is_none()
+                            {
+                                state.record.ip_failure = Some(match err {
+                                    QueryError::TrackerDown { .. } => IpFailure::TrackerDown,
+                                    QueryError::Malformed { .. } => IpFailure::MalformedReply,
+                                    _ => IpFailure::GaveUpRetrying,
+                                });
+                            }
+                            state.done = true;
+                        }
+                        continue;
+                    }
+                    Err(QueryError::Blacklisted | QueryError::UnknownTorrent) => {
+                        // Monitoring is over for this torrent.
                         state.done = true;
                         continue;
                     }
                 };
+                breaker.on_success();
+                state.fault_retries = 0;
                 let population = (reply.complete + reply.incomplete) as usize;
                 // Record the sighting.
                 for ip in &reply.peers {
@@ -210,7 +399,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         let mut unreachable_hit = false;
                         let mut found = None;
                         for ip in &reply.peers {
-                            match probe(eco, torrent, *ip, now) {
+                            match probe_with(eco, plan.as_ref(), torrent, *ip, now) {
                                 ProbeOutcome::Completion(c) if c >= 1.0 => {
                                     found = Some(*ip);
                                     break;
@@ -266,14 +455,11 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                     state.done = true;
                     continue;
                 }
-                // Next query: the vantage fleet divides the query budget.
                 // Each client is scheduled against the tracker's *maximum*
                 // interval (15 min), never its current one — a polite
                 // crawler must not earn strikes when the load-dependent
                 // interval drifts upward between queries (§2: being
                 // blacklisted would end the campaign).
-                let spacing =
-                    SimDuration((900 / u64::from(cfg.vantage_points)).max(MINUTE.0));
                 let next = now + spacing;
                 if next <= horizon {
                     queue.schedule(
@@ -520,6 +706,63 @@ mod tests {
             assert_eq!(x.publisher_ip, y.publisher_ip);
             assert_eq!(x.sightings, y.sightings);
         }
+    }
+
+    #[test]
+    fn faulty_crawl_is_deterministic_and_still_covers_the_feed() {
+        let (e, _) = shared();
+        let cfg = CrawlerConfig {
+            name: "flaky".into(),
+            fault_profile: btpub_faults::FaultProfile::flaky(),
+            ..CrawlerConfig::default()
+        };
+        let a = run_crawl(e, &cfg);
+        let b = run_crawl(e, &cfg);
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "same seed + profile must be byte-identical"
+        );
+        // Faults are really being injected: the dataset differs from clean.
+        let clean = crawl(e);
+        assert_ne!(a.to_json(), clean.to_json());
+        // Outage-delayed polls re-cover their window, so discovery holds up.
+        assert!(a.torrent_count() >= clean.torrent_count() * 95 / 100);
+    }
+
+    #[test]
+    fn tracker_downtime_is_survived_and_recorded() {
+        let (e, _) = shared();
+        // A profile that is nothing but heavy tracker downtime: ~30 % of
+        // sim time dark, in multi-hour windows.
+        let cfg = CrawlerConfig {
+            name: "downtime".into(),
+            fault_profile: btpub_faults::FaultProfile {
+                name: "downtime-heavy".into(),
+                tracker_downtime_ppm: 300_000,
+                ..btpub_faults::FaultProfile::clean()
+            },
+            ..CrawlerConfig::default()
+        };
+        let ds = run_crawl(e, &cfg);
+        assert!(ds.torrent_count() > 0, "campaign still completes");
+        let down = ds
+            .torrents
+            .iter()
+            .filter(|t| t.ip_failure == Some(IpFailure::TrackerDown))
+            .count();
+        assert!(
+            down > 0,
+            "torrents born into an outage must record TrackerDown"
+        );
+        // Monitoring resumes after outages: some torrents announced during
+        // downtime still accumulate sightings afterwards.
+        assert!(
+            ds.torrents
+                .iter()
+                .any(|t| t.ip_failure == Some(IpFailure::TrackerDown) && !t.sightings.is_empty()),
+            "degraded torrents are still monitored after the outage"
+        );
     }
 
     #[test]

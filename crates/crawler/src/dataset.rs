@@ -24,6 +24,15 @@ pub enum IpFailure {
     /// The measurement campaign ended before the crawler's first contact
     /// (the torrent was announced in the final moments of the window).
     CampaignEnded,
+    /// The tracker was unreachable (injected or real downtime) through the
+    /// identification window; monitoring resumed but the pounce was lost.
+    TrackerDown,
+    /// The tracker's replies would not parse during the identification
+    /// window (truncated or garbled bencode).
+    MalformedReply,
+    /// Announces kept vanishing without reply; the crawler exhausted its
+    /// retry budget during the identification window.
+    GaveUpRetrying,
 }
 
 /// One periodic tracker observation of a swarm.

@@ -6,11 +6,12 @@
 use std::io;
 use std::net::{SocketAddr, SocketAddrV4};
 
+use btpub_faults::{NetConfig, RetryPolicy};
 use btpub_proto::metainfo::Metainfo;
 use btpub_proto::tracker::{AnnounceEvent, AnnounceRequest, AnnounceResponse};
 use btpub_proto::types::PeerId;
 use btpub_tracker::client;
-use btpub_tracker::livepeer::probe_bitfield;
+use btpub_tracker::livepeer::probe_bitfield_with;
 
 /// What one live first-contact learned about a swarm.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +43,25 @@ pub fn first_contact(
     vantage: u8,
     probe_peer_limit: usize,
 ) -> io::Result<LiveObservation> {
+    // Single attempt, default timeouts — the historical behaviour; callers
+    // wanting resilience against a flaky tracker use `first_contact_with`.
+    let single = RetryPolicy {
+        max_attempts: 1,
+        ..RetryPolicy::announce()
+    };
+    first_contact_with(metainfo, vantage, probe_peer_limit, &NetConfig::default(), &single)
+}
+
+/// [`first_contact`] with explicit socket timeouts and an announce retry
+/// policy (exponential backoff on the wall clock; metrics under
+/// `retry.live.announce.*`).
+pub fn first_contact_with(
+    metainfo: &Metainfo,
+    vantage: u8,
+    probe_peer_limit: usize,
+    net: &NetConfig,
+    retry: &RetryPolicy,
+) -> io::Result<LiveObservation> {
     let req = AnnounceRequest {
         info_hash: metainfo.info_hash(),
         peer_id: crawler_peer_id(vantage),
@@ -53,7 +73,9 @@ pub fn first_contact(
         numwant: 200,
         compact: true,
     };
-    let response = client::announce(&metainfo.announce, &req)?;
+    let response = retry.run("live.announce", |_attempt| {
+        client::announce_with(&metainfo.announce, &req, net)
+    })?;
     let (complete, incomplete, peers) = match response {
         AnnounceResponse::Failure(reason) => {
             return Err(io::Error::other(reason))
@@ -74,11 +96,12 @@ pub fn first_contact(
     if complete == 1 && population < probe_peer_limit {
         let pieces = metainfo.info.piece_count();
         for addr in &peers {
-            if let Ok(bf) = probe_bitfield(
+            if let Ok(bf) = probe_bitfield_with(
                 SocketAddr::V4(*addr),
                 metainfo.info_hash(),
                 crawler_peer_id(vantage),
                 pieces,
+                net,
             ) {
                 if bf.is_seed() {
                     seeder = Some(*addr);
@@ -151,6 +174,36 @@ mod tests {
             Some(seeder.addr().port()),
             "crawler must pin the seeder"
         );
+    }
+
+    #[test]
+    fn live_first_contact_retries_then_gives_up_on_dead_tracker() {
+        use std::time::{Duration, Instant};
+        // A port with no listener: every announce attempt fails fast.
+        let dead = {
+            let l = std::net::TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let metainfo = MetainfoBuilder::new(
+            &format!("http://{dead}/announce"),
+            "dead.tracker",
+            1 << 16,
+        )
+        .build();
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(10),
+            jitter_ppm: 0,
+            deadline: Some(Duration::from_secs(10)),
+        };
+        let started = Instant::now();
+        let err = first_contact_with(&metainfo, 0, 20, &NetConfig::loopback_test(), &retry);
+        assert!(err.is_err(), "dead tracker must surface an error");
+        // All three attempts ran (two backoff sleeps ≥ 5 + 10 ms)...
+        assert!(started.elapsed() >= Duration::from_millis(15));
+        // ...but the deadline kept the whole thing prompt.
+        assert!(started.elapsed() < Duration::from_secs(10));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Shared network timeouts for the live-network clients.
+//!
+//! Before this crate, `tracker::client`, the UDP client and the peer-wire
+//! code each hardcoded their own 5-second socket timeouts; tuning the
+//! crawler for a slow tracker meant editing three files. `NetConfig` is
+//! the single knob, and it also carries the BEP 15 retransmit parameters
+//! the UDP client's backoff ladder uses.
+
+use std::time::Duration;
+
+/// Socket timeouts plus UDP retransmit parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (per read, and the UDP base when
+    /// `udp_base_timeout` mirrors it).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// UDP retransmits after the first send (BEP 15 allows up to 8).
+    pub udp_retransmits: u32,
+    /// First UDP receive timeout; retransmit `n` waits
+    /// `udp_base_timeout · 2^n` (BEP 15 prescribes 15 s).
+    pub udp_base_timeout: Duration,
+}
+
+impl NetConfig {
+    /// The receive timeout for retransmit `n` (0 = first send):
+    /// `base · 2^n`, saturating.
+    pub fn udp_timeout(&self, n: u32) -> Duration {
+        self.udp_base_timeout
+            .saturating_mul(1u32.checked_shl(n.min(31)).unwrap_or(u32::MAX))
+    }
+
+    /// A configuration for loopback tests: tight timeouts, two fast
+    /// retransmits.
+    pub fn loopback_test() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            udp_retransmits: 2,
+            udp_base_timeout: Duration::from_millis(40),
+        }
+    }
+}
+
+impl Default for NetConfig {
+    /// The previous hardcoded behaviour: 5 s everywhere, and the BEP 15
+    /// ladder (15 s base, up to 3 retransmits — enough for a 2-minute
+    /// worst case, well short of the 8 the BEP tolerates).
+    fn default() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            udp_retransmits: 3,
+            udp_base_timeout: Duration::from_secs(15),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_previous_hardcoded_timeouts() {
+        let n = NetConfig::default();
+        assert_eq!(n.connect_timeout, Duration::from_secs(5));
+        assert_eq!(n.read_timeout, Duration::from_secs(5));
+        assert_eq!(n.write_timeout, Duration::from_secs(5));
+        assert_eq!(n.udp_base_timeout, Duration::from_secs(15));
+    }
+
+    #[test]
+    fn udp_ladder_is_bep15() {
+        let n = NetConfig::default();
+        assert_eq!(n.udp_timeout(0), Duration::from_secs(15));
+        assert_eq!(n.udp_timeout(1), Duration::from_secs(30));
+        assert_eq!(n.udp_timeout(2), Duration::from_secs(60));
+        assert_eq!(n.udp_timeout(3), Duration::from_secs(120));
+        assert_eq!(n.udp_timeout(8), Duration::from_secs(15 * 256));
+    }
+
+    #[test]
+    fn huge_retransmit_counts_saturate_instead_of_overflowing() {
+        let n = NetConfig::default();
+        assert!(n.udp_timeout(40) >= n.udp_timeout(31));
+    }
+}

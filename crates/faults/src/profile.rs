@@ -1,0 +1,148 @@
+//! Named fault profiles: how broken the world is.
+//!
+//! Rates are stored in **parts per million** (`u32`), not `f64`: the
+//! profile participates in `Eq`/hash-based config comparison and every
+//! draw reduces to an integer comparison (`mix(..) % 1_000_000 < ppm`),
+//! so no float rounding can make two runs disagree.
+
+/// Per-edge fault rates, in parts per million.
+///
+/// The built-in profiles mirror the operational conditions the paper's
+/// crawler reported: OpenBitTorrent outages of tens of minutes to hours
+/// (`tracker_downtime_ppm` shapes deterministic downtime *windows*, not
+/// per-query coin flips), sporadic announce loss and reply corruption on
+/// a loaded tracker, portal feed hiccups, and peers that accept then
+/// drop a probe connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Profile name, surfaced in report headers (`clean` / `flaky` /
+    /// `hostile` / anything for custom profiles).
+    pub name: String,
+    /// Long-run fraction of time the tracker is inside a downtime window.
+    pub tracker_downtime_ppm: u32,
+    /// Probability an announce is lost before reaching the tracker
+    /// (client times out, tracker state untouched).
+    pub announce_drop_ppm: u32,
+    /// Probability a tracker reply comes back truncated.
+    pub truncated_reply_ppm: u32,
+    /// Probability a tracker reply comes back as garbled bencode.
+    pub malformed_reply_ppm: u32,
+    /// Probability one RSS poll finds the feed endpoint down.
+    pub rss_outage_ppm: u32,
+    /// Probability a peer-wire probe connection fails spuriously.
+    pub probe_fail_ppm: u32,
+}
+
+impl FaultProfile {
+    /// No faults at all — the pre-fault-injection pipeline, byte for byte.
+    pub fn clean() -> FaultProfile {
+        FaultProfile {
+            name: "clean".into(),
+            tracker_downtime_ppm: 0,
+            announce_drop_ppm: 0,
+            truncated_reply_ppm: 0,
+            malformed_reply_ppm: 0,
+            rss_outage_ppm: 0,
+            probe_fail_ppm: 0,
+        }
+    }
+
+    /// Ordinary month on a busy public tracker: ~2 % downtime in
+    /// half-hour windows, a few percent announce loss, sub-percent reply
+    /// corruption.
+    pub fn flaky() -> FaultProfile {
+        FaultProfile {
+            name: "flaky".into(),
+            tracker_downtime_ppm: 20_000,
+            announce_drop_ppm: 20_000,
+            truncated_reply_ppm: 5_000,
+            malformed_reply_ppm: 5_000,
+            rss_outage_ppm: 20_000,
+            probe_fail_ppm: 20_000,
+        }
+    }
+
+    /// A bad month: ~10 % downtime in multi-hour windows, 10 % announce
+    /// loss, several percent corruption — the regime where an un-hardened
+    /// crawler dies or silently under-counts.
+    pub fn hostile() -> FaultProfile {
+        FaultProfile {
+            name: "hostile".into(),
+            tracker_downtime_ppm: 100_000,
+            announce_drop_ppm: 100_000,
+            truncated_reply_ppm: 30_000,
+            malformed_reply_ppm: 30_000,
+            rss_outage_ppm: 100_000,
+            probe_fail_ppm: 100_000,
+        }
+    }
+
+    /// Looks a profile up by name.
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        match name {
+            "clean" => Some(FaultProfile::clean()),
+            "flaky" => Some(FaultProfile::flaky()),
+            "hostile" => Some(FaultProfile::hostile()),
+            _ => None,
+        }
+    }
+
+    /// The profile named by the `BTPUB_FAULTS` environment variable, if
+    /// set to a known name. Unknown names are reported and ignored
+    /// rather than silently treated as clean.
+    pub fn from_env() -> Option<FaultProfile> {
+        let name = std::env::var("BTPUB_FAULTS").ok()?;
+        let found = FaultProfile::by_name(name.trim());
+        if found.is_none() && !name.trim().is_empty() {
+            btpub_obs::warn!("unknown BTPUB_FAULTS profile, ignoring"; name = name.as_str());
+        }
+        found
+    }
+
+    /// Whether every rate is zero (fault machinery can be skipped).
+    pub fn is_clean(&self) -> bool {
+        self.tracker_downtime_ppm == 0
+            && self.announce_drop_ppm == 0
+            && self.truncated_reply_ppm == 0
+            && self.malformed_reply_ppm == 0
+            && self.rss_outage_ppm == 0
+            && self.probe_fail_ppm == 0
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_profiles_resolve() {
+        assert!(FaultProfile::by_name("clean").unwrap().is_clean());
+        assert!(!FaultProfile::by_name("flaky").unwrap().is_clean());
+        assert!(!FaultProfile::by_name("hostile").unwrap().is_clean());
+        assert!(FaultProfile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn hostile_is_strictly_worse_than_flaky() {
+        let f = FaultProfile::flaky();
+        let h = FaultProfile::hostile();
+        assert!(h.tracker_downtime_ppm > f.tracker_downtime_ppm);
+        assert!(h.announce_drop_ppm > f.announce_drop_ppm);
+        assert!(h.truncated_reply_ppm > f.truncated_reply_ppm);
+        assert!(h.malformed_reply_ppm > f.malformed_reply_ppm);
+        assert!(h.rss_outage_ppm > f.rss_outage_ppm);
+        assert!(h.probe_fail_ppm > f.probe_fail_ppm);
+    }
+
+    #[test]
+    fn default_is_clean() {
+        assert_eq!(FaultProfile::default(), FaultProfile::clean());
+        assert_eq!(FaultProfile::default().name, "clean");
+    }
+}

@@ -2,19 +2,22 @@
 //!
 //! ```text
 //! btpub-monitor [--scale tiny|repro] [--days N] [--json PATH] [--category CAT]
-//!               [--jobs N] [--metrics PATH]
+//!               [--jobs N] [--metrics PATH] [--fault-profile clean|flaky|hostile]
 //! ```
 //!
 //! Simulates a Pirate-Bay-style portal, monitors it live, then prints the
 //! publisher database summary and (optionally) dumps the store as JSON.
 //! Progress goes through `btpub_obs` logging (`BTPUB_LOG=info` to watch);
 //! `--metrics` writes the observability snapshot as JSON on exit.
+//! `--fault-profile` (else the `BTPUB_FAULTS` environment variable) runs
+//! the daemon against a deterministically broken feed/tracker/peer world.
 
 use std::io::Write;
 
 use btpub::sim::content::Category;
 use btpub::sim::{Ecosystem, SimTime};
 use btpub::{Scale, Scenario};
+use btpub_faults::FaultProfile;
 use btpub_monitor::{query, Monitor};
 
 fn main() {
@@ -24,6 +27,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut category: Option<Category> = None;
+    let mut fault_profile: Option<FaultProfile> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +68,22 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--fault-profile" => {
+                i += 1;
+                fault_profile = match args.get(i).map(String::as_str) {
+                    Some(name) => match FaultProfile::by_name(name) {
+                        Some(p) => Some(p),
+                        None => {
+                            eprintln!("unknown fault profile {name} (expected clean|flaky|hostile)");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => {
+                        eprintln!("--fault-profile requires a name");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--category" => {
                 i += 1;
                 category = args.get(i).and_then(|c| {
@@ -87,7 +107,11 @@ fn main() {
         days = scenario.eco.duration.as_days(),
     );
     let eco = Ecosystem::generate(scenario.eco.clone());
-    let mut monitor = Monitor::new(&eco);
+    // CLI beats environment, which beats the clean default.
+    let fault_profile = fault_profile
+        .or_else(FaultProfile::from_env)
+        .unwrap_or_else(FaultProfile::clean);
+    let mut monitor = Monitor::with_faults(&eco, fault_profile);
     let horizon = match days {
         Some(d) => SimTime::from_days(d).min(eco.config.horizon()),
         None => eco.config.horizon(),
@@ -102,6 +126,7 @@ fn main() {
 
     let store = monitor.store();
     println!("== monitor summary ==");
+    println!("fault profile: {}", monitor.fault_profile().name);
     println!("items recorded: {}", store.len());
     println!(
         "publishers: {} ({} flagged fake)",

@@ -4,9 +4,10 @@
 use std::net::Ipv4Addr;
 
 use btpub_analysis::classify::{extract_filename_url, extract_url};
+use btpub_faults::{FaultPlan, FaultProfile};
 use btpub_portal::Portal;
 use btpub_sim::{Ecosystem, SimDuration, SimTime, TorrentId};
-use btpub_tracker::sim::{probe, ProbeOutcome, TrackerSim};
+use btpub_tracker::sim::{probe_with, ProbeOutcome, TrackerSim};
 
 use crate::store::{ItemRecord, MonitorStore};
 
@@ -19,19 +20,44 @@ pub struct Monitor<'a> {
     cursor: SimTime,
     /// Client id used for the single tracker connection per torrent.
     client: u32,
+    /// Injected faults shared by the tracker, feed and probe paths.
+    plan: Option<FaultPlan>,
 }
 
 impl<'a> Monitor<'a> {
     /// Creates a monitor positioned at the epoch.
     pub fn new(eco: &'a Ecosystem) -> Self {
+        Self::with_faults(eco, FaultProfile::clean())
+    }
+
+    /// Creates a monitor whose tracker, feed and probe paths inject
+    /// faults from `profile`, seeded by the ecosystem.
+    pub fn with_faults(eco: &'a Ecosystem, profile: FaultProfile) -> Self {
+        let plan =
+            (!profile.is_clean()).then(|| FaultPlan::new(eco.config.seed, profile));
         Monitor {
             eco,
-            portal: Portal::new(eco),
-            tracker: TrackerSim::new(eco),
+            portal: match &plan {
+                Some(p) => Portal::with_faults(eco, p.clone()),
+                None => Portal::new(eco),
+            },
+            tracker: match &plan {
+                Some(p) => TrackerSim::with_faults(eco, p.clone()),
+                None => TrackerSim::new(eco),
+            },
             store: MonitorStore::new(),
             cursor: SimTime::ZERO,
             client: 0x77,
+            plan,
         }
+    }
+
+    /// The fault profile in effect (`clean` when none was injected).
+    pub fn fault_profile(&self) -> FaultProfile {
+        self.plan
+            .as_ref()
+            .map(|p| p.profile().clone())
+            .unwrap_or_else(FaultProfile::clean)
     }
 
     /// Processes the feed up to `until` (inclusive), recording each new
@@ -39,7 +65,12 @@ impl<'a> Monitor<'a> {
     /// connection to the tracker just after we learn of a new torrent").
     pub fn step(&mut self, until: SimTime) {
         let _span = btpub_obs::span!("monitor.step");
-        let items = self.portal.rss(self.cursor, until);
+        let Ok(items) = self.portal.try_rss(self.cursor, until) else {
+            // Feed outage: the cursor stays put, so the next step re-covers
+            // this window and no item is lost — only processed late.
+            btpub_obs::static_counter!("monitor.rss.outages").inc();
+            return;
+        };
         btpub_obs::static_histogram!("monitor.step.items").record(items.len() as u64);
         for item in items {
             let contact = item.at + SimDuration(30);
@@ -124,12 +155,29 @@ impl<'a> Monitor<'a> {
     }
 
     fn identify_inner(&mut self, torrent: TorrentId, at: SimTime) -> Option<Ipv4Addr> {
-        let reply = self.tracker.query(self.client, torrent, at, 200).ok()?;
+        // §7's design makes exactly one tracker connection per torrent —
+        // there is no retry budget to spend, so a faulted announce simply
+        // costs the identification (counted distinctly for the report).
+        let reply = match self.tracker.query(self.client, torrent, at, 200) {
+            Ok(r) => r,
+            Err(
+                btpub_tracker::QueryError::TrackerDown { .. }
+                | btpub_tracker::QueryError::Dropped
+                | btpub_tracker::QueryError::Malformed { .. },
+            ) => {
+                btpub_obs::static_counter!("monitor.identify.faulted").inc();
+                return None;
+            }
+            Err(_) => return None,
+        };
         if reply.complete != 1 || (reply.complete + reply.incomplete) >= 20 {
             return None;
         }
         reply.peers.iter().copied().find(|&ip| {
-            matches!(probe(self.eco, torrent, ip, at), ProbeOutcome::Completion(c) if c >= 1.0)
+            matches!(
+                probe_with(self.eco, self.plan.as_ref(), torrent, ip, at),
+                ProbeOutcome::Completion(c) if c >= 1.0
+            )
         })
     }
 
@@ -235,6 +283,43 @@ mod tests {
                 page.username
             );
         }
+    }
+
+    #[test]
+    fn hostile_faults_degrade_gracefully_and_deterministically() {
+        let e = eco();
+        let horizon = e.config.horizon();
+        let run = || {
+            let mut m = Monitor::with_faults(e, btpub_faults::FaultProfile::hostile());
+            // A real daemon loop: small steps, so an RSS outage only delays
+            // one window instead of losing the whole campaign.
+            let mut t = SimTime::ZERO;
+            while t < horizon {
+                t = SimTime(t.secs() + 6 * 3600).min(horizon);
+                m.step(t);
+            }
+            m
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.fault_profile().name, "hostile");
+        // Outages delay processing but never drop items: every window is
+        // re-covered on the next step, so coverage ends complete.
+        assert_eq!(a.store().len(), e.publications.len());
+        // Faulted announces cost identifications relative to a clean run.
+        let mut clean = Monitor::new(e);
+        clean.step(horizon);
+        let ident = |m: &Monitor| {
+            m.store()
+                .items()
+                .iter()
+                .filter(|r| r.publisher_ip.is_some())
+                .count()
+        };
+        assert!(ident(&clean) > 0, "clean run identifies some publishers");
+        assert!(ident(&a) < ident(&clean), "hostile faults cost identifications");
+        // Same seed + profile → identical stores.
+        assert_eq!(a.store().to_json(), b.store().to_json());
     }
 
     #[test]

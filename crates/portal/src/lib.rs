@@ -24,6 +24,7 @@ pub mod rss;
 
 use std::collections::HashMap;
 
+use btpub_faults::{points, FaultPlan};
 use btpub_proto::metainfo::{Metainfo, MetainfoBuilder};
 use btpub_sim::{Ecosystem, SimTime, TorrentId};
 
@@ -40,6 +41,8 @@ pub struct Portal<'a> {
     by_username: HashMap<&'a str, Vec<TorrentId>>,
     /// When each username was banned (first fake takedown it's involved in).
     ban_time: HashMap<&'a str, SimTime>,
+    /// Injected feed faults; `None` runs clean.
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> Portal<'a> {
@@ -60,7 +63,19 @@ impl<'a> Portal<'a> {
             eco,
             by_username,
             ban_time,
+            faults: None,
         }
+    }
+
+    /// Builds the portal view with RSS outages injected from `plan`
+    /// (drawn per poll window, so every vantage point polling the same
+    /// window sees the same outage).
+    pub fn with_faults(eco: &'a Ecosystem, plan: FaultPlan) -> Self {
+        let mut portal = Portal::new(eco);
+        if !plan.profile().is_clean() {
+            portal.faults = Some(plan);
+        }
+        portal
     }
 
     /// The ecosystem this portal serves.
@@ -69,13 +84,29 @@ impl<'a> Portal<'a> {
     }
 
     /// RSS items announced in `(since, until]`, oldest first — the
-    /// crawler's polling interface.
+    /// crawler's polling interface. Never fails; see [`Portal::try_rss`]
+    /// for the fallible, outage-aware variant.
     pub fn rss(&self, since: SimTime, until: SimTime) -> Vec<RssItem<'a>> {
         // Publications are sorted by time; binary search the window.
         let pubs = &self.eco.publications;
         let lo = pubs.partition_point(|p| p.at <= since);
         let hi = pubs.partition_point(|p| p.at <= until);
         pubs[lo..hi].iter().map(RssItem::from_publication).collect()
+    }
+
+    /// [`Portal::rss`] through the fault plan: an injected feed outage
+    /// makes the poll fail with `Err(())` — the crawler must retry the
+    /// same window later or the announcements inside it are lost (the
+    /// paper's crawler missed publications exactly this way).
+    #[allow(clippy::result_unit_err)]
+    pub fn try_rss(&self, since: SimTime, until: SimTime) -> Result<Vec<RssItem<'a>>, ()> {
+        if let Some(plan) = &self.faults {
+            if plan.check::<points::RssPoll>(until.secs()).is_some() {
+                btpub_obs::static_counter!("portal.rss.outage").inc();
+                return Err(());
+            }
+        }
+        Ok(self.rss(since, until))
     }
 
     /// Whether the listing has been removed by moderators at `t`.
@@ -249,6 +280,54 @@ mod tests {
         assert!(page.total_published >= 1);
         assert!(page.lifetime_days > 0.0);
         assert!(page.in_window.contains(&top.id));
+    }
+
+    #[test]
+    fn try_rss_clean_always_succeeds() {
+        let e = eco();
+        let portal = Portal::new(&e);
+        let horizon = e.config.horizon();
+        let items = portal.try_rss(SimTime::ZERO, horizon).unwrap();
+        assert_eq!(items.len(), portal.torrent_count());
+        // A clean plan is dropped entirely.
+        let clean = Portal::with_faults(
+            &e,
+            btpub_faults::FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::clean()),
+        );
+        assert!(clean.try_rss(SimTime::ZERO, horizon).is_ok());
+    }
+
+    #[test]
+    fn try_rss_outages_are_deterministic_and_window_keyed() {
+        let e = eco();
+        let mk = || {
+            Portal::with_faults(
+                &e,
+                btpub_faults::FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::hostile()),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        let mut outages = 0;
+        let mut oks = 0;
+        // Hourly polls across the horizon.
+        for h in 0..e.config.horizon().secs() / 3600 {
+            let since = SimTime(h * 3600);
+            let until = SimTime((h + 1) * 3600);
+            let ra = a.try_rss(since, until);
+            assert_eq!(ra.is_err(), b.try_rss(since, until).is_err(), "same draw");
+            match ra {
+                Err(()) => outages += 1,
+                Ok(_) => oks += 1,
+            }
+        }
+        assert!(outages > 0, "hostile profile must produce feed outages");
+        assert!(oks > 0, "most polls still succeed");
+        // The infallible path is untouched by the plan.
+        assert_eq!(
+            a.rss(SimTime::ZERO, e.config.horizon()).len(),
+            a.torrent_count()
+        );
     }
 
     #[test]

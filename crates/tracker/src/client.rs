@@ -2,8 +2,8 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
 
+use btpub_faults::NetConfig;
 use btpub_proto::tracker::{AnnounceRequest, AnnounceResponse, ScrapeResponse};
 use btpub_proto::types::InfoHash;
 use btpub_proto::urlencode;
@@ -28,12 +28,43 @@ pub fn parse_tracker_url(url: &str) -> io::Result<(SocketAddr, String)> {
     Ok((addr, path))
 }
 
-/// Sends an announce to `announce_url` and parses the reply.
+/// Derives the scrape path from an announce path per BEP 48: the rewrite
+/// applies only when the *final* path segment starts with `announce`, and
+/// replaces just that prefix. Returns `None` when the tracker's URL shape
+/// means it does not support scrape.
+///
+/// A naive `path.replace("/announce", "/scrape")` rewrites *every*
+/// occurrence, so `/announce/announce` would become `/scrape/scrape`
+/// (the correct derivation is `/announce/scrape`) and a path like
+/// `/announced/feed` would be mangled mid-segment.
+pub fn scrape_path(announce_path: &str) -> Option<String> {
+    let cut = announce_path.rfind('/')?;
+    let (dir, last) = announce_path.split_at(cut + 1);
+    let rest = last.strip_prefix("announce")?;
+    // "announce" must be the whole word: `/announce.php` is an announce
+    // endpoint, `/announced` is not.
+    if rest.chars().next().is_some_and(|c| c.is_ascii_alphanumeric()) {
+        return None;
+    }
+    Some(format!("{dir}scrape{rest}"))
+}
+
+/// Sends an announce to `announce_url` and parses the reply, using the
+/// default [`NetConfig`] timeouts.
 pub fn announce(announce_url: &str, req: &AnnounceRequest) -> io::Result<AnnounceResponse> {
+    announce_with(announce_url, req, &NetConfig::default())
+}
+
+/// Sends an announce to `announce_url` with explicit socket timeouts.
+pub fn announce_with(
+    announce_url: &str,
+    req: &AnnounceRequest,
+    net: &NetConfig,
+) -> io::Result<AnnounceResponse> {
     let (addr, path) = parse_tracker_url(announce_url)?;
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let stream = TcpStream::connect_timeout(&addr, net.connect_timeout)?;
+    stream.set_read_timeout(Some(net.read_timeout))?;
+    stream.set_write_timeout(Some(net.write_timeout))?;
     let request_line = format!(
         "GET {path}?{} HTTP/1.0\r\nHost: tracker\r\n\r\n",
         req.to_query()
@@ -44,18 +75,34 @@ pub fn announce(announce_url: &str, req: &AnnounceRequest) -> io::Result<Announc
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// Scrapes counters for the given torrents. The scrape URL is derived from
-/// the announce URL by the conventional `/announce` → `/scrape` rewrite.
+/// Scrapes counters for the given torrents, using the default
+/// [`NetConfig`] timeouts. The scrape URL is derived from the announce URL
+/// by the conventional final-segment `announce` → `scrape` rewrite.
 pub fn scrape(announce_url: &str, torrents: &[InfoHash]) -> io::Result<ScrapeResponse> {
+    scrape_with(announce_url, torrents, &NetConfig::default())
+}
+
+/// Scrapes counters for the given torrents with explicit socket timeouts.
+pub fn scrape_with(
+    announce_url: &str,
+    torrents: &[InfoHash],
+    net: &NetConfig,
+) -> io::Result<ScrapeResponse> {
     let (addr, path) = parse_tracker_url(announce_url)?;
-    let scrape_path = path.replace("/announce", "/scrape");
+    let scrape_path = scrape_path(&path).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "tracker URL does not support scrape",
+        )
+    })?;
     let query: String = torrents
         .iter()
         .map(|ih| format!("info_hash={}", urlencode::encode(&ih.0)))
         .collect::<Vec<_>>()
         .join("&");
-    let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let stream = TcpStream::connect_timeout(&addr, net.connect_timeout)?;
+    stream.set_read_timeout(Some(net.read_timeout))?;
+    stream.set_write_timeout(Some(net.write_timeout))?;
     let request_line = format!("GET {scrape_path}?{query} HTTP/1.0\r\nHost: tracker\r\n\r\n");
     io::Write::write_all(&mut (&stream), request_line.as_bytes())?;
     let body = http::read_response(&stream)?;
@@ -76,5 +123,50 @@ mod tests {
         assert!(parse_tracker_url("http://nodns.example/announce").is_err());
         let (_, path) = parse_tracker_url("http://127.0.0.1:80").unwrap();
         assert_eq!(path, "/");
+    }
+
+    #[test]
+    fn scrape_path_rewrites_only_final_segment() {
+        assert_eq!(scrape_path("/announce").as_deref(), Some("/scrape"));
+        // Passkey-style trackers keep the suffix.
+        assert_eq!(
+            scrape_path("/abc123/announce").as_deref(),
+            Some("/abc123/scrape")
+        );
+        assert_eq!(
+            scrape_path("/announce.php").as_deref(),
+            Some("/scrape.php")
+        );
+        // Only the last segment is rewritten — the old `replace` turned
+        // this into "/scrape/scrape".
+        assert_eq!(
+            scrape_path("/announce/announce").as_deref(),
+            Some("/announce/scrape")
+        );
+        assert_eq!(
+            scrape_path("/announce/announce-proxy").as_deref(),
+            Some("/announce/scrape-proxy")
+        );
+    }
+
+    #[test]
+    fn scrape_path_none_when_unsupported() {
+        // Final segment not starting with "announce" → no scrape support.
+        assert_eq!(scrape_path("/"), None);
+        assert_eq!(scrape_path("/tracker"), None);
+        assert_eq!(scrape_path("/announce/feed"), None);
+        // Mid-segment "announce" must not be touched.
+        assert_eq!(scrape_path("/announced"), None);
+        assert_eq!(scrape_path("/x-announce"), None);
+    }
+
+    #[test]
+    fn scrape_with_unsupported_url_errors_cleanly() {
+        let err = scrape(
+            "http://127.0.0.1:1/tracker",
+            &[InfoHash([0u8; 20])],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
     }
 }

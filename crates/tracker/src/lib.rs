@@ -9,7 +9,10 @@
 //!   on. It also exposes [`sim::probe`], the peer-wire bitfield probe the
 //!   crawler uses to tell the initial seeder apart from leechers (NATted
 //!   peers are unreachable, reproducing the paper's identification
-//!   failures).
+//!   failures). [`sim::TrackerSim::with_faults`] and [`sim::probe_with`]
+//!   layer a deterministic `btpub_faults::FaultPlan` over both paths —
+//!   downtime windows, dropped announces, corrupted replies, failed
+//!   probe connections.
 //! * [`server::TrackerServer`] is a real TCP/HTTP tracker speaking the
 //!   `btpub-proto` wire formats over sockets, backed by [`registry`]; the
 //!   [`client`] module is its blocking HTTP client. The `live_tracker`

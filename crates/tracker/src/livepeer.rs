@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 
+use btpub_faults::NetConfig;
 use btpub_proto::metainfo::Metainfo;
 use btpub_proto::payload;
 use btpub_proto::peerwire::{Bitfield, Handshake, Message, HANDSHAKE_LEN};
@@ -270,12 +271,30 @@ pub fn download_from_peer(
     metainfo: &Metainfo,
     our_id: PeerId,
 ) -> Result<Vec<u8>, DownloadError> {
+    // Downloads tolerate slower peers than probes: double the read/write
+    // budget relative to the default probe timeouts.
+    let default = NetConfig::default();
+    let net = NetConfig {
+        read_timeout: default.read_timeout * 2,
+        write_timeout: default.write_timeout * 2,
+        ..default
+    };
+    download_from_peer_with(addr, metainfo, our_id, &net)
+}
+
+/// [`download_from_peer`] with explicit socket timeouts.
+pub fn download_from_peer_with(
+    addr: SocketAddr,
+    metainfo: &Metainfo,
+    our_id: PeerId,
+    net: &NetConfig,
+) -> Result<Vec<u8>, DownloadError> {
     let info_hash = metainfo.info_hash();
     let total_len = metainfo.info.total_length();
     let piece_len = metainfo.info.piece_length;
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let mut stream = TcpStream::connect_timeout(&addr, net.connect_timeout)?;
+    stream.set_read_timeout(Some(net.read_timeout))?;
+    stream.set_write_timeout(Some(net.write_timeout))?;
     stream.write_all(&Handshake::new(info_hash, our_id).encode())?;
     let mut buf = [0u8; HANDSHAKE_LEN];
     stream.read_exact(&mut buf)?;
@@ -363,9 +382,20 @@ pub fn probe_bitfield(
     our_id: PeerId,
     pieces: usize,
 ) -> std::io::Result<Bitfield> {
-    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    probe_bitfield_with(addr, info_hash, our_id, pieces, &NetConfig::default())
+}
+
+/// [`probe_bitfield`] with explicit socket timeouts.
+pub fn probe_bitfield_with(
+    addr: SocketAddr,
+    info_hash: InfoHash,
+    our_id: PeerId,
+    pieces: usize,
+    net: &NetConfig,
+) -> std::io::Result<Bitfield> {
+    let mut stream = TcpStream::connect_timeout(&addr, net.connect_timeout)?;
+    stream.set_read_timeout(Some(net.read_timeout))?;
+    stream.set_write_timeout(Some(net.write_timeout))?;
     stream.write_all(&Handshake::new(info_hash, our_id).encode())?;
     let mut buf = [0u8; HANDSHAKE_LEN];
     stream.read_exact(&mut buf)?;

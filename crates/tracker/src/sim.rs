@@ -6,6 +6,7 @@ use std::net::Ipv4Addr;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use btpub_faults::{key, points, Fault, FaultPlan};
 use btpub_sim::rngs;
 use btpub_sim::{Ecosystem, SimDuration, SimTime, TorrentId};
 
@@ -40,6 +41,22 @@ pub enum QueryError {
     Blacklisted,
     /// Unknown torrent.
     UnknownTorrent,
+    /// The tracker is inside an injected downtime window; it answers
+    /// again at the contained time (which the client of course cannot
+    /// see — it only observes a dead endpoint — but carrying it lets the
+    /// crawler's backoff tests assert against ground truth).
+    TrackerDown {
+        /// First instant the tracker is reachable again.
+        retry_at: SimTime,
+    },
+    /// The announce was lost before the tracker saw it; the client times
+    /// out with no reply and no tracker state was touched.
+    Dropped,
+    /// The reply arrived but did not parse as bencode.
+    Malformed {
+        /// Truncated mid-stream (as opposed to garbled bytes).
+        truncated: bool,
+    },
 }
 
 /// Result of a peer-wire bitfield probe against one address.
@@ -72,6 +89,8 @@ pub struct TrackerSim<'a> {
     rng: StdRng,
     /// Violations tolerated before blacklisting.
     max_strikes: u32,
+    /// Injected network/tracker faults; `None` runs clean.
+    faults: Option<FaultPlan>,
 }
 
 impl<'a> TrackerSim<'a> {
@@ -84,7 +103,25 @@ impl<'a> TrackerSim<'a> {
             blacklisted: HashSet::new(),
             rng: rngs::derive(eco.config.seed, "tracker", 0),
             max_strikes: 20,
+            faults: None,
         }
+    }
+
+    /// Creates a tracker whose announce path injects faults from `plan`.
+    /// Every draw is a pure function of the plan's seed and the query's
+    /// `(client, torrent, t)` coordinates, so concurrent crawls observe
+    /// the same faults regardless of scheduling.
+    pub fn with_faults(eco: &'a Ecosystem, plan: FaultPlan) -> Self {
+        let mut sim = TrackerSim::new(eco);
+        if !plan.profile().is_clean() {
+            sim.faults = Some(plan);
+        }
+        sim
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The per-client minimum query interval at time `t`. Varies in
@@ -106,6 +143,25 @@ impl<'a> TrackerSim<'a> {
     ) -> Result<TrackerReply, QueryError> {
         let announce_start = std::time::Instant::now();
         btpub_obs::static_counter!("tracker.announce.total").inc();
+        // Coordinates of this query in the fault plan's draw space: one
+        // independent draw per (client, torrent, time) triple.
+        let draw = key(&[u64::from(client), u64::from(torrent.0), t.secs()]);
+        if let Some(plan) = &self.faults {
+            // Downtime is checked first: a dead tracker answers nobody,
+            // and the query leaves no trace in tracker state.
+            if let Some(until) = plan.tracker_down(t.secs()) {
+                btpub_obs::static_counter!("tracker.announce.down").inc();
+                return Err(QueryError::TrackerDown {
+                    retry_at: SimTime(until),
+                });
+            }
+            // A dropped announce is lost on the way in: no state mutation,
+            // no rate-limit bookkeeping (the tracker never saw it).
+            if plan.check::<points::AnnounceDrop>(draw).is_some() {
+                btpub_obs::static_counter!("tracker.announce.dropped").inc();
+                return Err(QueryError::Dropped);
+            }
+        }
         if self.blacklisted.contains(&client) {
             btpub_obs::static_counter!("tracker.announce.blacklisted").inc();
             return Err(QueryError::Blacklisted);
@@ -167,6 +223,25 @@ impl<'a> TrackerSim<'a> {
         }
         btpub_obs::static_histogram!("tracker.announce.latency_ns")
             .record(announce_start.elapsed().as_nanos() as u64);
+        // Reply corruption happens on the way back: the tracker has fully
+        // processed the announce (state mutated, rate-limit clock reset),
+        // but the client cannot parse what it received.
+        if let Some(plan) = &self.faults {
+            let corrupted = plan
+                .check::<points::TruncatedReply>(draw)
+                .or_else(|| plan.check::<points::MalformedReply>(draw));
+            match corrupted {
+                Some(Fault::TruncatedReply) => {
+                    btpub_obs::static_counter!("tracker.announce.malformed").inc();
+                    return Err(QueryError::Malformed { truncated: true });
+                }
+                Some(_) => {
+                    btpub_obs::static_counter!("tracker.announce.malformed").inc();
+                    return Err(QueryError::Malformed { truncated: false });
+                }
+                None => {}
+            }
+        }
         Ok(TrackerReply {
             complete,
             incomplete,
@@ -179,6 +254,27 @@ impl<'a> TrackerSim<'a> {
     pub fn is_blacklisted(&self, client: ClientId) -> bool {
         self.blacklisted.contains(&client)
     }
+}
+
+/// [`probe`] behind a fault plan: with `plan` set, some fraction of
+/// connection attempts fail outright (`points::PeerProbe`), surfacing as
+/// [`ProbeOutcome::Unreachable`] — indistinguishable, as on the real
+/// network, from a NATted peer.
+pub fn probe_with(
+    eco: &Ecosystem,
+    plan: Option<&FaultPlan>,
+    torrent: TorrentId,
+    ip: Ipv4Addr,
+    t: SimTime,
+) -> ProbeOutcome {
+    if let Some(plan) = plan {
+        let draw = key(&[u64::from(torrent.0), u64::from(u32::from(ip)), t.secs()]);
+        if plan.check::<points::PeerProbe>(draw).is_some() {
+            btpub_obs::static_counter!("tracker.probe.conn_failed").inc();
+            return ProbeOutcome::Unreachable;
+        }
+    }
+    probe(eco, torrent, ip, t)
 }
 
 /// Simulates a peer-wire connection to `ip` asking for its bitfield in the
@@ -379,6 +475,129 @@ mod tests {
             probe(&e, TorrentId(0), Ipv4Addr::new(203, 0, 113, 1), e.publications[0].at),
             ProbeOutcome::Offline
         );
+    }
+
+    #[test]
+    fn clean_profile_injects_nothing() {
+        let e = eco();
+        let plan = FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::clean());
+        let mut faulty = TrackerSim::with_faults(&e, plan);
+        let mut clean = TrackerSim::new(&e);
+        let t = e.publications[0].at + SimDuration(60);
+        assert_eq!(
+            faulty.query(1, TorrentId(0), t, 50),
+            clean.query(1, TorrentId(0), t, 50),
+        );
+        assert!(faulty.fault_plan().is_none(), "clean plan is dropped");
+    }
+
+    #[test]
+    fn hostile_profile_injects_downtime_drops_and_corruption() {
+        let e = eco();
+        let plan = FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::hostile());
+        let mut tr = TrackerSim::with_faults(&e, plan);
+        let (mut down, mut dropped, mut malformed, mut ok) = (0u32, 0u32, 0u32, 0u32);
+        // Spread queries across clients, torrents and a week of sim time so
+        // every fault class gets draws, while staying rate-limit polite.
+        for client in 0..40u32 {
+            for i in 0..20u64 {
+                let t = SimTime(i * 7200 + u64::from(client));
+                match tr.query(client, TorrentId((i % 4) as u32), t, 50) {
+                    Err(QueryError::TrackerDown { retry_at }) => {
+                        assert!(retry_at > t, "retry_at must be in the future");
+                        down += 1;
+                    }
+                    Err(QueryError::Dropped) => dropped += 1,
+                    Err(QueryError::Malformed { .. }) => malformed += 1,
+                    Err(QueryError::RateLimited { .. } | QueryError::Blacklisted) => {}
+                    Err(QueryError::UnknownTorrent) => panic!("torrent exists"),
+                    Ok(_) => ok += 1,
+                }
+            }
+        }
+        assert!(down > 0, "hostile profile must hit downtime windows");
+        assert!(dropped > 0, "hostile profile must drop announces");
+        assert!(malformed > 0, "hostile profile must corrupt replies");
+        assert!(ok > 0, "most queries still succeed");
+    }
+
+    #[test]
+    fn faults_are_deterministic_across_instances() {
+        let e = eco();
+        let mk = || {
+            TrackerSim::with_faults(
+                &e,
+                FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::flaky()),
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for client in 0..10u32 {
+            for i in 0..10u64 {
+                let t = SimTime(i * 3600);
+                assert_eq!(
+                    a.query(client, TorrentId(0), t, 50),
+                    b.query(client, TorrentId(0), t, 50),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_announce_leaves_no_rate_limit_trace() {
+        // A dropped announce must not start the client's rate-limit clock:
+        // the tracker never saw the request.
+        let e = eco();
+        let plan = FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::hostile());
+        let mut tr = TrackerSim::with_faults(&e, plan);
+        let t0 = e.publications[0].at;
+        // Find a (client, t) pair whose announce gets dropped.
+        let mut found = false;
+        'search: for client in 0..200u32 {
+            for i in 0..50u64 {
+                let t = t0 + SimDuration(i * 3600);
+                if let Err(QueryError::Dropped) = tr.query(client, TorrentId(0), t, 50) {
+                    // An immediate retry must not be rate-limited for the
+                    // dropped attempt (it may hit another injected fault,
+                    // but never RateLimited from state the drop created).
+                    if let Err(QueryError::RateLimited { .. }) =
+                        tr.query(client, TorrentId(0), t + SimDuration(1), 50)
+                    {
+                        panic!("dropped announce mutated rate-limit state")
+                    }
+                    found = true;
+                    break 'search;
+                }
+            }
+        }
+        assert!(found, "hostile profile should drop at least one announce");
+    }
+
+    #[test]
+    fn probe_with_injects_connection_failures() {
+        let e = eco();
+        let plan = FaultPlan::new(e.config.seed, btpub_faults::FaultProfile::hostile());
+        let t = e.publications[0].at;
+        let ip = Ipv4Addr::new(203, 0, 113, 1);
+        let mut failed = 0;
+        let mut passed = 0;
+        for i in 0..500u64 {
+            let at = SimTime(t.secs() + i);
+            let with = probe_with(&e, Some(&plan), TorrentId(0), ip, at);
+            let without = probe(&e, TorrentId(0), ip, at);
+            if with == without {
+                passed += 1;
+            } else {
+                assert_eq!(with, ProbeOutcome::Unreachable);
+                failed += 1;
+            }
+            // And the faulty draw is stable.
+            assert_eq!(with, probe_with(&e, Some(&plan), TorrentId(0), ip, at));
+        }
+        assert!(failed > 0, "hostile profile must fail some probes");
+        assert!(passed > 0, "most probes still go through");
+        // No plan → identical to the raw probe.
+        assert_eq!(probe_with(&e, None, TorrentId(0), ip, t), probe(&e, TorrentId(0), ip, t));
     }
 
     #[test]

@@ -26,6 +26,21 @@ if ! diff -u "$tmpdir/serial.txt" "$tmpdir/parallel.txt"; then
 fi
 echo "reports byte-identical ($(wc -c < "$tmpdir/serial.txt") bytes)"
 
+echo "== chaos determinism: hostile faults, --jobs 1 vs --jobs 4 (tiny scale) =="
+./target/release/repro --scenario pb10 --scale tiny --fault-profile hostile \
+    --jobs 1 > "$tmpdir/chaos-serial.txt" 2>/dev/null
+./target/release/repro --scenario pb10 --scale tiny --fault-profile hostile \
+    --jobs 4 > "$tmpdir/chaos-parallel.txt" 2>/dev/null
+if ! diff -u "$tmpdir/chaos-serial.txt" "$tmpdir/chaos-parallel.txt"; then
+    echo "FAIL: serial and parallel chaos reports differ (fault-injection determinism bug)" >&2
+    exit 1
+fi
+if ! grep -q '^# fault-profile: hostile$' "$tmpdir/chaos-serial.txt"; then
+    echo "FAIL: chaos report does not declare its fault profile" >&2
+    exit 1
+fi
+echo "chaos reports byte-identical ($(wc -c < "$tmpdir/chaos-serial.txt") bytes)"
+
 echo "== pool metrics present in --metrics snapshot =="
 for key in 'par.repro.scenarios.tasks' 'par.sim.swarms.tasks'; do
     if ! grep -q "\"$key\"" "$tmpdir/metrics.json"; then
