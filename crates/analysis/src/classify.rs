@@ -11,9 +11,8 @@
 //! promoters run BitTorrent portals, and publishers with no URL anywhere
 //! are altruistic.
 
-use std::collections::HashMap;
-
 use btpub_crawler::Dataset;
+use btpub_fxhash::{FxHashMap, Interner, Sym};
 use btpub_sim::content::Category;
 use btpub_sim::profile::BusinessClass;
 
@@ -78,23 +77,27 @@ pub fn classify_top(
     groups: &Groups,
 ) -> Vec<Classified> {
     let _span = btpub_obs::span!("analysis.classify_top");
-    let by_key: HashMap<&PublisherKey, &PublisherStats> =
+    let by_key: FxHashMap<&PublisherKey, &PublisherStats> =
         publishers.iter().map(|p| (&p.key, p)).collect();
+    // Promoting URLs repeat across a publisher's whole catalogue (and
+    // across publishers fronting the same portal); interning them keeps
+    // one copy alive while the loop below runs.
+    let mut urls = Interner::new();
     groups
         .top
         .iter()
         .filter_map(|key| {
             let stats = by_key.get(key)?;
-            Some(classify_one(dataset, stats))
+            Some(classify_one(dataset, stats, &mut urls))
         })
         .collect()
 }
 
-fn classify_one(dataset: &Dataset, stats: &PublisherStats) -> Classified {
-    let mut url = None;
+fn classify_one(dataset: &Dataset, stats: &PublisherStats, urls: &mut Interner) -> Classified {
+    let mut url: Option<Sym> = None;
     let mut placements = Vec::new();
     let mut porn = 0usize;
-    let mut lang_counts: HashMap<&str, usize> = HashMap::new();
+    let mut lang_counts: FxHashMap<&str, usize> = FxHashMap::default();
     for &idx in &stats.torrents {
         let rec = &dataset.torrents[idx];
         if rec.category == Category::Porn {
@@ -105,25 +108,32 @@ fn classify_one(dataset: &Dataset, stats: &PublisherStats) -> Classified {
         }
         if url.is_none() {
             if let Some(found) = rec.textbox.as_deref().and_then(extract_url) {
-                url = Some(found);
+                url = Some(urls.intern(&found));
                 placements.push(UrlPlacement::Textbox);
             }
         }
-        if let Some(found) = extract_filename_url(&rec.filename) {
-            if !placements.contains(&UrlPlacement::Filename) {
-                placements.push(UrlPlacement::Filename);
+        // Once a URL is known and the Filename placement recorded, another
+        // filename hit can change nothing — skip the allocating extraction.
+        if url.is_none() || !placements.contains(&UrlPlacement::Filename) {
+            if let Some(found) = extract_filename_url(&rec.filename) {
+                if !placements.contains(&UrlPlacement::Filename) {
+                    placements.push(UrlPlacement::Filename);
+                }
+                if url.is_none() {
+                    url = Some(urls.intern(&found));
+                }
             }
-            url.get_or_insert(found);
         }
     }
     let n = stats.torrents.len().max(1);
     let porn_share = porn as f64 / n as f64;
-    let class = match &url {
+    let class = match url {
         None => BusinessClass::Altruistic,
         Some(u) => {
             // The paper's manual business profiling, mechanised: porn-
             // dominated catalogues promoting image hosts / forums are
             // "Other Web sites"; the remaining promoters run portals.
+            let u = urls.resolve(u);
             let image_host = u.contains("pics") || u.contains("image") || u.contains("forum");
             if porn_share >= 0.5 || image_host {
                 BusinessClass::OtherWeb
@@ -132,6 +142,8 @@ fn classify_one(dataset: &Dataset, stats: &PublisherStats) -> Classified {
             }
         }
     };
+    // At most one language can clear the 60 % bar, so the pick is
+    // independent of map iteration order.
     let language = lang_counts
         .into_iter()
         .find(|(_, c)| *c * 10 >= n * 6)
@@ -139,7 +151,7 @@ fn classify_one(dataset: &Dataset, stats: &PublisherStats) -> Classified {
     Classified {
         key: stats.key.clone(),
         class,
-        url,
+        url: url.map(|s| urls.resolve(s).to_string()),
         placements,
         language,
     }
@@ -153,7 +165,7 @@ pub fn class_shares(
     classified: &[Classified],
     class: BusinessClass,
 ) -> (f64, f64, f64) {
-    let by_key: HashMap<&PublisherKey, &PublisherStats> =
+    let by_key: FxHashMap<&PublisherKey, &PublisherStats> =
         publishers.iter().map(|p| (&p.key, p)).collect();
     let total_content = dataset.torrent_count() as f64;
     let total_downloads: u64 = dataset

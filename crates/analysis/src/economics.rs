@@ -12,8 +12,7 @@
 //! between publishing scale and site economics, and the robustness of the
 //! median across noisy monitors.
 
-use std::collections::HashMap;
-
+use btpub_fxhash::FxHashMap;
 use btpub_sim::profile::BusinessClass;
 use btpub_sim::rngs;
 use btpub_sim::Ecosystem;
@@ -69,13 +68,13 @@ pub fn site_reports(
     scale_correction: f64,
 ) -> Vec<SiteReport> {
     // True traffic per username: downloads of their torrents × conversion.
-    let mut downloads_by_username: HashMap<&str, u64> = HashMap::new();
+    let mut downloads_by_username: FxHashMap<&str, u64> = FxHashMap::default();
     for (p, s) in eco.publications.iter().zip(&eco.swarms) {
         *downloads_by_username
             .entry(p.username.as_str())
             .or_default() += s.downloads() as u64;
     }
-    let publishers_by_username: HashMap<&str, &btpub_sim::Publisher> = eco
+    let publishers_by_username: FxHashMap<&str, &btpub_sim::Publisher> = eco
         .publishers
         .iter()
         .map(|p| (p.primary_username(), p))
@@ -120,7 +119,7 @@ pub fn site_reports(
 
 /// Builds Table 5 from the per-site reports.
 pub fn economics_rows(classified: &[Classified], reports: &[SiteReport]) -> Vec<EconomicsRow> {
-    let class_of: HashMap<&PublisherKey, BusinessClass> =
+    let class_of: FxHashMap<&PublisherKey, BusinessClass> =
         classified.iter().map(|c| (&c.key, c.class)).collect();
     [BusinessClass::BtPortal, BusinessClass::OtherWeb]
         .into_iter()

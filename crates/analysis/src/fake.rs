@@ -15,13 +15,14 @@
 //! accounts, split into Top-HP / Top-CI by each publisher's dominant ISP
 //! kind.
 
-use std::collections::{HashMap, HashSet};
-
 use btpub_crawler::Dataset;
+use btpub_fxhash::{FxHashMap, FxHashSet, Sym};
 use btpub_geodb::{GeoDb, IspKind};
 
 use crate::isp::dominant_kind;
-use crate::publishers::{ip_to_usernames, top_ips_by_content, PublisherKey, PublisherStats};
+use crate::publishers::{
+    intern_usernames, ip_to_usernames, top_ips_by_content, PublisherKey, PublisherStats,
+};
 
 /// The analysis groups of §4's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,15 +59,15 @@ impl Group {
 #[derive(Debug, Clone, Default)]
 pub struct Groups {
     /// Usernames flagged as fake (tainted by takedowns or fake IPs).
-    pub fake_usernames: HashSet<String>,
+    pub fake_usernames: FxHashSet<String>,
     /// Initial-seeder IPs attributed to fake entities.
-    pub fake_ips: HashSet<u32>,
+    pub fake_ips: FxHashSet<u32>,
     /// The Top set: top-k ranking minus fake-tainted usernames.
     pub top: Vec<PublisherKey>,
     /// Top publishers whose dominant ISP is a hosting provider.
-    pub top_hp: HashSet<PublisherKey>,
+    pub top_hp: FxHashSet<PublisherKey>,
     /// Top publishers whose dominant ISP is a commercial ISP.
-    pub top_ci: HashSet<PublisherKey>,
+    pub top_ci: FxHashSet<PublisherKey>,
     /// How many of the original top-k were dropped as compromised.
     pub compromised_in_top_k: usize,
 }
@@ -115,11 +116,16 @@ pub fn assign_groups(
         }
         return groups;
     }
+    // Both signals work on interned symbols; strings are resolved once at
+    // the end, so the per-record and per-IP set operations hash a `u32`
+    // instead of username bytes.
+    let users = intern_usernames(dataset);
+    let mut fake_syms: FxHashSet<Sym> = FxHashSet::default();
     // Signal 1: takedowns taint usernames.
     for rec in &dataset.torrents {
         if rec.observed_removed {
             if let Some(u) = &rec.username {
-                groups.fake_usernames.insert(u.clone());
+                fake_syms.insert(users.get(u).expect("username interned"));
             }
         }
     }
@@ -129,8 +135,8 @@ pub fn assign_groups(
     // on them (the hacked publications are seeded from the fake entity's
     // servers, not the victim's), and a one-off misidentified downloader
     // on a removed listing must not be labelled either.
-    let by_ip = ip_to_usernames(dataset);
-    let mut ip_removed: HashMap<u32, (usize, usize)> = HashMap::new();
+    let by_ip = ip_to_usernames(dataset, &users);
+    let mut ip_removed: FxHashMap<u32, (usize, usize)> = FxHashMap::default();
     for rec in &dataset.torrents {
         if let Some(ip) = rec.publisher_ip {
             let e = ip_removed.entry(u32::from(ip)).or_default();
@@ -150,18 +156,20 @@ pub fn assign_groups(
     // whose torrents happened not to be removed yet).
     for (ip, usernames) in &by_ip {
         if groups.fake_ips.contains(ip) {
-            for u in usernames {
-                groups.fake_usernames.insert(u.clone());
-            }
+            fake_syms.extend(usernames);
         }
     }
+    // Report boundary: one string clone per tainted username.
+    groups.fake_usernames = fake_syms.iter().map(|&s| users.resolve(s).to_string()).collect();
     // Exception: a username that is ALSO heavily published from clean IPs
     // is a compromised genuine account, not a fake entity. Keep it tainted
     // (excluded from Top) but do not propagate its clean IPs.
     // Top = top-k minus tainted.
     for p in publishers.iter().take(top_k) {
         let tainted = match &p.key {
-            PublisherKey::Username(u) => groups.fake_usernames.contains(u),
+            PublisherKey::Username(u) => {
+                users.get(u).is_some_and(|s| fake_syms.contains(&s))
+            }
             PublisherKey::Ip(ip) => groups.fake_ips.contains(ip),
         };
         if tainted {
@@ -271,9 +279,10 @@ pub fn mapping_stats(
     top_k: usize,
 ) -> MappingStats {
     let mut stats = MappingStats::default();
+    let users = intern_usernames(dataset);
     // Top IPs side.
     let top_ips = top_ips_by_content(dataset);
-    let by_ip = ip_to_usernames(dataset);
+    let by_ip = ip_to_usernames(dataset, &users);
     let considered: Vec<&(u32, usize)> = top_ips.iter().take(top_k).collect();
     if !considered.is_empty() {
         let unique = considered
@@ -287,20 +296,21 @@ pub fn mapping_stats(
     // mistaken for the initial seeder), so only *significant* IPs — those
     // behind at least 10 % of the publisher's identified torrents — drive
     // the classification, mirroring the paper's manual inspection.
-    let mut ip_torrents: HashMap<(&str, u32), usize> = HashMap::new();
+    let mut ip_torrents: FxHashMap<(Sym, u32), usize> = FxHashMap::default();
     for rec in &dataset.torrents {
         if let (Some(ip), Some(user)) = (rec.publisher_ip, &rec.username) {
-            *ip_torrents.entry((user.as_str(), u32::from(ip))).or_default() += 1;
+            let sym = users.get(user).expect("username interned");
+            *ip_torrents.entry((sym, u32::from(ip))).or_default() += 1;
         }
     }
-    let mut counts: HashMap<&'static str, (usize, f64)> = HashMap::new();
+    let mut counts: FxHashMap<&'static str, (usize, f64)> = FxHashMap::default();
     let mut total = 0usize;
     for p in publishers.iter().take(top_k) {
         if p.ips.is_empty() {
             continue; // never identified; the paper cannot classify these
         }
         let username = match &p.key {
-            crate::publishers::PublisherKey::Username(u) => Some(u.as_str()),
+            crate::publishers::PublisherKey::Username(u) => users.get(u),
             crate::publishers::PublisherKey::Ip(_) => None,
         };
         let identified: usize = p
@@ -335,8 +345,8 @@ pub fn mapping_stats(
             counts.entry("single").or_default().0 += 1;
             continue;
         }
-        let mut kinds = HashSet::new();
-        let mut isps = HashSet::new();
+        let mut kinds = FxHashSet::default();
+        let mut isps = FxHashSet::default();
         for &ip in &significant {
             if let Some(info) = db.lookup(std::net::Ipv4Addr::from(ip)) {
                 kinds.insert(db.isp(info.isp).kind);

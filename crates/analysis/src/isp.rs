@@ -1,9 +1,9 @@
 //! §3.2 / Tables 2–3: mapping publishers to ISPs.
 
-use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use btpub_crawler::Dataset;
+use btpub_fxhash::{FxHashMap, FxHashSet};
 use btpub_geodb::{prefix16, GeoDb, IspId, IspKind};
 
 use crate::publishers::PublisherStats;
@@ -22,7 +22,7 @@ pub struct IspRow {
 /// Computes Table 2 for a dataset: the top-`k` ISPs by the share of
 /// (IP-attributed) content their publishers fed.
 pub fn top_isps(dataset: &Dataset, db: &GeoDb, k: usize) -> Vec<IspRow> {
-    let mut per_isp: HashMap<IspId, usize> = HashMap::new();
+    let mut per_isp: FxHashMap<IspId, usize> = FxHashMap::default();
     let mut attributed = 0usize;
     for rec in &dataset.torrents {
         if let Some(ip) = rec.publisher_ip {
@@ -71,9 +71,9 @@ pub fn isp_footprint(dataset: &Dataset, db: &GeoDb, isp_name: &str) -> IspFootpr
         };
     };
     let mut fed = 0usize;
-    let mut ips: HashSet<u32> = HashSet::new();
-    let mut prefixes: HashSet<u16> = HashSet::new();
-    let mut locations: HashSet<_> = HashSet::new();
+    let mut ips: FxHashSet<u32> = FxHashSet::default();
+    let mut prefixes: FxHashSet<u16> = FxHashSet::default();
+    let mut locations: FxHashSet<_> = FxHashSet::default();
     for rec in &dataset.torrents {
         if let Some(ip) = rec.publisher_ip {
             if let Some(info) = db.lookup(ip) {
@@ -131,7 +131,7 @@ pub fn hosting_shares(
 
 /// The ISP a publisher's identified IPs most often map to.
 pub fn dominant_isp(p: &PublisherStats, db: &GeoDb) -> Option<IspId> {
-    let mut counts: HashMap<IspId, usize> = HashMap::new();
+    let mut counts: FxHashMap<IspId, usize> = FxHashMap::default();
     for &ip in &p.ips {
         if let Some(info) = db.lookup(Ipv4Addr::from(ip)) {
             *counts.entry(info.isp).or_default() += 1;

@@ -51,14 +51,13 @@ pub fn popularity_box(
 mod tests {
     use super::*;
     use crate::publishers::PublisherKey;
-    use std::collections::HashSet;
 
     fn publisher(name: &str, torrents: usize, downloads: u64) -> PublisherStats {
         PublisherStats {
             key: PublisherKey::Username(name.into()),
             torrents: (0..torrents).collect(),
             downloads,
-            ips: HashSet::new(),
+            ips: Default::default(),
         }
     }
 

@@ -5,10 +5,10 @@
 //! mn08 (§3). This module provides that keying plus the per-publisher
 //! aggregates every later stage consumes.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use btpub_crawler::Dataset;
+use btpub_fxhash::{FxHashMap, FxHashSet, Interner, Sym};
 
 /// How a publisher is identified in a dataset.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,7 +38,7 @@ pub struct PublisherStats {
     /// Total observed downloaders across those torrents.
     pub downloads: u64,
     /// Initial-seeder IPs identified across the publisher's torrents.
-    pub ips: HashSet<u32>,
+    pub ips: FxHashSet<u32>,
 }
 
 impl PublisherStats {
@@ -46,6 +46,39 @@ impl PublisherStats {
     pub fn content_count(&self) -> usize {
         self.torrents.len()
     }
+}
+
+/// Interns every username appearing in the dataset, in record order.
+///
+/// Build once per dataset, then share `&Interner` across analysis
+/// stages — symbol assignment is deterministic (first appearance wins),
+/// so any two passes over the same dataset agree on every `Sym`.
+pub fn intern_usernames(dataset: &Dataset) -> Interner {
+    let mut users = Interner::with_capacity(1024);
+    for rec in &dataset.torrents {
+        if let Some(u) = &rec.username {
+            users.intern(u);
+        }
+    }
+    users
+}
+
+/// Internal aggregation key: a `u32` either way, so the per-record hash
+/// in the fold below never touches string bytes. Deliberately private —
+/// symbols must be resolved back to [`PublisherKey`] strings before
+/// anything ordered or report-facing sees them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum IKey {
+    User(Sym),
+    Ip(u32),
+}
+
+/// Per-key partial aggregate (the key lives in the map).
+#[derive(Default)]
+struct Partial {
+    torrents: Vec<usize>,
+    downloads: u64,
+    ips: FxHashSet<u32>,
 }
 
 /// Groups a dataset by publisher.
@@ -56,35 +89,31 @@ impl PublisherStats {
 /// count, descending — "top-x" publishers are prefixes of it.
 pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
     let _span = btpub_obs::span!("analysis.aggregate_publishers");
-    // Parallel fold: contiguous torrent-index chunks aggregate
-    // independently, then merge left to right — per-publisher torrent
-    // lists stay in ascending index order, exactly as a serial pass
-    // builds them. BTreeMap gives a deterministic tie order regardless
-    // of hash state.
+    // One serial pass interns the usernames; the parallel fold below
+    // then keys on `u32` symbols instead of heap strings. Contiguous
+    // torrent-index chunks aggregate independently and merge left to
+    // right, so per-publisher torrent lists stay in ascending index
+    // order, exactly as a serial pass builds them.
+    let users = dataset.has_usernames.then(|| intern_usernames(dataset));
     let n = dataset.torrents.len();
     let chunks = (btpub_par::global().get() * 4).clamp(1, n.max(1));
-    let partials: Vec<BTreeMap<PublisherKey, PublisherStats>> =
+    let partials: Vec<FxHashMap<IKey, Partial>> =
         btpub_par::par_map_indexed("analysis.aggregate", chunks, |c| {
-            let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
+            let mut agg: FxHashMap<IKey, Partial> = FxHashMap::default();
             for idx in n * c / chunks..n * (c + 1) / chunks {
                 let rec = &dataset.torrents[idx];
-                let key = if dataset.has_usernames {
+                let key = if let Some(users) = &users {
                     match &rec.username {
-                        Some(u) => PublisherKey::Username(u.clone()),
+                        Some(u) => IKey::User(users.get(u).expect("username interned")),
                         None => continue,
                     }
                 } else {
                     match rec.publisher_ip {
-                        Some(ip) => PublisherKey::Ip(u32::from(ip)),
+                        Some(ip) => IKey::Ip(u32::from(ip)),
                         None => continue,
                     }
                 };
-                let entry = agg.entry(key.clone()).or_insert_with(|| PublisherStats {
-                    key,
-                    torrents: Vec::new(),
-                    downloads: 0,
-                    ips: HashSet::new(),
-                });
+                let entry = agg.entry(key).or_default();
                 entry.torrents.push(idx);
                 entry.downloads += rec.observed_downloaders() as u64;
                 if let Some(ip) = rec.publisher_ip {
@@ -93,14 +122,14 @@ pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
             }
             agg
         });
-    let mut agg: BTreeMap<PublisherKey, PublisherStats> = BTreeMap::new();
+    let mut agg: FxHashMap<IKey, Partial> = FxHashMap::default();
     for part in partials {
         for (key, mut stats) in part {
             match agg.entry(key) {
-                std::collections::btree_map::Entry::Vacant(v) => {
+                std::collections::hash_map::Entry::Vacant(v) => {
                     v.insert(stats);
                 }
-                std::collections::btree_map::Entry::Occupied(mut o) => {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
                     let merged = o.get_mut();
                     merged.torrents.append(&mut stats.torrents);
                     merged.downloads += stats.downloads;
@@ -109,7 +138,24 @@ pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
             }
         }
     }
-    let mut out: Vec<PublisherStats> = agg.into_values().collect();
+    // Report boundary: resolve symbols back to strings (one clone per
+    // publisher, not per record) and impose the total order. The final
+    // comparator ends in a unique-key comparison, so the result is
+    // independent of the hash map's iteration order above.
+    let mut out: Vec<PublisherStats> = agg
+        .into_iter()
+        .map(|(key, p)| PublisherStats {
+            key: match key {
+                IKey::User(s) => {
+                    PublisherKey::Username(users.as_ref().expect("username mode").resolve(s).to_string())
+                }
+                IKey::Ip(ip) => PublisherKey::Ip(ip),
+            },
+            torrents: p.torrents,
+            downloads: p.downloads,
+            ips: p.ips,
+        })
+        .collect();
     out.sort_by(|a, b| {
         b.content_count()
             .cmp(&a.content_count())
@@ -120,13 +166,15 @@ pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
 }
 
 /// The IP→usernames view of §3.3: for every identified initial-seeder IP,
-/// the set of usernames it published under. Only meaningful on datasets
-/// with usernames.
-pub fn ip_to_usernames(dataset: &Dataset) -> HashMap<u32, HashSet<String>> {
-    let mut map: HashMap<u32, HashSet<String>> = HashMap::new();
+/// the set of usernames (as interned symbols) it published under. Only
+/// meaningful on datasets with usernames; `users` must come from
+/// [`intern_usernames`] on the same dataset.
+pub fn ip_to_usernames(dataset: &Dataset, users: &Interner) -> FxHashMap<u32, FxHashSet<Sym>> {
+    let mut map: FxHashMap<u32, FxHashSet<Sym>> = FxHashMap::default();
     for rec in &dataset.torrents {
         if let (Some(ip), Some(user)) = (rec.publisher_ip, &rec.username) {
-            map.entry(u32::from(ip)).or_default().insert(user.clone());
+            let sym = users.get(user).expect("username interned");
+            map.entry(u32::from(ip)).or_default().insert(sym);
         }
     }
     map
@@ -135,7 +183,7 @@ pub fn ip_to_usernames(dataset: &Dataset) -> HashMap<u32, HashSet<String>> {
 /// Content counts per identified IP, sorted descending — the "top-100 IP
 /// addresses" ranking of §3.3.
 pub fn top_ips_by_content(dataset: &Dataset) -> Vec<(u32, usize)> {
-    let mut counts: HashMap<u32, usize> = HashMap::new();
+    let mut counts: FxHashMap<u32, usize> = FxHashMap::default();
     for rec in &dataset.torrents {
         if let Some(ip) = rec.publisher_ip {
             *counts.entry(u32::from(ip)).or_default() += 1;
@@ -244,7 +292,8 @@ mod tests {
                 rec(2, Some("u1"), Some([8, 8, 8, 8]), 0),
             ],
         );
-        let map = ip_to_usernames(&ds);
+        let users = intern_usernames(&ds);
+        let map = ip_to_usernames(&ds, &users);
         assert_eq!(map[&u32::from(Ipv4Addr::new(9, 9, 9, 9))].len(), 2);
         assert_eq!(map[&u32::from(Ipv4Addr::new(8, 8, 8, 8))].len(), 1);
     }

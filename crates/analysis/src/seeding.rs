@@ -132,7 +132,7 @@ pub fn group_seeding_boxes(
     // Per-publisher session estimation is independent work over read-only
     // records; fan it out (results come back in member order).
     let metrics: Vec<SeedingMetrics> =
-        btpub_par::par_map("analysis.seeding", &members, |p| {
+        btpub_par::par_chunk_map("analysis.seeding", &members, |p| {
             publisher_seeding_metrics(dataset, p, default_offline_threshold())
         })
         .into_iter()
@@ -158,7 +158,7 @@ mod tests {
     use btpub_crawler::Sighting;
     use btpub_sim::content::Category;
     use btpub_sim::TorrentId;
-    use std::collections::HashSet;
+
     use std::net::Ipv4Addr;
 
     fn rec_with_sightings(id: u32, seen_hours: &[f64], gap_all_hours: f64) -> TorrentRecord {
@@ -235,7 +235,7 @@ mod tests {
             key: PublisherKey::Username("u".into()),
             torrents: vec![0, 1],
             downloads: 0,
-            ips: HashSet::new(),
+            ips: Default::default(),
         };
         let m = publisher_seeding_metrics(&d, &p, default_offline_threshold()).unwrap();
         assert_eq!(m.torrents_measured, 2);
@@ -257,7 +257,7 @@ mod tests {
             key: PublisherKey::Username("u".into()),
             torrents: vec![0, 1],
             downloads: 0,
-            ips: HashSet::new(),
+            ips: Default::default(),
         };
         let m = publisher_seeding_metrics(&d, &p, default_offline_threshold()).unwrap();
         assert!((m.avg_parallel - 1.0).abs() < 0.05);
@@ -273,7 +273,7 @@ mod tests {
             key: PublisherKey::Username("u".into()),
             torrents: vec![0],
             downloads: 0,
-            ips: HashSet::new(),
+            ips: Default::default(),
         };
         assert!(publisher_seeding_metrics(&d, &p, default_offline_threshold()).is_none());
     }

@@ -72,7 +72,6 @@ pub fn shares_of_top_k(publishers: &[PublisherStats], k: usize) -> (f64, f64) {
 mod tests {
     use super::*;
     use crate::publishers::PublisherKey;
-    use std::collections::HashSet;
 
     fn stats(counts: &[usize]) -> Vec<PublisherStats> {
         counts
@@ -82,7 +81,7 @@ mod tests {
                 key: PublisherKey::Username(format!("u{i}")),
                 torrents: (0..c).collect(),
                 downloads: (c * 10) as u64,
-                ips: HashSet::new(),
+                ips: Default::default(),
             })
             .collect()
     }

@@ -1,0 +1,363 @@
+//! Hot-path profile benchmark → `BENCH_hotpath.json`.
+//!
+//! ```text
+//! bench_hotpath [--scale tiny|repro|paper] [--jobs N] [--out PATH] [--gate PATH]
+//! ```
+//!
+//! Measures what the hot-path work actually costs, per phase:
+//!
+//! * **phase walls** — the `repro --scenario all` pipeline run once at the
+//!   requested scale with explicit barriers between generate → crawl →
+//!   analyze → report, so each phase's wall clock is attributable;
+//! * **announce latency** — p50/p99 of `tracker.announce.latency_ns`
+//!   across every announce the crawl issued;
+//! * **allocator discipline** — a microbenchmark of the steady-state
+//!   announce loop (`TrackerSim::query_into` with a warm reply buffer)
+//!   under a counting global allocator, reported as allocations per
+//!   query, plus the pipeline-wide `hotpath.alloc.saved` counter;
+//! * **task coarsening** — total tasks executed across every `par.*`
+//!   pool, the number the chunked maps are meant to keep small.
+//!
+//! `--gate OLD.json` turns the run into a regression gate: it compares
+//! the fresh numbers against a committed `BENCH_hotpath.json` and exits
+//! nonzero if allocations per query regressed (hard) or the tiny-scale
+//! pipeline wall regressed by more than 20 % (noise-tolerant).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use btpub::{Scale, Scenario, Study};
+use btpub_par::Jobs;
+use btpub_sim::{Ecosystem, SimDuration};
+use btpub_tracker::TrackerSim;
+
+/// `System`, plus a count of allocation entry points (alloc + realloc).
+/// Deallocation is free-running and untracked: the gate cares about how
+/// often the hot loop asks the allocator for memory, not about balance.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Wall clock of each pipeline phase, seconds.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PhaseWalls {
+    generate_s: f64,
+    crawl_s: f64,
+    analyze_s: f64,
+    report_s: f64,
+    total_s: f64,
+}
+
+/// The emitted measurement record.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    /// Benchmark id.
+    bench: String,
+    /// Scale preset of the phase-wall measurement.
+    scale: String,
+    /// Detected available parallelism.
+    cpus: usize,
+    /// Worker count the pipeline ran at.
+    jobs: usize,
+    /// Per-phase wall clock at the requested scale.
+    phases: PhaseWalls,
+    /// Pipeline wall at tiny scale (the regression gate's yardstick,
+    /// cheap enough to re-measure on every `scripts/check.sh` run).
+    wall_s_tiny: f64,
+    /// Median announce latency, nanoseconds.
+    announce_p50_ns: f64,
+    /// Tail announce latency, nanoseconds.
+    announce_p99_ns: f64,
+    /// Announces measured.
+    announce_count: u64,
+    /// Tasks executed across every `par.*` pool during the phase run.
+    pool_tasks: u64,
+    /// Steady-state announces that completed without growing the reply
+    /// buffer (`hotpath.alloc.saved`), phase run.
+    alloc_saved: u64,
+    /// Allocator calls per announce in the warm-buffer microbenchmark.
+    allocs_per_query: f64,
+    /// Report bytes produced (sanity: the pipeline really ran).
+    report_bytes: usize,
+}
+
+/// One pipeline pass with a barrier (and a timestamp) between phases.
+fn run_phases(scale: Scale, jobs: usize) -> (PhaseWalls, usize) {
+    btpub_par::set_global(Jobs::new(jobs));
+    let scenarios = [
+        ("mn08", Scenario::mn08(scale)),
+        ("pb09", Scenario::pb09(scale)),
+        ("pb10", Scenario::pb10(scale)),
+    ];
+    let t0 = Instant::now();
+    let ecos: Vec<Ecosystem> = scenarios
+        .iter()
+        .map(|(_, sc)| Ecosystem::generate(sc.eco.clone()))
+        .collect();
+    let generate_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let studies: Vec<Study> = scenarios
+        .iter()
+        .zip(ecos)
+        .map(|((_, sc), eco)| {
+            let dataset = btpub_crawler::run_crawl(&eco, &sc.crawler);
+            Study {
+                scenario: sc.clone(),
+                eco,
+                dataset,
+            }
+        })
+        .collect();
+    let crawl_s = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let analyses: Vec<_> = studies.iter().map(Study::analyze).collect();
+    let analyze_s = t2.elapsed().as_secs_f64();
+
+    let t3 = Instant::now();
+    let report_bytes: usize = analyses
+        .iter()
+        .map(|a| a.experiments().full_report().len())
+        .sum();
+    let report_s = t3.elapsed().as_secs_f64();
+
+    (
+        PhaseWalls {
+            generate_s,
+            crawl_s,
+            analyze_s,
+            report_s,
+            total_s: t0.elapsed().as_secs_f64(),
+        },
+        report_bytes,
+    )
+}
+
+/// Allocator calls per announce once the reply buffer and tracker state
+/// are warm — the number the scratch-buffer work drives toward zero.
+fn measure_allocs_per_query() -> f64 {
+    let scenario = Scenario::pb10(Scale::tiny());
+    let eco = Ecosystem::generate(scenario.eco.clone());
+    let mut tracker = TrackerSim::new(&eco);
+    let mut peers = Vec::new();
+    let n = eco.publications.len() as u32;
+    let queries = 4096u32;
+    // One announce per (client, torrent) pair, an hour into each swarm's
+    // life, cycling torrents — the crawler's steady state. The first lap
+    // warms the buffer, the scratch space and the tracker's maps.
+    let mut run = |base: u32, count: u32| {
+        for i in 0..count {
+            let torrent = btpub_sim::TorrentId(i % n);
+            let at = eco.publications[(i % n) as usize].at + SimDuration::from_hours(1.0);
+            let _ = tracker.query_into(base + i, torrent, at, 50, &mut peers);
+        }
+    };
+    run(1_000_000, queries);
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    run(2_000_000, queries);
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+    (after - before) as f64 / f64::from(queries)
+}
+
+/// Applies the regression gate; returns the failure messages.
+fn gate_failures(old: &BenchReport, new: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Hard: the announce loop must not start allocating again. Allow a
+    // tenth of an allocation per query of slack for map-resize jitter.
+    if new.allocs_per_query > old.allocs_per_query + 0.1 {
+        failures.push(format!(
+            "allocs per query regressed: {:.3} -> {:.3}",
+            old.allocs_per_query, new.allocs_per_query
+        ));
+    }
+    // Noise-tolerant: tiny-scale pipeline wall within +20 %.
+    if new.wall_s_tiny > old.wall_s_tiny * 1.20 {
+        failures.push(format!(
+            "tiny-scale wall regressed >20%: {:.3}s -> {:.3}s",
+            old.wall_s_tiny, new.wall_s_tiny
+        ));
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_repro();
+    let mut scale_name = "repro".to_string();
+    let mut jobs = 1usize;
+    let mut out = "BENCH_hotpath.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => Scale::tiny(),
+                    Some("repro") => Scale::default_repro(),
+                    Some("paper") => Scale::paper(),
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+                scale_name = args[i].clone();
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--gate" => {
+                i += 1;
+                gate = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--gate requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cpus = Jobs::detected().get();
+    eprintln!("bench_hotpath: scale={scale_name} jobs={jobs} (cpus={cpus})");
+
+    // Warm-up pass (allocator, page cache, metric handles), then the
+    // gate yardstick: one timed tiny-scale pipeline pass at --jobs 1.
+    let _ = run_phases(Scale::tiny(), 1);
+    let (tiny_phases, _) = run_phases(Scale::tiny(), 1);
+    let wall_s_tiny = tiny_phases.total_s;
+    eprintln!("  tiny pipeline: {wall_s_tiny:.3}s");
+
+    // Reset the announce/pool view so percentiles and task counts below
+    // describe only the measured pass. Counters are monotonic, so take
+    // before/after snapshots instead.
+    let reg = btpub_obs::global();
+    let announce_before = reg.histogram("tracker.announce.latency_ns").count();
+    let saved_before = reg.counter("hotpath.alloc.saved").value();
+    let tasks_before: u64 = pool_task_total();
+
+    let (phases, report_bytes) = if scale_name == "tiny" {
+        let r = run_phases(Scale::tiny(), jobs);
+        eprintln!("  measured pipeline: {:.3}s", r.0.total_s);
+        r
+    } else {
+        let r = run_phases(scale, jobs);
+        eprintln!("  measured pipeline: {:.3}s", r.0.total_s);
+        r
+    };
+
+    let announce = reg.histogram("tracker.announce.latency_ns");
+    let announce_count = announce.count() - announce_before;
+    let alloc_saved = reg.counter("hotpath.alloc.saved").value() - saved_before;
+    let pool_tasks = pool_task_total() - tasks_before;
+
+    let allocs_per_query = measure_allocs_per_query();
+    eprintln!("  allocs/query (warm): {allocs_per_query:.3}");
+
+    let report = BenchReport {
+        bench: "hotpath".into(),
+        scale: scale_name,
+        cpus,
+        jobs,
+        phases,
+        wall_s_tiny,
+        // Quantiles over the whole histogram; the warm-up contributes
+        // the same distribution, so the estimate stands for the run.
+        announce_p50_ns: announce.quantile(0.5),
+        announce_p99_ns: announce.quantile(0.99),
+        announce_count,
+        pool_tasks,
+        alloc_saved,
+        allocs_per_query,
+        report_bytes,
+    };
+    let json = serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serializes"))
+        .expect("renders");
+    std::fs::write(&out, &json).expect("write bench report");
+    eprintln!(
+        "bench_hotpath: total {:.3}s (gen {:.3} / crawl {:.3} / analyze {:.3} / report {:.3}), \
+         announce p50 {:.0}ns p99 {:.0}ns, {} pool tasks -> {out}",
+        report.phases.total_s,
+        report.phases.generate_s,
+        report.phases.crawl_s,
+        report.phases.analyze_s,
+        report.phases.report_s,
+        report.announce_p50_ns,
+        report.announce_p99_ns,
+        report.pool_tasks,
+    );
+
+    if let Some(gate_path) = gate {
+        let old: BenchReport = serde_json::from_str(
+            &std::fs::read_to_string(&gate_path).expect("read gate baseline"),
+        )
+        .expect("parse gate baseline");
+        let failures = gate_failures(&old, &report);
+        if failures.is_empty() {
+            eprintln!(
+                "bench_hotpath: gate OK vs {gate_path} (allocs/query {:.3} <= {:.3}+0.1, \
+                 tiny wall {:.3}s <= {:.3}s*1.2)",
+                report.allocs_per_query, old.allocs_per_query, report.wall_s_tiny, old.wall_s_tiny
+            );
+        } else {
+            for f in &failures {
+                eprintln!("bench_hotpath: GATE FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Sum of every `par.*.tasks` counter.
+fn pool_task_total() -> u64 {
+    btpub_obs::global()
+        .counters()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("par.") && name.ends_with(".tasks"))
+        .map(|(_, v)| v)
+        .sum()
+}

@@ -26,8 +26,12 @@ struct BenchReport {
     scale: String,
     /// Detected available parallelism of the machine the numbers are from.
     cpus: usize,
-    /// Worker count of the parallel configuration.
+    /// Requested worker count of the parallel configuration.
     jobs: usize,
+    /// What the `Jobs` policy resolves the request to (capped at `cpus`);
+    /// `1` means both configurations ran the no-pool serial fast path and
+    /// any wall-clock difference is measurement noise.
+    jobs_effective: usize,
     /// Timed runs per configuration (best-of).
     runs: usize,
     /// Best wall-clock seconds at `--jobs 1`.
@@ -132,8 +136,13 @@ fn main() {
     // initialised metric handles), at tiny scale to keep it cheap.
     let _ = run_all(Scale::tiny(), 1);
 
+    // Interleave the configurations (1, N, 1, N, …) so slow drift in the
+    // environment (thermal state, page cache, background load) biases
+    // both best-of minimums equally instead of whichever ran last.
     let mut wall_serial = f64::INFINITY;
     let mut report_serial = String::new();
+    let mut wall_par = f64::INFINITY;
+    let mut report_par = String::new();
     for r in 0..runs {
         let (w, rep) = run_all(scale, 1);
         eprintln!("  jobs=1  run {}: {w:.3}s", r + 1);
@@ -141,10 +150,6 @@ fn main() {
             wall_serial = w;
         }
         report_serial = rep;
-    }
-    let mut wall_par = f64::INFINITY;
-    let mut report_par = String::new();
-    for r in 0..runs {
         let (w, rep) = run_all(scale, jobs);
         eprintln!("  jobs={jobs} run {}: {w:.3}s", r + 1);
         if w < wall_par {
@@ -171,6 +176,7 @@ fn main() {
         scale: scale_name,
         cpus,
         jobs,
+        jobs_effective: Jobs::new(jobs).effective().get(),
         runs,
         wall_s_serial: wall_serial,
         wall_s_parallel: wall_par,

@@ -7,7 +7,7 @@
 //! ratios, crossovers) is asserted by the integration tests and recorded
 //! in `EXPERIMENTS.md`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use btpub_analysis::classify::UrlPlacement;
@@ -452,7 +452,7 @@ impl<'b, 'a> Experiments<'b, 'a> {
             .count();
         // Session estimation error for top publishers (by ground truth).
         let mut errors: Vec<f64> = Vec::new();
-        let username_of: HashMap<&str, usize> = eco
+        let username_of: btpub_fxhash::FxHashMap<&str, usize> = eco
             .publishers
             .iter()
             .enumerate()

@@ -1,9 +1,9 @@
 //! The crawl engine over the simulated ecosystem.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use btpub_faults::{CircuitBreaker, FaultPlan, FaultProfile, RetryPolicy};
+use btpub_fxhash::FxHashMap;
 use btpub_portal::Portal;
 use btpub_sim::engine::EventQueue;
 use btpub_sim::{Ecosystem, SimDuration, SimTime, TorrentId, MINUTE};
@@ -104,8 +104,11 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
     let retry_policy = RetryPolicy::announce();
     let horizon = eco.config.horizon();
     let mut queue: EventQueue<Event> = EventQueue::new();
-    let mut states: HashMap<TorrentId, TorrentState> = HashMap::new();
+    let mut states: FxHashMap<TorrentId, TorrentState> = FxHashMap::default();
     let mut order: Vec<TorrentId> = Vec::new();
+    // Announce replies land in one buffer reused across the whole
+    // campaign — the steady-state query loop is allocation-free.
+    let mut peers: Vec<Ipv4Addr> = Vec::new();
     let mut last_poll = SimTime::ZERO;
     queue.schedule(SimTime::ZERO + cfg.rss_poll, Event::RssPoll);
 
@@ -188,18 +191,19 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 }
                 let first_contact = state.record.first_contact_at.is_none();
                 if first_contact {
-                    // Fetch the .torrent and page; a removed listing ends
-                    // the campaign for this torrent before it begins.
-                    match portal.torrent_file(torrent, now) {
+                    // Fetch the .torrent listing and page; a removed
+                    // listing ends the campaign for this torrent before it
+                    // begins.
+                    match portal.torrent_listing(torrent, now) {
                         None => {
                             state.record.ip_failure = Some(IpFailure::RemovedBeforeContact);
                             state.record.observed_removed = true;
                             state.done = true;
                             continue;
                         }
-                        Some(metainfo) => {
-                            state.record.filename = metainfo.info.name.clone();
-                            state.record.textbox = metainfo.comment.clone();
+                        Some(listing) => {
+                            state.record.filename = listing.filename;
+                            state.record.textbox = Some(listing.textbox);
                         }
                     }
                     state.record.first_contact_at = Some(now);
@@ -251,7 +255,8 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 // Round-robin over vantage points; each is a tracker client.
                 btpub_obs::static_counter!("crawler.query.total").inc();
                 let client: ClientId = round % cfg.vantage_points;
-                let reply = match tracker.query(client, torrent, now, cfg.numwant) {
+                let reply = match tracker.query_into(client, torrent, now, cfg.numwant, &mut peers)
+                {
                     Ok(r) => r,
                     Err(QueryError::RateLimited { retry_at }) => {
                         queue.schedule(retry_at + SimDuration(1), Event::Query { torrent, round });
@@ -370,18 +375,18 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 state.fault_retries = 0;
                 let population = (reply.complete + reply.incomplete) as usize;
                 // Record the sighting.
-                for ip in &reply.peers {
+                for ip in &peers {
                     state.record.observed_ips.push(u32::from(*ip));
                 }
                 let publisher_seen = state
                     .record
                     .publisher_ip
-                    .is_some_and(|pip| reply.peers.contains(&pip));
+                    .is_some_and(|pip| peers.contains(&pip));
                 state.record.sightings.push(Sighting {
                     at: now,
                     complete: reply.complete,
                     incomplete: reply.incomplete,
-                    sampled: reply.peers.len() as u32,
+                    sampled: peers.len() as u32,
                     publisher_seen,
                 });
                 if first_contact {
@@ -398,7 +403,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                     } else if reply.complete == 1 {
                         let mut unreachable_hit = false;
                         let mut found = None;
-                        for ip in &reply.peers {
+                        for ip in &peers {
                             match probe_with(eco, plan.as_ref(), torrent, *ip, now) {
                                 ProbeOutcome::Completion(c) if c >= 1.0 => {
                                     found = Some(*ip);
@@ -436,7 +441,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 // empty replies meant ~2 hours of silence; because the
                 // vantage fleet compresses our spacing, the rule here is
                 // both count-based and time-based.
-                if reply.peers.is_empty() && reply.complete == 0 {
+                if peers.is_empty() && reply.complete == 0 {
                     state.empty_streak += 1;
                     state.empty_since.get_or_insert(now);
                 } else {
@@ -478,12 +483,12 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
 
     // Assemble records in announcement order, deduplicating observed IPs.
     // Per-record normalisation is independent of every other record, so
-    // it fans out; `par_map_owned` keeps announcement order.
+    // it fans out; the chunked owned map keeps announcement order.
     let finished: Vec<TorrentState> = order
         .into_iter()
         .map(|id| states.remove(&id).expect("state exists"))
         .collect();
-    let torrents = btpub_par::par_map_owned("crawler.postprocess", finished, |mut st| {
+    let torrents = btpub_par::par_chunk_map_owned("crawler.postprocess", finished, |mut st| {
         st.record.observed_ips.sort_unstable();
         st.record.observed_ips.dedup();
         st.record.observed_removed |= portal.is_removed(st.record.torrent, horizon);

@@ -1,0 +1,192 @@
+//! Deterministic, allocation-free hashing for the measurement hot paths.
+//!
+//! The std `HashMap` defaults to SipHash-1-3 behind a per-process random
+//! seed. That buys DoS resistance the simulator does not need (every key
+//! is produced by our own deterministic generators, never by an
+//! adversary) and costs real time on the announce path, where a
+//! `HashMap<(ClientId, TorrentId), SimTime>` lookup runs once per
+//! simulated announce — millions of times per campaign.
+//!
+//! [`FxHasher`] is the Firefox/rustc multiply-rotate hash: fold each
+//! 8-byte word into the state with a rotate, xor and odd-constant
+//! multiply. It is not DoS resistant and must never be fed untrusted
+//! keys, but it is 3-5× cheaper than SipHash on short keys, has no
+//! per-process seed, and therefore hashes identically across runs and
+//! across threads — a property the repo's serial ≡ parallel invariant
+//! gets for free with std only because we re-derive it here.
+//!
+//! Determinism caveat: hash *iteration order* of `FxHashMap` is stable
+//! across runs (no random seed) but is still insertion- and
+//! capacity-dependent, so nothing report-facing may iterate one of these
+//! maps without sorting. That rule predates this crate — all
+//! report-facing iteration flows through `BTreeMap` or an explicit
+//! `sort` (see DESIGN.md) — and the golden-report fixture test enforces
+//! it end to end.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+pub mod intern;
+
+pub use intern::{Interner, Sym};
+
+/// A `HashMap` keyed by [`FxHasher`]. Drop-in for `std::collections::HashMap`
+/// (construct with `FxHashMap::default()` or [`with_capacity`](fx_map_with_capacity)).
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` hashed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Zero-sized, seedless `BuildHasher` — every map hashes identically.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `FxHashMap::with_capacity` is unavailable on non-`RandomState` maps;
+/// this is the idiomatic substitute.
+pub fn fx_map_with_capacity<K, V>(cap: usize) -> FxHashMap<K, V> {
+    FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// `FxHashSet::with_capacity` equivalent.
+pub fn fx_set_with_capacity<T>(cap: usize) -> FxHashSet<T> {
+    FxHashSet::with_capacity_and_hasher(cap, FxBuildHasher::default())
+}
+
+/// Multiplicative word-at-a-time hasher (the rustc/Firefox "Fx" hash).
+///
+/// State transition per word: `state = (state.rotate_left(5) ^ word) * K`
+/// with `K` an odd 64-bit constant derived from the golden ratio. Byte
+/// tails are folded in as words via the same step.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 2^64 / φ, forced odd — the classic Fibonacci hashing multiplier.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            // Fold the tail length in so "ab" + "" and "a" + "b" differ
+            // at the prefix-free layer above (str hashing appends 0xff).
+            self.add_to_hash(u64::from_le_bytes(word) ^ (tail.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        // No per-process seed: two independently built hashers agree.
+        assert_eq!(hash_of(&(42u64, 7u32)), hash_of(&(42u64, 7u32)));
+        assert_eq!(hash_of(&"publisher"), hash_of(&"publisher"));
+    }
+
+    #[test]
+    fn pinned_reference_values() {
+        // Pin the algorithm itself: a silent change to the mixing
+        // constants would invalidate any persisted hash-derived data.
+        let mut h = FxHasher::default();
+        h.write_u64(0);
+        assert_eq!(h.finish(), 0);
+        let mut h = FxHasher::default();
+        h.write_u64(1);
+        assert_eq!(h.finish(), SEED);
+        let mut h = FxHasher::default();
+        h.write(b"abcdefgh");
+        let expected = u64::from_le_bytes(*b"abcdefgh").wrapping_mul(SEED);
+        assert_eq!(h.finish(), expected);
+    }
+
+    #[test]
+    fn tail_bytes_are_length_distinguished() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip_with_tuple_keys() {
+        let mut m: FxHashMap<(u64, u32), u32> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert((i, (i % 97) as u32), i as u32);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.get(&(1234, (1234 % 97) as u32)), Some(&1234));
+    }
+
+    #[test]
+    fn distribution_sanity_on_sequential_keys() {
+        // Sequential u64 keys (ClientId-style) must not collapse into a
+        // few buckets: check the low 10 bits spread reasonably.
+        let mut buckets = [0u32; 1024];
+        for i in 0..100_000u64 {
+            buckets[(hash_of(&i) & 1023) as usize] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        // Perfectly uniform would be ~98 per bucket; allow 4x skew.
+        assert!(max < 400, "worst bucket holds {max} of 100000 keys");
+    }
+}

@@ -90,8 +90,8 @@ impl<'a> Monitor<'a> {
             };
             let filename = self
                 .portal
-                .torrent_file(item.torrent, contact)
-                .map(|m| m.info.name)
+                .torrent_listing(item.torrent, contact)
+                .map(|l| l.filename)
                 .unwrap_or_else(|| item.title.to_string());
             // Business annotation from the release itself.
             let textbox = self

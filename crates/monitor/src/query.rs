@@ -25,7 +25,7 @@ pub fn top_publishers_in_category(
     category: Category,
     k: usize,
 ) -> Vec<(String, usize)> {
-    let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+    let mut counts: btpub_fxhash::FxHashMap<&str, usize> = Default::default();
     for rec in store.items().iter().filter(|r| r.category == category) {
         *counts.entry(rec.username.as_str()).or_default() += 1;
     }

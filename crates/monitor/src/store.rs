@@ -1,7 +1,6 @@
 //! The monitor's database.
 
-use std::collections::HashMap;
-
+use btpub_fxhash::FxHashMap;
 use serde::Serialize;
 
 use btpub_sim::content::Category;
@@ -51,7 +50,7 @@ pub struct PublisherPage {
 #[derive(Debug, Default)]
 pub struct MonitorStore {
     items: Vec<ItemRecord>,
-    by_username: HashMap<String, PublisherPage>,
+    by_username: FxHashMap<String, PublisherPage>,
 }
 
 impl MonitorStore {

@@ -9,8 +9,10 @@
 //! ancestor of it.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 use std::time::Instant;
 
+use crate::metrics::{Counter, Histogram};
 use crate::registry::global;
 
 thread_local! {
@@ -19,22 +21,45 @@ thread_local! {
     static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
+/// The pair of metrics a span records into, resolved once per call site
+/// by the [`crate::span!`] macro. Name resolution (`format!` + registry
+/// lock) happens on the first hit only; every subsequent enter/drop on
+/// that call site touches nothing but atomics — spans sit inside loops
+/// that run millions of times per study.
+pub struct SpanTarget {
+    total: Arc<Histogram>,
+    self_ns: Arc<Counter>,
+}
+
+impl SpanTarget {
+    /// Resolves the `span.<name>.ns` histogram and `span.<name>.self_ns`
+    /// counter from the global registry.
+    pub fn lookup(name: &str) -> SpanTarget {
+        let reg = global();
+        SpanTarget {
+            total: reg.histogram(&format!("span.{name}.ns")),
+            self_ns: reg.counter(&format!("span.{name}.self_ns")),
+        }
+    }
+}
+
 /// Live timer returned by [`crate::span!`]; records on drop.
 ///
 /// Spans must be dropped in LIFO order on the thread that created them —
 /// guaranteed when they are held in locals, which is the only way the
 /// macro hands them out.
 pub struct SpanGuard {
-    name: &'static str,
+    target: &'static SpanTarget,
     start: Instant,
 }
 
 impl SpanGuard {
-    /// Opens a span; prefer the [`crate::span!`] macro.
-    pub fn enter(name: &'static str) -> SpanGuard {
+    /// Opens a span against pre-resolved metric handles; prefer the
+    /// [`crate::span!`] macro, which caches the lookup per call site.
+    pub fn enter(target: &'static SpanTarget) -> SpanGuard {
         STACK.with_borrow_mut(|s| s.push(0));
         SpanGuard {
-            name,
+            target,
             start: Instant::now(),
         }
     }
@@ -43,16 +68,18 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let total_ns = self.start.elapsed().as_nanos() as u64;
-        let child_ns = STACK.with_borrow_mut(|s| s.pop()).unwrap_or(0);
-        // Credit this span's total to the parent frame, if any.
-        STACK.with_borrow_mut(|s| {
+        // Pop this frame's accumulated child time and credit this span's
+        // total to the parent frame, if any, in one stack access.
+        let child_ns = STACK.with_borrow_mut(|s| {
+            let child = s.pop().unwrap_or(0);
             if let Some(parent) = s.last_mut() {
                 *parent += total_ns;
             }
+            child
         });
-        let reg = global();
-        reg.histogram(&format!("span.{}.ns", self.name)).record(total_ns);
-        reg.counter(&format!("span.{}.self_ns", self.name))
+        self.target.total.record(total_ns);
+        self.target
+            .self_ns
             .add(total_ns.saturating_sub(child_ns));
     }
 }
@@ -60,12 +87,15 @@ impl Drop for SpanGuard {
 /// Opens an RAII span timer: `let _g = btpub_obs::span!("tracker.announce");`.
 ///
 /// Elapsed time lands in the histogram `span.<name>.ns`; self time (see
-/// module docs) in the counter `span.<name>.self_ns`.
+/// module docs) in the counter `span.<name>.self_ns`. The registry
+/// lookup runs once per call site; re-entering is allocation-free.
 #[macro_export]
 macro_rules! span {
-    ($name:expr) => {
-        $crate::SpanGuard::enter($name)
-    };
+    ($name:expr) => {{
+        static TARGET: ::std::sync::OnceLock<$crate::span::SpanTarget> =
+            ::std::sync::OnceLock::new();
+        $crate::SpanGuard::enter(TARGET.get_or_init(|| $crate::span::SpanTarget::lookup($name)))
+    }};
 }
 
 #[cfg(test)]

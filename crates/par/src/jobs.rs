@@ -1,4 +1,6 @@
-//! Worker-count policy: `--jobs N` > `BTPUB_JOBS` > detected cores.
+//! Worker-count policy: `--jobs N` > `BTPUB_JOBS` > detected cores,
+//! with the resolved count capped at the machine's available
+//! parallelism (see [`Jobs::effective`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -43,6 +45,21 @@ impl Jobs {
     pub fn is_serial(self) -> bool {
         self.0 == 1
     }
+
+    /// Caps the request at the machine's available parallelism.
+    ///
+    /// Workers beyond the core count cannot run concurrently — on a
+    /// 1-CPU container `--jobs 4` used to time-slice three full
+    /// event-loop working sets through one cache for a 0.83× "speedup".
+    /// Capping makes an oversubscribed request resolve to the same
+    /// no-pool serial fast path as `--jobs 1`. Explicit [`Pool::new`]
+    /// counts are deliberately *not* capped, so the threaded executor
+    /// stays unit-testable on any box.
+    ///
+    /// [`Pool::new`]: crate::Pool::new
+    pub fn effective(self) -> Jobs {
+        Jobs(self.0.min(Jobs::detected().get()))
+    }
 }
 
 /// Process-wide override; 0 means "not set yet".
@@ -57,16 +74,17 @@ pub fn set_global(jobs: Jobs) {
 
 /// The effective process-wide worker count: the last [`set_global`] if
 /// any, else [`Jobs::from_env`] (resolved once and cached, so a single
-/// run sees one consistent policy).
+/// run sees one consistent policy), capped at the machine's available
+/// parallelism ([`Jobs::effective`]).
 pub fn global() -> Jobs {
     let cur = GLOBAL.load(Ordering::SeqCst);
     if cur != 0 {
-        return Jobs(cur);
+        return Jobs(cur).effective();
     }
     let resolved = Jobs::from_env();
     // Cache; racing resolvers compute the same value, first write wins.
     let _ = GLOBAL.compare_exchange(0, resolved.get(), Ordering::SeqCst, Ordering::SeqCst);
-    Jobs(GLOBAL.load(Ordering::SeqCst).max(1))
+    Jobs(GLOBAL.load(Ordering::SeqCst).max(1)).effective()
 }
 
 #[cfg(test)]
@@ -91,8 +109,16 @@ mod tests {
         // Note: global state; other tests in this binary must not depend
         // on a specific global value.
         set_global(Jobs::new(3));
-        assert_eq!(global().get(), 3);
+        assert_eq!(global().get(), Jobs::new(3).effective().get());
         set_global(Jobs::detected());
         assert!(global().get() >= 1);
+    }
+
+    #[test]
+    fn effective_caps_at_available_parallelism() {
+        let cores = Jobs::detected().get();
+        assert_eq!(Jobs::new(1).effective().get(), 1);
+        assert_eq!(Jobs::new(cores).effective().get(), cores);
+        assert_eq!(Jobs::new(cores + 7).effective().get(), cores);
     }
 }

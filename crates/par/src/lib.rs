@@ -22,7 +22,11 @@
 //!
 //! [`Jobs`] resolves, in precedence order: an explicit
 //! [`set_global`] (the `--jobs N` CLI flag), the `BTPUB_JOBS`
-//! environment variable, then [`std::thread::available_parallelism`].
+//! environment variable, then [`std::thread::available_parallelism`] —
+//! and the result is capped at the available parallelism, so an
+//! oversubscribed `--jobs N` on a small box degrades to fewer workers
+//! (down to the no-pool serial fast path at one core) instead of
+//! time-slicing N working sets through one cache.
 //!
 //! ## Observability
 //!
@@ -77,4 +81,36 @@ where
     F: Fn(T) -> R + Sync,
 {
     Pool::global(name).par_map_owned(items, f)
+}
+
+/// Coarsened [`par_map`]: contiguous chunks of `items` run as one task
+/// each, so per-task overhead scales with workers, not items. Results
+/// are per item, in input order. Prefer this for large fan-outs of
+/// cheap items; at `--jobs 1` it is a plain loop with no pool at all.
+pub fn par_chunk_map<T, R, F>(name: &str, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    Pool::global(name).par_chunk_map(items, f)
+}
+
+/// Coarsened [`par_map_indexed`]; see [`par_chunk_map`].
+pub fn par_chunk_map_indexed<R, F>(name: &str, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    Pool::global(name).par_chunk_map_indexed(n, f)
+}
+
+/// Coarsened [`par_map_owned`]; see [`par_chunk_map`].
+pub fn par_chunk_map_owned<T, R, F>(name: &str, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    Pool::global(name).par_chunk_map_owned(items, f)
 }

@@ -53,6 +53,12 @@ impl Metrics {
     }
 }
 
+/// Chunk multiplier for the coarsened maps: enough chunks per worker
+/// that stealing can still rebalance a skewed load, few enough that
+/// per-task bookkeeping (metrics, timing, queue traffic) disappears
+/// from the profile.
+const CHUNKS_PER_WORKER: usize = 8;
+
 /// State shared by one region's workers.
 struct Shared {
     /// One deque of pending task indices per worker.
@@ -117,6 +123,89 @@ impl Pool {
                 .expect("each index is claimed exactly once");
             f(item)
         })
+    }
+
+    /// Coarsened [`Pool::par_map`]: items are processed in contiguous
+    /// chunks (one *task* per chunk), so per-task overhead is paid
+    /// `O(workers)` times instead of `O(items)` times. Results are still
+    /// per item, in input order. Use for large fan-outs of cheap items.
+    pub fn par_chunk_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_chunk_map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Coarsened [`Pool::par_map_indexed`]; see [`Pool::par_chunk_map`].
+    ///
+    /// With one effective worker this is a plain loop on the calling
+    /// thread — no queues, no per-item timing, one recorded task.
+    pub fn par_chunk_map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.jobs.get().min(n);
+        if workers == 1 {
+            return self.serial_region(n, || (0..n).map(&f).collect());
+        }
+        let chunks = (workers * CHUNKS_PER_WORKER).min(n);
+        let parts: Vec<Vec<R>> = self.par_map_indexed(chunks, |c| {
+            (n * c / chunks..n * (c + 1) / chunks).map(&f).collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Coarsened [`Pool::par_map_owned`]; see [`Pool::par_chunk_map`].
+    pub fn par_chunk_map_owned<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.jobs.get().min(n);
+        if workers == 1 {
+            return self.serial_region(n, || items.into_iter().map(&f).collect());
+        }
+        let slots: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let chunks = (workers * CHUNKS_PER_WORKER).min(n);
+        let parts: Vec<Vec<R>> = self.par_map_indexed(chunks, |c| {
+            (n * c / chunks..n * (c + 1) / chunks)
+                .map(|i| {
+                    let item = slots[i]
+                        .lock()
+                        .expect("slot")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    f(item)
+                })
+                .collect()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Runs a whole region as one task on the calling thread: one timing
+    /// record, one task tick, zero queue or thread machinery.
+    fn serial_region<R, F: FnOnce() -> Vec<R>>(&self, n: usize, body: F) -> Vec<R> {
+        let m = Metrics::for_pool(&self.name);
+        m.workers.set(1);
+        m.queue_depth.set(n as i64);
+        let t0 = Instant::now();
+        let out = body();
+        m.task_ns.record(t0.elapsed().as_nanos() as u64);
+        m.tasks.inc();
+        m.queue_depth.set(0);
+        out
     }
 
     /// Maps `f` over `0..n`, returning `vec![f(0), …, f(n-1)]`.
@@ -388,6 +477,56 @@ mod tests {
         assert_eq!(reg.histogram("par.test.metrics.task_ns").count(), 50);
         assert_eq!(reg.gauge("par.test.metrics.workers").value(), 3);
         assert_eq!(reg.gauge("par.test.metrics.queue_depth").value(), 0);
+    }
+
+    #[test]
+    fn chunked_maps_match_per_item_maps() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 7 + 3).collect();
+        for jobs in [1, 2, 3, 8] {
+            let pool = Pool::new("test.chunked", Jobs::new(jobs));
+            assert_eq!(pool.par_chunk_map(&items, |x| x * 7 + 3), expect, "jobs={jobs}");
+            assert_eq!(
+                pool.par_chunk_map_indexed(items.len(), |i| items[i] * 7 + 3),
+                expect,
+                "jobs={jobs}"
+            );
+            let owned: Vec<u64> = items.clone();
+            assert_eq!(pool.par_chunk_map_owned(owned, |x| x * 7 + 3), expect, "jobs={jobs}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        let pool = Pool::new("test.chunked", Jobs::new(4));
+        assert!(pool.par_chunk_map(&empty, |x| *x).is_empty());
+        assert!(pool.par_chunk_map_owned(empty, |x| x).is_empty());
+    }
+
+    #[test]
+    fn chunked_map_coarsens_task_count() {
+        // 1000 items over 2 workers must run as at most
+        // 2 * CHUNKS_PER_WORKER tasks, and exactly one task when serial.
+        let reg = btpub_obs::global();
+        let pool = Pool::new("test.coarse", Jobs::new(2));
+        let before = reg.counter("par.test.coarse.tasks").value();
+        pool.par_chunk_map_indexed(1000, |i| i);
+        let par_tasks = reg.counter("par.test.coarse.tasks").value() - before;
+        assert!(
+            par_tasks <= 2 * CHUNKS_PER_WORKER as u64,
+            "expected coarse tasks, got {par_tasks}"
+        );
+        let serial = Pool::new("test.coarse.serial", Jobs::new(1));
+        serial.par_chunk_map_indexed(1000, |i| i);
+        assert_eq!(reg.counter("par.test.coarse.serial.tasks").value(), 1);
+    }
+
+    #[test]
+    fn chunked_owned_map_moves_non_clone_items() {
+        struct NoClone(usize);
+        for jobs in [1, 4] {
+            let pool = Pool::new("test.chunked.owned", Jobs::new(jobs));
+            let items: Vec<NoClone> = (0..50).map(NoClone).collect();
+            let out = pool.par_chunk_map_owned(items, |item| item.0 * 2);
+            assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -22,9 +22,8 @@
 pub mod pages;
 pub mod rss;
 
-use std::collections::HashMap;
-
 use btpub_faults::{points, FaultPlan};
+use btpub_fxhash::FxHashMap;
 use btpub_proto::metainfo::{Metainfo, MetainfoBuilder};
 use btpub_sim::{Ecosystem, SimTime, TorrentId};
 
@@ -34,13 +33,24 @@ pub use rss::RssItem;
 /// The announce URL baked into every `.torrent` this portal serves.
 pub const TRACKER_URL: &str = "http://opentracker.sim/announce";
 
+/// The listing-level metadata of a served `.torrent`: exactly the fields
+/// the crawler and monitor read, matching what [`Portal::torrent_file`]
+/// would carry as `info.name` and `comment`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TorrentListing {
+    /// The published file name (`Metainfo::info.name`).
+    pub filename: String,
+    /// The description textbox (`Metainfo::comment`).
+    pub textbox: String,
+}
+
 /// A portal view over an ecosystem.
 pub struct Portal<'a> {
     eco: &'a Ecosystem,
     /// Torrents per username, in publication order.
-    by_username: HashMap<&'a str, Vec<TorrentId>>,
+    by_username: FxHashMap<&'a str, Vec<TorrentId>>,
     /// When each username was banned (first fake takedown it's involved in).
-    ban_time: HashMap<&'a str, SimTime>,
+    ban_time: FxHashMap<&'a str, SimTime>,
     /// Injected feed faults; `None` runs clean.
     faults: Option<FaultPlan>,
 }
@@ -48,8 +58,8 @@ pub struct Portal<'a> {
 impl<'a> Portal<'a> {
     /// Builds the portal view.
     pub fn new(eco: &'a Ecosystem) -> Self {
-        let mut by_username: HashMap<&'a str, Vec<TorrentId>> = HashMap::new();
-        let mut ban_time: HashMap<&'a str, SimTime> = HashMap::new();
+        let mut by_username: FxHashMap<&'a str, Vec<TorrentId>> = FxHashMap::default();
+        let mut ban_time: FxHashMap<&'a str, SimTime> = FxHashMap::default();
         for p in &eco.publications {
             by_username.entry(&p.username).or_default().push(p.id);
             if let Some(removal) = p.removal_at {
@@ -130,6 +140,24 @@ impl<'a> Portal<'a> {
                 .piece_seed(u64::from(p.id.0))
                 .build(),
         )
+    }
+
+    /// The `.torrent` metadata the measurement pipeline actually reads —
+    /// filename and description textbox — under the same availability
+    /// rules as [`Portal::torrent_file`], but without synthesising the
+    /// per-piece digests. Building the full [`Metainfo`] costs one SHA-1
+    /// per 256 KiB of content size, which dominated the crawler's
+    /// first-contact path; a listing fetch must not pay for piece hashes
+    /// it never looks at.
+    pub fn torrent_listing(&self, id: TorrentId, t: SimTime) -> Option<TorrentListing> {
+        let p = &self.eco.publications[id.0 as usize];
+        if p.at > t || self.is_removed(id, t) {
+            return None;
+        }
+        Some(TorrentListing {
+            filename: p.filename(),
+            textbox: p.textbox(),
+        })
     }
 
     /// The content web page, if the listing is live at `t`.

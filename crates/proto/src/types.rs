@@ -20,7 +20,7 @@ impl InfoHash {
 
     /// Renders as 40 lowercase hex characters.
     pub fn to_hex(&self) -> String {
-        self.0.iter().map(|b| format!("{b:02x}")).collect()
+        hex20(&self.0)
     }
 
     /// Parses 40 hex characters.
@@ -90,7 +90,7 @@ impl PeerId {
 
     /// Renders as 40 lowercase hex characters.
     pub fn to_hex(&self) -> String {
-        self.0.iter().map(|b| format!("{b:02x}")).collect()
+        hex20(&self.0)
     }
 }
 
@@ -101,6 +101,18 @@ impl fmt::Debug for PeerId {
             _ => write!(f, "PeerId({})", self.to_hex()),
         }
     }
+}
+
+/// Hex-encodes 20 bytes via a stack buffer: one `String` allocation,
+/// no per-byte formatting machinery.
+fn hex20(bytes: &[u8; 20]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut buf = [0u8; 40];
+    for (i, &b) in bytes.iter().enumerate() {
+        buf[i * 2] = DIGITS[usize::from(b >> 4)];
+        buf[i * 2 + 1] = DIGITS[usize::from(b & 0x0f)];
+    }
+    String::from_utf8(buf.to_vec()).expect("hex digits are ASCII")
 }
 
 fn parse_hex20(s: &str) -> Option<[u8; 20]> {

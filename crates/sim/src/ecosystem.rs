@@ -279,11 +279,11 @@ impl Ecosystem {
 
         // --- 5. build swarm traces ---
         // Embarrassingly parallel: each trace's RNG is derived from
-        // `(seed, "swarm", idx)` alone and `par_map_indexed` returns in
+        // `(seed, "swarm", idx)` alone and the chunked map returns in
         // index order, so the result is byte-identical at any job count.
         let _swarm_span = btpub_obs::span!("sim.swarms");
         let swarm_pop = btpub_obs::static_histogram!("sim.swarm.population");
-        let swarms = btpub_par::par_map_indexed("sim.swarms", publications.len(), |idx| {
+        let swarms = btpub_par::par_chunk_map_indexed("sim.swarms", publications.len(), |idx| {
             let publication = &publications[idx];
             let mut rng = rngs::derive(config.seed, "swarm", idx as u64);
             let publisher = &publishers[publication.publisher.0 as usize];
@@ -346,7 +346,7 @@ impl Ecosystem {
             by_publisher[swarm.publisher.0 as usize].push(idx);
         }
         let session_unions =
-            btpub_par::par_map("sim.session_unions", &by_publisher, |swarm_ids| {
+            btpub_par::par_chunk_map("sim.session_unions", &by_publisher, |swarm_ids| {
                 let mut union = IntervalSet::new();
                 for &idx in swarm_ids {
                     union.union_with(&swarms[idx].sessions);
@@ -386,11 +386,20 @@ impl Ecosystem {
     /// All addresses the publishing entity seeds `torrent` from at `t` —
     /// one per parallel seeding server.
     pub fn publisher_addrs(&self, torrent: TorrentId, t: SimTime) -> Vec<Ipv4Addr> {
+        self.publisher_addrs_iter(torrent, t).collect()
+    }
+
+    /// Iterator form of [`publisher_addrs`](Self::publisher_addrs) — the
+    /// announce fast path walks the (typically one-element) address list
+    /// without allocating a `Vec` per query.
+    pub fn publisher_addrs_iter(
+        &self,
+        torrent: TorrentId,
+        t: SimTime,
+    ) -> impl Iterator<Item = Ipv4Addr> + '_ {
         let p = &self.publications[torrent.0 as usize];
         let publisher = &self.publishers[p.publisher.0 as usize];
-        (0..u32::from(p.seeder_count))
-            .map(|j| publisher.addresses.ip_for(p.pub_seq + j, t))
-            .collect()
+        (0..u32::from(p.seeder_count)).map(move |j| publisher.addresses.ip_for(p.pub_seq + j, t))
     }
 
     /// Whether the publisher of `torrent` is behind a NAT.
@@ -533,7 +542,7 @@ mod tests {
             .windows(2)
             .all(|w| w[0].at <= w[1].at));
         // pub_seq increments per publisher in time order.
-        let mut last_seq: std::collections::HashMap<PublisherId, u32> = Default::default();
+        let mut last_seq: btpub_fxhash::FxHashMap<PublisherId, u32> = Default::default();
         for p in &e.publications {
             let prev = last_seq.insert(p.publisher, p.pub_seq);
             if let Some(prev) = prev {

@@ -9,6 +9,7 @@
 //! ground truth. DESIGN.md §5 benches this choice against the event-driven
 //! alternative.
 
+use btpub_fxhash::FxHashSet;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -69,6 +70,18 @@ impl PeerRecord {
     }
 }
 
+/// Reusable buffers for [`SwarmTrace::sample_active_into`]. One per
+/// announce loop (the tracker owns one); `clear()` is implicit.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    /// Window-relative indices picked by the sampling core.
+    idxs: Vec<usize>,
+    /// Dedup set for the rejection-sampling branch. Hash order is never
+    /// observed — the set only answers "seen this index?" — so the
+    /// deterministic-but-unordered FxHashSet is safe here.
+    picked: FxHashSet<usize>,
+}
+
 /// The complete trace of one swarm.
 #[derive(Debug, Clone)]
 pub struct SwarmTrace {
@@ -118,21 +131,24 @@ impl SwarmTrace {
     ) -> Self {
         assert!(birth <= announce_at, "birth after announcement");
         peers.sort_by_key(|p| p.arrival);
-        let mut departures: Vec<u64> = peers.iter().map(|p| p.departure.0).collect();
+        // One counting scan buys exact capacities, then a single pass
+        // fills all three schedules and the residency bound together.
+        let completers = peers.iter().filter(|p| p.completed.is_some()).count();
+        let mut departures: Vec<u64> = Vec::with_capacity(peers.len());
+        let mut completions: Vec<u64> = Vec::with_capacity(completers);
+        let mut completer_departures: Vec<u64> = Vec::with_capacity(completers);
+        let mut max_residency = 0u64;
+        for p in &peers {
+            departures.push(p.departure.0);
+            if let Some(c) = p.completed {
+                completions.push(c.0);
+                completer_departures.push(p.departure.0);
+            }
+            max_residency = max_residency.max(p.departure.since(p.arrival).secs());
+        }
         departures.sort_unstable();
-        let mut completions: Vec<u64> = peers.iter().filter_map(|p| p.completed.map(|c| c.0)).collect();
         completions.sort_unstable();
-        let mut completer_departures: Vec<u64> = peers
-            .iter()
-            .filter(|p| p.completed.is_some())
-            .map(|p| p.departure.0)
-            .collect();
         completer_departures.sort_unstable();
-        let max_residency = peers
-            .iter()
-            .map(|p| p.departure.since(p.arrival).secs())
-            .max()
-            .unwrap_or(0);
         SwarmTrace {
             publisher,
             pub_seq,
@@ -208,10 +224,45 @@ impl SwarmTrace {
     /// Mirrors a tracker's random peer-list selection. The publisher is
     /// *not* included — the tracker layer adds it, because only the
     /// tracker knows the publisher's current address.
+    ///
+    /// Allocates per call; the announce fast path uses
+    /// [`sample_active_into`](Self::sample_active_into) with a reusable
+    /// [`SampleScratch`] instead. Both run the same core, so they draw
+    /// the same RNG sequence and pick the same peers.
     pub fn sample_active(&self, t: SimTime, want: usize, rng: &mut StdRng) -> Vec<&PeerRecord> {
+        let mut scratch = SampleScratch::default();
+        let window = self.sample_core(t, want, rng, &mut scratch);
+        scratch.idxs.iter().map(|&i| &window[i]).collect()
+    }
+
+    /// Allocation-free sampling: picked peers are appended (copied) to
+    /// `out`, reusing `scratch` across calls. Steady-state announces
+    /// perform no heap allocation once the buffers have warmed up.
+    pub fn sample_active_into(
+        &self,
+        t: SimTime,
+        want: usize,
+        rng: &mut StdRng,
+        scratch: &mut SampleScratch,
+        out: &mut Vec<PeerRecord>,
+    ) {
+        let window = self.sample_core(t, want, rng, scratch);
+        out.extend(scratch.idxs.iter().map(|&i| window[i]));
+    }
+
+    /// Shared selection core: fills `scratch.idxs` with the picked
+    /// window-relative indices and returns the arrival window.
+    fn sample_core(
+        &self,
+        t: SimTime,
+        want: usize,
+        rng: &mut StdRng,
+        scratch: &mut SampleScratch,
+    ) -> &[PeerRecord] {
+        scratch.idxs.clear();
         let active = self.active_count(t);
         if active == 0 || want == 0 {
-            return Vec::new();
+            return &[];
         }
         // All active peers arrived within the residency window.
         let window_start = t - SimDuration(self.max_residency);
@@ -220,30 +271,31 @@ impl SwarmTrace {
         let window = &self.peers[lo..hi];
         if active <= want || window.len() <= want * 4 {
             // Small case: collect all active, then subsample if needed.
-            let mut all: Vec<&PeerRecord> = window.iter().filter(|p| p.active(t)).collect();
-            if all.len() > want {
+            scratch
+                .idxs
+                .extend(window.iter().enumerate().filter(|(_, p)| p.active(t)).map(|(i, _)| i));
+            if scratch.idxs.len() > want {
                 // Partial Fisher-Yates for a uniform subset.
                 for i in 0..want {
-                    let j = rng.gen_range(i..all.len());
-                    all.swap(i, j);
+                    let j = rng.gen_range(i..scratch.idxs.len());
+                    scratch.idxs.swap(i, j);
                 }
-                all.truncate(want);
+                scratch.idxs.truncate(want);
             }
-            return all;
+            return window;
         }
         // Large case: rejection-sample indices in the window.
-        let mut picked = std::collections::HashSet::with_capacity(want * 2);
-        let mut out = Vec::with_capacity(want);
+        scratch.picked.clear();
         let mut attempts = 0usize;
         let max_attempts = want * 40;
-        while out.len() < want && attempts < max_attempts {
+        while scratch.idxs.len() < want && attempts < max_attempts {
             attempts += 1;
             let idx = rng.gen_range(0..window.len());
-            if window[idx].active(t) && picked.insert(idx) {
-                out.push(&window[idx]);
+            if window[idx].active(t) && scratch.picked.insert(idx) {
+                scratch.idxs.push(idx);
             }
         }
-        out
+        window
     }
 
     /// Finds an active peer with address `ip` at `t` (bitfield probing).
@@ -453,6 +505,31 @@ mod tests {
         let max = *hits.iter().max().unwrap();
         assert!(min > 0, "some peer never sampled");
         assert!(max < 60, "some peer oversampled: {max}");
+    }
+
+    #[test]
+    fn sample_into_matches_allocating_version() {
+        // The scratch-buffer sampler must draw the same RNG sequence and
+        // pick the same peers as the allocating one — exercise both the
+        // small (Fisher-Yates) and large (rejection) branches.
+        let peers: Vec<PeerRecord> = (0..4000)
+            .map(|i| mk_peer(i, u64::from(i % 337), Some(u64::from(i) + 5_000), u64::from(i) + 20_000))
+            .collect();
+        let tr = trace(peers);
+        let mut scratch = SampleScratch::default();
+        let mut out = Vec::new();
+        for (t, want) in [(100u64, 3000usize), (400, 25), (300, 0), (90_000, 10)] {
+            let t = SimTime(t);
+            let mut rng_a = derive(11, "eq", t.0);
+            let mut rng_b = derive(11, "eq", t.0);
+            let alloc: Vec<PeerRecord> =
+                tr.sample_active(t, want, &mut rng_a).into_iter().copied().collect();
+            out.clear();
+            tr.sample_active_into(t, want, &mut rng_b, &mut scratch, &mut out);
+            assert_eq!(alloc, out, "t={t:?} want={want}");
+            // Both RNGs must be in the same state afterwards.
+            assert_eq!(rng_a.gen_range(0..u64::MAX), rng_b.gen_range(0..u64::MAX));
+        }
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod server;
 pub mod sim;
 pub mod udp_server;
 
-pub use sim::{ProbeOutcome, QueryError, TrackerReply, TrackerSim};
+pub use sim::{ProbeOutcome, QueryError, ReplyCounts, TrackerReply, TrackerSim};
 
 /// The maximum number of peers a tracker returns per query (the value the
 /// paper's crawler always requests).

@@ -1,9 +1,9 @@
 //! Swarm state for the real tracker: who is in which swarm.
 
-use std::collections::HashMap;
 use std::net::SocketAddrV4;
 use std::time::{Duration, Instant};
 
+use btpub_fxhash::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,7 +24,7 @@ struct PeerState {
 
 #[derive(Debug, Default)]
 struct Swarm {
-    peers: HashMap<PeerId, PeerState>,
+    peers: FxHashMap<PeerId, PeerState>,
     /// Count of `completed` events ever seen.
     downloaded: u32,
 }
@@ -32,7 +32,7 @@ struct Swarm {
 /// In-memory tracker state: swarms keyed by info-hash.
 #[derive(Debug)]
 pub struct Registry {
-    swarms: HashMap<InfoHash, Swarm>,
+    swarms: FxHashMap<InfoHash, Swarm>,
     rng: StdRng,
 }
 
@@ -51,7 +51,7 @@ impl Registry {
     /// Creates an empty registry.
     pub fn new(seed: u64) -> Self {
         Registry {
-            swarms: HashMap::new(),
+            swarms: FxHashMap::default(),
             rng: StdRng::seed_from_u64(seed),
         }
     }

@@ -1,22 +1,46 @@
 #!/usr/bin/env bash
-# Serial-vs-parallel wall-clock benchmark for the btpub-par pool.
+# Wall-clock benchmarks for the measurement pipeline.
 #
-# Builds the release `bench_par` binary and runs the full
-# `repro --scenario all` pipeline at --jobs 1 vs --jobs N, writing the
-# measurement (wall clock, speedup, pool counters, byte-identity check)
-# to BENCH_par.json at the repo root.
+# Builds the release bench binaries and runs, at the repo root:
+#
+#   * `bench_par`     — the full `repro --scenario all` pipeline at
+#                       --jobs 1 vs --jobs N (wall clock, speedup, pool
+#                       counters, byte-identity check) → BENCH_par.json
+#   * `bench_hotpath` — the hotpath profile: per-phase wall clock
+#                       (generate/crawl/analyze/report), announce latency
+#                       p50/p99, pool task counts and allocations per
+#                       announce → BENCH_hotpath.json
 #
 # Usage: scripts/bench.sh [--scale tiny|repro|paper] [--jobs N] [--runs K]
-#        (extra arguments are passed straight through to bench_par)
+#        (--scale/--jobs go to both binaries; --runs only to bench_par)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+par_args=()
+hotpath_args=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --runs)
+            par_args+=("$1" "$2"); shift 2 ;;
+        --scale|--jobs)
+            par_args+=("$1" "$2"); hotpath_args+=("$1" "$2"); shift 2 ;;
+        *)
+            echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
 echo "== build (release) =="
-cargo build --release --offline -p btpub-bench --bin bench_par
+cargo build --release --offline -p btpub-bench --bin bench_par --bin bench_hotpath
 
 echo "== bench_par =="
-./target/release/bench_par --out BENCH_par.json "$@"
+./target/release/bench_par --out BENCH_par.json "${par_args[@]+"${par_args[@]}"}"
+
+echo "== bench_hotpath =="
+./target/release/bench_hotpath --out BENCH_hotpath.json "${hotpath_args[@]+"${hotpath_args[@]}"}"
 
 echo "== BENCH_par.json =="
 cat BENCH_par.json
+echo
+echo "== BENCH_hotpath.json =="
+cat BENCH_hotpath.json
 echo

@@ -50,4 +50,11 @@ for key in 'par.repro.scenarios.tasks' 'par.sim.swarms.tasks'; do
 done
 echo "pool counters found in snapshot"
 
+echo "== perf smoke gate: tiny-scale hotpath vs committed BENCH_hotpath.json =="
+# Reduced-scale pass of the hotpath bench, gated against the committed
+# baseline: fails on any allocs-per-announce regression (the fast path
+# must stay allocation-free) or a >20% tiny-pipeline wall regression.
+./target/release/bench_hotpath --scale tiny --jobs 1 \
+    --out "$tmpdir/bench_hotpath.json" --gate BENCH_hotpath.json
+
 echo "all checks passed"

@@ -1,0 +1,75 @@
+//! Golden-report fixtures: the pb10 tiny-scale report is pinned byte for
+//! byte, clean and hostile, serial and parallel.
+//!
+//! The hotpath work (FxHash maps, interned symbols, scratch buffers,
+//! coarsened pool tasks) is only admissible because it cannot change a
+//! single report byte. The determinism tests compare `--jobs 1` against
+//! `--jobs N` *within* one build, which would miss a change that shifts
+//! both the same way; these fixtures compare against bytes committed to
+//! the repository, so any semantic drift — faster or not — fails loudly
+//! with a line-level diff.
+//!
+//! Regenerating (only after an *intentional* report change):
+//! `./target/release/repro --scenario pb10 --scale tiny [--fault-profile
+//! hostile] 2>/dev/null` over each fixture file.
+
+use btpub::{Scale, Scenario, Study};
+use btpub_faults::FaultProfile;
+use btpub_par::Jobs;
+use std::fmt::Write as _;
+
+/// Renders exactly what `repro --scenario pb10 --scale tiny` prints to
+/// stdout (see `run_scenario` in crates/bench/src/bin/repro.rs).
+fn render_pb10_tiny(profile: FaultProfile, jobs: usize) -> String {
+    btpub_par::set_global(Jobs::new(jobs));
+    let mut scenario = Scenario::pb10(Scale::tiny());
+    scenario.crawler.fault_profile = profile;
+    let study = Study::run(&scenario);
+    let analyses = study.analyze();
+    let mut out = String::new();
+    writeln!(out, "################ scenario pb10 ################").unwrap();
+    writeln!(out, "# fault-profile: {}", scenario.crawler.fault_profile.name).unwrap();
+    write!(out, "{}", analyses.experiments().full_report()).unwrap();
+    out
+}
+
+/// Points at the first diverging line so a failure is debuggable.
+fn assert_matches_fixture(produced: &str, fixture: &str, what: &str) {
+    if produced == fixture {
+        return;
+    }
+    for (i, (got, want)) in produced.lines().zip(fixture.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "{what}: first divergence from committed fixture at line {}",
+            i + 1
+        );
+    }
+    panic!(
+        "{what}: identical common prefix but different lengths ({} vs {} fixture bytes)",
+        produced.len(),
+        fixture.len()
+    );
+}
+
+// One test function on purpose: the jobs policy is process-global, so
+// the four configurations must run sequentially rather than as
+// concurrently-scheduled #[test]s fighting over `set_global`.
+#[test]
+fn pb10_reports_match_committed_fixtures_at_all_jobs_and_profiles() {
+    let clean = include_str!("fixtures/golden_pb10_tiny_clean.txt");
+    let hostile = include_str!("fixtures/golden_pb10_tiny_hostile.txt");
+    for jobs in [1, 4] {
+        assert_matches_fixture(
+            &render_pb10_tiny(FaultProfile::clean(), jobs),
+            clean,
+            &format!("clean profile, --jobs {jobs}"),
+        );
+        assert_matches_fixture(
+            &render_pb10_tiny(FaultProfile::hostile(), jobs),
+            hostile,
+            &format!("hostile profile, --jobs {jobs}"),
+        );
+    }
+}
