@@ -97,6 +97,11 @@ struct BenchReport {
     alloc_saved: u64,
     /// Allocator calls per announce in the warm-buffer microbenchmark.
     allocs_per_query: f64,
+    /// Flight-recorder cost: per-announce wall with the recorder armed vs
+    /// disarmed, as a percentage (`Option` so baselines written before
+    /// the recorder existed still parse). Informational, not gated —
+    /// sub-percent deltas drown in scheduler noise at this batch size.
+    trace_overhead_pct: Option<f64>,
     /// Report bytes produced (sanity: the pipeline really ran).
     report_bytes: usize,
 }
@@ -178,6 +183,62 @@ fn measure_allocs_per_query() -> f64 {
     run(2_000_000, queries);
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
     (after - before) as f64 / f64::from(queries)
+}
+
+/// One timed lap of the warm announce loop; returns seconds per query.
+fn timed_batch(
+    eco: &Ecosystem,
+    tracker: &mut TrackerSim,
+    peers: &mut Vec<std::net::Ipv4Addr>,
+    base: u32,
+    batch: u32,
+) -> f64 {
+    let n = eco.publications.len() as u32;
+    let t0 = Instant::now();
+    for i in 0..batch {
+        let torrent = btpub_sim::TorrentId(i % n);
+        let at = eco.publications[(i % n) as usize].at + SimDuration::from_hours(1.0);
+        let _ = tracker.query_into(base + i, torrent, at, 50, peers);
+    }
+    t0.elapsed().as_secs_f64() / f64::from(batch)
+}
+
+/// Per-announce cost of arming the flight recorder: interleaved
+/// off/on/off/on… laps over the same warm tracker (interleaving cancels
+/// clock and cache drift), medians of each side compared. With the
+/// recorder armed every announce also records a complete event into the
+/// thread-local ring, so this measures the true worst-case event rate.
+fn measure_trace_overhead_pct() -> f64 {
+    let scenario = Scenario::pb10(Scale::tiny());
+    let eco = Ecosystem::generate(scenario.eco.clone());
+    let mut tracker = TrackerSim::new(&eco);
+    let mut peers = Vec::new();
+    let batch = 2048u32;
+    let rounds = 9usize;
+    let mut base = 10_000_000u32;
+    // Warm lap: reply buffer, tracker maps, interned trace symbols.
+    btpub_obs::trace::set_enabled(true);
+    timed_batch(&eco, &mut tracker, &mut peers, base, batch);
+    base += batch;
+    let mut off = Vec::with_capacity(rounds);
+    let mut on = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        btpub_obs::trace::set_enabled(false);
+        off.push(timed_batch(&eco, &mut tracker, &mut peers, base, batch));
+        base += batch;
+        btpub_obs::trace::set_enabled(true);
+        on.push(timed_batch(&eco, &mut tracker, &mut peers, base, batch));
+        base += batch;
+    }
+    btpub_obs::trace::set_enabled(false);
+    let _ = btpub_obs::trace::drain();
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let off_med = median(&mut off);
+    let on_med = median(&mut on);
+    (on_med - off_med) / off_med * 100.0
 }
 
 /// Applies the regression gate; returns the failure messages.
@@ -297,6 +358,8 @@ fn main() {
 
     let allocs_per_query = measure_allocs_per_query();
     eprintln!("  allocs/query (warm): {allocs_per_query:.3}");
+    let trace_overhead_pct = measure_trace_overhead_pct();
+    eprintln!("  trace overhead (recorder on vs off): {trace_overhead_pct:+.2}%");
 
     let report = BenchReport {
         bench: "hotpath".into(),
@@ -313,6 +376,7 @@ fn main() {
         pool_tasks,
         alloc_saved,
         allocs_per_query,
+        trace_overhead_pct: Some(trace_overhead_pct),
         report_bytes,
     };
     let json = serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serializes"))

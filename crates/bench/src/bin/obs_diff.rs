@@ -1,0 +1,140 @@
+//! Compares two run manifests (or raw metric snapshots) and flags metric
+//! regressions; also validates Chrome trace files.
+//!
+//! ```text
+//! obs_diff OLD.json NEW.json [--tolerance-pct P]
+//! obs_diff --validate-trace TRACE.json [--min-events N]
+//! ```
+//!
+//! Exit codes: `0` — manifests match (or the trace is valid); `1` —
+//! differences found (or the trace is invalid); `2` — usage or I/O error.
+//! `scripts/check.sh` uses both modes as gates: a repro run must produce
+//! the same deterministic metrics as its twin, and a `--trace` run must
+//! produce a loadable trace with events in it.
+//!
+//! Inputs are `repro --manifest` output, but bare `--metrics` snapshots
+//! work too — comparison falls back to the snapshot itself when there is
+//! no `"snapshot"` key. Timing histograms and scheduling counters are
+//! excluded on both sides (see `btpub_obs::manifest`), so runs at
+//! different job counts compare equal unless a *deterministic* metric
+//! really moved.
+
+use serde_json::Value;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_diff OLD.json NEW.json [--tolerance-pct P]\n       obs_diff --validate-trace TRACE.json [--min-events N]"
+    );
+    std::process::exit(2);
+}
+
+fn read_json(path: &str) -> Value {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs_diff: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Validates a Chrome trace file: JSON parses, `traceEvents` is an array,
+/// and it holds at least `min_events` non-metadata events. Replaces a
+/// `jq`-based check so the gate has no dependency beyond this workspace.
+fn validate_trace(path: &str, min_events: usize) -> ! {
+    let root = read_json(path);
+    let Some(events) = root.get("traceEvents").and_then(Value::as_array) else {
+        eprintln!("obs_diff: {path}: no traceEvents array");
+        std::process::exit(1);
+    };
+    let real = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) != Some("M"))
+        .count();
+    let lanes = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+        .count();
+    if real < min_events {
+        eprintln!(
+            "obs_diff: {path}: {real} events (< {min_events} required), {lanes} lanes"
+        );
+        std::process::exit(1);
+    }
+    println!("trace ok: {path} ({real} events across {lanes} lanes)");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance_pct = 0.0f64;
+    let mut validate: Option<String> = None;
+    let mut min_events = 1usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance-pct" => {
+                i += 1;
+                tolerance_pct = match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(p) if p >= 0.0 => p,
+                    _ => usage(),
+                };
+            }
+            "--validate-trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => validate = Some(p.clone()),
+                    None => usage(),
+                }
+            }
+            "--min-events" => {
+                i += 1;
+                min_events = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => n,
+                    None => usage(),
+                };
+            }
+            other if other.starts_with("--") => usage(),
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = validate {
+        if !paths.is_empty() {
+            usage();
+        }
+        validate_trace(&path, min_events);
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let old = read_json(&paths[0]);
+    let new = read_json(&paths[1]);
+    let diffs = btpub_obs::manifest::diff(&old, &new, tolerance_pct);
+    if diffs.is_empty() {
+        println!(
+            "manifests match: {} == {} (tolerance {tolerance_pct}%)",
+            paths[0], paths[1]
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "obs_diff: {} deterministic metric difference(s) between {} and {}:",
+        diffs.len(),
+        paths[0],
+        paths[1]
+    );
+    for d in &diffs {
+        eprintln!("  {d}");
+    }
+    std::process::exit(1);
+}

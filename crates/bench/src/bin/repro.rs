@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--scale tiny|repro|paper] [--scenario mn08|pb09|pb10|all] [--exp ID]
 //!       [--jobs N] [--metrics out.json] [--fault-profile clean|flaky|hostile]
+//!       [--trace out.json] [--manifest out.json]
 //! ```
 //!
 //! Experiment ids: t1 f1 t2 t3 s33 f2 f3 f4 s51 t4 t5 s6 aa v1 (default:
@@ -22,6 +23,14 @@
 //! three campaigns also run concurrently. Reports are assembled in
 //! scenario order off the workers, so stdout is **byte-identical** at any
 //! job count — `scripts/check.sh` diffs `--jobs 1` against `--jobs 4`.
+//!
+//! Tracing: `--trace PATH` (or `BTPUB_TRACE=1`/`BTPUB_TRACE=PATH`) arms
+//! the flight recorder and drains it into Chrome trace event JSON at
+//! exit — load it in Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+//! Per-scenario campaign timelines go to **stderr**: stdout carries the
+//! report alone and stays byte-identical whether or not tracing is on.
+//! `--manifest PATH` writes a run manifest (arguments + a digest of the
+//! deterministic metrics) for `obs_diff` to compare across runs.
 
 use std::fmt::Write as _;
 
@@ -45,9 +54,12 @@ fn scenario_by_name(name: &str, scale: Scale) -> Option<Scenario> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_repro();
+    let mut scale_name = "repro".to_string();
     let mut scenario_names = vec!["pb10".to_string()];
     let mut exp: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
     let mut fault_profile: Option<FaultProfile> = None;
     let mut i = 0;
     while i < args.len() {
@@ -63,6 +75,7 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
+                scale_name = args[i].clone();
             }
             "--scenario" => {
                 i += 1;
@@ -92,6 +105,22 @@ fn main() {
                 metrics_path = args.get(i).cloned();
                 if metrics_path.is_none() {
                     eprintln!("--metrics requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = args.get(i).cloned();
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--manifest" => {
+                i += 1;
+                manifest_path = args.get(i).cloned();
+                if manifest_path.is_none() {
+                    eprintln!("--manifest requires a path");
                     std::process::exit(2);
                 }
             }
@@ -127,6 +156,15 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // CLI beats environment (`BTPUB_TRACE`), which beats off. Arming the
+    // recorder up front means every span/fault/announce below is captured.
+    if trace_path.is_some() {
+        btpub_obs::trace::set_enabled(true);
+    } else if btpub_obs::trace::enabled() {
+        trace_path = Some(
+            btpub_obs::trace::env_path().unwrap_or_else(|| "trace.json".to_string()),
+        );
+    }
     // CLI beats environment, which beats the clean default.
     let fault_profile = fault_profile
         .or_else(FaultProfile::from_env)
@@ -152,18 +190,42 @@ fn main() {
     let chunks = btpub_par::par_map("repro.scenarios", &scenarios, |(name, scenario)| {
         run_scenario(name, scenario, exp_ref)
     });
-    for chunk in &chunks {
+    for (chunk, _) in &chunks {
         print!("{chunk}");
+    }
+    // Campaign timelines render only under --trace, and only to stderr:
+    // the report on stdout must not gain a byte when tracing is on.
+    for (_, timeline) in &chunks {
+        if let Some(tl) = timeline {
+            eprint!("{tl}");
+        }
     }
 
     print_experiment_timings();
     if let Some(path) = metrics_path {
         write_metrics(&path);
     }
+    if let Some(path) = manifest_path {
+        write_manifest(&path, &scale_name, &scenario_names, &fault_profile);
+    }
+    if let Some(path) = trace_path {
+        match btpub_obs::trace::write_chrome_trace(std::path::Path::new(&path)) {
+            Ok(events) => eprintln!("trace written: {path} ({events} events)"),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
-/// Runs one campaign end to end and renders its stdout chunk.
-fn run_scenario(name: &str, scenario: &Scenario, exp: Option<&str>) -> String {
+/// Runs one campaign end to end and renders its stdout chunk, plus the
+/// stderr campaign timeline when the flight recorder is armed.
+fn run_scenario(
+    name: &str,
+    scenario: &Scenario,
+    exp: Option<&str>,
+) -> (String, Option<String>) {
     btpub_obs::info!(
         "[{name}] generating + crawling";
         torrents = scenario.eco.torrents,
@@ -177,6 +239,15 @@ fn run_scenario(name: &str, scenario: &Scenario, exp: Option<&str>) -> String {
         torrents = study.dataset.torrent_count(),
         distinct_ips = study.dataset.distinct_ip_count(),
     );
+    let timeline = btpub_obs::trace::enabled().then(|| {
+        let plan = (!scenario.crawler.fault_profile.is_clean()).then(|| {
+            btpub_faults::FaultPlan::new(
+                scenario.eco.seed,
+                scenario.crawler.fault_profile.clone(),
+            )
+        });
+        btpub_crawler::campaign_timeline(&study.dataset, plan.as_ref())
+    });
     let analyses = study.analyze();
     let ex = analyses.experiments();
     let mut out = String::new();
@@ -258,7 +329,27 @@ fn run_scenario(name: &str, scenario: &Scenario, exp: Option<&str>) -> String {
         Some("v1") => writeln!(out, "{:#?}", ex.v1_validation()).unwrap(),
         Some(other) => unreachable!("experiment ids validated in main: {other}"),
     }
-    out
+    (out, timeline)
+}
+
+/// Writes the run manifest: the arguments that shaped this run plus a
+/// digest of the deterministic slice of the metric snapshot, for
+/// `obs_diff` to compare against another run's manifest.
+fn write_manifest(path: &str, scale: &str, scenarios: &[String], profile: &FaultProfile) {
+    use serde_json::Value;
+    let meta = [
+        ("bin", Value::from("repro")),
+        ("scale", Value::from(scale)),
+        ("scenarios", Value::from(scenarios.join(","))),
+        ("fault_profile", Value::from(profile.name.as_str())),
+        ("jobs", Value::from(btpub_par::global().effective().get() as u64)),
+    ];
+    let manifest = btpub_obs::manifest::build(btpub_obs::global(), &meta);
+    if let Err(e) = btpub_obs::manifest::write(std::path::Path::new(path), &manifest) {
+        eprintln!("failed to write manifest to {path}: {e}");
+        std::process::exit(1);
+    }
+    btpub_obs::info!("run manifest written"; path = path);
 }
 
 /// Wall-time table for every `exp.*` span recorded this run, sorted by

@@ -136,6 +136,10 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 let mut batch = 0u64;
                 for item in items {
                     batch += 1;
+                    btpub_obs::trace_instant!(
+                        "crawler.torrent.discovered",
+                        u64::from(item.torrent.0)
+                    );
                     let state = TorrentState {
                         record: TorrentRecord {
                             torrent: item.torrent,
@@ -177,6 +181,9 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 }
                 btpub_obs::static_histogram!("crawler.rss.batch").record(batch);
                 btpub_obs::static_counter!("crawler.torrents.discovered").add(batch);
+                // Counter track: cumulative discoveries, one sample per
+                // poll — renders as a staircase in the trace viewer.
+                btpub_obs::trace_count!("crawler.torrents.discovered", order.len() as u64);
                 btpub_obs::trace!("rss poll"; at = now.0, batch = batch);
                 last_poll = now;
                 let next = now + cfg.rss_poll;
@@ -231,6 +238,10 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 };
                 if let Some(at) = breaker.retry_at(now.secs()) {
                     btpub_obs::static_counter!("crawler.query.breaker_deferred").inc();
+                    btpub_obs::trace_instant!(
+                        "crawler.query.breaker_deferred",
+                        u64::from(torrent.0)
+                    );
                     if pounce_lost(state, now) {
                         state.record.ip_failure = Some(IpFailure::TrackerDown);
                         state.ident_attempts_left = 0;
@@ -272,6 +283,10 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         // the cause and fall back to the normal cadence —
                         // degraded monitoring beats a dead campaign.
                         btpub_obs::static_counter!("crawler.query.faulted").inc();
+                        btpub_obs::trace_instant!(
+                            "crawler.query.retry",
+                            u64::from(state.fault_retries + 1)
+                        );
                         breaker.on_failure(now.secs());
                         state.fault_retries += 1;
                         if pounce_lost(state, now) {
@@ -415,6 +430,10 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         }
                         match found {
                             Some(ip) => {
+                                btpub_obs::trace_instant!(
+                                    "crawler.torrent.identified",
+                                    u64::from(torrent.0)
+                                );
                                 state.record.publisher_ip = Some(ip);
                                 state.record.ip_failure = None;
                                 // Back-fill: the publisher was in this reply.
@@ -505,6 +524,12 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
             (Some(_), _) => btpub_obs::static_counter!("crawler.identify.success").inc(),
             (None, Some(f)) => {
                 btpub_obs::counter(&format!("crawler.identify.failure.{f:?}")).inc();
+                // Fires on the postprocess worker threads, so traces show
+                // unresolved records flowing through the btpub-par lanes.
+                btpub_obs::trace_instant!(
+                    "crawler.torrent.unresolved",
+                    u64::from(st.record.torrent.0)
+                );
             }
             (None, None) => unreachable!("backfilled above"),
         }

@@ -26,6 +26,8 @@
 pub mod crawler;
 pub mod dataset;
 pub mod live;
+pub mod timeline;
 
 pub use crawler::{run_crawl, CrawlerConfig};
 pub use dataset::{Dataset, IpFailure, Sighting, TorrentRecord};
+pub use timeline::campaign_timeline;

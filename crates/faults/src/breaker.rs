@@ -83,6 +83,15 @@ impl CircuitBreaker {
 
     /// Records a successful operation: the breaker closes fully.
     pub fn on_success(&mut self) {
+        if self.open_until.is_some() && btpub_obs::trace::enabled() {
+            // A real open/half-open → closed transition, worth a lane
+            // marker in the flight recorder (routine successes are not).
+            btpub_obs::trace::record_named(
+                &format!("breaker.{}.closed", self.name),
+                btpub_obs::trace::EventKind::Instant,
+                0,
+            );
+        }
         self.consecutive = 0;
         self.open_until = None;
     }
@@ -94,6 +103,13 @@ impl CircuitBreaker {
         if self.consecutive >= self.threshold {
             if self.open_until.is_none_or(|until| now >= until) {
                 btpub_obs::counter(&format!("retry.breaker.{}.opened", self.name)).inc();
+                if btpub_obs::trace::enabled() {
+                    btpub_obs::trace::record_named(
+                        &format!("breaker.{}.opened", self.name),
+                        btpub_obs::trace::EventKind::Instant,
+                        now,
+                    );
+                }
             }
             self.open_until = Some(now + self.cooldown_secs);
         }

@@ -149,6 +149,17 @@ impl FaultPlan {
         }
         if mix(self.seed, P::STREAM, index) % 1_000_000 < u64::from(ppm) {
             btpub_obs::counter(&format!("faults.injected.{}", P::STREAM)).inc();
+            // Flight recorder: an instant event per injected fault, so a
+            // trace shows *when* the chaos hit. record_named rather than
+            // the cached trace_instant! macro — a `static` here would be
+            // shared across every `P` monomorphization.
+            if btpub_obs::trace::enabled() {
+                btpub_obs::trace::record_named(
+                    &format!("fault.{}", P::STREAM),
+                    btpub_obs::trace::EventKind::Instant,
+                    index,
+                );
+            }
             Some(P::fault())
         } else {
             None

@@ -3,6 +3,7 @@
 //! ```text
 //! btpub-monitor [--scale tiny|repro] [--days N] [--json PATH] [--category CAT]
 //!               [--jobs N] [--metrics PATH] [--fault-profile clean|flaky|hostile]
+//!               [--trace PATH]
 //! ```
 //!
 //! Simulates a Pirate-Bay-style portal, monitors it live, then prints the
@@ -26,6 +27,7 @@ fn main() {
     let mut days: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut category: Option<Category> = None;
     let mut fault_profile: Option<FaultProfile> = None;
     let mut i = 0;
@@ -68,6 +70,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--trace" => {
+                i += 1;
+                trace_path = args.get(i).cloned();
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            }
             "--fault-profile" => {
                 i += 1;
                 fault_profile = match args.get(i).map(String::as_str) {
@@ -98,6 +108,15 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    // `--trace` beats `BTPUB_TRACE`, which beats off.
+    if trace_path.is_some() {
+        btpub_obs::trace::set_enabled(true);
+    } else if btpub_obs::trace::enabled() {
+        trace_path = Some(
+            btpub_obs::trace::env_path().unwrap_or_else(|| "trace.json".to_string()),
+        );
     }
 
     let scenario = Scenario::pb10(scale);
@@ -164,5 +183,14 @@ fn main() {
         let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
         std::fs::write(&path, json).expect("write metrics file");
         println!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = trace_path {
+        match btpub_obs::trace::write_chrome_trace(std::path::Path::new(&path)) {
+            Ok(events) => eprintln!("trace written: {path} ({events} events)"),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -136,9 +136,12 @@ impl<'a> Monitor<'a> {
             .collect();
         for user in to_flag {
             btpub_obs::static_counter!("monitor.fake.flagged").inc();
+            btpub_obs::trace_instant!("monitor.fake.flagged");
             self.store.flag_fake(&user);
         }
         btpub_obs::static_gauge!("monitor.store.items").set(self.store.len() as i64);
+        // Counter track: store growth per step, a staircase in the trace.
+        btpub_obs::trace_count!("monitor.store.items", self.store.len() as u64);
         btpub_obs::debug!("monitor step"; until = until.0, items = self.store.len());
         self.cursor = until;
     }
@@ -166,6 +169,7 @@ impl<'a> Monitor<'a> {
                 | btpub_tracker::QueryError::Malformed { .. },
             ) => {
                 btpub_obs::static_counter!("monitor.identify.faulted").inc();
+                btpub_obs::trace_instant!("monitor.identify.faulted", u64::from(torrent.0));
                 return None;
             }
             Err(_) => return None,

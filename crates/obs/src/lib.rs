@@ -13,6 +13,14 @@
 //! * **Structured logging** — leveled [`error!`] / [`warn!`] / [`info!`]
 //!   / [`debug!`] / [`trace!`] macros with `key=value` fields, filtered
 //!   at runtime by the `BTPUB_LOG` environment variable (default `warn`).
+//! * **Flight recorder** — always-compiled, runtime-gated event tracing
+//!   ([`trace`]): per-thread bounded ring buffers of compact events,
+//!   drained into Chrome trace event JSON for Perfetto. Off-cost is one
+//!   relaxed atomic load per event site; on, it never touches a report
+//!   byte (see the module docs for both contracts).
+//! * **Run manifests** — [`manifest`] pins a run's parameters next to a
+//!   digest + snapshot of its deterministic metrics; the `obs_diff` bin
+//!   compares two manifests and flags regressions.
 //!
 //! Everything funnels into one snapshot: [`Registry::snapshot`] renders
 //! the world as a `serde_json::Value`, and [`text_report`] renders a
@@ -26,10 +34,12 @@
 //! ```
 
 pub mod log;
+pub mod manifest;
 pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use log::{set_level, Level};
 pub use metrics::{Counter, Gauge, Histogram};

@@ -65,16 +65,23 @@ impl Level {
         }
     }
 
-    /// Parses a `BTPUB_LOG` value; unknown strings mean the default.
+    /// Parses a `BTPUB_LOG` value; unknown strings mean the default
+    /// (use [`Level::parse_known`] to distinguish them).
     pub fn parse(s: &str) -> Option<Level> {
+        Level::parse_known(s).unwrap_or(Some(DEFAULT_LEVEL))
+    }
+
+    /// Strict parse: `Some(Some(level))` for a level, `Some(None)` for
+    /// `off`/`none`, `None` for an unrecognized value.
+    pub fn parse_known(s: &str) -> Option<Option<Level>> {
         match s.trim().to_ascii_lowercase().as_str() {
-            "error" | "e" => Some(Level::Error),
-            "warn" | "warning" | "w" => Some(Level::Warn),
-            "info" | "i" => Some(Level::Info),
-            "debug" | "d" => Some(Level::Debug),
-            "trace" | "t" => Some(Level::Trace),
-            "off" | "none" => None,
-            _ => Some(DEFAULT_LEVEL),
+            "error" | "e" => Some(Some(Level::Error)),
+            "warn" | "warning" | "w" => Some(Some(Level::Warn)),
+            "info" | "i" => Some(Some(Level::Info)),
+            "debug" | "d" => Some(Some(Level::Debug)),
+            "trace" | "t" => Some(Some(Level::Trace)),
+            "off" | "none" => Some(None),
+            _ => None,
         }
     }
 }
@@ -90,7 +97,18 @@ static INIT: OnceLock<()> = OnceLock::new();
 fn threshold() -> u8 {
     INIT.get_or_init(|| {
         let level = match std::env::var("BTPUB_LOG") {
-            Ok(v) => Level::parse(&v).map_or(OFF, |l| l as u8),
+            Ok(v) => match Level::parse_known(&v) {
+                Some(parsed) => parsed.map_or(OFF, |l| l as u8),
+                None => {
+                    // One-time by construction: this branch lives inside
+                    // the OnceLock initializer.
+                    eprintln!(
+                        "btpub-obs: unrecognized BTPUB_LOG value {v:?} (accepted: \
+                         error|warn|info|debug|trace|off); using default \"warn\""
+                    );
+                    DEFAULT_LEVEL as u8
+                }
+            },
             Err(_) => DEFAULT_LEVEL as u8,
         };
         THRESHOLD.store(level, Ordering::Relaxed);
@@ -122,6 +140,11 @@ pub fn enabled(level: Level) -> bool {
 /// [`enabled`] passed. `fields` are pre-rendered `key=value` pairs.
 pub fn emit(level: Level, target: &str, message: &std::fmt::Arguments<'_>, fields: &[(&str, String)]) {
     crate::global().counter(level.metric()).inc();
+    // Warn+ records also land in the flight recorder, so a trace shows
+    // *when* the run complained relative to everything else.
+    if level <= Level::Warn {
+        crate::trace::record_named(level.metric(), crate::trace::EventKind::Instant, 0);
+    }
     let mut line = format!(
         "[{:>9.3}s {} {}] {}",
         crate::uptime_secs(),
@@ -195,7 +218,12 @@ mod tests {
         assert_eq!(Level::parse("debug"), Some(Level::Debug));
         assert_eq!(Level::parse("WARN"), Some(Level::Warn));
         assert_eq!(Level::parse("off"), None);
+        // Lenient parse falls back; the strict form reports the miss
+        // (which is what earns the one-time stderr warning at init).
         assert_eq!(Level::parse("garbage"), Some(DEFAULT_LEVEL));
+        assert_eq!(Level::parse_known("garbage"), None);
+        assert_eq!(Level::parse_known("off"), Some(None));
+        assert_eq!(Level::parse_known("e"), Some(Some(Level::Error)));
     }
 
     #[test]

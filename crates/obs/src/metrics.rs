@@ -296,6 +296,83 @@ mod tests {
     }
 
     #[test]
+    fn exact_powers_of_two_open_their_own_bucket() {
+        // 2^k is the *inclusive lower* bound of bucket k+1, so an exact
+        // power must not land with the values just below it.
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_of(v), k as usize + 1, "2^{k}");
+            if v > 1 {
+                assert_eq!(Histogram::bucket_of(v - 1), k as usize, "2^{k}-1");
+            }
+        }
+        let h = Histogram::new();
+        h.record(1024);
+        assert_eq!(h.bucket_counts(), vec![(1024, 1)]);
+        // A bucket holding one exact power: quantiles stay within
+        // [value, value+1] thanks to the max-capped upper edge.
+        for q in [0.0, 0.5, 1.0] {
+            let est = h.quantile(q);
+            assert!((1024.0..=1025.0).contains(&est), "q{q} -> {est}");
+        }
+    }
+
+    #[test]
+    fn value_zero_has_a_dedicated_bucket() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.bucket_counts(), vec![(0, 10)]);
+        // All samples are 0; the interpolated estimate must stay inside
+        // bucket 0's [0, 1) range for every quantile.
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!((0.0..=1.0).contains(&est), "q{q} -> {est}");
+        }
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_top_bucket_without_overflow() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.count(), 1);
+        // bucket_bounds(64) must not shift by 64; its lower edge is 2^63.
+        assert_eq!(Histogram::bucket_bounds(64).0, 1u64 << 63);
+        let est = h.quantile(1.0);
+        assert!(
+            est >= (1u64 << 63) as f64 && est.is_finite(),
+            "p100 {est}"
+        );
+    }
+
+    #[test]
+    fn quantile_interpolation_is_monotone_within_a_single_bucket() {
+        // 512 samples uniform over bucket 10's range [512, 1024): the
+        // in-bucket linear interpolation should be monotone in q and
+        // roughly track the true quantiles.
+        let h = Histogram::new();
+        for v in 512..1024 {
+            h.record(v);
+        }
+        let mut prev = f64::MIN;
+        for i in 0..=10 {
+            let q = f64::from(i) / 10.0;
+            let est = h.quantile(q);
+            assert!(est >= prev, "quantile not monotone at q={q}: {est} < {prev}");
+            assert!((512.0..=1024.0).contains(&est), "q{q} -> {est}");
+            prev = est;
+        }
+        let p50 = h.quantile(0.5);
+        assert!((700.0..=830.0).contains(&p50), "p50 of [512,1024) was {p50}");
+    }
+
+    #[test]
     fn empty_histogram_is_all_zeroes() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);

@@ -71,7 +71,10 @@ pub fn text_report(registry: &Registry) -> String {
         .iter()
         .filter(|(n, _)| n.starts_with("span.") && n.ends_with(".ns"))
         .collect();
-    spans.sort_by_key(|(_, h)| std::cmp::Reverse(h.sum()));
+    // Descending by total time, ties broken by name: equal totals
+    // (e.g. zero-count spans) must not fall back to map order, or the
+    // report stops being byte-deterministic.
+    spans.sort_by(|(an, ah), (bn, bh)| bh.sum().cmp(&ah.sum()).then_with(|| an.cmp(bn)));
     if !spans.is_empty() {
         out.push_str("spans (by total time):\n");
         out.push_str(&format!(
@@ -183,6 +186,45 @@ mod tests {
         assert!(report.contains("5.00s"));
         assert!(report.contains("crawler.polls"));
         assert!(report.contains("store.items"));
+    }
+
+    #[test]
+    fn span_ties_break_by_name_and_snapshot_keys_are_deterministic() {
+        // Two registries populated in opposite insertion orders must
+        // render identical bytes: JSON keys sorted (BTreeMap-backed
+        // registry), span table ties broken by name.
+        let build = |reversed: bool| {
+            let r = Registry::new();
+            let names = ["span.bb.ns", "span.aa.ns", "span.cc.ns"];
+            let iter: Vec<&str> = if reversed {
+                names.iter().rev().copied().collect()
+            } else {
+                names.to_vec()
+            };
+            for n in iter {
+                r.histogram(n).record(100); // equal totals: a three-way tie
+                let short = n.strip_prefix("span.").unwrap().strip_suffix(".ns").unwrap();
+                r.counter(&format!("span.{short}.self_ns")).add(100);
+            }
+            r.counter("zz.total").add(1);
+            r.counter("aa.total").add(1);
+            r
+        };
+        let (a, b) = (build(false), build(true));
+        assert_eq!(text_report(&a), text_report(&b));
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap(),
+            "snapshot JSON key order must not depend on insertion order"
+        );
+        // Tie order is name order.
+        let report = text_report(&a);
+        let (aa, bb, cc) = (
+            report.find("  aa ").unwrap(),
+            report.find("  bb ").unwrap(),
+            report.find("  cc ").unwrap(),
+        );
+        assert!(aa < bb && bb < cc, "tied spans sorted by name:\n{report}");
     }
 
     #[test]

@@ -29,16 +29,19 @@ thread_local! {
 pub struct SpanTarget {
     total: Arc<Histogram>,
     self_ns: Arc<Counter>,
+    sym: crate::trace::Sym,
 }
 
 impl SpanTarget {
     /// Resolves the `span.<name>.ns` histogram and `span.<name>.self_ns`
-    /// counter from the global registry.
+    /// counter from the global registry, plus the flight-recorder
+    /// symbol for the span's trace lane.
     pub fn lookup(name: &str) -> SpanTarget {
         let reg = global();
         SpanTarget {
             total: reg.histogram(&format!("span.{name}.ns")),
             self_ns: reg.counter(&format!("span.{name}.self_ns")),
+            sym: crate::trace::sym(name),
         }
     }
 }
@@ -81,6 +84,17 @@ impl Drop for SpanGuard {
         self.target
             .self_ns
             .add(total_ns.saturating_sub(child_ns));
+        // Flight recorder: a complete ("X") event carrying start +
+        // duration, emitted at drop so a wrapped ring can never hold an
+        // unbalanced begin/end pair. One relaxed load when tracing is
+        // off (the check inside record_complete).
+        if crate::trace::enabled() {
+            let start_ns = self
+                .start
+                .duration_since(crate::registry::start_instant())
+                .as_nanos() as u64;
+            crate::trace::record_complete(self.target.sym, start_ns, total_ns);
+        }
     }
 }
 

@@ -1,0 +1,680 @@
+//! A low-overhead flight recorder: per-thread bounded ring buffers of
+//! compact events, drained at run end into Chrome trace event format
+//! JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! ## The two contracts
+//!
+//! * **Off = one relaxed atomic load per event site.** The recorder is
+//!   always compiled in but runtime-gated by [`enabled`], which in the
+//!   steady state is a single `Relaxed` load of an `AtomicU8` plus a
+//!   compare. No timestamp is taken, no lock touched, no allocation
+//!   made unless the recorder is on. `bench_hotpath` measures this as
+//!   `trace_overhead_pct`.
+//! * **On must not move a single report byte.** Events go *only* into
+//!   the per-thread rings here; the recorder never creates or bumps a
+//!   [`crate::Registry`] metric, and the drained output goes to a trace
+//!   file (`--trace out.json`) or stderr, never stdout. Golden-report
+//!   fixtures enforce trace-on ≡ trace-off byte-for-byte.
+//!
+//! ## Event model
+//!
+//! An [`Event`] is 24 bytes: an interned [`Sym`] name, a nanosecond
+//! timestamp relative to the process observability epoch, a `u64`
+//! payload, and a kind. Span timings are recorded as *complete* events
+//! at span drop (Chrome `"X"`, start + duration in one record) rather
+//! than begin/end pairs, so a ring that wraps can never hold an
+//! unbalanced pair. Each thread that records registers itself (with its
+//! thread name — `btpub-par` workers are named `btpub-par/<pool>/<w>`,
+//! which is what gives the trace its worker lanes) and owns a bounded
+//! ring: when full, new events overwrite the oldest and a drop counter
+//! accounts for them — exactly the flight-recorder trade-off.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde_json::{Map, Value};
+
+/// Per-thread ring capacity in events (~384 KiB of events per thread at
+/// the 24-byte event size, and only for threads that actually record).
+pub const RING_CAPACITY: usize = 16 * 1024;
+
+const UNINIT: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(UNINIT);
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+static ENV_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// Whether the recorder is on. In the steady state this is one relaxed
+/// atomic load plus a compare — the entire cost of a disabled event
+/// site. The first call consults `BTPUB_TRACE` (see [`init_from_env`]).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Turns the recorder on or off explicitly (the `--trace` flag, tests).
+/// Takes precedence over `BTPUB_TRACE` from then on.
+pub fn set_enabled(on: bool) {
+    // Mark env as consulted so a later enabled() cannot flip the state
+    // back from the environment.
+    ENV_INIT.get_or_init(|| ());
+    STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+/// The output path carried by `BTPUB_TRACE` when it was set to a path
+/// (rather than a plain on/off token), e.g. `BTPUB_TRACE=out.json`.
+pub fn env_path() -> Option<String> {
+    enabled(); // ensure the env has been parsed
+    ENV_PATH.lock().expect("trace path lock").clone()
+}
+
+/// Cold path of [`enabled`]: parses `BTPUB_TRACE` exactly once.
+///
+/// Accepted values: `1`/`on`/`true`/`yes` (on), `0`/`off`/`false`/`no`
+/// or unset (off), or an output path — anything containing `/` or
+/// ending in `.json` — which turns the recorder on and is retrievable
+/// via [`env_path`]. Anything else earns a one-time stderr warning
+/// naming the bad value and the accepted set, and leaves the recorder
+/// off (mirroring the `BTPUB_LOG` treatment).
+#[cold]
+fn init_from_env() -> bool {
+    ENV_INIT.get_or_init(|| {
+        let on = match std::env::var("BTPUB_TRACE") {
+            Err(_) => false,
+            Ok(raw) => {
+                let v = raw.trim().to_ascii_lowercase();
+                match v.as_str() {
+                    "" | "0" | "off" | "false" | "no" => false,
+                    "1" | "on" | "true" | "yes" => true,
+                    _ if raw.contains('/') || v.ends_with(".json") => {
+                        *ENV_PATH.lock().expect("trace path lock") = Some(raw.trim().to_string());
+                        true
+                    }
+                    _ => {
+                        eprintln!(
+                            "btpub-obs: unrecognized BTPUB_TRACE value {raw:?} \
+                             (accepted: 1|on|true, 0|off|false, or an output path \
+                             like out.json); tracing stays off"
+                        );
+                        false
+                    }
+                }
+            }
+        };
+        STATE.store(if on { ON } else { OFF }, Ordering::Relaxed);
+    });
+    STATE.load(Ordering::Relaxed) == ON
+}
+
+/// Nanoseconds since the process observability epoch (the same clock
+/// the log-line prefix uses).
+#[inline]
+pub fn now_ns() -> u64 {
+    crate::registry::start_instant().elapsed().as_nanos() as u64
+}
+
+/// An interned event name: 4 bytes in the event, resolved back to the
+/// string at drain time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+#[derive(Default)]
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+static INTERNER: Mutex<Option<Interner>> = Mutex::new(None);
+
+/// Interns `name`, returning its [`Sym`]. One hash lookup under a
+/// mutex — hot sites cache the result per call site (see
+/// [`trace_instant!`](crate::trace_instant)).
+pub fn sym(name: &str) -> Sym {
+    let mut guard = INTERNER.lock().expect("trace interner lock");
+    let interner = guard.get_or_insert_with(Interner::default);
+    if let Some(&id) = interner.index.get(name) {
+        return Sym(id);
+    }
+    let id = u32::try_from(interner.names.len()).expect("trace symbol space exhausted");
+    interner.names.push(name.to_string());
+    interner.index.insert(name.to_string(), id);
+    Sym(id)
+}
+
+/// What an [`Event`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span: `t_ns` is the start, `payload` the duration in ns
+    /// (Chrome `"X"`).
+    Complete,
+    /// A point event — fault injection, breaker transition, blacklist
+    /// strike, torrent birth/identify/lose, warn+ log (Chrome `"i"`).
+    Instant,
+    /// A counter-track sample: `payload` is the value (Chrome `"C"`).
+    Counter,
+}
+
+/// One compact flight-recorder event (24 bytes).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Nanoseconds since the observability epoch (span start for
+    /// [`EventKind::Complete`]).
+    pub t_ns: u64,
+    /// Duration (`Complete`), argument (`Instant`) or value (`Counter`).
+    pub payload: u64,
+    /// Interned name.
+    pub sym: Sym,
+    /// Event kind.
+    pub kind: EventKind,
+}
+
+/// A bounded event ring: grows lazily up to its capacity, then wraps,
+/// overwriting the oldest event and counting the overwrite.
+#[derive(Debug)]
+pub struct RingBuf {
+    buf: Vec<Event>,
+    capacity: usize,
+    head: usize,
+    dropped: u64,
+}
+
+impl RingBuf {
+    /// An empty ring that will hold at most `capacity` events. No
+    /// memory is allocated until the first push.
+    pub fn with_capacity(capacity: usize) -> Self {
+        RingBuf {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest (and counting the drop)
+    /// once the ring is full.
+    pub fn push(&mut self, e: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all held events, oldest first, resetting the
+    /// drop count.
+    pub fn drain_ordered(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf = Vec::new();
+        self.head = 0;
+        self.dropped = 0;
+        out
+    }
+}
+
+struct ThreadBuf {
+    tid: u32,
+    name: String,
+    ring: Mutex<RingBuf>,
+}
+
+static THREADS: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<ThreadBuf>>> = const { RefCell::new(None) };
+}
+
+fn register_current_thread() -> Arc<ThreadBuf> {
+    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    let name = std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("thread-{tid}"));
+    let buf = Arc::new(ThreadBuf {
+        tid,
+        name,
+        ring: Mutex::new(RingBuf::with_capacity(RING_CAPACITY)),
+    });
+    THREADS
+        .lock()
+        .expect("trace threads lock")
+        .push(Arc::clone(&buf));
+    buf
+}
+
+fn push_event(e: Event) {
+    // try_with: a span dropping during thread teardown must lose its
+    // event, not panic.
+    let _ = LOCAL.try_with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buf = slot.get_or_insert_with(register_current_thread);
+        buf.ring.lock().expect("trace ring lock").push(e);
+    });
+}
+
+/// Records an event timestamped now. No-op (one relaxed load) when the
+/// recorder is off.
+#[inline]
+pub fn record(sym: Sym, kind: EventKind, payload: u64) {
+    if !enabled() {
+        return;
+    }
+    push_event(Event {
+        t_ns: now_ns(),
+        payload,
+        sym,
+        kind,
+    });
+}
+
+/// [`record`] with the name interned on the spot. For sites where a
+/// per-call-site cached [`Sym`] is wrong (generic functions share one
+/// `static` across monomorphizations) or not worth it (rare events).
+pub fn record_named(name: &str, kind: EventKind, payload: u64) {
+    if !enabled() {
+        return;
+    }
+    record(sym(name), kind, payload);
+}
+
+/// Records a complete span event: `start_ns` relative to the epoch plus
+/// its duration. No-op (one relaxed load) when off.
+#[inline]
+pub fn record_complete(sym: Sym, start_ns: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    push_event(Event {
+        t_ns: start_ns,
+        payload: dur_ns,
+        sym,
+        kind: EventKind::Complete,
+    });
+}
+
+/// One thread's drained trace.
+#[derive(Debug)]
+pub struct ThreadTrace {
+    /// Recorder-assigned lane id (registration order).
+    pub tid: u32,
+    /// OS thread name at registration (`btpub-par/<pool>/<w>` for pool
+    /// workers — the Perfetto lane label).
+    pub name: String,
+    /// Events, oldest first.
+    pub events: Vec<Event>,
+    /// Events lost to ring wrap-around on this thread.
+    pub dropped: u64,
+}
+
+/// Everything the recorder held, drained: per-thread event lists (rings
+/// emptied, sorted by lane id) plus the symbol table resolving
+/// [`Sym`]s.
+#[derive(Debug)]
+pub struct TraceSnapshot {
+    /// Per-thread traces, sorted by `tid`.
+    pub threads: Vec<ThreadTrace>,
+    /// `symbols[sym.0]` is the event name.
+    pub symbols: Vec<String>,
+}
+
+impl TraceSnapshot {
+    /// Resolves a [`Sym`] against this snapshot's symbol table.
+    pub fn name(&self, s: Sym) -> &str {
+        self.symbols
+            .get(s.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
+    }
+
+    /// Total events across all threads.
+    pub fn event_count(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+/// Drains every thread's ring into a [`TraceSnapshot`]. Threads stay
+/// registered (they keep recording into now-empty rings if the recorder
+/// is still on).
+pub fn drain() -> TraceSnapshot {
+    let threads = THREADS.lock().expect("trace threads lock");
+    let mut out = Vec::new();
+    for t in threads.iter() {
+        let mut ring = t.ring.lock().expect("trace ring lock");
+        let dropped = ring.dropped();
+        let events = ring.drain_ordered();
+        if events.is_empty() && dropped == 0 {
+            continue;
+        }
+        out.push(ThreadTrace {
+            tid: t.tid,
+            name: t.name.clone(),
+            events,
+            dropped,
+        });
+    }
+    drop(threads);
+    out.sort_by_key(|t| t.tid);
+    let symbols = INTERNER
+        .lock()
+        .expect("trace interner lock")
+        .as_ref()
+        .map(|i| i.names.clone())
+        .unwrap_or_default();
+    TraceSnapshot {
+        threads: out,
+        symbols,
+    }
+}
+
+fn obj(pairs: &[(&str, Value)]) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(*k, v.clone());
+    }
+    Value::Object(m)
+}
+
+fn micros(ns: u64) -> Value {
+    Value::from(ns as f64 / 1000.0)
+}
+
+/// Renders a snapshot as Chrome trace event format JSON
+/// (`{"traceEvents": [...]}`): an `"M"` thread-name metadata record per
+/// lane, `"X"` complete events for spans, `"i"` instants (thread scope)
+/// for point events, and `"C"` counter samples. Timestamps are
+/// microseconds since the observability epoch.
+pub fn chrome_trace(snap: &TraceSnapshot) -> Value {
+    let mut events = Vec::new();
+    for t in &snap.threads {
+        let tid = Value::from(t.tid);
+        events.push(obj(&[
+            ("ph", Value::from("M")),
+            ("name", Value::from("thread_name")),
+            ("pid", Value::from(1u64)),
+            ("tid", tid.clone()),
+            ("args", obj(&[("name", Value::from(t.name.as_str()))])),
+        ]));
+        for e in &t.events {
+            let name = Value::from(snap.name(e.sym));
+            events.push(match e.kind {
+                EventKind::Complete => obj(&[
+                    ("ph", Value::from("X")),
+                    ("name", name),
+                    ("cat", Value::from("span")),
+                    ("pid", Value::from(1u64)),
+                    ("tid", tid.clone()),
+                    ("ts", micros(e.t_ns)),
+                    ("dur", micros(e.payload)),
+                ]),
+                EventKind::Instant => obj(&[
+                    ("ph", Value::from("i")),
+                    ("name", name),
+                    ("cat", Value::from("event")),
+                    ("pid", Value::from(1u64)),
+                    ("tid", tid.clone()),
+                    ("ts", micros(e.t_ns)),
+                    ("s", Value::from("t")),
+                    ("args", obj(&[("v", Value::from(e.payload))])),
+                ]),
+                EventKind::Counter => obj(&[
+                    ("ph", Value::from("C")),
+                    ("name", name),
+                    ("pid", Value::from(1u64)),
+                    ("tid", tid.clone()),
+                    ("ts", micros(e.t_ns)),
+                    ("args", obj(&[("value", Value::from(e.payload))])),
+                ]),
+            });
+        }
+        if t.dropped > 0 {
+            let last_ts = t.events.last().map(|e| e.t_ns).unwrap_or(0);
+            events.push(obj(&[
+                ("ph", Value::from("i")),
+                ("name", Value::from("trace.dropped")),
+                ("cat", Value::from("trace")),
+                ("pid", Value::from(1u64)),
+                ("tid", tid.clone()),
+                ("ts", micros(last_ts)),
+                ("s", Value::from("t")),
+                ("args", obj(&[("count", Value::from(t.dropped))])),
+            ]));
+        }
+    }
+    obj(&[
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::from("ms")),
+    ])
+}
+
+/// Drains the recorder and writes Chrome trace JSON to `path`,
+/// returning the number of non-metadata events written.
+pub fn write_chrome_trace(path: &Path) -> std::io::Result<usize> {
+    let snap = drain();
+    let count = snap.event_count();
+    let json = serde_json::to_string(&chrome_trace(&snap))
+        .map_err(|e| std::io::Error::other(format!("trace serialization failed: {e}")))?;
+    std::fs::write(path, json)?;
+    Ok(count)
+}
+
+/// Records an instant event when the recorder is on; exactly one
+/// relaxed atomic load when it is off. The name is interned once per
+/// call site — do **not** use inside generic functions (the cached
+/// `static` would be shared across monomorphizations; use
+/// [`trace::record_named`](crate::trace::record_named) there). The
+/// payload expression is only evaluated when the recorder is on and
+/// must be `u64`.
+#[macro_export]
+macro_rules! trace_instant {
+    ($name:expr, $payload:expr) => {
+        if $crate::trace::enabled() {
+            static SYM: ::std::sync::OnceLock<$crate::trace::Sym> = ::std::sync::OnceLock::new();
+            $crate::trace::record(
+                *SYM.get_or_init(|| $crate::trace::sym($name)),
+                $crate::trace::EventKind::Instant,
+                $payload,
+            );
+        }
+    };
+    ($name:expr) => {
+        $crate::trace_instant!($name, 0u64)
+    };
+}
+
+/// Records a counter-track sample (Chrome `"C"` event) when the
+/// recorder is on; one relaxed atomic load when off. Same caveats as
+/// [`trace_instant!`](crate::trace_instant).
+#[macro_export]
+macro_rules! trace_count {
+    ($name:expr, $value:expr) => {
+        if $crate::trace::enabled() {
+            static SYM: ::std::sync::OnceLock<$crate::trace::Sym> = ::std::sync::OnceLock::new();
+            $crate::trace::record(
+                *SYM.get_or_init(|| $crate::trace::sym($name)),
+                $crate::trace::EventKind::Counter,
+                $value,
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(sym: Sym, payload: u64) -> Event {
+        Event {
+            t_ns: payload,
+            payload,
+            sym,
+            kind: EventKind::Instant,
+        }
+    }
+
+    #[test]
+    fn ring_is_lazy_and_bounded() {
+        let ring = RingBuf::with_capacity(1024);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_overwriting_oldest_with_drop_accounting() {
+        let s = sym("test.ring.wrap");
+        let mut ring = RingBuf::with_capacity(4);
+        for i in 0..10u64 {
+            ring.push(ev(s, i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let drained: Vec<u64> = ring.drain_ordered().iter().map(|e| e.payload).collect();
+        assert_eq!(drained, vec![6, 7, 8, 9], "oldest events were overwritten");
+        assert_eq!(ring.dropped(), 0, "drain resets drop accounting");
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_under_capacity_keeps_everything_in_order() {
+        let s = sym("test.ring.order");
+        let mut ring = RingBuf::with_capacity(8);
+        for i in 0..5u64 {
+            ring.push(ev(s, i));
+        }
+        let drained: Vec<u64> = ring.drain_ordered().iter().map(|e| e.payload).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn interner_returns_stable_symbols() {
+        let a = sym("test.intern.a");
+        let b = sym("test.intern.b");
+        assert_ne!(a, b);
+        assert_eq!(a, sym("test.intern.a"));
+    }
+
+    // One test function on purpose: the enable gate, the thread
+    // registry and the interner are process-global, so the end-to-end
+    // assertions must not race concurrently-scheduled #[test]s toggling
+    // the same state.
+    #[test]
+    fn global_recorder_end_to_end() {
+        // Off: event sites are inert.
+        set_enabled(false);
+        record_named("test.global.off", EventKind::Instant, 1);
+        let snap = drain();
+        assert!(
+            !snap.symbols.iter().any(|s| s == "test.global.off"),
+            "a disabled recorder must not intern or store events"
+        );
+
+        // On: events from several threads land in per-thread lanes,
+        // chronologically ordered within each lane.
+        set_enabled(true);
+        trace_instant!("test.global.main", 7u64);
+        trace_count!("test.global.gauge", 42u64);
+        record_complete(sym("test.global.span"), 10, 25);
+        let handles: Vec<_> = (0..2)
+            .map(|w| {
+                std::thread::Builder::new()
+                    .name(format!("test-lane/{w}"))
+                    .spawn(move || {
+                        for i in 0..3u64 {
+                            record_named("test.global.worker", EventKind::Instant, i);
+                        }
+                    })
+                    .expect("spawn")
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("join");
+        }
+        set_enabled(false);
+
+        let snap = drain();
+        let lanes: Vec<&ThreadTrace> = snap
+            .threads
+            .iter()
+            .filter(|t| t.name.starts_with("test-lane/"))
+            .collect();
+        assert_eq!(lanes.len(), 2, "each recording thread gets its own lane");
+        for lane in &lanes {
+            let ours: Vec<&Event> = lane
+                .events
+                .iter()
+                .filter(|e| snap.name(e.sym) == "test.global.worker")
+                .collect();
+            assert_eq!(ours.len(), 3);
+            assert!(
+                ours.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+                "per-thread drain order is chronological"
+            );
+            assert_eq!(
+                ours.iter().map(|e| e.payload).collect::<Vec<_>>(),
+                vec![0, 1, 2]
+            );
+        }
+        let main_lane = snap
+            .threads
+            .iter()
+            .find(|t| {
+                t.events
+                    .iter()
+                    .any(|e| snap.name(e.sym) == "test.global.main")
+            })
+            .expect("main thread recorded");
+        assert!(main_lane
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Counter && e.payload == 42));
+        assert!(main_lane
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::Complete && e.t_ns == 10 && e.payload == 25));
+
+        // Chrome export: metadata per lane, X/i/C events present.
+        let json = chrome_trace(&snap);
+        let events = json["traceEvents"].as_array().expect("traceEvents array");
+        let phases: Vec<&str> = events.iter().filter_map(|e| e["ph"].as_str()).collect();
+        for ph in ["M", "X", "i", "C"] {
+            assert!(phases.contains(&ph), "missing phase {ph:?} in chrome trace");
+        }
+        let lane_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("M"))
+            .filter_map(|e| e["args"]["name"].as_str())
+            .collect();
+        assert!(lane_names.iter().any(|n| n.starts_with("test-lane/")));
+
+        // Drained means drained.
+        assert_eq!(drain().event_count(), 0);
+    }
+}

@@ -240,6 +240,16 @@ impl Pool {
             return out;
         }
 
+        // Flight recorder: mark the region open on the calling thread.
+        // record_named (not a cached macro): the name varies per pool.
+        if btpub_obs::trace::enabled() {
+            btpub_obs::trace::record_named(
+                &format!("par.{}.region", self.name),
+                btpub_obs::trace::EventKind::Instant,
+                n as u64,
+            );
+        }
+
         let shared = Shared {
             queues: (0..workers)
                 .map(|w| {
@@ -287,6 +297,12 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    // Worker-id stamp: the first event a worker records also registers
+    // its thread (named `btpub-par/<pool>/<w>`) with the flight
+    // recorder, which is what materializes this worker's trace lane.
+    // The name constant is shared across monomorphizations, so the
+    // cached-Sym macro is safe here.
+    btpub_obs::trace_instant!("par.worker.start", w as u64);
     let mut out = Vec::new();
     loop {
         if shared.poisoned.load(Ordering::Relaxed) {

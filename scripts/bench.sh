@@ -8,8 +8,10 @@
 #                       counters, byte-identity check) → BENCH_par.json
 #   * `bench_hotpath` — the hotpath profile: per-phase wall clock
 #                       (generate/crawl/analyze/report), announce latency
-#                       p50/p99, pool task counts and allocations per
-#                       announce → BENCH_hotpath.json
+#                       p50/p99, pool task counts, allocations per
+#                       announce, and the flight-recorder on-vs-off
+#                       announce cost (trace_overhead_pct)
+#                       → BENCH_hotpath.json
 #
 # Usage: scripts/bench.sh [--scale tiny|repro|paper] [--jobs N] [--runs K]
 #        (--scale/--jobs go to both binaries; --runs only to bench_par)

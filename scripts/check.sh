@@ -50,6 +50,35 @@ for key in 'par.repro.scenarios.tasks' 'par.sim.swarms.tasks'; do
 done
 echo "pool counters found in snapshot"
 
+echo "== trace smoke gate: --trace must record without moving a report byte =="
+# A traced run and a traceless twin, same arguments otherwise. The trace
+# must parse as Chrome trace JSON with events in it, stdout must stay
+# byte-identical, and the two run manifests must agree on every
+# deterministic metric.
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --trace "$tmpdir/trace.json" --manifest "$tmpdir/manifest-traced.json" \
+    > "$tmpdir/traced.txt" 2>/dev/null
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --manifest "$tmpdir/manifest-plain.json" \
+    > "$tmpdir/plain.txt" 2>/dev/null
+./target/release/obs_diff --validate-trace "$tmpdir/trace.json" --min-events 100
+if ! diff -u "$tmpdir/plain.txt" "$tmpdir/traced.txt"; then
+    echo "FAIL: arming the flight recorder changed the report bytes" >&2
+    exit 1
+fi
+echo "traced report byte-identical to traceless ($(wc -c < "$tmpdir/traced.txt") bytes)"
+./target/release/obs_diff "$tmpdir/manifest-plain.json" "$tmpdir/manifest-traced.json"
+
+echo "== obs_diff gate: an injected metric regression must be caught =="
+sed -E 's/("crawler\.query\.total": )[0-9]+/\10/' \
+    "$tmpdir/manifest-plain.json" > "$tmpdir/manifest-broken.json"
+if ./target/release/obs_diff "$tmpdir/manifest-plain.json" \
+    "$tmpdir/manifest-broken.json" >/dev/null 2>&1; then
+    echo "FAIL: obs_diff missed an injected metric regression" >&2
+    exit 1
+fi
+echo "obs_diff flags the injected regression (exit nonzero)"
+
 echo "== perf smoke gate: tiny-scale hotpath vs committed BENCH_hotpath.json =="
 # Reduced-scale pass of the hotpath bench, gated against the committed
 # baseline: fails on any allocs-per-announce regression (the fast path

@@ -53,9 +53,10 @@ fn assert_matches_fixture(produced: &str, fixture: &str, what: &str) {
     );
 }
 
-// One test function on purpose: the jobs policy is process-global, so
-// the four configurations must run sequentially rather than as
-// concurrently-scheduled #[test]s fighting over `set_global`.
+// One test function on purpose: the jobs policy and the flight-recorder
+// gate are process-global, so the configurations must run sequentially
+// rather than as concurrently-scheduled #[test]s fighting over
+// `set_global` / `trace::set_enabled`.
 #[test]
 fn pb10_reports_match_committed_fixtures_at_all_jobs_and_profiles() {
     let clean = include_str!("fixtures/golden_pb10_tiny_clean.txt");
@@ -72,4 +73,27 @@ fn pb10_reports_match_committed_fixtures_at_all_jobs_and_profiles() {
             &format!("hostile profile, --jobs {jobs}"),
         );
     }
+    // Same four configurations with the flight recorder armed, against
+    // the *same* fixtures: recording must not move a single report byte.
+    // (The recorder writes only to per-thread rings drained here, never
+    // to the registry or stdout.)
+    btpub_obs::trace::set_enabled(true);
+    for jobs in [1, 4] {
+        assert_matches_fixture(
+            &render_pb10_tiny(FaultProfile::clean(), jobs),
+            clean,
+            &format!("clean profile, --jobs {jobs}, recorder armed"),
+        );
+        assert_matches_fixture(
+            &render_pb10_tiny(FaultProfile::hostile(), jobs),
+            hostile,
+            &format!("hostile profile, --jobs {jobs}, recorder armed"),
+        );
+    }
+    btpub_obs::trace::set_enabled(false);
+    let snap = btpub_obs::trace::drain();
+    assert!(
+        snap.event_count() > 0,
+        "armed runs must actually have recorded events"
+    );
 }

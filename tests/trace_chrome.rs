@@ -1,0 +1,91 @@
+//! Flight recorder → Chrome trace: the exported JSON is structurally
+//! what Perfetto / `chrome://tracing` expects, with real worker lanes.
+//!
+//! Separate test binary on purpose: the recorder gate is process-global,
+//! and this test arms it without fighting the golden-report process.
+
+use btpub_obs::trace;
+use btpub_par::{Jobs, Pool};
+use serde_json::Value;
+
+/// One sequential test: enable → emit across explicit worker lanes →
+/// drain → validate the Chrome JSON end to end.
+#[test]
+fn armed_recorder_exports_perfetto_loadable_chrome_trace() {
+    trace::set_enabled(true);
+
+    // An explicit 3-worker pool: `Pool::new` takes the job count as
+    // given (only the *global* default is capped to detected cores), so
+    // even a 1-CPU CI machine materializes multiple worker lanes.
+    let pool = Pool::new("tracelanes", Jobs::new(3));
+    let results = pool.par_map_indexed(64, |i| {
+        // Worker-side activity: a span (→ complete event) plus an
+        // instant per item, attributed to the worker's own lane.
+        let _span = btpub_obs::span!("sim.engine.tick");
+        btpub_obs::trace_instant!("test.item", i as u64);
+        i * 2
+    });
+    assert_eq!(results.len(), 64, "the pool really ran the work");
+
+    // Main-thread activity: an instant and a counter-track sample.
+    btpub_obs::trace_instant!("test.main.marker", 7u64);
+    btpub_obs::trace_count!("test.main.progress", 64u64);
+
+    trace::set_enabled(false);
+    let snap = trace::drain();
+    assert!(snap.event_count() > 64, "expected at least one event per item");
+    let worker_lanes = snap
+        .threads
+        .iter()
+        .filter(|t| t.name.starts_with("btpub-par/tracelanes/"))
+        .filter(|t| !t.events.is_empty())
+        .count();
+    assert!(
+        worker_lanes >= 2,
+        "work must land on >= 2 worker lanes, got {worker_lanes}"
+    );
+
+    // The export itself: valid JSON with the Chrome trace event schema.
+    let chrome = trace::chrome_trace(&snap);
+    let text = serde_json::to_string(&chrome).unwrap();
+    let parsed: Value = serde_json::from_str(&text).unwrap();
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    let mut phases = std::collections::BTreeSet::new();
+    let mut lane_names = 0usize;
+    for ev in events {
+        let ph = ev["ph"].as_str().expect("every event has a phase");
+        phases.insert(ph.to_string());
+        match ph {
+            "M" => {
+                assert_eq!(ev["name"].as_str(), Some("thread_name"));
+                if ev["args"]["name"]
+                    .as_str()
+                    .is_some_and(|n| n.starts_with("btpub-par/tracelanes/"))
+                {
+                    lane_names += 1;
+                }
+            }
+            "X" => {
+                assert!(ev["dur"].as_f64().is_some(), "complete events carry dur");
+                assert!(ev["ts"].as_f64().is_some());
+            }
+            "i" => {
+                assert_eq!(ev["s"].as_str(), Some("t"), "thread-scoped instant");
+            }
+            "C" => {
+                assert!(
+                    ev["args"]["value"].as_f64().is_some(),
+                    "counter events carry a value"
+                );
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for required in ["M", "X", "i", "C"] {
+        assert!(phases.contains(required), "missing phase {required}: {phases:?}");
+    }
+    assert!(lane_names >= 2, "worker lane metadata missing: {lane_names}");
+
+    // Drained means drained: a second drain is empty.
+    assert_eq!(trace::drain().event_count(), 0);
+}
