@@ -20,8 +20,10 @@
 //!
 //! `--gate OLD.json` turns the run into a regression gate: it compares
 //! the fresh numbers against a committed `BENCH_hotpath.json` and exits
-//! nonzero if allocations per query regressed (hard) or the tiny-scale
-//! pipeline wall regressed by more than 20 % (noise-tolerant).
+//! nonzero if allocations per query regressed (hard), the tiny-scale
+//! pipeline wall regressed by more than 20 % (noise-tolerant), or the
+//! armed flight-recorder overhead exceeded its 5 % ceiling (hard — the
+//! whole point of the production-cheap recorder).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -99,9 +101,14 @@ struct BenchReport {
     allocs_per_query: f64,
     /// Flight-recorder cost: per-announce wall with the recorder armed vs
     /// disarmed, as a percentage (`Option` so baselines written before
-    /// the recorder existed still parse). Informational, not gated —
-    /// sub-percent deltas drown in scheduler noise at this batch size.
+    /// the recorder existed still parse). Gated against a fixed 5 %
+    /// ceiling — armed tracing must stay cheap enough to leave on in
+    /// production.
     trace_overhead_pct: Option<f64>,
+    /// Same lap with 1-in-16 deterministic sampling on the announce
+    /// site — the configuration a production deployment would run.
+    /// Informational (it is bounded above by the unsampled number).
+    trace_overhead_sampled_pct: Option<f64>,
     /// Report bytes produced (sanity: the pipeline really ran).
     report_bytes: usize,
 }
@@ -186,6 +193,11 @@ fn measure_allocs_per_query() -> f64 {
 }
 
 /// One timed lap of the warm announce loop; returns seconds per query.
+/// Announces land a day into each swarm's life — near the flash-crowd
+/// peak, where replies carry a real peer list. An announce into an
+/// hour-old (near-empty) swarm costs a fraction of what the crawl's
+/// steady state pays, which would inflate any fixed per-event cost
+/// into an unrepresentative percentage.
 fn timed_batch(
     eco: &Ecosystem,
     tracker: &mut TrackerSim,
@@ -197,48 +209,109 @@ fn timed_batch(
     let t0 = Instant::now();
     for i in 0..batch {
         let torrent = btpub_sim::TorrentId(i % n);
-        let at = eco.publications[(i % n) as usize].at + SimDuration::from_hours(1.0);
+        let at = eco.publications[(i % n) as usize].at + SimDuration::from_hours(24.0);
         let _ = tracker.query_into(base + i, torrent, at, 50, peers);
     }
     t0.elapsed().as_secs_f64() / f64::from(batch)
 }
 
-/// Per-announce cost of arming the flight recorder: interleaved
-/// off/on/off/on… laps over the same warm tracker (interleaving cancels
-/// clock and cache drift), medians of each side compared. With the
-/// recorder armed every announce also records a complete event into the
-/// thread-local ring, so this measures the true worst-case event rate.
-fn measure_trace_overhead_pct() -> f64 {
-    let scenario = Scenario::pb10(Scale::tiny());
-    let eco = Ecosystem::generate(scenario.eco.clone());
-    let mut tracker = TrackerSim::new(&eco);
+/// Per-announce cost of arming the flight recorder: thousands of
+/// interleaved off/on lap pairs over the same warm tracker, scored as
+/// the *average of the two order-cohort medians of per-pair on/off
+/// ratios*. Each adjacent pair runs microseconds apart, so slow drift
+/// (frequency scaling, cache placement) cancels within the pair; a
+/// scheduler preemption spike lands in one lap and turns that single
+/// pair into an outlier ratio, which the median across pairs rejects;
+/// and alternating the order within the pair cancels the residual
+/// position bias a fixed off-then-on order bakes in. This is what
+/// lets a hard 5 % gate hold on a small shared box where individual
+/// lap walls swing by ±10 %. With the recorder armed every announce
+/// also records
+/// a complete event into the thread-local staging buffer, so with an
+/// empty `sample_spec` this measures the true worst-case event rate;
+/// with e.g. `"tracker.announce:16,seed:42"` it measures the sampled
+/// production configuration instead. The spec is cleared before
+/// returning.
+///
+/// The lap runs against the *repro*-scale ecosystem, not tiny: a tiny
+/// announce copies a handful of peers and finishes in ~100ns, which
+/// inflates a fixed ~10ns recorder cost into a scary-looking
+/// percentage no production announce would ever see. The repro reply
+/// sizes are the ones the paper's crawl sees, so the percentage the
+/// gate pins is the one that matters.
+fn measure_trace_overhead_pct(eco: &Ecosystem, sample_spec: &str) -> f64 {
+    if !sample_spec.is_empty() {
+        btpub_obs::trace::set_sample_spec(sample_spec).expect("bench sample spec parses");
+    }
+    let mut tracker = TrackerSim::new(eco);
     let mut peers = Vec::new();
-    let batch = 2048u32;
-    let rounds = 9usize;
+    // Short laps, many pairs: an adjacent (off, on) pair spans ~300µs,
+    // inside which frequency-governor drift is negligible, and the
+    // median over hundreds of pairs rejects the laps a preemption
+    // landed in. Pairs alternate lap order (off-then-on, on-then-off)
+    // so any systematic within-pair slowdown — boost decay, cache
+    // warming — biases half the ratios up and half down instead of
+    // inflating them all. The gate treats the result as a hard
+    // ceiling, so the estimate must sit well clear of scheduler
+    // jitter; the whole measurement still costs well under a second.
+    let batch = 256u32;
+    let rounds = 2056usize;
     let mut base = 10_000_000u32;
     // Warm lap: reply buffer, tracker maps, interned trace symbols.
     btpub_obs::trace::set_enabled(true);
-    timed_batch(&eco, &mut tracker, &mut peers, base, batch);
+    timed_batch(eco, &mut tracker, &mut peers, base, batch);
     base += batch;
     let mut off = Vec::with_capacity(rounds);
     let mut on = Vec::with_capacity(rounds);
-    for _ in 0..rounds {
-        btpub_obs::trace::set_enabled(false);
-        off.push(timed_batch(&eco, &mut tracker, &mut peers, base, batch));
-        base += batch;
-        btpub_obs::trace::set_enabled(true);
-        on.push(timed_batch(&eco, &mut tracker, &mut peers, base, batch));
-        base += batch;
+    for round in 0..rounds {
+        let on_first = round % 2 == 1;
+        for half in 0..2 {
+            let armed = (half == 0) == on_first;
+            btpub_obs::trace::set_enabled(armed);
+            let lap = timed_batch(eco, &mut tracker, &mut peers, base, batch);
+            base += batch;
+            if armed { on.push(lap) } else { off.push(lap) }
+        }
     }
     btpub_obs::trace::set_enabled(false);
     let _ = btpub_obs::trace::drain();
-    let median = |v: &mut Vec<f64>| {
-        v.sort_by(f64::total_cmp);
-        v[v.len() / 2]
+    if !sample_spec.is_empty() {
+        btpub_obs::trace::set_sample_spec("").expect("clearing sample spec");
+    }
+    {
+        let mut o = off.clone();
+        o.sort_by(f64::total_cmp);
+        let mut n = on.clone();
+        n.sort_by(f64::total_cmp);
+        eprintln!(
+            "    lap medians: off {:.0}ns/query, on {:.0}ns/query",
+            o[o.len() / 2] * 1e9,
+            n[n.len() / 2] * 1e9
+        );
+    }
+    // Median each order-cohort separately, then average: a systematic
+    // second-lap-of-the-pair slowdown shifts the two cohorts in
+    // opposite directions, and the average cancels it exactly; a
+    // single median over the bimodal mixture would sit wherever the
+    // cohort overlap happens to put it.
+    let cohort = |parity: usize| -> f64 {
+        let mut ratios: Vec<f64> = off
+            .iter()
+            .zip(&on)
+            .skip(parity)
+            .step_by(2)
+            .map(|(o, n)| n / o)
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
     };
-    let off_med = median(&mut off);
-    let on_med = median(&mut on);
-    (on_med - off_med) / off_med * 100.0
+    let (off_first, on_first) = (cohort(0), cohort(1));
+    eprintln!(
+        "    cohort medians: off-first {:+.2}%, on-first {:+.2}%",
+        (off_first - 1.0) * 100.0,
+        (on_first - 1.0) * 100.0
+    );
+    ((off_first + on_first) / 2.0 - 1.0) * 100.0
 }
 
 /// Applies the regression gate; returns the failure messages.
@@ -259,8 +332,25 @@ fn gate_failures(old: &BenchReport, new: &BenchReport) -> Vec<String> {
             old.wall_s_tiny, new.wall_s_tiny
         ));
     }
+    // Hard ceiling, not a relative comparison: armed tracing must cost
+    // at most TRACE_OVERHEAD_CEILING_PCT on the announce lap, full stop.
+    // A fixed ceiling cannot ratchet upward the way a relative gate
+    // would if a regression ever got committed as the new baseline.
+    if let Some(pct) = new.trace_overhead_pct {
+        if pct > TRACE_OVERHEAD_CEILING_PCT {
+            failures.push(format!(
+                "armed trace overhead {pct:+.2}% exceeds the \
+                 {TRACE_OVERHEAD_CEILING_PCT:.0}% ceiling"
+            ));
+        }
+    }
     failures
 }
+
+/// Armed flight-recorder overhead ceiling on the announce lap, percent.
+/// The ISSUE acceptance criterion: armed tracing in production costs
+/// low single digits, enforced on every `scripts/check.sh` run.
+const TRACE_OVERHEAD_CEILING_PCT: f64 = 5.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -358,8 +448,14 @@ fn main() {
 
     let allocs_per_query = measure_allocs_per_query();
     eprintln!("  allocs/query (warm): {allocs_per_query:.3}");
-    let trace_overhead_pct = measure_trace_overhead_pct();
+    // One repro-scale ecosystem shared by both overhead laps (see
+    // measure_trace_overhead_pct for why repro, not tiny).
+    let overhead_eco = Ecosystem::generate(Scenario::pb10(Scale::default_repro()).eco.clone());
+    let trace_overhead_pct = measure_trace_overhead_pct(&overhead_eco, "");
     eprintln!("  trace overhead (recorder on vs off): {trace_overhead_pct:+.2}%");
+    let trace_overhead_sampled_pct =
+        measure_trace_overhead_pct(&overhead_eco, "tracker.announce:16,seed:42");
+    eprintln!("  trace overhead (sampled 1-in-16): {trace_overhead_sampled_pct:+.2}%");
 
     let report = BenchReport {
         bench: "hotpath".into(),
@@ -377,6 +473,7 @@ fn main() {
         alloc_saved,
         allocs_per_query,
         trace_overhead_pct: Some(trace_overhead_pct),
+        trace_overhead_sampled_pct: Some(trace_overhead_sampled_pct),
         report_bytes,
     };
     let json = serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serializes"))
@@ -404,8 +501,13 @@ fn main() {
         if failures.is_empty() {
             eprintln!(
                 "bench_hotpath: gate OK vs {gate_path} (allocs/query {:.3} <= {:.3}+0.1, \
-                 tiny wall {:.3}s <= {:.3}s*1.2)",
-                report.allocs_per_query, old.allocs_per_query, report.wall_s_tiny, old.wall_s_tiny
+                 tiny wall {:.3}s <= {:.3}s*1.2, armed trace {:+.2}% <= {:.0}%)",
+                report.allocs_per_query,
+                old.allocs_per_query,
+                report.wall_s_tiny,
+                old.wall_s_tiny,
+                report.trace_overhead_pct.unwrap_or(0.0),
+                TRACE_OVERHEAD_CEILING_PCT,
             );
         } else {
             for f in &failures {

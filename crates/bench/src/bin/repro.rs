@@ -165,6 +165,12 @@ fn main() {
             btpub_obs::trace::env_path().unwrap_or_else(|| "trace.json".to_string()),
         );
     }
+    // A crashing armed run should still yield a loadable trace: the
+    // hook drains the rings to the --trace path after the default
+    // panic message.
+    if let Some(path) = trace_path.as_deref() {
+        btpub_obs::trace::install_panic_hook(path);
+    }
     // CLI beats environment, which beats the clean default.
     let fault_profile = fault_profile
         .or_else(FaultProfile::from_env)
@@ -202,12 +208,11 @@ fn main() {
     }
 
     print_experiment_timings();
-    if let Some(path) = metrics_path {
-        write_metrics(&path);
-    }
-    if let Some(path) = manifest_path {
-        write_manifest(&path, &scale_name, &scenario_names, &fault_profile);
-    }
+    // Drain the trace *before* the metrics/manifest writes: drain() is
+    // what records the trace.dropped.* / trace.capped.* accounting into
+    // the registry, and silent event loss must be visible in --metrics
+    // output (it is excluded from manifest digests, so traced and
+    // traceless manifests still agree).
     if let Some(path) = trace_path {
         match btpub_obs::trace::write_chrome_trace(std::path::Path::new(&path)) {
             Ok(events) => eprintln!("trace written: {path} ({events} events)"),
@@ -216,6 +221,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = metrics_path {
+        write_metrics(&path);
+    }
+    if let Some(path) = manifest_path {
+        write_manifest(&path, &scale_name, &scenario_names, &fault_profile);
     }
 }
 
@@ -342,7 +353,11 @@ fn write_manifest(path: &str, scale: &str, scenarios: &[String], profile: &Fault
         ("scale", Value::from(scale)),
         ("scenarios", Value::from(scenarios.join(","))),
         ("fault_profile", Value::from(profile.name.as_str())),
-        ("jobs", Value::from(btpub_par::global().effective().get() as u64)),
+        // The *effective* job count (after the available-parallelism
+        // cap): pool task counters legitimately differ across job
+        // counts, so obs_diff refuses to compare manifests that
+        // disagree here rather than reporting bogus regressions.
+        ("jobs_effective", Value::from(btpub_par::global().effective().get() as u64)),
     ];
     let manifest = btpub_obs::manifest::build(btpub_obs::global(), &meta);
     if let Err(e) = btpub_obs::manifest::write(std::path::Path::new(path), &manifest) {

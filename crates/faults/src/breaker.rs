@@ -109,6 +109,10 @@ impl CircuitBreaker {
                         btpub_obs::trace::EventKind::Instant,
                         now,
                     );
+                    // Black box: a breaker opening is exactly the "what
+                    // led up to this" moment; dump the recent rings
+                    // (bounded + deduped per reason inside trip).
+                    btpub_obs::trace::trip(&format!("breaker.{}.opened", self.name));
                 }
             }
             self.open_until = Some(now + self.cooldown_secs);

@@ -159,6 +159,10 @@ impl FaultPlan {
                     btpub_obs::trace::EventKind::Instant,
                     index,
                 );
+                // Black box: dump the rings the first time each stream
+                // fires (trip dedupes per reason and is bounded per
+                // process, so a hostile profile cannot I/O-storm this).
+                btpub_obs::trace::trip(&format!("fault.{}", P::STREAM));
             }
             Some(P::fault())
         } else {

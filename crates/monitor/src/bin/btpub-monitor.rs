@@ -3,7 +3,7 @@
 //! ```text
 //! btpub-monitor [--scale tiny|repro] [--days N] [--json PATH] [--category CAT]
 //!               [--jobs N] [--metrics PATH] [--fault-profile clean|flaky|hostile]
-//!               [--trace PATH]
+//!               [--trace PATH] [--manifest PATH] [--manifest-every N]
 //! ```
 //!
 //! Simulates a Pirate-Bay-style portal, monitors it live, then prints the
@@ -12,6 +12,12 @@
 //! `--metrics` writes the observability snapshot as JSON on exit.
 //! `--fault-profile` (else the `BTPUB_FAULTS` environment variable) runs
 //! the daemon against a deterministically broken feed/tracker/peer world.
+//!
+//! Live health-checking: `--manifest PATH` writes a run manifest on
+//! exit; `--manifest-every N` *also* rewrites it (atomically) every N
+//! simulated days while the daemon runs, so an `obs_diff --watch` in
+//! another terminal can tail the path and compare the live daemon
+//! against a known-good baseline as it goes.
 
 use std::io::Write;
 
@@ -24,10 +30,13 @@ use btpub_monitor::{query, Monitor};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::tiny();
+    let mut scale_name = "tiny".to_string();
     let mut days: Option<f64> = None;
     let mut json_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
+    let mut manifest_every: u64 = 0;
     let mut category: Option<Category> = None;
     let mut fault_profile: Option<FaultProfile> = None;
     let mut i = 0;
@@ -43,6 +52,7 @@ fn main() {
                         std::process::exit(2);
                     }
                 };
+                scale_name = args[i].clone();
             }
             "--days" => {
                 i += 1;
@@ -77,6 +87,24 @@ fn main() {
                     eprintln!("--trace requires a path");
                     std::process::exit(2);
                 }
+            }
+            "--manifest" => {
+                i += 1;
+                manifest_path = args.get(i).cloned();
+                if manifest_path.is_none() {
+                    eprintln!("--manifest requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--manifest-every" => {
+                i += 1;
+                manifest_every = match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--manifest-every requires a positive day count");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--fault-profile" => {
                 i += 1;
@@ -118,6 +146,14 @@ fn main() {
             btpub_obs::trace::env_path().unwrap_or_else(|| "trace.json".to_string()),
         );
     }
+    // A crashing armed daemon still yields a loadable trace.
+    if let Some(path) = trace_path.as_deref() {
+        btpub_obs::trace::install_panic_hook(path);
+    }
+    if manifest_every > 0 && manifest_path.is_none() {
+        eprintln!("--manifest-every requires --manifest PATH");
+        std::process::exit(2);
+    }
 
     let scenario = Scenario::pb10(scale);
     btpub_obs::info!(
@@ -137,10 +173,21 @@ fn main() {
     };
     // Live operation: advance day by day, like a real daemon's main loop.
     let mut t = SimTime::ZERO;
+    let mut step = 0u64;
     while t < horizon {
         t = (t + btpub::sim::DAY).min(horizon);
         monitor.step(t);
+        step += 1;
         btpub_obs::info!("monitored"; days = t.as_days(), items = monitor.store().len());
+        // Periodic manifest emission: the manifest becomes the live
+        // health-check protocol (`obs_diff --watch` tails the path).
+        // The write is atomic, so a concurrent reader never sees a
+        // torn manifest.
+        if manifest_every > 0 && step.is_multiple_of(manifest_every) {
+            if let Some(path) = manifest_path.as_deref() {
+                write_manifest(path, &scale_name, t.as_days(), &monitor.fault_profile());
+            }
+        }
     }
 
     let store = monitor.store();
@@ -178,12 +225,10 @@ fn main() {
         f.write_all(store.to_json().as_bytes()).expect("write json");
         println!("\nstore dumped to {path}");
     }
-    if let Some(path) = metrics_path {
-        let snapshot = btpub_obs::global().snapshot();
-        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
-        std::fs::write(&path, json).expect("write metrics file");
-        println!("metrics snapshot written to {path}");
-    }
+    // Drain the trace before the metrics/manifest writes: drain()
+    // records the trace.dropped.* accounting into the registry, which
+    // must be visible in --metrics output (and is excluded from
+    // manifest digests).
     if let Some(path) = trace_path {
         match btpub_obs::trace::write_chrome_trace(std::path::Path::new(&path)) {
             Ok(events) => eprintln!("trace written: {path} ({events} events)"),
@@ -193,4 +238,37 @@ fn main() {
             }
         }
     }
+    if let Some(path) = metrics_path {
+        let snapshot = btpub_obs::global().snapshot();
+        let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+        std::fs::write(&path, json).expect("write metrics file");
+        println!("metrics snapshot written to {path}");
+    }
+    if let Some(path) = manifest_path {
+        write_manifest(&path, &scale_name, horizon.as_days(), &monitor.fault_profile());
+    }
+}
+
+/// Writes the daemon's run manifest (atomically — see
+/// `btpub_obs::manifest::write`): configuration meta, the deterministic
+/// metric digest and the full snapshot. `sim_days` records how far the
+/// daemon had advanced at emission; it is informational, not part of
+/// the config-compatibility meta, so a mid-run manifest stays
+/// comparable (via `obs_diff --watch --expect-partial`) to a finished
+/// baseline.
+fn write_manifest(path: &str, scale: &str, sim_days: f64, profile: &FaultProfile) {
+    use serde_json::Value;
+    let meta = [
+        ("bin", Value::from("btpub-monitor")),
+        ("scale", Value::from(scale)),
+        ("fault_profile", Value::from(profile.name.as_str())),
+        ("jobs_effective", Value::from(btpub_par::global().effective().get() as u64)),
+        ("sim_days", Value::from(sim_days)),
+    ];
+    let manifest = btpub_obs::manifest::build(btpub_obs::global(), &meta);
+    if let Err(e) = btpub_obs::manifest::write(std::path::Path::new(path), &manifest) {
+        eprintln!("failed to write manifest to {path}: {e}");
+        std::process::exit(1);
+    }
+    btpub_obs::info!("run manifest written"; path = path, sim_days = sim_days);
 }

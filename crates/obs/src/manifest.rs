@@ -37,8 +37,10 @@ pub fn digest64(bytes: &[u8]) -> u64 {
 /// Whether a counter participates in digests and diffs.
 fn deterministic_counter(name: &str) -> bool {
     // span.*.self_ns is accumulated wall time; par.*.steals depends on
-    // scheduling luck.
-    !name.starts_with("span.") && !name.ends_with(".steals")
+    // scheduling luck; trace.* is flight-recorder drop/trip accounting
+    // that only exists when (and how hard) the recorder is armed — a
+    // traced run must digest identically to its traceless twin.
+    !name.starts_with("span.") && !name.starts_with("trace.") && !name.ends_with(".steals")
 }
 
 /// Whether a gauge participates in digests and diffs.
@@ -94,11 +96,40 @@ pub fn build(registry: &Registry, meta: &[(&str, Value)]) -> Value {
 }
 
 /// Writes `manifest` to `path` as pretty JSON with a trailing newline.
+///
+/// The write is atomic (temp file + rename in the target directory):
+/// periodic emission from a running daemon must never let a concurrent
+/// `obs_diff --watch` read a half-written manifest.
 pub fn write(path: &Path, manifest: &Value) -> std::io::Result<()> {
     let mut text = serde_json::to_string_pretty(manifest)
         .map_err(|e| std::io::Error::other(format!("manifest serialization failed: {e}")))?;
     text.push('\n');
-    std::fs::write(path, text)
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Meta keys that define a run's configuration: two manifests that
+/// disagree on any of these measure *different runs*, and diffing
+/// their metrics would report configuration skew as a bogus
+/// regression.
+const CONFIG_META_KEYS: &[&str] = &["bin", "scale", "scenarios", "fault_profile", "jobs_effective"];
+
+/// Configuration mismatches between two manifests — one line per meta
+/// key present in both but different. Empty means the manifests are
+/// comparable; callers (`obs_diff`) should refuse to diff otherwise.
+/// Keys missing from either side are skipped, so older manifests
+/// without the full meta block stay comparable.
+pub fn incompatible(old: &Value, new: &Value) -> Vec<String> {
+    let mut out = Vec::new();
+    for key in CONFIG_META_KEYS {
+        if let (Some(a), Some(b)) = (old.get(key), new.get(key)) {
+            if !a.is_null() && !b.is_null() && a != b {
+                out.push(format!("meta {key}: {a} vs {b}"));
+            }
+        }
+    }
+    out
 }
 
 fn number_map<'v>(root: &'v Value, section: &str) -> Vec<(&'v String, f64)> {
@@ -161,6 +192,75 @@ pub fn diff(old: &Value, new: &Value, tolerance_pct: f64) -> Vec<String> {
     diff_section(old, new, "counters", deterministic_counter, tolerance_pct, &mut out);
     diff_section(old, new, "gauges", deterministic_gauge, tolerance_pct, &mut out);
     out
+}
+
+/// Where a live (possibly still-running) snapshot stands relative to a
+/// finished baseline — the `obs_diff --watch --expect-partial` verdict.
+#[derive(Debug)]
+pub struct WatchVerdict {
+    /// Baseline metrics the live snapshot already matches.
+    pub matched: usize,
+    /// Baseline metrics in the deterministic set.
+    pub total: usize,
+    /// Baseline metrics still below baseline or not yet present —
+    /// expected mid-run, a regression only if it never converges.
+    pub behind: usize,
+    /// Hard failures: metrics *above* baseline beyond tolerance, or
+    /// metrics the baseline never recorded. A mid-run snapshot of a
+    /// deterministic pipeline can lag its baseline but never overshoot
+    /// it.
+    pub overshoots: Vec<String>,
+}
+
+fn verdict_section(
+    old: &Value,
+    new: &Value,
+    section: &str,
+    keep: fn(&str) -> bool,
+    tolerance_pct: f64,
+    v: &mut WatchVerdict,
+) {
+    let old_m = number_map(old, section);
+    let new_m = number_map(new, section);
+    let label = section.trim_end_matches('s');
+    for (name, old_v) in &old_m {
+        if !keep(name) {
+            continue;
+        }
+        v.total += 1;
+        let allowed = old_v.abs() * tolerance_pct / 100.0;
+        match new_m.iter().find(|(k, _)| k == name) {
+            None => v.behind += 1,
+            Some((_, new_v)) if (new_v - old_v).abs() <= allowed => v.matched += 1,
+            Some((_, new_v)) if *new_v < *old_v => v.behind += 1,
+            Some((_, new_v)) => v.overshoots.push(format!(
+                "{label} {name}: {old_v} -> {new_v} (above baseline)"
+            )),
+        }
+    }
+    for (name, new_v) in &new_m {
+        if keep(name) && !old_m.iter().any(|(k, _)| k == name) {
+            v.overshoots
+                .push(format!("{label} {name}: not in baseline ({new_v})"));
+        }
+    }
+}
+
+/// Compares a live snapshot against a finished baseline with mid-run
+/// semantics: being behind is progress-in-flight, being *ahead* (or
+/// growing metrics the baseline never had) is a regression. Used by
+/// `obs_diff --watch --expect-partial` to health-check a running
+/// daemon against a known-good run.
+pub fn watch_verdict(old: &Value, new: &Value, tolerance_pct: f64) -> WatchVerdict {
+    let mut v = WatchVerdict {
+        matched: 0,
+        total: 0,
+        behind: 0,
+        overshoots: Vec::new(),
+    };
+    verdict_section(old, new, "counters", deterministic_counter, tolerance_pct, &mut v);
+    verdict_section(old, new, "gauges", deterministic_gauge, tolerance_pct, &mut v);
+    v
 }
 
 #[cfg(test)]
@@ -254,6 +354,78 @@ mod tests {
             "meta first, then digest, then snapshot"
         );
         assert_eq!(m["bin"].as_str(), Some("repro"));
+    }
+
+    #[test]
+    fn trace_accounting_does_not_perturb_digest_or_diff() {
+        let plain = registry_with(&[("crawler.polls", 7)], &[]);
+        let traced = registry_with(
+            &[
+                ("crawler.polls", 7),
+                ("trace.dropped.main", 512),
+                ("trace.capped.main", 64),
+                ("trace.blackbox.trips", 2),
+            ],
+            &[],
+        );
+        let a = build(&plain, &[]);
+        let b = build(&traced, &[]);
+        assert_eq!(a["metrics_digest"], b["metrics_digest"]);
+        assert!(diff(&a, &b, 0.0).is_empty(), "{:?}", diff(&a, &b, 0.0));
+    }
+
+    #[test]
+    fn incompatible_meta_blocks_cross_config_comparison() {
+        let r = registry_with(&[("x", 1)], &[]);
+        let a = build(
+            &r,
+            &[
+                ("bin", Value::from("repro")),
+                ("fault_profile", Value::from("clean")),
+                ("jobs_effective", Value::from(1u64)),
+            ],
+        );
+        let b = build(
+            &r,
+            &[
+                ("bin", Value::from("repro")),
+                ("fault_profile", Value::from("hostile")),
+                ("jobs_effective", Value::from(4u64)),
+            ],
+        );
+        let lines = incompatible(&a, &b);
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("fault_profile")));
+        assert!(lines.iter().any(|l| l.contains("jobs_effective")));
+        assert!(incompatible(&a, &a).is_empty());
+        // A manifest missing the key entirely (older format) stays
+        // comparable.
+        let legacy = build(&r, &[("bin", Value::from("repro"))]);
+        assert!(incompatible(&a, &legacy).is_empty());
+    }
+
+    #[test]
+    fn watch_verdict_tells_behind_from_overshoot() {
+        let baseline = build(
+            &registry_with(&[("a.total", 100), ("b.total", 50)], &[("g", 5)]),
+            &[],
+        );
+        // Mid-run: a.total still climbing, b.total done, gauge matches.
+        let midrun = build(
+            &registry_with(&[("a.total", 40), ("b.total", 50)], &[("g", 5)]),
+            &[],
+        );
+        let v = watch_verdict(&baseline, &midrun, 0.0);
+        assert_eq!((v.matched, v.total, v.behind), (2, 3, 1));
+        assert!(v.overshoots.is_empty(), "{:?}", v.overshoots);
+        // Overshoot: a.total beyond baseline plus a metric the baseline
+        // never recorded — both hard failures.
+        let hot = build(
+            &registry_with(&[("a.total", 130), ("b.total", 50), ("c.extra", 1)], &[("g", 5)]),
+            &[],
+        );
+        let v = watch_verdict(&baseline, &hot, 0.0);
+        assert_eq!(v.overshoots.len(), 2, "{:?}", v.overshoots);
     }
 
     #[test]

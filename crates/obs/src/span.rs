@@ -89,10 +89,9 @@ impl Drop for SpanGuard {
         // unbalanced begin/end pair. One relaxed load when tracing is
         // off (the check inside record_complete).
         if crate::trace::enabled() {
-            let start_ns = self
-                .start
-                .duration_since(crate::registry::start_instant())
-                .as_nanos() as u64;
+            // instant_ns: pure arithmetic against the epoch — the span
+            // already paid its two clock reads (enter + drop).
+            let start_ns = crate::trace::instant_ns(self.start);
             crate::trace::record_complete(self.target.sym, start_ns, total_ns);
         }
     }

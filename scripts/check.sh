@@ -79,10 +79,100 @@ if ./target/release/obs_diff "$tmpdir/manifest-plain.json" \
 fi
 echo "obs_diff flags the injected regression (exit nonzero)"
 
+echo "== sampled-trace smoke: BTPUB_TRACE_SAMPLE must not move a report byte =="
+# Same traced run under a 1-in-8 announce sampling spec: stdout stays
+# byte-identical to the traceless run and the (smaller) trace still
+# parses as a loadable Chrome trace.
+BTPUB_TRACE_SAMPLE='tracker.announce:8,seed:42' \
+    ./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --trace "$tmpdir/trace-sampled.json" > "$tmpdir/sampled.txt" 2>/dev/null
+./target/release/obs_diff --validate-trace "$tmpdir/trace-sampled.json" --min-events 10
+if ! diff -u "$tmpdir/plain.txt" "$tmpdir/sampled.txt"; then
+    echo "FAIL: sampling the flight recorder changed the report bytes" >&2
+    exit 1
+fi
+echo "sampled report byte-identical to traceless"
+
+echo "== snapshot-on-trip smoke: a hostile run must leave black-box dumps =="
+# Armed hostile run with a snapshot prefix: the first fault per stream
+# (and any breaker opening) trips a bounded ring dump; at least one
+# must exist and be a loadable Chrome trace.
+BTPUB_TRACE_SNAPSHOT="$tmpdir/bb" \
+    ./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --fault-profile hostile --trace "$tmpdir/trace-hostile.json" \
+    --manifest "$tmpdir/manifest-hostile.json" > /dev/null 2>&1
+dumps=("$tmpdir"/bb-*.json)
+if [ ! -e "${dumps[0]}" ]; then
+    echo "FAIL: hostile armed run produced no black-box dump" >&2
+    exit 1
+fi
+./target/release/obs_diff --validate-trace "${dumps[0]}" --min-events 1
+echo "black-box dumps written: ${#dumps[@]}"
+
+echo "== obs_diff config guard: cross-config comparison must be refused =="
+# Clean vs hostile manifests describe different runs; diffing them
+# would report fault skew as a bogus metric regression. The guard must
+# refuse with exit 2 — distinct from a real regression's exit 1.
+set +e
+./target/release/obs_diff "$tmpdir/manifest-plain.json" \
+    "$tmpdir/manifest-hostile.json" >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 2 ]; then
+    echo "FAIL: expected exit 2 refusing cross-config diff, got $rc" >&2
+    exit 1
+fi
+echo "cross-config comparison refused (exit 2)"
+
+echo "== obs_diff --watch: live manifest tailing =="
+# A healthy bounded watch exits 0; the same watch against the broken
+# manifest must flag the regression.
+./target/release/obs_diff --watch "$tmpdir/manifest-plain.json" \
+    "$tmpdir/manifest-traced.json" --interval-ms 50 --max-checks 1
+set +e
+./target/release/obs_diff --watch "$tmpdir/manifest-plain.json" \
+    "$tmpdir/manifest-broken.json" --interval-ms 50 --max-checks 1 \
+    >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: watch missed the injected regression (exit $rc, wanted 1)" >&2
+    exit 1
+fi
+echo "watch matches healthy manifest, flags broken one"
+
+echo "== periodic manifests: btpub-monitor --manifest-every is deterministic =="
+# Two identical daemon runs emitting a manifest every 2 simulated days:
+# the final manifests must agree on every deterministic metric, a
+# partial (3-day) run must read as in-flight against the 6-day
+# baseline, and the 6-day run must read as an overshoot against the
+# 3-day baseline.
+./target/release/btpub-monitor --scale tiny --days 6 \
+    --manifest "$tmpdir/monitor-a.json" --manifest-every 2 >/dev/null 2>&1
+./target/release/btpub-monitor --scale tiny --days 6 \
+    --manifest "$tmpdir/monitor-b.json" --manifest-every 2 >/dev/null 2>&1
+./target/release/obs_diff "$tmpdir/monitor-a.json" "$tmpdir/monitor-b.json"
+./target/release/obs_diff --watch "$tmpdir/monitor-a.json" \
+    "$tmpdir/monitor-b.json" --expect-partial --interval-ms 50 --max-checks 1
+./target/release/btpub-monitor --scale tiny --days 3 \
+    --manifest "$tmpdir/monitor-partial.json" >/dev/null 2>&1
+set +e
+./target/release/obs_diff --watch "$tmpdir/monitor-partial.json" \
+    "$tmpdir/monitor-a.json" --expect-partial --interval-ms 50 --max-checks 1 \
+    >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: watch missed metrics beyond baseline (exit $rc, wanted 1)" >&2
+    exit 1
+fi
+echo "periodic manifests deterministic; partial-run semantics hold"
+
 echo "== perf smoke gate: tiny-scale hotpath vs committed BENCH_hotpath.json =="
 # Reduced-scale pass of the hotpath bench, gated against the committed
 # baseline: fails on any allocs-per-announce regression (the fast path
-# must stay allocation-free) or a >20% tiny-pipeline wall regression.
+# must stay allocation-free), a >20% tiny-pipeline wall regression, or
+# armed flight-recorder overhead beyond its fixed 5% ceiling.
 ./target/release/bench_hotpath --scale tiny --jobs 1 \
     --out "$tmpdir/bench_hotpath.json" --gate BENCH_hotpath.json
 

@@ -90,10 +90,33 @@ fn pb10_reports_match_committed_fixtures_at_all_jobs_and_profiles() {
             &format!("hostile profile, --jobs {jobs}, recorder armed"),
         );
     }
-    btpub_obs::trace::set_enabled(false);
     let snap = btpub_obs::trace::drain();
     assert!(
         snap.event_count() > 0,
         "armed runs must actually have recorded events"
+    );
+    // And again with deterministic sampling installed: dropping events
+    // at the recorder is just as forbidden from moving report bytes as
+    // recording them.
+    btpub_obs::trace::set_sample_spec("tracker.announce:3,sim.engine.tick:5,seed:7")
+        .expect("sample spec parses");
+    for jobs in [1, 4] {
+        assert_matches_fixture(
+            &render_pb10_tiny(FaultProfile::clean(), jobs),
+            clean,
+            &format!("clean profile, --jobs {jobs}, recorder armed + sampled"),
+        );
+        assert_matches_fixture(
+            &render_pb10_tiny(FaultProfile::hostile(), jobs),
+            hostile,
+            &format!("hostile profile, --jobs {jobs}, recorder armed + sampled"),
+        );
+    }
+    btpub_obs::trace::set_sample_spec("").expect("clearing sample spec");
+    btpub_obs::trace::set_enabled(false);
+    let snap = btpub_obs::trace::drain();
+    assert!(
+        snap.event_count() > 0,
+        "sampled armed runs must still record the kept events"
     );
 }

@@ -1,0 +1,152 @@
+//! Deterministic sampling, throttling and the ops plane of the flight
+//! recorder: the `BTPUB_TRACE_SAMPLE` spec keeps exactly the event set
+//! `mix(seed, site, index)` predicts (run after run), the `cap:`
+//! throttle accounts for every rejected event, `trip()` writes a
+//! bounded deduplicated black-box dump, and the panic hook flushes the
+//! rings into a loadable Chrome trace on the way down.
+//!
+//! One `#[test]` because the recorder is process-global state: phases
+//! share the armed recorder and drain between steps.
+
+use serde_json::Value;
+
+/// Events recorded per phase — enough that the 1-in-4 sample keeps a
+/// few hundred and the statistical assertions have teeth.
+const N: u64 = 1000;
+
+const SITE: &str = "lab.sample.site";
+const SEED: u64 = 99;
+const EVERY: u64 = 4;
+
+/// Records `N` instants at [`SITE`] (payload = call index) and returns
+/// the payloads of the events the sampler kept, in order.
+fn sampled_pass() -> Vec<u64> {
+    let s = btpub_obs::trace::sym(SITE);
+    for i in 0..N {
+        btpub_obs::trace::record(s, btpub_obs::trace::EventKind::Instant, i);
+    }
+    let snap = btpub_obs::trace::drain();
+    let mut kept = Vec::new();
+    for t in &snap.threads {
+        for e in &t.events {
+            if snap.name(e.sym) == SITE {
+                kept.push(e.payload);
+            }
+        }
+    }
+    kept
+}
+
+fn read_chrome_trace(path: &std::path::Path) -> Vec<Value> {
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let root: Value = serde_json::from_str(&text).expect("trace file is valid JSON");
+    root.get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array")
+        .clone()
+}
+
+#[test]
+fn sampling_is_deterministic_and_the_ops_plane_works() {
+    let tmp = std::env::temp_dir().join(format!("btpub-trace-sampling-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create temp dir");
+    btpub_obs::trace::set_enabled(true);
+
+    // --- Deterministic sampling: the kept index set is exactly what
+    // the public mix() predicts, and re-installing the spec resets the
+    // draw counters so a second run keeps the identical set.
+    let spec = format!("{SITE}:{EVERY},seed:{SEED}");
+    btpub_obs::trace::set_sample_spec(&spec).expect("sample spec parses");
+    let predicted: Vec<u64> = (0..N)
+        .filter(|&i| btpub_obs::trace::mix(SEED, SITE, i).is_multiple_of(EVERY))
+        .collect();
+    assert!(
+        predicted.len() > N as usize / 8 && predicted.len() < N as usize / 2,
+        "1-in-{EVERY} sampling should keep roughly a quarter, kept {}",
+        predicted.len()
+    );
+    let first = sampled_pass();
+    assert_eq!(
+        first, predicted,
+        "sampler must keep exactly the indices mix(seed, site, i) admits"
+    );
+    btpub_obs::trace::set_sample_spec(&spec).expect("sample spec re-parses");
+    let second = sampled_pass();
+    assert_eq!(first, second, "same (seed, spec) must keep the same event set");
+
+    // --- A sampled armed run still exports a loadable Chrome trace.
+    btpub_obs::trace::set_sample_spec(&spec).expect("sample spec re-parses");
+    let s = btpub_obs::trace::sym(SITE);
+    for i in 0..N {
+        btpub_obs::trace::record(s, btpub_obs::trace::EventKind::Instant, i);
+    }
+    let sampled_trace = tmp.join("sampled.json");
+    let written = btpub_obs::trace::write_chrome_trace(&sampled_trace).expect("write trace");
+    assert_eq!(written, predicted.len(), "export flushes exactly the kept events");
+    let events = read_chrome_trace(&sampled_trace);
+    let instants = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+        .count();
+    assert_eq!(instants, predicted.len(), "every kept event round-trips");
+
+    // --- The cap: throttle bounds per-second volume and accounts for
+    // every rejection (kept + capped == recorded).
+    btpub_obs::trace::set_sample_spec("cap:50").expect("cap spec parses");
+    for i in 0..N {
+        btpub_obs::trace::record(s, btpub_obs::trace::EventKind::Instant, i);
+    }
+    let snap = btpub_obs::trace::drain();
+    let kept: u64 = snap.threads.iter().map(|t| t.events.len() as u64).sum();
+    let capped: u64 = snap.threads.iter().map(|t| t.capped).sum();
+    assert_eq!(kept + capped, N, "rejected events must be counted, not lost");
+    // The loop spans at most a couple of wall seconds; each second
+    // admits at most 50 events.
+    assert!(kept <= 150, "cap:50 must bound volume, kept {kept}");
+    assert!(capped > 0, "a 1000-event burst must hit the 50/sec cap");
+    btpub_obs::trace::set_sample_spec("").expect("clearing spec");
+
+    // --- Black box: trip() writes one bounded dump per reason.
+    let prefix = tmp.join("bb");
+    btpub_obs::trace::set_snapshot_prefix(Some(prefix.display().to_string()));
+    for i in 0..32 {
+        btpub_obs::trace::record(s, btpub_obs::trace::EventKind::Instant, i);
+    }
+    let dump = btpub_obs::trace::trip("test.reason").expect("first trip dumps");
+    assert!(dump.exists(), "black-box dump written at {}", dump.display());
+    let events = read_chrome_trace(&dump);
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(Value::as_str) == Some("blackbox.trip")
+                && e.get("args")
+                    .and_then(|a| a.get("reason"))
+                    .and_then(Value::as_str)
+                    == Some("test.reason")
+        }),
+        "dump carries the trip marker with its reason"
+    );
+    assert!(
+        btpub_obs::trace::trip("test.reason").is_none(),
+        "a repeated reason must not dump again"
+    );
+    btpub_obs::trace::set_snapshot_prefix(None);
+
+    // --- Panic hook: a crashing armed run still yields a loadable
+    // trace (the hook drains the rings after the default hook runs).
+    let crash_trace = tmp.join("crash.json");
+    btpub_obs::trace::install_panic_hook(&crash_trace);
+    for i in 0..64 {
+        btpub_obs::trace::record(s, btpub_obs::trace::EventKind::Instant, i);
+    }
+    let caught = std::panic::catch_unwind(|| panic!("synthetic crash for the flight recorder"));
+    assert!(caught.is_err(), "the synthetic panic must unwind");
+    let events = read_chrome_trace(&crash_trace);
+    let real = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) != Some("M"))
+        .count();
+    assert!(real >= 64, "panic flush must carry the staged events, got {real}");
+
+    btpub_obs::trace::set_enabled(false);
+    let _ = std::fs::remove_dir_all(&tmp);
+}
