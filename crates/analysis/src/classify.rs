@@ -11,8 +11,8 @@
 //! promoters run BitTorrent portals, and publishers with no URL anywhere
 //! are altruistic.
 
-use btpub_crawler::Dataset;
-use btpub_fxhash::{FxHashMap, Interner, Sym};
+use btpub_crawler::{Dataset, TorrentRecord};
+use btpub_fxhash::FxHashMap;
 use btpub_sim::content::Category;
 use btpub_sim::profile::BusinessClass;
 
@@ -70,6 +70,86 @@ pub fn extract_filename_url(filename: &str) -> Option<String> {
     (dots >= 1 && tld_ok).then(|| format!("www.{}", tail.trim_start_matches("www.")))
 }
 
+/// Incremental §5.1 evidence for one publisher: records fold in one at a
+/// time (in torrent-index order), [`ClassAcc::finish`] applies the
+/// classification rules. [`classify_top`] runs the materialized records
+/// through this same accumulator, so streaming and materialized
+/// classification are one code path.
+#[derive(Debug, Clone, Default)]
+pub struct ClassAcc {
+    url: Option<String>,
+    placements: Vec<UrlPlacement>,
+    porn: usize,
+    n: usize,
+    lang_counts: FxHashMap<String, usize>,
+}
+
+impl ClassAcc {
+    /// Folds one of the publisher's records in.
+    pub fn observe(&mut self, rec: &TorrentRecord) {
+        self.n += 1;
+        if rec.category == Category::Porn {
+            self.porn += 1;
+        }
+        if let Some(l) = &rec.language {
+            *self.lang_counts.entry(l.clone()).or_default() += 1;
+        }
+        if self.url.is_none() {
+            if let Some(found) = rec.textbox.as_deref().and_then(extract_url) {
+                self.url = Some(found);
+                self.placements.push(UrlPlacement::Textbox);
+            }
+        }
+        // Once a URL is known and the Filename placement recorded, another
+        // filename hit can change nothing — skip the allocating extraction.
+        if self.url.is_none() || !self.placements.contains(&UrlPlacement::Filename) {
+            if let Some(found) = extract_filename_url(&rec.filename) {
+                if !self.placements.contains(&UrlPlacement::Filename) {
+                    self.placements.push(UrlPlacement::Filename);
+                }
+                if self.url.is_none() {
+                    self.url = Some(found);
+                }
+            }
+        }
+    }
+
+    /// Applies the classification rules and produces the publisher's
+    /// [`Classified`] entry.
+    pub fn finish(self, key: PublisherKey) -> Classified {
+        let n = self.n.max(1);
+        let porn_share = self.porn as f64 / n as f64;
+        let class = match &self.url {
+            None => BusinessClass::Altruistic,
+            Some(u) => {
+                // The paper's manual business profiling, mechanised: porn-
+                // dominated catalogues promoting image hosts / forums are
+                // "Other Web sites"; the remaining promoters run portals.
+                let image_host = u.contains("pics") || u.contains("image") || u.contains("forum");
+                if porn_share >= 0.5 || image_host {
+                    BusinessClass::OtherWeb
+                } else {
+                    BusinessClass::BtPortal
+                }
+            }
+        };
+        // At most one language can clear the 60 % bar, so the pick is
+        // independent of map iteration order.
+        let language = self
+            .lang_counts
+            .into_iter()
+            .find(|(_, c)| *c * 10 >= n * 6)
+            .map(|(l, _)| l);
+        Classified {
+            key,
+            class,
+            url: self.url,
+            placements: self.placements,
+            language,
+        }
+    }
+}
+
 /// Classifies the Top publishers of a dataset.
 pub fn classify_top(
     dataset: &Dataset,
@@ -79,82 +159,18 @@ pub fn classify_top(
     let _span = btpub_obs::span!("analysis.classify_top");
     let by_key: FxHashMap<&PublisherKey, &PublisherStats> =
         publishers.iter().map(|p| (&p.key, p)).collect();
-    // Promoting URLs repeat across a publisher's whole catalogue (and
-    // across publishers fronting the same portal); interning them keeps
-    // one copy alive while the loop below runs.
-    let mut urls = Interner::new();
     groups
         .top
         .iter()
         .filter_map(|key| {
             let stats = by_key.get(key)?;
-            Some(classify_one(dataset, stats, &mut urls))
+            let mut acc = ClassAcc::default();
+            for &idx in &stats.torrents {
+                acc.observe(&dataset.torrents[idx]);
+            }
+            Some(acc.finish(stats.key.clone()))
         })
         .collect()
-}
-
-fn classify_one(dataset: &Dataset, stats: &PublisherStats, urls: &mut Interner) -> Classified {
-    let mut url: Option<Sym> = None;
-    let mut placements = Vec::new();
-    let mut porn = 0usize;
-    let mut lang_counts: FxHashMap<&str, usize> = FxHashMap::default();
-    for &idx in &stats.torrents {
-        let rec = &dataset.torrents[idx];
-        if rec.category == Category::Porn {
-            porn += 1;
-        }
-        if let Some(l) = &rec.language {
-            *lang_counts.entry(l).or_default() += 1;
-        }
-        if url.is_none() {
-            if let Some(found) = rec.textbox.as_deref().and_then(extract_url) {
-                url = Some(urls.intern(&found));
-                placements.push(UrlPlacement::Textbox);
-            }
-        }
-        // Once a URL is known and the Filename placement recorded, another
-        // filename hit can change nothing — skip the allocating extraction.
-        if url.is_none() || !placements.contains(&UrlPlacement::Filename) {
-            if let Some(found) = extract_filename_url(&rec.filename) {
-                if !placements.contains(&UrlPlacement::Filename) {
-                    placements.push(UrlPlacement::Filename);
-                }
-                if url.is_none() {
-                    url = Some(urls.intern(&found));
-                }
-            }
-        }
-    }
-    let n = stats.torrents.len().max(1);
-    let porn_share = porn as f64 / n as f64;
-    let class = match url {
-        None => BusinessClass::Altruistic,
-        Some(u) => {
-            // The paper's manual business profiling, mechanised: porn-
-            // dominated catalogues promoting image hosts / forums are
-            // "Other Web sites"; the remaining promoters run portals.
-            let u = urls.resolve(u);
-            let image_host = u.contains("pics") || u.contains("image") || u.contains("forum");
-            if porn_share >= 0.5 || image_host {
-                BusinessClass::OtherWeb
-            } else {
-                BusinessClass::BtPortal
-            }
-        }
-    };
-    // At most one language can clear the 60 % bar, so the pick is
-    // independent of map iteration order.
-    let language = lang_counts
-        .into_iter()
-        .find(|(_, c)| *c * 10 >= n * 6)
-        .map(|(l, _)| l.to_string());
-    Classified {
-        key: stats.key.clone(),
-        class,
-        url: url.map(|s| urls.resolve(s).to_string()),
-        placements,
-        language,
-    }
 }
 
 /// Per-class share of the top set, of all content, and of all downloads
@@ -165,14 +181,31 @@ pub fn class_shares(
     classified: &[Classified],
     class: BusinessClass,
 ) -> (f64, f64, f64) {
-    let by_key: FxHashMap<&PublisherKey, &PublisherStats> =
-        publishers.iter().map(|p| (&p.key, p)).collect();
-    let total_content = dataset.torrent_count() as f64;
     let total_downloads: u64 = dataset
         .torrents
         .iter()
         .map(|t| t.observed_downloaders() as u64)
         .sum();
+    class_shares_from(
+        publishers,
+        classified,
+        class,
+        dataset.torrent_count(),
+        total_downloads,
+    )
+}
+
+/// Core of [`class_shares`] over campaign-wide totals instead of a
+/// materialized dataset (shared with the streaming path).
+pub fn class_shares_from(
+    publishers: &[PublisherStats],
+    classified: &[Classified],
+    class: BusinessClass,
+    total_content: usize,
+    total_downloads: u64,
+) -> (f64, f64, f64) {
+    let by_key: FxHashMap<&PublisherKey, &PublisherStats> =
+        publishers.iter().map(|p| (&p.key, p)).collect();
     let members: Vec<&Classified> = classified.iter().filter(|c| c.class == class).collect();
     let of_top = members.len() as f64 / classified.len().max(1) as f64;
     let (content, downloads) = members
@@ -183,7 +216,7 @@ pub fn class_shares(
         });
     (
         of_top,
-        content as f64 / total_content.max(1.0),
+        content as f64 / (total_content as f64).max(1.0),
         downloads as f64 / total_downloads.max(1) as f64,
     )
 }

@@ -37,6 +37,18 @@ pub fn category_distribution(
     groups: &Groups,
     group: Group,
 ) -> CategoryDistribution {
+    category_distribution_with(|idx| dataset.torrents[idx].category, publishers, groups, group)
+}
+
+/// Core of [`category_distribution`], parameterized over where a torrent
+/// index resolves to its category: the materialized path reads the full
+/// record, the streaming path reads a one-byte-per-torrent column.
+pub fn category_distribution_with(
+    category_of: impl Fn(usize) -> Category,
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    group: Group,
+) -> CategoryDistribution {
     let mut counts = [0usize; 8];
     let mut n = 0usize;
     for p in publishers {
@@ -44,7 +56,7 @@ pub fn category_distribution(
             continue;
         }
         for &idx in &p.torrents {
-            let cat = dataset.torrents[idx].category;
+            let cat = category_of(idx);
             let pos = Category::ALL.iter().position(|c| *c == cat).expect("known");
             counts[pos] += 1;
             n += 1;

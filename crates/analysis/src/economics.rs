@@ -150,7 +150,18 @@ pub fn hosting_income_estimate(
     provider: &str,
     monthly_price_eur: f64,
 ) -> (usize, f64) {
-    let fp = crate::isp::isp_footprint(dataset, db, provider);
+    hosting_income_from(
+        &crate::isp::isp_footprint(dataset, db, provider),
+        monthly_price_eur,
+    )
+}
+
+/// Core of [`hosting_income_estimate`] over an already-computed footprint
+/// (shared with the streaming path).
+pub fn hosting_income_from(
+    fp: &crate::isp::IspFootprint,
+    monthly_price_eur: f64,
+) -> (usize, f64) {
     (fp.ip_addresses, fp.ip_addresses as f64 * monthly_price_eur)
 }
 

@@ -15,8 +15,8 @@
 //! accounts, split into Top-HP / Top-CI by each publisher's dominant ISP
 //! kind.
 
-use btpub_crawler::Dataset;
-use btpub_fxhash::{FxHashMap, FxHashSet, Sym};
+use btpub_crawler::{Dataset, TorrentRecord};
+use btpub_fxhash::{FxHashMap, FxHashSet, Interner, Sym};
 use btpub_geodb::{GeoDb, IspKind};
 
 use crate::isp::dominant_kind;
@@ -91,6 +91,69 @@ impl Groups {
 /// Minimum distinct usernames on one IP to call it a fake-publisher IP.
 pub const FAKE_IP_USERNAME_THRESHOLD: usize = 3;
 
+/// The per-record evidence §3.3's detection consumes, accumulated one
+/// record at a time. The materialized [`assign_groups`] and
+/// [`mapping_stats`] scans and the streaming ingest loop both fold
+/// records through [`GroupSignals::observe`], so detection sees exactly
+/// the same evidence either way.
+#[derive(Debug, Clone, Default)]
+pub struct GroupSignals {
+    /// Usernames tainted by takedowns (signal 1).
+    pub fake_syms: FxHashSet<Sym>,
+    /// IP → usernames it published under (signal 2 fan-out).
+    pub by_ip: FxHashMap<u32, FxHashSet<Sym>>,
+    /// IP → (identified torrents, removed torrents) — the corroboration.
+    pub ip_removed: FxHashMap<u32, (usize, usize)>,
+    /// (username, IP) → torrents identified from that pair (§3.3 mapping).
+    pub ip_torrents: FxHashMap<(Sym, u32), usize>,
+    /// IP → identified content count (the top-IP ranking's raw counts).
+    pub ip_content: FxHashMap<u32, usize>,
+}
+
+impl GroupSignals {
+    /// Folds one record's evidence in. `users` must already contain the
+    /// record's username (interning happens in record order upstream).
+    pub fn observe(&mut self, rec: &TorrentRecord, users: &Interner) {
+        let sym = rec
+            .username
+            .as_ref()
+            .map(|u| users.get(u).expect("username interned"));
+        if rec.observed_removed {
+            if let Some(sym) = sym {
+                self.fake_syms.insert(sym);
+            }
+        }
+        if let Some(ip) = rec.publisher_ip {
+            let ip = u32::from(ip);
+            let e = self.ip_removed.entry(ip).or_default();
+            e.0 += 1;
+            e.1 += usize::from(rec.observed_removed);
+            *self.ip_content.entry(ip).or_default() += 1;
+            if let Some(sym) = sym {
+                self.by_ip.entry(ip).or_default().insert(sym);
+                *self.ip_torrents.entry((sym, ip)).or_default() += 1;
+            }
+        }
+    }
+
+    /// Content counts per identified IP, sorted descending with the same
+    /// tie-break as [`top_ips_by_content`].
+    pub fn top_ips(&self) -> Vec<(u32, usize)> {
+        let mut out: Vec<(u32, usize)> = self.ip_content.iter().map(|(&k, &v)| (k, v)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Scans a materialized dataset into [`GroupSignals`].
+pub fn collect_signals(dataset: &Dataset, users: &Interner) -> GroupSignals {
+    let mut signals = GroupSignals::default();
+    for rec in &dataset.torrents {
+        signals.observe(rec, users);
+    }
+    signals
+}
+
 /// Runs §3.3's detection and grouping over a username-bearing dataset.
 pub fn assign_groups(
     dataset: &Dataset,
@@ -99,8 +162,29 @@ pub fn assign_groups(
     top_k: usize,
 ) -> Groups {
     let _span = btpub_obs::span!("analysis.assign_groups");
-    let mut groups = Groups::default();
     if !dataset.has_usernames {
+        return assign_groups_from(&GroupSignals::default(), publishers, db, top_k, None);
+    }
+    // Both signals work on interned symbols; strings are resolved once at
+    // the end, so the per-record and per-IP set operations hash a `u32`
+    // instead of username bytes.
+    let users = intern_usernames(dataset);
+    let signals = collect_signals(dataset, &users);
+    assign_groups_from(&signals, publishers, db, top_k, Some(&users))
+}
+
+/// Core of [`assign_groups`], shared with the streaming path: turns the
+/// accumulated per-record evidence into group assignments. `users` is
+/// `None` for mn08-style datasets without usernames.
+pub fn assign_groups_from(
+    signals: &GroupSignals,
+    publishers: &[PublisherStats],
+    db: &GeoDb,
+    top_k: usize,
+    users: Option<&Interner>,
+) -> Groups {
+    let mut groups = Groups::default();
+    let Some(users) = users else {
         // mn08 mode: no username signal; groups reduce to top-by-IP.
         for p in publishers.iter().take(top_k) {
             groups.top.push(p.key.clone());
@@ -115,37 +199,17 @@ pub fn assign_groups(
             }
         }
         return groups;
-    }
-    // Both signals work on interned symbols; strings are resolved once at
-    // the end, so the per-record and per-IP set operations hash a `u32`
-    // instead of username bytes.
-    let users = intern_usernames(dataset);
-    let mut fake_syms: FxHashSet<Sym> = FxHashSet::default();
-    // Signal 1: takedowns taint usernames.
-    for rec in &dataset.torrents {
-        if rec.observed_removed {
-            if let Some(u) = &rec.username {
-                fake_syms.insert(users.get(u).expect("username interned"));
-            }
-        }
-    }
+    };
+    // Signal 1 (takedowns) arrives pre-accumulated in `fake_syms`.
+    let mut fake_syms = signals.fake_syms.clone();
     // Signal 2: IP → many usernames, corroborated by takedowns. The
     // corroboration matters: a compromised *genuine* publisher's servers
     // must not be labelled fake because one hacked username also appears
     // on them (the hacked publications are seeded from the fake entity's
     // servers, not the victim's), and a one-off misidentified downloader
     // on a removed listing must not be labelled either.
-    let by_ip = ip_to_usernames(dataset, &users);
-    let mut ip_removed: FxHashMap<u32, (usize, usize)> = FxHashMap::default();
-    for rec in &dataset.torrents {
-        if let Some(ip) = rec.publisher_ip {
-            let e = ip_removed.entry(u32::from(ip)).or_default();
-            e.0 += 1;
-            e.1 += usize::from(rec.observed_removed);
-        }
-    }
-    for (ip, usernames) in &by_ip {
-        let (identified, removed) = ip_removed.get(ip).copied().unwrap_or((0, 0));
+    for (ip, usernames) in &signals.by_ip {
+        let (identified, removed) = signals.ip_removed.get(ip).copied().unwrap_or((0, 0));
         let mostly_removed = identified >= 2 && removed * 2 >= identified;
         let username_mill = usernames.len() >= FAKE_IP_USERNAME_THRESHOLD && removed > 0;
         if username_mill || mostly_removed {
@@ -154,7 +218,7 @@ pub fn assign_groups(
     }
     // Usernames published from fake IPs are fake too (throwaway accounts
     // whose torrents happened not to be removed yet).
-    for (ip, usernames) in &by_ip {
+    for (ip, usernames) in &signals.by_ip {
         if groups.fake_ips.contains(ip) {
             fake_syms.extend(usernames);
         }
@@ -194,24 +258,33 @@ pub fn assign_groups(
 /// (§3.3's "fake publishers are responsible for 30 % of content and 25 %
 /// of downloads"; Top: 37 % / 50 %).
 pub fn group_shares(dataset: &Dataset, publishers: &[PublisherStats], groups: &Groups, group: Group) -> (f64, f64) {
-    let total_content = dataset.torrent_count() as f64;
     let total_downloads: u64 = dataset
         .torrents
         .iter()
         .map(|t| t.observed_downloaders() as u64)
         .sum();
-    let member_torrents: Vec<usize> = publishers
+    group_shares_from(publishers, groups, group, dataset.torrent_count(), total_downloads)
+}
+
+/// Core of [`group_shares`] over campaign-wide totals instead of a
+/// materialized dataset. A member's torrent count and download total are
+/// already held in its [`PublisherStats`], so summing those per publisher
+/// is integer-identical to walking the member torrents one by one.
+pub fn group_shares_from(
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    group: Group,
+    total_content: usize,
+    total_downloads: u64,
+) -> (f64, f64) {
+    let (content, downloads) = publishers
         .iter()
         .filter(|p| groups.contains(&p.key, group))
-        .flat_map(|p| p.torrents.iter().copied())
-        .collect();
-    let content = member_torrents.len() as f64;
-    let downloads: u64 = member_torrents
-        .iter()
-        .map(|&i| dataset.torrents[i].observed_downloaders() as u64)
-        .sum();
+        .fold((0usize, 0u64), |(c, d), p| {
+            (c + p.content_count(), d + p.downloads)
+        });
     (
-        content / total_content.max(1.0),
+        content as f64 / (total_content as f64).max(1.0),
         downloads as f64 / (total_downloads.max(1)) as f64,
     )
 }
@@ -224,23 +297,36 @@ pub fn group_shares(dataset: &Dataset, publishers: &[PublisherStats], groups: &G
 /// torrents per "publisher". The paper studies fake publishers as the
 /// server IPs at their three hosting providers; this mirrors that.
 pub fn fake_ip_stats(dataset: &Dataset, groups: &Groups) -> Vec<PublisherStats> {
-    let mut agg: std::collections::BTreeMap<u32, PublisherStats> = Default::default();
+    let mut agg: std::collections::BTreeMap<u32, (Vec<usize>, u64)> = Default::default();
     for (idx, rec) in dataset.torrents.iter().enumerate() {
         let Some(ip) = rec.publisher_ip else { continue };
         let ip = u32::from(ip);
         if !groups.fake_ips.contains(&ip) {
             continue;
         }
-        let entry = agg.entry(ip).or_insert_with(|| PublisherStats {
-            key: PublisherKey::Ip(ip),
-            torrents: Vec::new(),
-            downloads: 0,
-            ips: [ip].into_iter().collect(),
-        });
-        entry.torrents.push(idx);
-        entry.downloads += rec.observed_downloaders() as u64;
+        let entry = agg.entry(ip).or_default();
+        entry.0.push(idx);
+        entry.1 += rec.observed_downloaders() as u64;
     }
-    let mut out: Vec<PublisherStats> = agg.into_values().collect();
+    fake_entities_from(agg)
+}
+
+/// Core of [`fake_ip_stats`]: turns per-IP (torrent indices, downloads)
+/// accumulators — keyed ascending by IP, fake IPs only — into the sorted
+/// entity list. The sort is stable, so ties keep the ascending-IP order
+/// of the `BTreeMap`.
+pub fn fake_entities_from(
+    per_ip: std::collections::BTreeMap<u32, (Vec<usize>, u64)>,
+) -> Vec<PublisherStats> {
+    let mut out: Vec<PublisherStats> = per_ip
+        .into_iter()
+        .map(|(ip, (torrents, downloads))| PublisherStats {
+            key: PublisherKey::Ip(ip),
+            torrents,
+            downloads,
+            ips: [ip].into_iter().collect(),
+        })
+        .collect();
     out.sort_by_key(|s| std::cmp::Reverse(s.content_count()));
     out
 }
@@ -278,11 +364,33 @@ pub fn mapping_stats(
     db: &GeoDb,
     top_k: usize,
 ) -> MappingStats {
-    let mut stats = MappingStats::default();
     let users = intern_usernames(dataset);
-    // Top IPs side.
     let top_ips = top_ips_by_content(dataset);
     let by_ip = ip_to_usernames(dataset, &users);
+    let mut ip_torrents: FxHashMap<(Sym, u32), usize> = FxHashMap::default();
+    for rec in &dataset.torrents {
+        if let (Some(ip), Some(user)) = (rec.publisher_ip, &rec.username) {
+            let sym = users.get(user).expect("username interned");
+            *ip_torrents.entry((sym, u32::from(ip))).or_default() += 1;
+        }
+    }
+    mapping_stats_from(publishers, db, top_k, &users, &top_ips, &by_ip, &ip_torrents)
+}
+
+/// Core of [`mapping_stats`], over pre-accumulated views (the streaming
+/// path hands in the same maps built record by record).
+#[allow(clippy::too_many_arguments)]
+pub fn mapping_stats_from(
+    publishers: &[PublisherStats],
+    db: &GeoDb,
+    top_k: usize,
+    users: &Interner,
+    top_ips: &[(u32, usize)],
+    by_ip: &FxHashMap<u32, FxHashSet<Sym>>,
+    ip_torrents: &FxHashMap<(Sym, u32), usize>,
+) -> MappingStats {
+    let mut stats = MappingStats::default();
+    // Top IPs side.
     let considered: Vec<&(u32, usize)> = top_ips.iter().take(top_k).collect();
     if !considered.is_empty() {
         let unique = considered
@@ -296,13 +404,6 @@ pub fn mapping_stats(
     // mistaken for the initial seeder), so only *significant* IPs — those
     // behind at least 10 % of the publisher's identified torrents — drive
     // the classification, mirroring the paper's manual inspection.
-    let mut ip_torrents: FxHashMap<(Sym, u32), usize> = FxHashMap::default();
-    for rec in &dataset.torrents {
-        if let (Some(ip), Some(user)) = (rec.publisher_ip, &rec.username) {
-            let sym = users.get(user).expect("username interned");
-            *ip_torrents.entry((sym, u32::from(ip))).or_default() += 1;
-        }
-    }
     let mut counts: FxHashMap<&'static str, (usize, f64)> = FxHashMap::default();
     let mut total = 0usize;
     for p in publishers.iter().take(top_k) {

@@ -4,7 +4,7 @@ use std::net::Ipv4Addr;
 
 use btpub_crawler::Dataset;
 use btpub_fxhash::{FxHashMap, FxHashSet};
-use btpub_geodb::{prefix16, GeoDb, IspId, IspKind};
+use btpub_geodb::{prefix16, GeoDb, IspId, IspKind, LocationId};
 
 use crate::publishers::PublisherStats;
 
@@ -19,32 +19,93 @@ pub struct IspRow {
     pub pct_content: f64,
 }
 
+/// Incremental per-ISP aggregate behind Tables 2–3 and §6: one entry per
+/// ISP that fed content, each holding the counts and distinct-value sets
+/// those tables report. Bounded by the identified-publisher population,
+/// never by campaign length, so the streaming path keeps one of these
+/// while records flow through.
+#[derive(Debug, Clone, Default)]
+pub struct IspAgg {
+    per_isp: FxHashMap<IspId, IspAcc>,
+    attributed: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct IspAcc {
+    fed: usize,
+    ips: FxHashSet<u32>,
+    prefixes: FxHashSet<u16>,
+    locations: FxHashSet<LocationId>,
+}
+
+impl IspAgg {
+    /// Folds one record's identified publisher IP in (no-op when the IP
+    /// was not identified or is outside the database).
+    pub fn observe(&mut self, publisher_ip: Option<Ipv4Addr>, db: &GeoDb) {
+        let Some(ip) = publisher_ip else { return };
+        let Some(info) = db.lookup(ip) else { return };
+        self.attributed += 1;
+        let acc = self.per_isp.entry(info.isp).or_default();
+        acc.fed += 1;
+        acc.ips.insert(u32::from(ip));
+        acc.prefixes.insert(prefix16(ip));
+        acc.locations.insert(info.location);
+    }
+
+    /// Table 2 from the aggregate: top-`k` ISPs by share of IP-attributed
+    /// content.
+    pub fn top_isps(&self, db: &GeoDb, k: usize) -> Vec<IspRow> {
+        let mut rows: Vec<(IspId, usize)> =
+            self.per_isp.iter().map(|(&isp, acc)| (isp, acc.fed)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(k);
+        rows.into_iter()
+            .map(|(isp, count)| {
+                let rec = db.isp(isp);
+                IspRow {
+                    name: rec.name.clone(),
+                    kind: rec.kind,
+                    pct_content: 100.0 * count as f64 / self.attributed.max(1) as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Table 3's row for one ISP, by display name.
+    pub fn footprint(&self, db: &GeoDb, isp_name: &str) -> IspFootprint {
+        let acc = db
+            .isp_by_name(isp_name)
+            .and_then(|id| self.per_isp.get(&id));
+        match acc {
+            Some(acc) => IspFootprint {
+                fed_torrents: acc.fed,
+                ip_addresses: acc.ips.len(),
+                prefixes16: acc.prefixes.len(),
+                geo_locations: acc.locations.len(),
+            },
+            None => IspFootprint {
+                fed_torrents: 0,
+                ip_addresses: 0,
+                prefixes16: 0,
+                geo_locations: 0,
+            },
+        }
+    }
+}
+
+/// Scans a materialized dataset into an [`IspAgg`].
+pub fn isp_agg(dataset: &Dataset, db: &GeoDb) -> IspAgg {
+    let mut agg = IspAgg::default();
+    for rec in &dataset.torrents {
+        agg.observe(rec.publisher_ip, db);
+    }
+    agg
+}
+
 /// Computes Table 2 for a dataset: the top-`k` ISPs by the share of
 /// (IP-attributed) content their publishers fed.
 pub fn top_isps(dataset: &Dataset, db: &GeoDb, k: usize) -> Vec<IspRow> {
-    let mut per_isp: FxHashMap<IspId, usize> = FxHashMap::default();
-    let mut attributed = 0usize;
-    for rec in &dataset.torrents {
-        if let Some(ip) = rec.publisher_ip {
-            if let Some(info) = db.lookup(ip) {
-                *per_isp.entry(info.isp).or_default() += 1;
-                attributed += 1;
-            }
-        }
-    }
-    let mut rows: Vec<(IspId, usize)> = per_isp.into_iter().collect();
-    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    rows.truncate(k);
-    rows.into_iter()
-        .map(|(isp, count)| {
-            let rec = db.isp(isp);
-            IspRow {
-                name: rec.name.clone(),
-                kind: rec.kind,
-                pct_content: 100.0 * count as f64 / attributed.max(1) as f64,
-            }
-        })
-        .collect()
+    isp_agg(dataset, db).top_isps(db, k)
 }
 
 /// Table 3's characterisation of one ISP's publisher footprint.
@@ -62,36 +123,7 @@ pub struct IspFootprint {
 
 /// Computes Table 3's row for one ISP (by name), e.g. OVH vs Comcast.
 pub fn isp_footprint(dataset: &Dataset, db: &GeoDb, isp_name: &str) -> IspFootprint {
-    let Some(target) = db.isp_by_name(isp_name) else {
-        return IspFootprint {
-            fed_torrents: 0,
-            ip_addresses: 0,
-            prefixes16: 0,
-            geo_locations: 0,
-        };
-    };
-    let mut fed = 0usize;
-    let mut ips: FxHashSet<u32> = FxHashSet::default();
-    let mut prefixes: FxHashSet<u16> = FxHashSet::default();
-    let mut locations: FxHashSet<_> = FxHashSet::default();
-    for rec in &dataset.torrents {
-        if let Some(ip) = rec.publisher_ip {
-            if let Some(info) = db.lookup(ip) {
-                if info.isp == target {
-                    fed += 1;
-                    ips.insert(u32::from(ip));
-                    prefixes.insert(prefix16(ip));
-                    locations.insert(info.location);
-                }
-            }
-        }
-    }
-    IspFootprint {
-        fed_torrents: fed,
-        ip_addresses: ips.len(),
-        prefixes16: prefixes.len(),
-        geo_locations: locations.len(),
-    }
+    isp_agg(dataset, db).footprint(db, isp_name)
 }
 
 /// Fraction of the given top publishers that sit at hosting providers,

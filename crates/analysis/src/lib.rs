@@ -23,6 +23,7 @@
 //! | [`longitudinal`] | §5.2, Table 4 | lifetime & publishing rate |
 //! | [`economics`] | §5.3 + §6, Table 5 | website value/income/visits |
 //! | [`stats`] | — | percentiles, box plots, min/med/avg/max |
+//! | [`streaming`] | — | record-at-a-time aggregation of all of the above |
 
 pub mod classify;
 pub mod content_type;
@@ -36,6 +37,7 @@ pub mod seeding;
 pub mod session;
 pub mod skewness;
 pub mod stats;
+pub mod streaming;
 
 pub use fake::{Group, Groups};
 pub use publishers::{aggregate_publishers, PublisherKey, PublisherStats};

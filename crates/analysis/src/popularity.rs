@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use crate::fake::{Group, Groups};
 use crate::publishers::PublisherStats;
-use crate::stats::BoxStats;
+use crate::stats::{BoxStats, QuantileSketch};
 
 /// The "All" group is a random sample of this many publishers in the
 /// paper (computing the seeding metrics for every publisher was too
@@ -38,13 +38,19 @@ pub fn per_publisher_popularity(
 }
 
 /// Figure 3's box for one group.
+///
+/// Routed through the streaming [`QuantileSketch`]: below the sketch
+/// budget (always true for the publisher-bounded groups here) the result
+/// is bit-identical to the historical full-vector computation; past it,
+/// memory stays fixed and quantiles carry the sketch's stated error.
 pub fn popularity_box(
     publishers: &[PublisherStats],
     groups: &Groups,
     group: Group,
     sample_seed: u64,
 ) -> Option<BoxStats> {
-    BoxStats::of(&per_publisher_popularity(publishers, groups, group, sample_seed))
+    QuantileSketch::from_values(&per_publisher_popularity(publishers, groups, group, sample_seed))
+        .box_stats()
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use std::net::Ipv4Addr;
 
-use btpub_crawler::Dataset;
+use btpub_crawler::{Dataset, TorrentRecord};
 use btpub_fxhash::{FxHashMap, FxHashSet, Interner, Sym};
 
 /// How a publisher is identified in a dataset.
@@ -64,21 +64,78 @@ pub fn intern_usernames(dataset: &Dataset) -> Interner {
 }
 
 /// Internal aggregation key: a `u32` either way, so the per-record hash
-/// in the fold below never touches string bytes. Deliberately private —
-/// symbols must be resolved back to [`PublisherKey`] strings before
-/// anything ordered or report-facing sees them.
+/// in the fold below never touches string bytes. Deliberately crate-
+/// private — symbols must be resolved back to [`PublisherKey`] strings
+/// before anything ordered or report-facing sees them. The streaming
+/// aggregator keys its per-publisher accumulators on the same symbols.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
-enum IKey {
+pub(crate) enum IKey {
     User(Sym),
     Ip(u32),
 }
 
 /// Per-key partial aggregate (the key lives in the map).
 #[derive(Default)]
-struct Partial {
-    torrents: Vec<usize>,
-    downloads: u64,
-    ips: FxHashSet<u32>,
+pub(crate) struct Partial {
+    pub(crate) torrents: Vec<usize>,
+    pub(crate) downloads: u64,
+    pub(crate) ips: FxHashSet<u32>,
+}
+
+impl Partial {
+    /// Folds one attributed record into the aggregate. Shared by the
+    /// chunked materialized fold and the streaming ingest so both build
+    /// byte-identical per-publisher state.
+    pub(crate) fn observe(&mut self, idx: usize, rec: &TorrentRecord) {
+        self.torrents.push(idx);
+        self.downloads += rec.observed_downloaders() as u64;
+        if let Some(ip) = rec.publisher_ip {
+            self.ips.insert(u32::from(ip));
+        }
+    }
+}
+
+/// The aggregation key a record is attributed to, if any: username when
+/// the dataset carries usernames, identified initial-seeder IP otherwise.
+pub(crate) fn attribution(users: Option<&Interner>, rec: &TorrentRecord) -> Option<IKey> {
+    if let Some(users) = users {
+        rec.username
+            .as_ref()
+            .map(|u| IKey::User(users.get(u).expect("username interned")))
+    } else {
+        rec.publisher_ip.map(|ip| IKey::Ip(u32::from(ip)))
+    }
+}
+
+/// Report boundary shared by both aggregation paths: resolve symbols back
+/// to strings (one clone per publisher, not per record) and impose the
+/// total order. The final comparator ends in a unique-key comparison, so
+/// the result is independent of the hash map's iteration order.
+pub(crate) fn resolve_and_sort(
+    agg: FxHashMap<IKey, Partial>,
+    users: Option<&Interner>,
+) -> Vec<PublisherStats> {
+    let mut out: Vec<PublisherStats> = agg
+        .into_iter()
+        .map(|(key, p)| PublisherStats {
+            key: match key {
+                IKey::User(s) => {
+                    PublisherKey::Username(users.expect("username mode").resolve(s).to_string())
+                }
+                IKey::Ip(ip) => PublisherKey::Ip(ip),
+            },
+            torrents: p.torrents,
+            downloads: p.downloads,
+            ips: p.ips,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.content_count()
+            .cmp(&a.content_count())
+            .then_with(|| b.downloads.cmp(&a.downloads))
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    out
 }
 
 /// Groups a dataset by publisher.
@@ -102,23 +159,10 @@ pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
             let mut agg: FxHashMap<IKey, Partial> = FxHashMap::default();
             for idx in n * c / chunks..n * (c + 1) / chunks {
                 let rec = &dataset.torrents[idx];
-                let key = if let Some(users) = &users {
-                    match &rec.username {
-                        Some(u) => IKey::User(users.get(u).expect("username interned")),
-                        None => continue,
-                    }
-                } else {
-                    match rec.publisher_ip {
-                        Some(ip) => IKey::Ip(u32::from(ip)),
-                        None => continue,
-                    }
+                let Some(key) = attribution(users.as_ref(), rec) else {
+                    continue;
                 };
-                let entry = agg.entry(key).or_default();
-                entry.torrents.push(idx);
-                entry.downloads += rec.observed_downloaders() as u64;
-                if let Some(ip) = rec.publisher_ip {
-                    entry.ips.insert(u32::from(ip));
-                }
+                agg.entry(key).or_default().observe(idx, rec);
             }
             agg
         });
@@ -138,31 +182,7 @@ pub fn aggregate_publishers(dataset: &Dataset) -> Vec<PublisherStats> {
             }
         }
     }
-    // Report boundary: resolve symbols back to strings (one clone per
-    // publisher, not per record) and impose the total order. The final
-    // comparator ends in a unique-key comparison, so the result is
-    // independent of the hash map's iteration order above.
-    let mut out: Vec<PublisherStats> = agg
-        .into_iter()
-        .map(|(key, p)| PublisherStats {
-            key: match key {
-                IKey::User(s) => {
-                    PublisherKey::Username(users.as_ref().expect("username mode").resolve(s).to_string())
-                }
-                IKey::Ip(ip) => PublisherKey::Ip(ip),
-            },
-            torrents: p.torrents,
-            downloads: p.downloads,
-            ips: p.ips,
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        b.content_count()
-            .cmp(&a.content_count())
-            .then_with(|| b.downloads.cmp(&a.downloads))
-            .then_with(|| a.key.cmp(&b.key))
-    });
-    out
+    resolve_and_sort(agg, users.as_ref())
 }
 
 /// The IP→usernames view of §3.3: for every identified initial-seeder IP,

@@ -23,7 +23,7 @@ use crate::fake::{Group, Groups};
 use crate::popularity::ALL_SAMPLE;
 use crate::publishers::PublisherStats;
 use crate::session::{default_offline_threshold, estimate_sessions};
-use crate::stats::BoxStats;
+use crate::stats::{BoxStats, QuantileSketch};
 
 /// One publisher's Figure 4 metrics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +70,71 @@ fn typical_gap(rec: &TorrentRecord) -> SimDuration {
     SimDuration(gaps[gaps.len() / 2].clamp(60, 900))
 }
 
+/// Incremental Figure 4 accumulator for one publisher (or one fake-IP
+/// entity). Records fold in one at a time, in torrent-index order; the
+/// memory footprint is one [`IntervalSet`] plus three scalars, regardless
+/// of how many records contributed.
+///
+/// [`publisher_seeding_metrics`] folds a materialized dataset through
+/// this same accumulator, so both drivers run identical float arithmetic
+/// in identical order.
+#[derive(Debug, Clone, Default)]
+pub struct SeedAcc {
+    union: IntervalSet,
+    per_torrent_total: SimDuration,
+    measured: usize,
+    sum_hours: f64,
+}
+
+impl SeedAcc {
+    /// Folds one record in. Torrents without an identified publisher IP
+    /// or without publisher sightings contribute nothing, as in the
+    /// materialized pass.
+    pub fn observe(&mut self, rec: &TorrentRecord, threshold: SimDuration) {
+        if rec.publisher_ip.is_none() {
+            return;
+        }
+        let sessions = torrent_sessions(rec, threshold);
+        self.observe_sessions(&sessions);
+    }
+
+    /// Folds pre-estimated sessions in (lets an ingest loop estimate the
+    /// sessions once and feed several accumulators).
+    pub fn observe_sessions(&mut self, sessions: &IntervalSet) {
+        if sessions.is_empty() {
+            return;
+        }
+        self.measured += 1;
+        self.sum_hours += sessions.total().as_hours();
+        self.per_torrent_total += sessions.total();
+        self.union.union_with(sessions);
+    }
+
+    /// Whether any record contributed.
+    pub fn is_empty(&self) -> bool {
+        self.measured == 0
+    }
+
+    /// Finishes into the Figure 4 metrics, or `None` when no torrent
+    /// contributed.
+    pub fn metrics(&self) -> Option<SeedingMetrics> {
+        if self.measured == 0 {
+            return None;
+        }
+        let union_h = self.union.total().as_hours();
+        Some(SeedingMetrics {
+            avg_seed_time_h: self.sum_hours / self.measured as f64,
+            avg_parallel: if union_h > 0.0 {
+                self.per_torrent_total.as_hours() / union_h
+            } else {
+                0.0
+            },
+            aggregated_session_h: union_h,
+            torrents_measured: self.measured,
+        })
+    }
+}
+
 /// Computes the Figure 4 metrics for one publisher, or `None` when no
 /// torrent of theirs has an identified IP with sightings.
 pub fn publisher_seeding_metrics(
@@ -77,38 +142,11 @@ pub fn publisher_seeding_metrics(
     p: &PublisherStats,
     threshold: SimDuration,
 ) -> Option<SeedingMetrics> {
-    let mut union = IntervalSet::new();
-    let mut per_torrent_total = SimDuration::ZERO;
-    let mut measured = 0usize;
-    let mut sum_hours = 0.0f64;
+    let mut acc = SeedAcc::default();
     for &idx in &p.torrents {
-        let rec = &dataset.torrents[idx];
-        if rec.publisher_ip.is_none() {
-            continue;
-        }
-        let sessions = torrent_sessions(rec, threshold);
-        if sessions.is_empty() {
-            continue;
-        }
-        measured += 1;
-        sum_hours += sessions.total().as_hours();
-        per_torrent_total += sessions.total();
-        union.union_with(&sessions);
+        acc.observe(&dataset.torrents[idx], threshold);
     }
-    if measured == 0 {
-        return None;
-    }
-    let union_h = union.total().as_hours();
-    Some(SeedingMetrics {
-        avg_seed_time_h: sum_hours / measured as f64,
-        avg_parallel: if union_h > 0.0 {
-            per_torrent_total.as_hours() / union_h
-        } else {
-            0.0
-        },
-        aggregated_session_h: union_h,
-        torrents_measured: measured,
-    })
+    acc.metrics()
 }
 
 /// Figure 4's three boxes for one group. The `All` group is a random
@@ -120,6 +158,30 @@ pub fn group_seeding_boxes(
     group: Group,
     sample_seed: u64,
 ) -> Option<(BoxStats, BoxStats, BoxStats)> {
+    // Per-publisher session estimation is independent work over read-only
+    // records; fan it out (results come back in member order).
+    group_seeding_boxes_with(publishers, groups, group, sample_seed, |members| {
+        btpub_par::par_chunk_map("analysis.seeding", members, |p| {
+            publisher_seeding_metrics(dataset, p, default_offline_threshold())
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    })
+}
+
+/// Core of [`group_seeding_boxes`], parameterized over where the
+/// per-publisher metrics come from: the materialized path estimates them
+/// from the full dataset, the streaming path looks up accumulators built
+/// at ingest. Both feed the same [`QuantileSketch`]-backed boxes, exact
+/// below the sketch budget.
+pub fn group_seeding_boxes_with(
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    group: Group,
+    sample_seed: u64,
+    metrics_of: impl FnOnce(&[&PublisherStats]) -> Vec<SeedingMetrics>,
+) -> Option<(BoxStats, BoxStats, BoxStats)> {
     let mut members: Vec<&PublisherStats> = publishers
         .iter()
         .filter(|p| groups.contains(&p.key, group))
@@ -129,25 +191,22 @@ pub fn group_seeding_boxes(
         members.shuffle(&mut rng);
         members.truncate(ALL_SAMPLE);
     }
-    // Per-publisher session estimation is independent work over read-only
-    // records; fan it out (results come back in member order).
-    let metrics: Vec<SeedingMetrics> =
-        btpub_par::par_chunk_map("analysis.seeding", &members, |p| {
-            publisher_seeding_metrics(dataset, p, default_offline_threshold())
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+    let metrics = metrics_of(&members);
     if metrics.is_empty() {
         return None;
     }
-    let seed_times: Vec<f64> = metrics.iter().map(|m| m.avg_seed_time_h).collect();
-    let parallel: Vec<f64> = metrics.iter().map(|m| m.avg_parallel).collect();
-    let aggregated: Vec<f64> = metrics.iter().map(|m| m.aggregated_session_h).collect();
+    let mut seed_times = QuantileSketch::new();
+    let mut parallel = QuantileSketch::new();
+    let mut aggregated = QuantileSketch::new();
+    for m in &metrics {
+        seed_times.push(m.avg_seed_time_h);
+        parallel.push(m.avg_parallel);
+        aggregated.push(m.aggregated_session_h);
+    }
     Some((
-        BoxStats::of(&seed_times)?,
-        BoxStats::of(&parallel)?,
-        BoxStats::of(&aggregated)?,
+        seed_times.box_stats()?,
+        parallel.box_stats()?,
+        aggregated.box_stats()?,
     ))
 }
 

@@ -87,6 +87,209 @@ impl MinMedAvgMax {
     }
 }
 
+/// Relative error bound of a collapsed [`QuantileSketch`]: every
+/// reported quantile is within ±1% of the exact nearest-rank quantile.
+pub const SKETCH_RELATIVE_ERROR: f64 = 0.01;
+
+/// Samples a [`QuantileSketch`] holds exactly before collapsing into
+/// log-spaced buckets. Below this, results are bit-identical to the
+/// full-vector [`BoxStats::of`] path; above it, memory is fixed at the
+/// bucket table regardless of stream length.
+pub const SKETCH_DEFAULT_BUDGET: usize = 4096;
+
+/// Streaming quantile sketch for non-negative samples, deterministic and
+/// fixed-error (DDSketch-style log buckets).
+///
+/// Two regimes:
+///
+/// * **exact** — up to `budget` samples are stored verbatim and every
+///   summary delegates to the exact code path, so reference-scale report
+///   sections that route through the sketch stay byte-identical to the
+///   historical full-vector computation;
+/// * **collapsed** — once the budget is crossed, samples live in buckets
+///   `(γ^(i-1), γ^i]` with `γ = (1+α)/(1-α)`, `α =`
+///   [`SKETCH_RELATIVE_ERROR`]. A quantile query walks the cumulative
+///   counts and returns the bucket's midpoint estimate, which is within
+///   `α` relative error of the exact nearest-rank quantile. Min, max,
+///   mean and count remain exact (tracked directly).
+///
+/// Determinism: bucket assignment is a pure function of the value, so
+/// identical push sequences produce identical summaries — independent of
+/// when the collapse happened. The mean follows the push-order float sum,
+/// exactly like summing the materialized vector in the same order.
+pub struct QuantileSketch {
+    budget: usize,
+    exact: Vec<f64>,
+    collapsed: Option<Buckets>,
+}
+
+struct Buckets {
+    gamma: f64,
+    ln_gamma: f64,
+    /// Bucket index -> count; BTreeMap so walks ascend value order.
+    counts: std::collections::BTreeMap<i32, u64>,
+    zeros: u64,
+    n: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Buckets {
+    fn new() -> Buckets {
+        let a = SKETCH_RELATIVE_ERROR;
+        let gamma = (1.0 + a) / (1.0 - a);
+        Buckets {
+            gamma,
+            ln_gamma: gamma.ln(),
+            counts: std::collections::BTreeMap::new(),
+            zeros: 0,
+            n: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        debug_assert!(v >= 0.0 && v.is_finite(), "sketch samples are non-negative");
+        let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+        self.n += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v == 0.0 {
+            self.zeros += 1;
+        } else {
+            let idx = (v.ln() / self.ln_gamma).ceil() as i32;
+            *self.counts.entry(idx).or_insert(0) += 1;
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the value of the bucket holding
+    /// the `(⌊q·(n-1)⌋+1)`-th smallest sample.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.n - 1) as f64).floor() as u64;
+        if rank < self.zeros {
+            return Some(0.0);
+        }
+        let mut seen = self.zeros;
+        for (&idx, &count) in &self.counts {
+            seen += count;
+            if rank < seen {
+                // Midpoint of (γ^(i-1), γ^i]: 2γ^i / (γ+1), within α of
+                // every member of the bucket.
+                let est = 2.0 * self.gamma.powi(idx) / (self.gamma + 1.0);
+                return Some(est.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    pub fn new() -> QuantileSketch {
+        Self::with_budget(SKETCH_DEFAULT_BUDGET)
+    }
+
+    /// `budget` = number of samples kept exactly before collapsing.
+    pub fn with_budget(budget: usize) -> QuantileSketch {
+        QuantileSketch { budget: budget.max(1), exact: Vec::new(), collapsed: None }
+    }
+
+    /// Sketch of a full sample (collapses only past the default budget).
+    pub fn from_values(values: &[f64]) -> QuantileSketch {
+        let mut s = Self::new();
+        for &v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    pub fn push(&mut self, v: f64) {
+        if let Some(b) = &mut self.collapsed {
+            b.push(v);
+            return;
+        }
+        self.exact.push(v);
+        if self.exact.len() > self.budget {
+            let mut b = Buckets::new();
+            for &x in &self.exact {
+                b.push(x);
+            }
+            self.exact = Vec::new();
+            self.collapsed = Some(b);
+        }
+    }
+
+    /// True while every sample is stored verbatim (summaries are exact).
+    pub fn is_exact(&self) -> bool {
+        self.collapsed.is_none()
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.collapsed {
+            Some(b) => b.n as usize,
+            None => self.exact.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Quantile estimate; exact (linear interpolation, matching
+    /// [`percentile`]) below the budget, within
+    /// [`SKETCH_RELATIVE_ERROR`] of the nearest-rank quantile above it.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match &self.collapsed {
+            Some(b) => b.quantile(q),
+            None => {
+                let mut sorted = self.exact.clone();
+                sorted.sort_by(f64::total_cmp);
+                percentile(&sorted, q)
+            }
+        }
+    }
+
+    /// Box summary; bit-identical to [`BoxStats::of`] while exact.
+    pub fn box_stats(&self) -> Option<BoxStats> {
+        match &self.collapsed {
+            None => BoxStats::of(&self.exact),
+            Some(b) => {
+                if b.n == 0 {
+                    return None;
+                }
+                Some(BoxStats {
+                    min: b.min,
+                    p25: b.quantile(0.25)?,
+                    median: b.quantile(0.50)?,
+                    p75: b.quantile(0.75)?,
+                    max: b.max,
+                    mean: b.sum / b.n as f64,
+                    n: b.n as usize,
+                })
+            }
+        }
+    }
+
+    /// Tables 4–5 summary; bit-identical to [`MinMedAvgMax::of`] while
+    /// exact.
+    pub fn min_med_avg_max(&self) -> Option<MinMedAvgMax> {
+        let b = self.box_stats()?;
+        Some(MinMedAvgMax { min: b.min, median: b.median, avg: b.mean, max: b.max, n: b.n })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +335,120 @@ mod tests {
         let b = BoxStats::of(&samples).unwrap();
         assert!(b.min <= b.p25 && b.p25 <= b.median);
         assert!(b.median <= b.p75 && b.p75 <= b.max);
+    }
+
+    #[test]
+    fn sketch_exact_mode_is_bit_identical_to_boxstats() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 193) % 777) as f64 / 7.0).collect();
+        let s = QuantileSketch::from_values(&samples);
+        assert!(s.is_exact());
+        let via_sketch = s.box_stats().unwrap();
+        let direct = BoxStats::of(&samples).unwrap();
+        // Bit-for-bit, not approximately: the exact regime delegates.
+        assert_eq!(via_sketch, direct);
+        assert_eq!(s.min_med_avg_max().unwrap(), MinMedAvgMax::of(&samples).unwrap());
+    }
+
+    #[test]
+    fn sketch_collapse_is_insensitive_to_when_it_happened() {
+        // Same samples pushed with budget 10 and budget 1000 (both
+        // forced past collapse) must summarize identically.
+        let samples: Vec<f64> = (0..5000).map(|i| ((i * 37) % 991) as f64 * 0.5).collect();
+        let mut a = QuantileSketch::with_budget(10);
+        let mut b = QuantileSketch::with_budget(1000);
+        for &v in &samples {
+            a.push(v);
+            b.push(v);
+        }
+        assert!(!a.is_exact() && !b.is_exact());
+        assert_eq!(a.box_stats().unwrap(), b.box_stats().unwrap());
+    }
+
+    #[test]
+    fn collapsed_sketch_respects_error_bound() {
+        let mut samples: Vec<f64> = Vec::new();
+        // Adversarial mixture: zeros, a dense cluster, a heavy tail.
+        for i in 0..2000u32 {
+            samples.push(match i % 4 {
+                0 => 0.0,
+                1 => 1.0 + f64::from(i % 7) * 1e-4,
+                2 => f64::from(i),
+                _ => f64::from(i).powi(2),
+            });
+        }
+        let mut s = QuantileSketch::with_budget(64);
+        for &v in &samples {
+            s.push(v);
+        }
+        assert!(!s.is_exact());
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let exact = sorted[(q * (sorted.len() - 1) as f64).floor() as usize];
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= SKETCH_RELATIVE_ERROR * exact + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        // Mean/min/max/n are tracked exactly even when collapsed.
+        let b = s.box_stats().unwrap();
+        assert_eq!(b.min, 0.0);
+        assert_eq!(b.max, *sorted.last().unwrap());
+        assert_eq!(b.n, samples.len());
+        let exact_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert_eq!(b.mean, exact_mean);
+    }
+}
+
+#[cfg(test)]
+mod sketch_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On arbitrary non-negative samples — including adversarial
+        /// mixes of zeros, sub-1 values and huge outliers — a collapsed
+        /// sketch's quantiles stay within the stated relative error of
+        /// the exact nearest-rank quantile.
+        #[test]
+        fn collapsed_quantiles_within_stated_error(
+            small in proptest::collection::vec(0u32..100, 0..200),
+            mid in proptest::collection::vec(0u64..1_000_000, 1..200),
+            huge in proptest::collection::vec(0u64..u64::MAX / 2, 0..50),
+            qs in proptest::collection::vec(0u32..=1000, 5),
+        ) {
+            let mut samples: Vec<f64> = Vec::new();
+            samples.extend(small.iter().map(|&v| f64::from(v) / 97.0));
+            samples.extend(mid.iter().map(|&v| v as f64));
+            samples.extend(huge.iter().map(|&v| v as f64));
+            let mut sketch = QuantileSketch::with_budget(16);
+            for &v in &samples {
+                sketch.push(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            for &qi in &qs {
+                let q = f64::from(qi) / 1000.0;
+                let exact = sorted[(q * (sorted.len() - 1) as f64).floor() as usize];
+                let est = sketch.quantile(q).unwrap();
+                prop_assert!(
+                    (est - exact).abs() <= SKETCH_RELATIVE_ERROR * exact + 1e-9,
+                    "q={} est={} exact={}", q, est, exact
+                );
+            }
+        }
+
+        /// The exact regime must delegate: any sample set below the
+        /// budget summarizes bit-identically to BoxStats::of.
+        #[test]
+        fn exact_regime_matches_boxstats_bitwise(
+            vals in proptest::collection::vec(0u64..1_000_000_000, 1..64),
+        ) {
+            let samples: Vec<f64> = vals.iter().map(|&v| v as f64 / 3.0).collect();
+            let sketch = QuantileSketch::from_values(&samples);
+            prop_assert!(sketch.is_exact());
+            prop_assert_eq!(sketch.box_stats(), BoxStats::of(&samples));
+        }
     }
 }

@@ -1,0 +1,523 @@
+//! Streaming, memory-bounded analysis: every §3–§6 aggregate computed
+//! record by record, without ever materializing the campaign dataset.
+//!
+//! The pipeline is split in two: [`RecordDigest::reduce`] is a pure,
+//! order-free function of one record that consumes its heavy payload
+//! (sightings become per-threshold seeding sessions), and
+//! [`StreamAggregator::fold`] consumes digests in announcement order —
+//! exactly the order a materialized `Dataset::torrents` holds records —
+//! folding each into the same accumulator types the materialized
+//! pipeline uses internally
+//! ([`Partial`], [`ClassAcc`], [`SeedAcc`], [`GroupSignals`],
+//! [`IspAgg`]). The heavy per-record payloads (sightings, observed
+//! downloader IPs, title/filename/textbox strings) are consumed at
+//! ingest and dropped; what survives is bounded by the publisher and ISP
+//! populations plus a one-byte-per-torrent category column.
+//!
+//! Because both drivers share the accumulator code and fold records in
+//! the same order, [`StreamAggregator::finish`] yields publishers,
+//! groups and classifications that are **byte-identical** to the
+//! materialized pipeline's — float summation order included.
+//!
+//! The one campaign-sized set — distinct downloader IPs across all
+//! swarms (Table 1's "#IP addresses") — goes through
+//! [`DistinctU32`], which can spill sorted runs to disk and merge-count
+//! them at the end, keeping resident memory fixed.
+
+use std::collections::BTreeMap;
+
+use btpub_crawler::TorrentRecord;
+use btpub_fxhash::{FxHashMap, Interner};
+use btpub_geodb::GeoDb;
+use btpub_sim::content::Category;
+use btpub_sim::intervals::IntervalSet;
+use btpub_sim::SimDuration;
+use btpub_stream::spill::DistinctU32;
+
+use crate::classify::{ClassAcc, Classified};
+use crate::fake::{
+    assign_groups_from, fake_entities_from, mapping_stats_from, GroupSignals, Groups, MappingStats,
+};
+use crate::isp::IspAgg;
+use crate::publishers::{attribution, resolve_and_sort, IKey, Partial, PublisherKey, PublisherStats};
+use crate::seeding::{torrent_sessions, SeedAcc, SeedingMetrics};
+
+/// Offline thresholds tracked at ingest: Appendix A's 2 h / 4 h / 6 h.
+/// Index [`DEFAULT_THRESHOLD_IDX`] is the pipeline default (4 h).
+pub const SEEDING_THRESHOLDS_H: [f64; 3] = [2.0, 4.0, 6.0];
+
+/// Index of the default 4 h threshold in [`SEEDING_THRESHOLDS_H`].
+pub const DEFAULT_THRESHOLD_IDX: usize = 1;
+
+/// What the aggregator needs to know about the campaign up front.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Whether the portal exposes usernames (false for mn08-style runs).
+    pub has_usernames: bool,
+    /// The top-k cut used for group assignment and mapping stats.
+    pub top_k: usize,
+}
+
+/// Per-publisher accumulators, keyed like the materialized fold.
+#[derive(Default)]
+struct PubAcc {
+    partial: Partial,
+    class: ClassAcc,
+    seeding: [SeedAcc; 3],
+}
+
+/// Per-identified-IP accumulators (fake entities + §6 are IP-keyed).
+#[derive(Default)]
+struct IpAcc {
+    torrents: Vec<usize>,
+    downloads: u64,
+    seeding: SeedAcc,
+}
+
+/// A [`TorrentRecord`] shrunk to what the order-sensitive fold still
+/// needs: the sightings vector — the one payload that grows with a
+/// torrent's monitored lifetime — is consumed up front into the
+/// per-threshold seeding sessions and dropped. Records may be reduced
+/// in *any* order (everything here is a pure function of one record),
+/// which is what lets a reorder buffer hold digests instead of full
+/// records while waiting for announcement order.
+pub struct RecordDigest {
+    /// The record, minus its sightings (already folded into `sessions`).
+    /// `observed_ips` stays: it is deduplicated at finalize, so its
+    /// length is the distinct-downloader count the fold reads.
+    pub rec: TorrentRecord,
+    /// Seeding sessions at each [`SEEDING_THRESHOLDS_H`] threshold,
+    /// present iff the record has an identified publisher IP (the only
+    /// case the fold estimates sessions for).
+    sessions: Option<[IntervalSet; 3]>,
+}
+
+impl RecordDigest {
+    /// Reduces one record. Pure and order-free by construction.
+    pub fn reduce(mut rec: TorrentRecord) -> RecordDigest {
+        let sessions = rec.publisher_ip.is_some().then(|| {
+            SEEDING_THRESHOLDS_H
+                .map(|hours| torrent_sessions(&rec, SimDuration::from_hours(hours)))
+        });
+        rec.sightings = Vec::new();
+        RecordDigest { rec, sessions }
+    }
+}
+
+/// Campaign-wide scalar totals (Table 1 and the share denominators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamTotals {
+    /// Total torrents crawled.
+    pub torrents_total: usize,
+    /// Torrents with a username.
+    pub torrents_username: usize,
+    /// Torrents with an identified publisher IP.
+    pub torrents_ip: usize,
+    /// Sum of observed downloaders across all torrents.
+    pub total_downloads: u64,
+    /// Distinct downloader IPs across every swarm.
+    pub distinct_ips: usize,
+}
+
+/// The record-at-a-time aggregation pipeline.
+pub struct StreamAggregator<'d> {
+    cfg: StreamConfig,
+    db: &'d GeoDb,
+    users: Interner,
+    pubs: FxHashMap<IKey, PubAcc>,
+    per_ip: FxHashMap<u32, IpAcc>,
+    signals: GroupSignals,
+    isp: IspAgg,
+    categories: Vec<Category>,
+    distinct: DistinctU32,
+    torrents_username: usize,
+    torrents_ip: usize,
+    total_downloads: u64,
+    next_idx: usize,
+}
+
+impl<'d> StreamAggregator<'d> {
+    /// Creates an aggregator; `distinct` controls whether the global
+    /// distinct-IP count stays in memory or spills sorted runs to disk.
+    pub fn new(cfg: StreamConfig, db: &'d GeoDb, distinct: DistinctU32) -> Self {
+        StreamAggregator {
+            cfg,
+            db,
+            users: Interner::with_capacity(1024),
+            pubs: FxHashMap::default(),
+            per_ip: FxHashMap::default(),
+            signals: GroupSignals::default(),
+            isp: IspAgg::default(),
+            categories: Vec::new(),
+            distinct,
+            torrents_username: 0,
+            torrents_ip: 0,
+            total_downloads: 0,
+            next_idx: 0,
+        }
+    }
+
+    /// Number of records ingested so far.
+    pub fn records_ingested(&self) -> usize {
+        self.next_idx
+    }
+
+    /// Folds the next record in. Records must arrive in announcement
+    /// order (convenience wrapper over [`RecordDigest::reduce`] +
+    /// [`Self::fold`]; the implicit torrent index is the arrival
+    /// position).
+    pub fn ingest(&mut self, rec: &TorrentRecord) {
+        self.fold(&RecordDigest::reduce(rec.clone()));
+    }
+
+    /// Folds the next digest in. Digests must be folded in announcement
+    /// order — symbol interning, index assignment and float summation
+    /// order all depend on it — but because [`RecordDigest::reduce`] is
+    /// order-free, a consumer receiving records out of order only ever
+    /// buffers digests, never full records.
+    pub fn fold(&mut self, digest: &RecordDigest) {
+        let rec = &digest.rec;
+        let idx = self.next_idx;
+        self.next_idx += 1;
+        self.categories.push(rec.category);
+        if rec.username.is_some() {
+            self.torrents_username += 1;
+        }
+        if rec.publisher_ip.is_some() {
+            self.torrents_ip += 1;
+        }
+        self.total_downloads += rec.observed_downloaders() as u64;
+        self.distinct.insert_all(&rec.observed_ips);
+        // Intern in record order — symbol assignment matches
+        // `intern_usernames` over the materialized dataset.
+        if let Some(u) = &rec.username {
+            self.users.intern(u);
+        }
+        self.signals.observe(rec, &self.users);
+        self.isp.observe(rec.publisher_ip, self.db);
+        // Per-publisher accumulators (username- or IP-keyed).
+        let users = self.cfg.has_usernames.then_some(&self.users);
+        let key = attribution(users, rec);
+        if let Some(key) = key {
+            let acc = self.pubs.entry(key).or_default();
+            acc.partial.observe(idx, rec);
+            acc.class.observe(rec);
+        }
+        // Seeding sessions: estimated once per threshold at reduce time,
+        // fed to both the publisher-keyed and the IP-keyed accumulators.
+        if let Some(ip) = rec.publisher_ip {
+            let ip_acc = self.per_ip.entry(u32::from(ip)).or_default();
+            ip_acc.torrents.push(idx);
+            ip_acc.downloads += rec.observed_downloaders() as u64;
+            let sessions3 = digest
+                .sessions
+                .as_ref()
+                .expect("sessions reduced for every identified record");
+            for (i, sessions) in sessions3.iter().enumerate() {
+                if i == DEFAULT_THRESHOLD_IDX {
+                    ip_acc.seeding.observe_sessions(sessions);
+                }
+                if let Some(key) = key {
+                    if let Some(acc) = self.pubs.get_mut(&key) {
+                        acc.seeding[i].observe_sessions(sessions);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finishes the aggregation: resolves, sorts, detects, classifies.
+    pub fn finish(self) -> StreamAnalyses {
+        let _span = btpub_obs::span!("analysis.stream_finish");
+        let StreamAggregator {
+            cfg,
+            db,
+            users,
+            pubs,
+            per_ip,
+            signals,
+            isp,
+            categories,
+            distinct,
+            torrents_username,
+            torrents_ip,
+            total_downloads,
+            next_idx,
+        } = self;
+        let mut partials: FxHashMap<IKey, Partial> = FxHashMap::default();
+        let mut extras: FxHashMap<IKey, (ClassAcc, [SeedAcc; 3])> = FxHashMap::default();
+        for (key, acc) in pubs {
+            partials.insert(key, acc.partial);
+            extras.insert(key, (acc.class, acc.seeding));
+        }
+        let users_opt = cfg.has_usernames.then_some(&users);
+        let publishers = resolve_and_sort(partials, users_opt);
+        let groups = assign_groups_from(&signals, &publishers, db, cfg.top_k, users_opt);
+        let ikey_of = |key: &PublisherKey| -> Option<IKey> {
+            match key {
+                PublisherKey::Username(u) => users.get(u).map(IKey::User),
+                PublisherKey::Ip(ip) => Some(IKey::Ip(*ip)),
+            }
+        };
+        // Classification, in Top order — same traversal as `classify_top`.
+        let classified: Vec<Classified> = groups
+            .top
+            .iter()
+            .filter_map(|key| {
+                let ik = ikey_of(key)?;
+                let (class_acc, _) = extras.get(&ik)?;
+                Some(class_acc.clone().finish(key.clone()))
+            })
+            .collect();
+        // Per-publisher seeding metrics at every tracked threshold.
+        let mut seeding: FxHashMap<PublisherKey, [Option<SeedingMetrics>; 3]> =
+            FxHashMap::default();
+        for p in &publishers {
+            let Some(ik) = ikey_of(&p.key) else { continue };
+            let Some((_, accs)) = extras.get(&ik) else { continue };
+            let metrics = [accs[0].metrics(), accs[1].metrics(), accs[2].metrics()];
+            seeding.insert(p.key.clone(), metrics);
+        }
+        // IP-keyed fake entities (ascending-IP BTreeMap keeps the sort's
+        // tie order identical to `fake_ip_stats`).
+        let mut fake_per_ip: BTreeMap<u32, (Vec<usize>, u64)> = BTreeMap::new();
+        let mut fake_seeding: FxHashMap<u32, Option<SeedingMetrics>> = FxHashMap::default();
+        for (ip, acc) in per_ip {
+            if !groups.fake_ips.contains(&ip) {
+                continue;
+            }
+            fake_seeding.insert(ip, acc.seeding.metrics());
+            fake_per_ip.insert(ip, (acc.torrents, acc.downloads));
+        }
+        let fake_entities = fake_entities_from(fake_per_ip);
+        let mapping = mapping_stats_from(
+            &publishers,
+            db,
+            cfg.top_k,
+            &users,
+            &signals.top_ips(),
+            &signals.by_ip,
+            &signals.ip_torrents,
+        );
+        let totals = StreamTotals {
+            torrents_total: next_idx,
+            torrents_username,
+            torrents_ip,
+            total_downloads,
+            distinct_ips: distinct.finish() as usize,
+        };
+        StreamAnalyses {
+            publishers,
+            groups,
+            classified,
+            fake_entities,
+            mapping,
+            isp,
+            categories,
+            totals,
+            seeding,
+            fake_seeding,
+        }
+    }
+}
+
+/// Everything the report needs, computed without a materialized dataset.
+pub struct StreamAnalyses {
+    /// Per-publisher aggregation, sorted exactly like
+    /// [`crate::publishers::aggregate_publishers`].
+    pub publishers: Vec<PublisherStats>,
+    /// §3.3 group assignment.
+    pub groups: Groups,
+    /// §5.1 classification of the Top set.
+    pub classified: Vec<Classified>,
+    /// IP-keyed fake entities (Figure 4's Fake unit).
+    pub fake_entities: Vec<PublisherStats>,
+    /// §3.3 username↔IP mapping statistics.
+    pub mapping: MappingStats,
+    /// Per-ISP aggregate behind Tables 2–3 and §6.
+    pub isp: IspAgg,
+    /// One category per torrent, in announcement order (Figure 2).
+    pub categories: Vec<Category>,
+    /// Campaign-wide totals (Table 1, share denominators).
+    pub totals: StreamTotals,
+    /// Per-publisher seeding metrics at the 2 h / 4 h / 6 h thresholds.
+    pub seeding: FxHashMap<PublisherKey, [Option<SeedingMetrics>; 3]>,
+    /// Per-fake-IP-entity seeding metrics at the default threshold.
+    pub fake_seeding: FxHashMap<u32, Option<SeedingMetrics>>,
+}
+
+impl StreamAnalyses {
+    /// A publisher's seeding metrics at one tracked threshold index.
+    pub fn seeding_of(&self, key: &PublisherKey, threshold_idx: usize) -> Option<SeedingMetrics> {
+        self.seeding.get(key).and_then(|m| m[threshold_idx])
+    }
+
+    /// A fake entity's seeding metrics at the default threshold.
+    pub fn fake_seeding_of(&self, key: &PublisherKey) -> Option<SeedingMetrics> {
+        match key {
+            PublisherKey::Ip(ip) => self.fake_seeding.get(ip).copied().flatten(),
+            PublisherKey::Username(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_top;
+    use crate::fake::{assign_groups, fake_ip_stats};
+    use crate::publishers::aggregate_publishers;
+    use crate::seeding::publisher_seeding_metrics;
+    use crate::session::default_offline_threshold;
+    use btpub_crawler::{Dataset, Sighting};
+    use btpub_geodb::{GeoDbBuilder, IspKind};
+    use btpub_sim::{SimTime, TorrentId};
+    use std::net::Ipv4Addr;
+
+    fn db() -> GeoDb {
+        let mut b = GeoDbBuilder::new();
+        let hp = b.add_isp("HostCo", IspKind::HostingProvider, "US");
+        let ci = b.add_isp("CableCo", IspKind::CommercialIsp, "US");
+        let loc = b.add_location("X", "US");
+        b.add_slash16(0x0A00, hp, loc);
+        b.add_slash16(0x1800, ci, loc);
+        b.build().unwrap()
+    }
+
+    fn rec(
+        id: u32,
+        user: &str,
+        ip: Option<[u8; 4]>,
+        removed: bool,
+        cat: Category,
+    ) -> TorrentRecord {
+        let sightings = (0..12)
+            .map(|i| Sighting {
+                at: SimTime::from_hours(f64::from(id) + f64::from(i) * 0.25),
+                complete: 1,
+                incomplete: 2,
+                sampled: 3,
+                publisher_seen: ip.is_some() && i % 2 == 0,
+            })
+            .collect();
+        TorrentRecord {
+            torrent: TorrentId(id),
+            announced_at: SimTime(u64::from(id)),
+            first_contact_at: Some(SimTime(u64::from(id))),
+            category: cat,
+            title: format!("t{id}"),
+            filename: format!("Rls.{id}.DVDRip-promo{}.com", id % 3),
+            textbox: id.is_multiple_of(2).then(|| format!("visit http://www.site{}.net", id % 3)),
+            size_bytes: 100,
+            username: Some(user.into()),
+            language: id.is_multiple_of(2).then(|| "es".to_string()),
+            publisher_ip: ip.map(Ipv4Addr::from),
+            ip_failure: None,
+            first_complete: 1,
+            first_incomplete: 0,
+            sightings,
+            observed_ips: vec![id * 3, id * 3 + 1, 7],
+            observed_removed: removed,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut torrents = Vec::new();
+        // A hosted top publisher, a cable publisher, a fake mill on one
+        // IP with a takedown, and a long tail.
+        for i in 0..6 {
+            torrents.push(rec(i, "bighost", Some([10, 0, 0, 1]), false, Category::Movies));
+        }
+        for i in 6..10 {
+            torrents.push(rec(i, "cable", Some([24, 0, 0, 9]), false, Category::TvShows));
+        }
+        torrents.push(rec(10, "mill-a", Some([10, 0, 9, 9]), true, Category::Porn));
+        torrents.push(rec(11, "mill-b", Some([10, 0, 9, 9]), false, Category::Porn));
+        torrents.push(rec(12, "mill-c", Some([10, 0, 9, 9]), false, Category::Porn));
+        for i in 13..20 {
+            torrents.push(rec(i, &format!("small{i}"), None, false, Category::Audio));
+        }
+        Dataset {
+            name: "stream-test".into(),
+            start: SimTime(0),
+            end: SimTime::from_hours(100.0),
+            has_usernames: true,
+            torrents,
+        }
+    }
+
+    fn stream(ds: &Dataset, db: &GeoDb, top_k: usize) -> StreamAnalyses {
+        let mut agg = StreamAggregator::new(
+            StreamConfig {
+                has_usernames: ds.has_usernames,
+                top_k,
+            },
+            db,
+            DistinctU32::in_memory(),
+        );
+        for rec in &ds.torrents {
+            agg.ingest(rec);
+        }
+        agg.finish()
+    }
+
+    #[test]
+    fn streaming_matches_materialized_pipeline() {
+        let ds = dataset();
+        let database = db();
+        let top_k = 5;
+        let s = stream(&ds, &database, top_k);
+        let publishers = aggregate_publishers(&ds);
+        assert_eq!(s.publishers, publishers);
+        let groups = assign_groups(&ds, &publishers, &database, top_k);
+        assert_eq!(s.groups.fake_usernames, groups.fake_usernames);
+        assert_eq!(s.groups.fake_ips, groups.fake_ips);
+        assert_eq!(s.groups.top, groups.top);
+        assert_eq!(s.groups.top_hp, groups.top_hp);
+        assert_eq!(s.groups.top_ci, groups.top_ci);
+        assert_eq!(s.groups.compromised_in_top_k, groups.compromised_in_top_k);
+        assert_eq!(s.classified, classify_top(&ds, &publishers, &groups));
+        assert_eq!(s.fake_entities, fake_ip_stats(&ds, &groups));
+        assert_eq!(
+            s.mapping,
+            crate::fake::mapping_stats(&ds, &publishers, &database, top_k)
+        );
+        assert_eq!(
+            s.isp.top_isps(&database, 10),
+            crate::isp::top_isps(&ds, &database, 10)
+        );
+        assert_eq!(
+            s.isp.footprint(&database, "HostCo"),
+            crate::isp::isp_footprint(&ds, &database, "HostCo")
+        );
+        assert_eq!(s.totals.torrents_total, ds.torrent_count());
+        assert_eq!(s.totals.torrents_username, ds.username_identified_count());
+        assert_eq!(s.totals.torrents_ip, ds.ip_identified_count());
+        assert_eq!(s.totals.distinct_ips, ds.distinct_ip_count());
+        // Seeding metrics match the materialized estimator bit-for-bit.
+        for p in &publishers {
+            let expect = publisher_seeding_metrics(&ds, p, default_offline_threshold());
+            assert_eq!(s.seeding_of(&p.key, DEFAULT_THRESHOLD_IDX), expect, "{}", p.key);
+        }
+        for entity in &s.fake_entities {
+            let expect = publisher_seeding_metrics(&ds, entity, default_offline_threshold());
+            assert_eq!(s.fake_seeding_of(&entity.key), expect);
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_in_ip_mode() {
+        let mut ds = dataset();
+        ds.has_usernames = false;
+        for t in &mut ds.torrents {
+            t.username = None;
+        }
+        let database = db();
+        let s = stream(&ds, &database, 5);
+        let publishers = aggregate_publishers(&ds);
+        assert_eq!(s.publishers, publishers);
+        let groups = assign_groups(&ds, &publishers, &database, 5);
+        assert_eq!(s.groups.top, groups.top);
+        assert_eq!(s.classified, classify_top(&ds, &publishers, &groups));
+    }
+}

@@ -317,6 +317,20 @@ fn measure_trace_overhead_pct(eco: &Ecosystem, sample_spec: &str) -> f64 {
 /// Applies the regression gate; returns the failure messages.
 fn gate_failures(old: &BenchReport, new: &BenchReport) -> Vec<String> {
     let mut failures = Vec::new();
+    // A baseline recorded on different hardware or at a different job
+    // count gates nothing: its wall clocks and pool behaviour are not
+    // comparable to this run's. Refuse outright rather than letting a
+    // stale environment pass (or fail) the perf gate for the wrong
+    // reason — scripts/bench.sh regenerates the baseline in place.
+    if new.cpus != old.cpus || new.jobs != old.jobs {
+        failures.push(format!(
+            "baseline environment mismatch: baseline has cpus={}/jobs={}, \
+             this run has cpus={}/jobs={} — regenerate the baseline here \
+             (scripts/bench.sh)",
+            old.cpus, old.jobs, new.cpus, new.jobs
+        ));
+        return failures;
+    }
     // Hard: the announce loop must not start allocating again. Allow a
     // tenth of an allocation per query of slack for map-resize jitter.
     if new.allocs_per_query > old.allocs_per_query + 0.1 {

@@ -1,0 +1,414 @@
+//! Streaming-pipeline memory benchmark → `BENCH_stream.json`.
+//!
+//! ```text
+//! bench_stream [--jobs N] [--out PATH] [--gate PATH] [--replay NEW.json]
+//! ```
+//!
+//! The question this answers: does the bounded streaming pipeline
+//! (`repro --stream`) actually hold crawl+analysis memory flat when the
+//! campaign grows 100×? It runs the pb10 scenario at tiny scale (1×) and
+//! at the 100×-shape (`Scenario::pb10(Scale::tiny()).times(100)`: 100×
+//! the torrents over 100× the days, so announcement density, swarm
+//! lifetimes and the in-flight monitoring window all stay at tiny shape)
+//! under a byte-counting global allocator and
+//! records, per configuration:
+//!
+//! * **peak bytes** — high-water mark of live heap bytes *over the
+//!   post-generation baseline*, so the simulated world (whose size scales
+//!   with the campaign by construction) is excluded and the number
+//!   isolates crawl + aggregation + report;
+//! * **records/sec** — torrent records ingested per wall-clock second of
+//!   the crawl+aggregate phase;
+//! * **wall per phase** — generate / crawl+aggregate / report.
+//!
+//! The materialized pipeline is measured at both shapes for contrast
+//! (`--gate` runs skip the expensive materialized 100× pass), and the 1×
+//! streaming report is asserted byte-identical to the materialized one
+//! in-process.
+//!
+//! `--gate OLD.json` compares a fresh (or `--replay`ed) measurement
+//! against the committed baseline and exits nonzero if the streaming
+//! 100×-shape peak exceeds the baseline's fixed `ceiling_bytes`, if
+//! memory growth from 1× to 100× is no longer sublinear, if the 1×
+//! streaming report diverged from the materialized one, or if the
+//! baseline was recorded on different cpus/jobs than this run (a
+//! mismatched baseline gates nothing). `--replay NEW.json` skips the
+//! measurement and gates an existing report file — `scripts/check.sh`
+//! uses it to prove the gate actually fails on a doctored baseline.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use btpub::{Scale, Scenario, StreamOptions, StreamStudy, Study};
+use btpub_par::Jobs;
+use btpub_sim::Ecosystem;
+
+/// `System`, plus live-byte accounting: `CUR` tracks currently-live heap
+/// bytes, `PEAK` their high-water mark (via `fetch_max`, so concurrent
+/// producer/consumer threads are counted too).
+struct PeakAlloc;
+
+static CUR: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+fn count_alloc(size: usize) {
+    let cur = CUR.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK.fetch_max(cur, Ordering::Relaxed);
+}
+
+fn count_dealloc(size: usize) {
+    CUR.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            count_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        count_dealloc(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new.is_null() {
+            count_dealloc(layout.size());
+            count_alloc(new_size);
+        }
+        new
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: PeakAlloc = PeakAlloc;
+
+/// Resets the high-water mark to the currently-live bytes and returns
+/// that baseline: `peak_since() - baseline` is the measurement.
+fn reset_peak() -> u64 {
+    let cur = CUR.load(Ordering::Relaxed);
+    PEAK.store(cur, Ordering::Relaxed);
+    cur
+}
+
+fn peak() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Campaign-length multiplier of the large shape (torrents *and* days;
+/// announcement density and the publisher population stay at tiny scale).
+const MULTIPLIER: u64 = 100;
+
+/// Hard ceiling for the streaming 100×-shape crawl+analysis peak, bytes.
+/// Fixed rather than baseline-relative so a regression can never ratchet
+/// itself in as the new normal; sized ≈2× the measured ~11.8 MB peak so
+/// honest jitter passes while a materializing pipeline (measured ~66×
+/// over at this shape) trips immediately.
+const STREAM_PEAK_CEILING_BYTES: u64 = 24 * 1024 * 1024;
+
+/// Sublinearity bound: the streaming peak at 100× the campaign length
+/// must stay under this many multiples of the 1× peak. A truly bounded
+/// pipeline sits well below; a materializing one sits near 100.
+const MAX_PEAK_GROWTH_RATIO: f64 = 16.0;
+
+/// One measured pipeline pass.
+#[derive(Debug)]
+struct Measured {
+    peak_bytes: u64,
+    records: usize,
+    crawl_s: f64,
+    report_s: f64,
+    report: String,
+}
+
+/// Crawl + aggregate + report on the streaming path, over a pre-generated
+/// world so the measurement window holds only the pipeline itself.
+fn measure_stream(scenario: &Scenario, eco: Ecosystem) -> Measured {
+    let baseline = reset_peak();
+    let t0 = Instant::now();
+    let study = StreamStudy::run_on(scenario, eco, &StreamOptions::default());
+    let crawl_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let report = study.full_report();
+    let report_s = t1.elapsed().as_secs_f64();
+    Measured {
+        peak_bytes: peak() - baseline,
+        records: study.analyses.totals.torrents_total,
+        crawl_s,
+        report_s,
+        report,
+    }
+}
+
+/// The same window on the materialized path.
+fn measure_materialized(scenario: &Scenario, eco: Ecosystem) -> Measured {
+    let baseline = reset_peak();
+    let t0 = Instant::now();
+    let study = Study::run_on(scenario, eco);
+    let crawl_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let analyses = study.analyze();
+    let report = analyses.experiments().full_report();
+    let report_s = t1.elapsed().as_secs_f64();
+    Measured {
+        peak_bytes: peak() - baseline,
+        records: study.dataset.torrent_count(),
+        crawl_s,
+        report_s,
+        report,
+    }
+}
+
+/// The emitted measurement record.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchReport {
+    /// Benchmark id.
+    bench: String,
+    /// Scale preset the shapes are built from.
+    scale: String,
+    /// Campaign-length multiplier of the large shape.
+    multiplier: u64,
+    /// Detected available parallelism.
+    cpus: usize,
+    /// Worker count the pipelines ran at.
+    jobs: usize,
+    /// Torrent records ingested at 1× / at the 100×-shape.
+    records_1x: usize,
+    records_100x: usize,
+    /// World-generation wall clock for the 100×-shape, seconds (outside
+    /// the memory window; listed so total cost is attributable).
+    generate_100x_s: f64,
+    /// Crawl+aggregate and report walls, streaming 100×-shape.
+    stream_crawl_100x_s: f64,
+    stream_report_100x_s: f64,
+    /// Records ingested per second, streaming 100×-shape crawl phase.
+    records_per_sec_100x: f64,
+    /// Peak live heap bytes over the post-generation baseline.
+    materialized_peak_bytes_1x: u64,
+    /// `None` on `--gate` runs (the expensive contrast pass is skipped).
+    materialized_peak_bytes_100x: Option<u64>,
+    stream_peak_bytes_1x: u64,
+    stream_peak_bytes_100x: u64,
+    /// `stream_peak_bytes_100x / stream_peak_bytes_1x` — sublinearity in
+    /// one number (campaign grew 100×; this must stay far below that).
+    peak_growth_ratio: f64,
+    /// The fixed gate ceiling the 100×-shape streaming peak is held to.
+    ceiling_bytes: u64,
+    /// Whether the 1× streaming report was byte-identical to the
+    /// materialized one in this very process.
+    reports_identical_1x: bool,
+    /// Report bytes produced (sanity: the pipeline really ran).
+    report_bytes: usize,
+}
+
+/// Applies the regression gate; returns the failure messages.
+fn gate_failures(old: &BenchReport, new: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    // A baseline from a different environment gates nothing: refuse it
+    // rather than comparing walls across machines or worker counts.
+    if old.cpus != new.cpus || old.jobs != new.jobs {
+        failures.push(format!(
+            "baseline environment mismatch: baseline cpus={}/jobs={}, this run \
+             cpus={}/jobs={} — regenerate the baseline here (scripts/bench.sh)",
+            old.cpus, old.jobs, new.cpus, new.jobs
+        ));
+    }
+    // Hard: the 100×-shape streaming peak must fit under the committed
+    // ceiling. This is the memory-boundedness contract.
+    if new.stream_peak_bytes_100x > old.ceiling_bytes {
+        failures.push(format!(
+            "streaming 100x-shape peak {} bytes exceeds the {} byte ceiling",
+            new.stream_peak_bytes_100x, old.ceiling_bytes
+        ));
+    }
+    // Hard: growth from 1× to 100× must stay sublinear.
+    if new.peak_growth_ratio > MAX_PEAK_GROWTH_RATIO {
+        failures.push(format!(
+            "peak grew {:.1}x from 1x to {}x campaign length (bound {:.0}x) — \
+             something materializes per-record state again",
+            new.peak_growth_ratio, new.multiplier, MAX_PEAK_GROWTH_RATIO
+        ));
+    }
+    // Hard: streaming must keep producing the materialized bytes.
+    if !new.reports_identical_1x {
+        failures.push(
+            "streaming report diverged from the materialized report at 1x".into(),
+        );
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 1usize;
+    let mut out = "BENCH_stream.json".to_string();
+    let mut gate: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                out = match args.get(i) {
+                    Some(p) => p.clone(),
+                    None => {
+                        eprintln!("--out requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--gate" => {
+                i += 1;
+                gate = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--gate requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--replay" => {
+                i += 1;
+                replay = match args.get(i) {
+                    Some(p) => Some(p.clone()),
+                    None => {
+                        eprintln!("--replay requires a path");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let read_report = |path: &str| -> BenchReport {
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_stream: cannot read {path}: {e}");
+            std::process::exit(2);
+        }))
+        .unwrap_or_else(|e| {
+            eprintln!("bench_stream: cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let report = if let Some(new_path) = replay {
+        // Gate an existing measurement without re-running it.
+        read_report(&new_path)
+    } else {
+        btpub_par::set_global(Jobs::new(jobs));
+        let cpus = Jobs::detected().get();
+        eprintln!("bench_stream: jobs={jobs} (cpus={cpus}), multiplier={MULTIPLIER}");
+
+        let tiny = Scenario::pb10(Scale::tiny());
+        let large = Scenario::pb10(Scale::tiny()).times(MULTIPLIER);
+
+        // Warm-up (allocator arenas, page cache, metric handles).
+        let _ = measure_materialized(&tiny, Ecosystem::generate(tiny.eco.clone()));
+
+        let mat_1x = measure_materialized(&tiny, Ecosystem::generate(tiny.eco.clone()));
+        let stream_1x = measure_stream(&tiny, Ecosystem::generate(tiny.eco.clone()));
+        let reports_identical_1x = stream_1x.report == mat_1x.report;
+        eprintln!(
+            "  1x:   materialized peak {:>12} B, streaming peak {:>12} B, identical={}",
+            mat_1x.peak_bytes, stream_1x.peak_bytes, reports_identical_1x
+        );
+
+        // The materialized 100×-shape pass exists to show the contrast in
+        // committed baselines; gate runs skip it (it is the slow, hungry
+        // configuration — the one the streaming path exists to replace).
+        let mat_100x = if gate.is_none() {
+            let eco = Ecosystem::generate(large.eco.clone());
+            let m = measure_materialized(&large, eco);
+            eprintln!("  100x: materialized peak {:>12} B", m.peak_bytes);
+            Some(m)
+        } else {
+            None
+        };
+
+        let t_gen = Instant::now();
+        let eco = Ecosystem::generate(large.eco.clone());
+        let generate_100x_s = t_gen.elapsed().as_secs_f64();
+        let stream_100x = measure_stream(&large, eco);
+        eprintln!(
+            "  100x: streaming    peak {:>12} B, {} records in {:.3}s",
+            stream_100x.peak_bytes, stream_100x.records, stream_100x.crawl_s
+        );
+
+        BenchReport {
+            bench: "stream".into(),
+            scale: "tiny".into(),
+            multiplier: MULTIPLIER,
+            cpus,
+            jobs,
+            records_1x: stream_1x.records,
+            records_100x: stream_100x.records,
+            generate_100x_s,
+            stream_crawl_100x_s: stream_100x.crawl_s,
+            stream_report_100x_s: stream_100x.report_s,
+            records_per_sec_100x: stream_100x.records as f64 / stream_100x.crawl_s,
+            materialized_peak_bytes_1x: mat_1x.peak_bytes,
+            materialized_peak_bytes_100x: mat_100x.as_ref().map(|m| m.peak_bytes),
+            stream_peak_bytes_1x: stream_1x.peak_bytes,
+            stream_peak_bytes_100x: stream_100x.peak_bytes,
+            peak_growth_ratio: stream_100x.peak_bytes as f64
+                / stream_1x.peak_bytes.max(1) as f64,
+            ceiling_bytes: STREAM_PEAK_CEILING_BYTES,
+            reports_identical_1x,
+            report_bytes: stream_100x.report.len(),
+        }
+    };
+
+    let json =
+        serde_json::to_string_pretty(&serde_json::to_value(&report).expect("serializes"))
+            .expect("renders");
+    std::fs::write(&out, &json).expect("write bench report");
+    eprintln!(
+        "bench_stream: stream peak {} B (1x) -> {} B ({}x-shape), growth {:.2}x, \
+         {:.0} records/s -> {out}",
+        report.stream_peak_bytes_1x,
+        report.stream_peak_bytes_100x,
+        report.multiplier,
+        report.peak_growth_ratio,
+        report.records_per_sec_100x,
+    );
+
+    if let Some(gate_path) = gate {
+        let old = read_report(&gate_path);
+        let failures = gate_failures(&old, &report);
+        if failures.is_empty() {
+            eprintln!(
+                "bench_stream: gate OK vs {gate_path} (peak {} B <= ceiling {} B, \
+                 growth {:.2}x <= {:.0}x, 1x reports identical)",
+                report.stream_peak_bytes_100x,
+                old.ceiling_bytes,
+                report.peak_growth_ratio,
+                MAX_PEAK_GROWTH_RATIO,
+            );
+        } else {
+            for f in &failures {
+                eprintln!("bench_stream: GATE FAIL — {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,8 +1,9 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale tiny|repro|paper] [--scenario mn08|pb09|pb10|all] [--exp ID]
-//!       [--jobs N] [--metrics out.json] [--fault-profile clean|flaky|hostile]
+//! repro [--scale tiny|repro|paper|<preset>xN|N] [--scenario mn08|pb09|pb10|all]
+//!       [--exp ID] [--jobs N] [--stream] [--spill-dir DIR]
+//!       [--metrics out.json] [--fault-profile clean|flaky|hostile]
 //!       [--trace out.json] [--manifest out.json]
 //! ```
 //!
@@ -24,6 +25,21 @@
 //! scenario order off the workers, so stdout is **byte-identical** at any
 //! job count — `scripts/check.sh` diffs `--jobs 1` against `--jobs 4`.
 //!
+//! Streaming: `--stream` runs each campaign through the bounded-channel
+//! pipeline (`StreamStudy`) instead of materializing the dataset —
+//! stdout stays byte-identical to the materialized path (gated by
+//! `scripts/check.sh` at jobs 1 and 4, clean and hostile). `--spill-dir
+//! DIR` (implies `--stream`) spills the global distinct-IP set to sorted
+//! segment runs under DIR; an unwritable DIR warns once on stderr and
+//! falls back to in-memory. `--trace` still records spans in stream mode,
+//! but per-scenario campaign timelines need the materialized dataset and
+//! are skipped.
+//!
+//! Scale: besides the presets, `--scale` accepts a campaign-length
+//! multiplier — `tinyx100` (any `<preset>xN`) or a bare integer `N`
+//! (shorthand for `tinyxN`): N× the torrents at unchanged swarm density
+//! and major-publisher population. `0` warns once and runs at 1×.
+//!
 //! Tracing: `--trace PATH` (or `BTPUB_TRACE=1`/`BTPUB_TRACE=PATH`) arms
 //! the flight recorder and drains it into Chrome trace event JSON at
 //! exit — load it in Perfetto (ui.perfetto.dev) or `chrome://tracing`.
@@ -33,8 +49,10 @@
 //! deterministic metrics) for `obs_diff` to compare across runs.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
-use btpub::{Scale, Scenario, Study};
+use btpub::experiments::{render_full_report, ReportData};
+use btpub::{Scale, Scenario, StreamOptions, StreamStudy, Study};
 use btpub_faults::FaultProfile;
 
 /// The known experiment ids (`--exp`), excluding `all`.
@@ -51,9 +69,47 @@ fn scenario_by_name(name: &str, scale: Scale) -> Option<Scenario> {
     }
 }
 
+/// Parses `--scale`: a preset (`tiny|repro|paper`), a preset with a
+/// campaign-length multiplier (`tinyx100`), or a bare multiplier `N`
+/// (shorthand for `tinyxN`). A multiplier of `0` is meaningless — it
+/// warns once on stderr, naming the value and the accepted forms, and
+/// falls back to 1×.
+fn parse_scale(raw: &str) -> Option<(Scale, u64)> {
+    fn preset(name: &str) -> Option<Scale> {
+        match name {
+            "tiny" => Some(Scale::tiny()),
+            "repro" => Some(Scale::default_repro()),
+            "paper" => Some(Scale::paper()),
+            _ => None,
+        }
+    }
+    let (base, mult) = if let Ok(n) = raw.parse::<u64>() {
+        (Scale::tiny(), n)
+    } else if let Some((name, n)) = raw.split_once('x') {
+        (preset(name)?, n.parse::<u64>().ok()?)
+    } else {
+        return preset(raw).map(|s| (s, 1));
+    };
+    let mult = if mult == 0 {
+        btpub_stream::warn_once(
+            "repro.scale.zero",
+            &format!(
+                "--scale {raw:?}: campaign multiplier 0 is meaningless, running at 1x \
+                 (accepted forms: tiny|repro|paper, <preset>xN, or a bare positive \
+                 integer N meaning tinyxN)"
+            ),
+        );
+        1
+    } else {
+        mult
+    };
+    Some((base, mult))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default_repro();
+    let mut scale_mult = 1u64;
     let mut scale_name = "repro".to_string();
     let mut scenario_names = vec!["pb10".to_string()];
     let mut exp: Option<String> = None;
@@ -61,21 +117,36 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut manifest_path: Option<String> = None;
     let mut fault_profile: Option<FaultProfile> = None;
+    let mut stream = false;
+    let mut spill_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = match args.get(i).map(String::as_str) {
-                    Some("tiny") => Scale::tiny(),
-                    Some("repro") => Scale::default_repro(),
-                    Some("paper") => Scale::paper(),
-                    other => {
-                        eprintln!("unknown scale {other:?}");
+                (scale, scale_mult) = match args.get(i).and_then(|raw| parse_scale(raw)) {
+                    Some(parsed) => parsed,
+                    None => {
+                        eprintln!(
+                            "unknown scale {:?} (accepted: tiny|repro|paper, <preset>xN, \
+                             or a bare campaign multiplier N meaning tinyxN)",
+                            args.get(i)
+                        );
                         std::process::exit(2);
                     }
                 };
                 scale_name = args[i].clone();
+            }
+            "--stream" => stream = true,
+            "--spill-dir" => {
+                i += 1;
+                spill_dir = args.get(i).map(PathBuf::from);
+                if spill_dir.is_none() {
+                    eprintln!("--spill-dir requires a path");
+                    std::process::exit(2);
+                }
+                // Spilling only exists on the streaming path.
+                stream = true;
             }
             "--scenario" => {
                 i += 1;
@@ -178,7 +249,11 @@ fn main() {
     let scenarios: Vec<(String, Scenario)> = scenario_names
         .iter()
         .map(|name| match scenario_by_name(name, scale) {
-            Some(mut s) => {
+            Some(s) => {
+                // The campaign-length multiplier lives on the scenario
+                // (`tinyx100` = 100× the torrents over 100× the days), so
+                // it composes with any preset.
+                let mut s = s.times(scale_mult);
                 s.crawler.fault_profile = fault_profile.clone();
                 (name.clone(), s)
             }
@@ -193,8 +268,9 @@ fn main() {
     // studies), then print the assembled chunks in scenario order so
     // stdout does not depend on completion order or job count.
     let exp_ref = exp.as_deref();
+    let stream_opts = stream.then_some(StreamOptions { spill_dir });
     let chunks = btpub_par::par_map("repro.scenarios", &scenarios, |(name, scenario)| {
-        run_scenario(name, scenario, exp_ref)
+        run_scenario(name, scenario, exp_ref, stream_opts.as_ref())
     });
     for (chunk, _) in &chunks {
         print!("{chunk}");
@@ -226,52 +302,88 @@ fn main() {
         write_metrics(&path);
     }
     if let Some(path) = manifest_path {
-        write_manifest(&path, &scale_name, &scenario_names, &fault_profile);
+        write_manifest(&path, &scale_name, &scenario_names, &fault_profile, stream);
     }
 }
 
 /// Runs one campaign end to end and renders its stdout chunk, plus the
 /// stderr campaign timeline when the flight recorder is armed.
+///
+/// Both drivers funnel into one [`ReportData`] and one renderer
+/// ([`render_exp`]), so the materialized and streaming paths cannot
+/// disagree on a stdout byte without disagreeing on the data itself.
 fn run_scenario(
     name: &str,
     scenario: &Scenario,
     exp: Option<&str>,
+    stream: Option<&StreamOptions>,
 ) -> (String, Option<String>) {
-    btpub_obs::info!(
-        "[{name}] generating + crawling";
-        torrents = scenario.eco.torrents,
-        days = scenario.eco.duration.as_days(),
-    );
     let started = std::time::Instant::now();
-    let study = Study::run(scenario);
-    btpub_obs::info!(
-        "[{name}] campaign done";
-        secs = started.elapsed().as_secs_f64(),
-        torrents = study.dataset.torrent_count(),
-        distinct_ips = study.dataset.distinct_ip_count(),
-    );
-    let timeline = btpub_obs::trace::enabled().then(|| {
-        let plan = (!scenario.crawler.fault_profile.is_clean()).then(|| {
-            btpub_faults::FaultPlan::new(
-                scenario.eco.seed,
-                scenario.crawler.fault_profile.clone(),
-            )
-        });
-        btpub_crawler::campaign_timeline(&study.dataset, plan.as_ref())
-    });
-    let analyses = study.analyze();
-    let ex = analyses.experiments();
+    let (data, timeline) = match stream {
+        Some(opts) => {
+            btpub_obs::info!(
+                "[{name}] generating + streaming crawl";
+                torrents = scenario.eco.torrents,
+                days = scenario.eco.duration.as_days(),
+            );
+            // Per-scenario spill subdirectory: `--scenario all` runs the
+            // campaigns concurrently, and segment run files must not
+            // collide across them.
+            let opts = StreamOptions {
+                spill_dir: opts.spill_dir.as_ref().map(|d| d.join(name)),
+            };
+            let study = StreamStudy::run(scenario, &opts);
+            btpub_obs::info!(
+                "[{name}] campaign done (streamed)";
+                secs = started.elapsed().as_secs_f64(),
+                torrents = study.analyses.totals.torrents_total,
+                distinct_ips = study.analyses.totals.distinct_ips,
+            );
+            // Campaign timelines need the materialized dataset; the
+            // streaming path deliberately never has one.
+            (study.report_data(), None)
+        }
+        None => {
+            btpub_obs::info!(
+                "[{name}] generating + crawling";
+                torrents = scenario.eco.torrents,
+                days = scenario.eco.duration.as_days(),
+            );
+            let study = Study::run(scenario);
+            btpub_obs::info!(
+                "[{name}] campaign done";
+                secs = started.elapsed().as_secs_f64(),
+                torrents = study.dataset.torrent_count(),
+                distinct_ips = study.dataset.distinct_ip_count(),
+            );
+            let timeline = btpub_obs::trace::enabled().then(|| {
+                let plan = (!scenario.crawler.fault_profile.is_clean()).then(|| {
+                    btpub_faults::FaultPlan::new(
+                        scenario.eco.seed,
+                        scenario.crawler.fault_profile.clone(),
+                    )
+                });
+                btpub_crawler::campaign_timeline(&study.dataset, plan.as_ref())
+            });
+            let analyses = study.analyze();
+            (analyses.experiments().report_data(), timeline)
+        }
+    };
     let mut out = String::new();
     writeln!(out, "################ scenario {name} ################").unwrap();
     writeln!(out, "# fault-profile: {}", scenario.crawler.fault_profile.name).unwrap();
+    render_exp(&mut out, exp, &data);
+    (out, timeline)
+}
+
+/// Renders one experiment section (or the full report) from the
+/// already-computed [`ReportData`].
+fn render_exp(out: &mut String, exp: Option<&str>, data: &ReportData) {
     match exp {
-        None | Some("all") => write!(out, "{}", ex.full_report()).unwrap(),
-        Some("t1") => {
-            let t = ex.t1_dataset();
-            writeln!(out, "{t:#?}").unwrap();
-        }
+        None | Some("all") => write!(out, "{}", render_full_report(data)).unwrap(),
+        Some("t1") => writeln!(out, "{:#?}", data.t1).unwrap(),
         Some("f1") => {
-            let f = ex.fig1_skewness();
+            let f = &data.f1;
             writeln!(
                 out,
                 "top3%={:.1}% top_k={} shares={:.3}/{:.3}",
@@ -288,7 +400,7 @@ fn run_scenario(
             }
         }
         Some("t2") => {
-            for row in ex.t2_isps() {
+            for row in &data.t2 {
                 writeln!(
                     out,
                     "{:<28} {:<16} {:>6.2}%",
@@ -299,10 +411,10 @@ fn run_scenario(
                 .unwrap();
             }
         }
-        Some("t3") => writeln!(out, "{:#?}", ex.t3_footprints()).unwrap(),
-        Some("s33") => writeln!(out, "{:#?}", ex.s33_mapping()).unwrap(),
+        Some("t3") => writeln!(out, "{:#?}", data.t3).unwrap(),
+        Some("s33") => writeln!(out, "{:#?}", data.s33).unwrap(),
         Some("f2") => {
-            for (g, d) in ex.fig2_content_types() {
+            for (g, d) in &data.f2 {
                 writeln!(
                     out,
                     "{:<7} n={:<6} video={:.1}% fractions={:?}",
@@ -315,44 +427,52 @@ fn run_scenario(
             }
         }
         Some("f3") => {
-            for (g, b) in ex.fig3_popularity() {
+            for (g, b) in &data.f3 {
                 writeln!(out, "{:<7} {:?}", g.label(), b).unwrap();
             }
         }
         Some("f4") => {
-            for (g, b) in ex.fig4_seeding() {
+            for (g, b) in &data.f4 {
                 writeln!(out, "{:<7} {:?}", g.label(), b).unwrap();
             }
         }
-        Some("s51") => writeln!(out, "{:#?}", ex.s51_classes()).unwrap(),
+        Some("s51") => writeln!(out, "{:#?}", data.s51).unwrap(),
         Some("t4") => {
-            for row in ex.t4_longitudinal() {
+            for row in &data.t4 {
                 writeln!(out, "{row:#?}").unwrap();
             }
         }
         Some("t5") => {
-            for row in ex.t5_economics() {
+            for row in &data.t5 {
                 writeln!(out, "{row:#?}").unwrap();
             }
         }
-        Some("s6") => writeln!(out, "{:#?}", ex.s6_hosting_income()).unwrap(),
-        Some("aa") => writeln!(out, "{:#?}", ex.aa_session_model()).unwrap(),
-        Some("v1") => writeln!(out, "{:#?}", ex.v1_validation()).unwrap(),
+        Some("s6") => writeln!(out, "{:#?}", data.s6).unwrap(),
+        Some("aa") => writeln!(out, "{:#?}", data.aa).unwrap(),
+        Some("v1") => writeln!(out, "{:#?}", data.v1).unwrap(),
         Some(other) => unreachable!("experiment ids validated in main: {other}"),
     }
-    (out, timeline)
 }
 
 /// Writes the run manifest: the arguments that shaped this run plus a
 /// digest of the deterministic slice of the metric snapshot, for
 /// `obs_diff` to compare against another run's manifest.
-fn write_manifest(path: &str, scale: &str, scenarios: &[String], profile: &FaultProfile) {
+fn write_manifest(
+    path: &str,
+    scale: &str,
+    scenarios: &[String],
+    profile: &FaultProfile,
+    stream: bool,
+) {
     use serde_json::Value;
     let meta = [
         ("bin", Value::from("repro")),
         ("scale", Value::from(scale)),
         ("scenarios", Value::from(scenarios.join(","))),
         ("fault_profile", Value::from(profile.name.as_str())),
+        // Streaming and materialized runs exercise different span/counter
+        // sets; obs_diff must refuse to compare them as if they were twins.
+        ("stream", Value::from(stream)),
         // The *effective* job count (after the available-parallelism
         // cap): pool task counters legitimately differ across job
         // counts, so obs_diff refuses to compare manifests that

@@ -10,19 +10,24 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use btpub_analysis::classify::UrlPlacement;
+use btpub_analysis::classify::{Classified, UrlPlacement};
 use btpub_analysis::content_type::{category_distribution, CategoryDistribution};
-use btpub_analysis::economics::{economics_rows, hosting_income_estimate, site_reports, EconomicsRow};
-use btpub_analysis::fake::{group_shares, mapping_stats, Group, MappingStats};
+use btpub_analysis::economics::{
+    economics_rows, hosting_income_estimate, site_reports, EconomicsRow,
+};
+use btpub_analysis::fake::{group_shares, mapping_stats, Group, Groups, MappingStats};
 use btpub_analysis::isp::{hosting_shares, isp_footprint, top_isps, IspFootprint, IspRow};
 use btpub_analysis::longitudinal::{longitudinal_rows, LongitudinalRow};
 use btpub_analysis::popularity::popularity_box;
-use btpub_analysis::seeding::group_seeding_boxes;
+use btpub_analysis::publishers::PublisherStats;
+use btpub_analysis::seeding::{group_seeding_boxes, SeedingMetrics};
 use btpub_analysis::session::{capture_probability, queries_needed};
 use btpub_analysis::skewness::{content_share_of_top, contribution_cdf, shares_of_top_k, CdfPoint};
 use btpub_analysis::stats::BoxStats;
+use btpub_analysis::streaming::SEEDING_THRESHOLDS_H;
+use btpub_geodb::GeoDb;
 use btpub_sim::profile::BusinessClass;
-use btpub_sim::{Profile, SimDuration};
+use btpub_sim::{Ecosystem, Profile, SimDuration};
 
 use crate::study::Analyses;
 
@@ -212,21 +217,14 @@ impl<'b, 'a> Experiments<'b, 'a> {
         let a = self.analyses;
         let ds = &a.study.dataset;
         let db = &a.study.eco.world.db;
-        let top_pub_stats: Vec<_> = a
-            .publishers
-            .iter()
-            .filter(|p| a.groups.top.contains(&p.key))
-            .cloned()
-            .collect();
-        MappingReport {
-            mapping: mapping_stats(ds, &a.publishers, db, a.top_k),
-            fake_usernames: a.groups.fake_usernames.len(),
-            fake_ips: a.groups.fake_ips.len(),
-            fake_shares: group_shares(ds, &a.publishers, &a.groups, Group::Fake),
-            top_shares: group_shares(ds, &a.publishers, &a.groups, Group::Top),
-            compromised: a.groups.compromised_in_top_k,
-            hosting: hosting_shares(&top_pub_stats, db, "OVH"),
-        }
+        mapping_report(
+            &a.publishers,
+            &a.groups,
+            db,
+            mapping_stats(ds, &a.publishers, db, a.top_k),
+            group_shares(ds, &a.publishers, &a.groups, Group::Fake),
+            group_shares(ds, &a.publishers, &a.groups, Group::Top),
+        )
     }
 
     /// Figure 2: per-group category distributions.
@@ -302,60 +300,9 @@ impl<'b, 'a> Experiments<'b, 'a> {
     pub fn s51_classes(&self) -> ClassReport {
         let _span = btpub_obs::span!("exp.s51");
         let a = self.analyses;
-        let classes = [
-            BusinessClass::BtPortal,
-            BusinessClass::OtherWeb,
-            BusinessClass::Altruistic,
-        ];
-        let shares = classes
-            .into_iter()
-            .map(|c| {
-                let (of_top, content, downloads) = btpub_analysis::classify::class_shares(
-                    &a.study.dataset,
-                    &a.publishers,
-                    &a.classified,
-                    c,
-                );
-                (c, of_top, content, downloads)
-            })
-            .collect::<Vec<_>>();
-        let profit_shares = shares
-            .iter()
-            .filter(|(c, ..)| c.is_profit_driven())
-            .fold((0.0, 0.0), |(pc, pd), (_, _, c, d)| (pc + c, pd + d));
-        let mut placements: BTreeMap<&'static str, usize> = BTreeMap::new();
-        for c in a.classified.iter().filter(|c| c.url.is_some()) {
-            for p in &c.placements {
-                let label = match p {
-                    UrlPlacement::Textbox => "textbox",
-                    UrlPlacement::Filename => "filename",
-                };
-                *placements.entry(label).or_default() += 1;
-            }
-        }
-        let portal_members: Vec<_> = a
-            .classified
-            .iter()
-            .filter(|c| c.class == BusinessClass::BtPortal)
-            .collect();
-        let dedicated: Vec<_> = portal_members
-            .iter()
-            .filter(|c| c.language.is_some())
-            .collect();
-        let spanish = dedicated
-            .iter()
-            .filter(|c| c.language.as_deref() == Some("es"))
-            .count();
-        let language_dedicated = (
-            dedicated.len() as f64 / portal_members.len().max(1) as f64,
-            spanish as f64 / dedicated.len().max(1) as f64,
-        );
-        ClassReport {
-            shares,
-            profit_shares,
-            placements,
-            language_dedicated,
-        }
+        class_report(&a.classified, |c| {
+            btpub_analysis::classify::class_shares(&a.study.dataset, &a.publishers, &a.classified, c)
+        })
     }
 
     /// Table 4.
@@ -387,46 +334,21 @@ impl<'b, 'a> Experiments<'b, 'a> {
         let _span = btpub_obs::span!("exp.s6");
         let ds = &self.analyses.study.dataset;
         let db = &self.analyses.study.eco.world.db;
-        ["OVH", "tzulo", "FDCservers", "4RWEB"]
-            .into_iter()
-            .map(|p| {
-                let (servers, income) = hosting_income_estimate(ds, db, p, 300.0);
-                (p, servers, income)
-            })
-            .collect()
+        hosting_income_rows(|p| hosting_income_estimate(ds, db, p, 300.0))
     }
 
     /// Appendix A: the model plus the 2 h / 4 h / 6 h robustness check.
     pub fn aa_session_model(&self) -> AppendixAReport {
         let _span = btpub_obs::span!("exp.aa");
-        let (n, w, _) = paper::APPENDIX_A;
-        let capture_curve: Vec<f64> =
-            (1..=20).map(|m| capture_probability(w, n, m)).collect();
         let a = self.analyses;
-        let mut medians = [0.0f64; 3];
-        for (i, hours) in [2.0, 4.0, 6.0].into_iter().enumerate() {
-            let threshold = SimDuration::from_hours(hours);
-            let mut totals: Vec<f64> = a
-                .publishers
-                .iter()
-                .filter(|p| a.groups.top.contains(&p.key))
-                .filter_map(|p| {
-                    btpub_analysis::seeding::publisher_seeding_metrics(
-                        &a.study.dataset,
-                        p,
-                        threshold,
-                    )
-                })
-                .map(|m| m.aggregated_session_h)
-                .collect();
-            totals.sort_by(f64::total_cmp);
-            medians[i] = totals.get(totals.len() / 2).copied().unwrap_or(0.0);
-        }
-        AppendixAReport {
-            capture_curve,
-            m_for_99: queries_needed(w, n, 0.99),
-            threshold_sensitivity: medians,
-        }
+        appendix_a_report(&a.publishers, &a.groups, |p, i| {
+            btpub_analysis::seeding::publisher_seeding_metrics(
+                &a.study.dataset,
+                p,
+                SimDuration::from_hours(SEEDING_THRESHOLDS_H[i]),
+            )
+            .map(|m| m.aggregated_session_h)
+        })
     }
 
     /// V1: validation against ground truth (simulation-only superpower).
@@ -435,78 +357,96 @@ impl<'b, 'a> Experiments<'b, 'a> {
         let a = self.analyses;
         let ds = &a.study.dataset;
         let eco = &a.study.eco;
-        let identified: Vec<_> = ds
-            .torrents
-            .iter()
-            .filter(|t| t.publisher_ip.is_some())
-            .collect();
-        let correct = identified
-            .iter()
-            .filter(|t| {
-                let truth = eco
-                    .publisher(eco.publications[t.torrent.0 as usize].publisher)
-                    .addresses
-                    .all_ips();
-                truth.contains(&t.publisher_ip.unwrap())
-            })
-            .count();
-        // Session estimation error for top publishers (by ground truth).
-        let mut errors: Vec<f64> = Vec::new();
-        let username_of: btpub_fxhash::FxHashMap<&str, usize> = eco
-            .publishers
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.primary_username(), i))
-            .collect();
-        for p in a.publishers.iter().filter(|p| a.groups.top.contains(&p.key)) {
-            let btpub_analysis::publishers::PublisherKey::Username(u) = &p.key else {
-                continue;
-            };
-            let Some(&pi) = username_of.get(u.as_str()) else {
-                continue;
-            };
-            if !eco.publishers[pi].profile.is_top() {
-                continue;
-            }
-            let truth_h = eco.session_unions[pi].total().as_hours();
-            if truth_h < 1.0 {
-                continue;
-            }
-            let Some(m) = btpub_analysis::seeding::publisher_seeding_metrics(
+        let mut truth = TruthCounters::default();
+        for t in &ds.torrents {
+            truth.observe(t, eco);
+        }
+        validation_report(eco, ds.torrent_count(), &truth, &a.publishers, &a.groups, |p| {
+            btpub_analysis::seeding::publisher_seeding_metrics(
                 ds,
                 p,
                 btpub_analysis::session::default_offline_threshold(),
-            ) else {
-                continue;
-            };
-            errors.push((m.aggregated_session_h - truth_h).abs() / truth_h);
-        }
-        errors.sort_by(f64::total_cmp);
-        let session_error_median = errors.get(errors.len() / 2).copied().unwrap_or(1.0);
-        let observed: u64 = ds
-            .torrents
-            .iter()
-            .map(|t| t.observed_downloaders() as u64)
-            .sum();
-        ValidationReport {
-            ip_identified_frac: identified.len() as f64 / ds.torrent_count().max(1) as f64,
-            ip_precision: correct as f64 / identified.len().max(1) as f64,
-            session_error_median,
-            download_coverage: observed as f64 / eco.total_downloads().max(1) as f64,
+            )
+        })
+    }
+
+    /// Computes every experiment once, as data.
+    pub fn report_data(&self) -> ReportData {
+        ReportData {
+            t1: self.t1_dataset(),
+            f1: self.fig1_skewness(),
+            t2: self.t2_isps(),
+            t3: self.t3_footprints(),
+            s33: self.s33_mapping(),
+            f2: self.fig2_content_types(),
+            f3: self.fig3_popularity(),
+            f4: self.fig4_seeding(),
+            s51: self.s51_classes(),
+            t4: self.t4_longitudinal(),
+            t5: self.t5_economics(),
+            s6: self.s6_hosting_income(),
+            aa: self.aa_session_model(),
+            v1: self.v1_validation(),
         }
     }
 
     /// Renders every experiment as a human-readable report with the
     /// paper's values alongside.
     pub fn full_report(&self) -> String {
-        let mut out = String::new();
-        let t1 = self.t1_dataset();
+        render_full_report(&self.report_data())
+    }
+}
+
+/// Every experiment's output, as one value. Both drivers produce this —
+/// [`Experiments::report_data`] from a materialized dataset,
+/// [`crate::stream_study::StreamStudy::report_data`] from the streaming
+/// aggregation — and [`render_full_report`] turns either into the exact
+/// same text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportData {
+    /// Table 1.
+    pub t1: DatasetSummary,
+    /// Figure 1.
+    pub f1: SkewnessReport,
+    /// Table 2.
+    pub t2: Vec<IspRow>,
+    /// Table 3 (OVH, Comcast).
+    pub t3: (IspFootprint, IspFootprint),
+    /// §3.3.
+    pub s33: MappingReport,
+    /// Figure 2.
+    pub f2: Vec<(Group, CategoryDistribution)>,
+    /// Figure 3.
+    pub f3: Vec<(Group, Option<BoxStats>)>,
+    /// Figure 4.
+    pub f4: Vec<(Group, Option<SeedingBoxes>)>,
+    /// §5.1.
+    pub s51: ClassReport,
+    /// Table 4.
+    pub t4: Vec<LongitudinalRow>,
+    /// Table 5.
+    pub t5: Vec<EconomicsRow>,
+    /// §6 hosting income.
+    pub s6: Vec<(&'static str, usize, f64)>,
+    /// Appendix A.
+    pub aa: AppendixAReport,
+    /// V1 validation.
+    pub v1: ValidationReport,
+}
+
+/// Renders the full side-by-side report from precomputed data.
+pub fn render_full_report(data: &ReportData) -> String {
+    let mut out = String::new();
+    {
+        let t1 = &data.t1;
         let _ = writeln!(
             out,
             "== T1 dataset {} ==\n  days={:.0} torrents={} (username {}, ip {}), distinct IPs={}",
             t1.name, t1.days, t1.torrents_total, t1.torrents_username, t1.torrents_ip, t1.ip_addresses
         );
-        let f1 = self.fig1_skewness();
+    }
+    {
+        let f1 = &data.f1;
         let _ = writeln!(
             out,
             "== F1 skewness ==\n  top3%→{:.1}% of content (paper ≈{:.0}%); top-{}: {:.1}% content / {:.1}% downloads (paper 66/75)",
@@ -516,18 +456,22 @@ impl<'b, 'a> Experiments<'b, 'a> {
             f1.top_k_shares.0 * 100.0,
             f1.top_k_shares.1 * 100.0
         );
-        let _ = writeln!(out, "== T2 top ISPs ==");
-        for row in self.t2_isps() {
-            let _ = writeln!(out, "  {:<28} {:<16} {:>5.2}%", row.name, row.kind.to_string(), row.pct_content);
-        }
-        let (ovh, comcast) = self.t3_footprints();
+    }
+    let _ = writeln!(out, "== T2 top ISPs ==");
+    for row in &data.t2 {
+        let _ = writeln!(out, "  {:<28} {:<16} {:>5.2}%", row.name, row.kind.to_string(), row.pct_content);
+    }
+    {
+        let (ovh, comcast) = &data.t3;
         let _ = writeln!(
             out,
             "== T3 OVH vs Comcast ==\n  OVH: fed={} ips={} /16={} geo={}\n  Comcast: fed={} ips={} /16={} geo={}",
             ovh.fed_torrents, ovh.ip_addresses, ovh.prefixes16, ovh.geo_locations,
             comcast.fed_torrents, comcast.ip_addresses, comcast.prefixes16, comcast.geo_locations
         );
-        let s33 = self.s33_mapping();
+    }
+    {
+        let s33 = &data.s33;
         let _ = writeln!(
             out,
             "== S33 mapping ==\n  fake: {} usernames, {} IPs; shares {:.0}%/{:.0}% (paper 30/25)\n  top shares {:.0}%/{:.0}% (paper 37/50); compromised dropped: {}\n  unique-username IPs {:.0}% (paper 55); username IP classes [{:.0} {:.0} {:.0} {:.0}]% (paper [25 34 24 16])\n  hosting {:.0}% (paper 42), OVH {:.0}% (paper 22)",
@@ -540,27 +484,29 @@ impl<'b, 'a> Experiments<'b, 'a> {
             s33.mapping.multi_ip_single_ci * 100.0, s33.mapping.multi_ip_multi_ci * 100.0,
             s33.hosting.0 * 100.0, s33.hosting.1 * 100.0
         );
-        let _ = writeln!(out, "== F2 content types (video share) ==");
-        for (g, dist) in self.fig2_content_types() {
-            let _ = writeln!(out, "  {:<7} video={:.0}% n={}", g.label(), dist.video_share() * 100.0, dist.n);
+    }
+    let _ = writeln!(out, "== F2 content types (video share) ==");
+    for (g, dist) in &data.f2 {
+        let _ = writeln!(out, "  {:<7} video={:.0}% n={}", g.label(), dist.video_share() * 100.0, dist.n);
+    }
+    let _ = writeln!(out, "== F3 popularity (avg downloaders/torrent/publisher) ==");
+    for (g, b) in &data.f3 {
+        if let Some(b) = b {
+            let _ = writeln!(out, "  {:<7} p25={:>7.1} med={:>7.1} p75={:>7.1}", g.label(), b.p25, b.median, b.p75);
         }
-        let _ = writeln!(out, "== F3 popularity (avg downloaders/torrent/publisher) ==");
-        for (g, b) in self.fig3_popularity() {
-            if let Some(b) = b {
-                let _ = writeln!(out, "  {:<7} p25={:>7.1} med={:>7.1} p75={:>7.1}", g.label(), b.p25, b.median, b.p75);
-            }
+    }
+    let _ = writeln!(out, "== F4 seeding ==");
+    for (g, boxes) in &data.f4 {
+        if let Some(b) = boxes {
+            let _ = writeln!(
+                out,
+                "  {:<7} seed_time med={:>6.1}h parallel med={:>5.2} aggregated med={:>7.1}h",
+                g.label(), b.seed_time.median, b.parallel.median, b.aggregated.median
+            );
         }
-        let _ = writeln!(out, "== F4 seeding ==");
-        for (g, boxes) in self.fig4_seeding() {
-            if let Some(b) = boxes {
-                let _ = writeln!(
-                    out,
-                    "  {:<7} seed_time med={:>6.1}h parallel med={:>5.2} aggregated med={:>7.1}h",
-                    g.label(), b.seed_time.median, b.parallel.median, b.aggregated.median
-                );
-            }
-        }
-        let s51 = self.s51_classes();
+    }
+    {
+        let s51 = &data.s51;
         let _ = writeln!(out, "== S51 classes ==");
         for (c, of_top, content, downloads) in &s51.shares {
             let _ = writeln!(
@@ -575,54 +521,260 @@ impl<'b, 'a> Experiments<'b, 'a> {
             s51.profit_shares.0 * 100.0, s51.profit_shares.1 * 100.0,
             s51.placements, s51.language_dedicated.0 * 100.0, s51.language_dedicated.1 * 100.0
         );
-        let _ = writeln!(out, "== T4 longitudinal ==");
-        for row in self.t4_longitudinal() {
-            let _ = writeln!(
-                out,
-                "  {:<22} lifetime {:>4.0}/{:>4.0}/{:>4.0}d rate {:>5.2}/{:>5.2}/{:>5.2}/day",
-                row.class.label(),
-                row.lifetime_days.min, row.lifetime_days.avg, row.lifetime_days.max,
-                row.rate_per_day.min, row.rate_per_day.avg, row.rate_per_day.max
-            );
-        }
-        let _ = writeln!(out, "== T5 economics (paper-scale corrected; min/med/avg/max) ==");
-        for row in self.t5_economics() {
-            let m = |v: &btpub_analysis::stats::MinMedAvgMax| {
-                format!(
-                    "{}/{}/{}/{}",
-                    human(v.min),
-                    human(v.median),
-                    human(v.avg),
-                    human(v.max)
-                )
-            };
-            let _ = writeln!(
-                out,
-                "  {:<16} value ${} income ${}/day visits {}/day",
-                row.class.label(),
-                m(&row.value_dollars),
-                m(&row.daily_income_dollars),
-                m(&row.daily_visits)
-            );
-        }
-        let _ = writeln!(out, "== S6 hosting income ==");
-        for (p, servers, income) in self.s6_hosting_income() {
-            let _ = writeln!(out, "  {:<12} servers={} income≈{:.0}€/mo", p, servers, income);
-        }
-        let aa = self.aa_session_model();
+    }
+    let _ = writeln!(out, "== T4 longitudinal ==");
+    for row in &data.t4 {
+        let _ = writeln!(
+            out,
+            "  {:<22} lifetime {:>4.0}/{:>4.0}/{:>4.0}d rate {:>5.2}/{:>5.2}/{:>5.2}/day",
+            row.class.label(),
+            row.lifetime_days.min, row.lifetime_days.avg, row.lifetime_days.max,
+            row.rate_per_day.min, row.rate_per_day.avg, row.rate_per_day.max
+        );
+    }
+    let _ = writeln!(out, "== T5 economics (paper-scale corrected; min/med/avg/max) ==");
+    for row in &data.t5 {
+        let m = |v: &btpub_analysis::stats::MinMedAvgMax| {
+            format!(
+                "{}/{}/{}/{}",
+                human(v.min),
+                human(v.median),
+                human(v.avg),
+                human(v.max)
+            )
+        };
+        let _ = writeln!(
+            out,
+            "  {:<16} value ${} income ${}/day visits {}/day",
+            row.class.label(),
+            m(&row.value_dollars),
+            m(&row.daily_income_dollars),
+            m(&row.daily_visits)
+        );
+    }
+    let _ = writeln!(out, "== S6 hosting income ==");
+    for (p, servers, income) in &data.s6 {
+        let _ = writeln!(out, "  {:<12} servers={} income≈{:.0}€/mo", p, servers, income);
+    }
+    {
+        let aa = &data.aa;
         let _ = writeln!(
             out,
             "== AA session model ==\n  m for P≥0.99: {} (paper 13); P(13)={:.4}\n  top median aggregated session @2h/4h/6h thresholds: {:.1}/{:.1}/{:.1} h",
             aa.m_for_99, aa.capture_curve[12],
             aa.threshold_sensitivity[0], aa.threshold_sensitivity[1], aa.threshold_sensitivity[2]
         );
-        let v1 = self.v1_validation();
+    }
+    {
+        let v1 = &data.v1;
         let _ = writeln!(
             out,
             "== V1 validation ==\n  IP identified {:.0}% (paper ≈40%), precision {:.2}; session err med {:.2}; download coverage {:.2}",
             v1.ip_identified_frac * 100.0, v1.ip_precision, v1.session_error_median, v1.download_coverage
         );
-        out
+    }
+    out
+}
+
+/// §3.3 report assembly shared by both drivers: the mapping stats and
+/// group shares are computed per-driver (identically), the hosting shares
+/// here from the sorted publisher list.
+pub fn mapping_report(
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    db: &GeoDb,
+    mapping: MappingStats,
+    fake_shares: (f64, f64),
+    top_shares: (f64, f64),
+) -> MappingReport {
+    let top_pub_stats: Vec<_> = publishers
+        .iter()
+        .filter(|p| groups.top.contains(&p.key))
+        .cloned()
+        .collect();
+    MappingReport {
+        mapping,
+        fake_usernames: groups.fake_usernames.len(),
+        fake_ips: groups.fake_ips.len(),
+        fake_shares,
+        top_shares,
+        compromised: groups.compromised_in_top_k,
+        hosting: hosting_shares(&top_pub_stats, db, "OVH"),
+    }
+}
+
+/// §5.1 report assembly shared by both drivers, parameterized over how a
+/// class's `(of_top, content, downloads)` shares are computed.
+pub fn class_report(
+    classified: &[Classified],
+    shares_of: impl Fn(BusinessClass) -> (f64, f64, f64),
+) -> ClassReport {
+    let classes = [
+        BusinessClass::BtPortal,
+        BusinessClass::OtherWeb,
+        BusinessClass::Altruistic,
+    ];
+    let shares = classes
+        .into_iter()
+        .map(|c| {
+            let (of_top, content, downloads) = shares_of(c);
+            (c, of_top, content, downloads)
+        })
+        .collect::<Vec<_>>();
+    let profit_shares = shares
+        .iter()
+        .filter(|(c, ..)| c.is_profit_driven())
+        .fold((0.0, 0.0), |(pc, pd), (_, _, c, d)| (pc + c, pd + d));
+    let mut placements: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for c in classified.iter().filter(|c| c.url.is_some()) {
+        for p in &c.placements {
+            let label = match p {
+                UrlPlacement::Textbox => "textbox",
+                UrlPlacement::Filename => "filename",
+            };
+            *placements.entry(label).or_default() += 1;
+        }
+    }
+    let portal_members: Vec<_> = classified
+        .iter()
+        .filter(|c| c.class == BusinessClass::BtPortal)
+        .collect();
+    let dedicated: Vec<_> = portal_members
+        .iter()
+        .filter(|c| c.language.is_some())
+        .collect();
+    let spanish = dedicated
+        .iter()
+        .filter(|c| c.language.as_deref() == Some("es"))
+        .count();
+    let language_dedicated = (
+        dedicated.len() as f64 / portal_members.len().max(1) as f64,
+        spanish as f64 / dedicated.len().max(1) as f64,
+    );
+    ClassReport {
+        shares,
+        profit_shares,
+        placements,
+        language_dedicated,
+    }
+}
+
+/// §6 assembly shared by both drivers: the provider list and price are
+/// fixed, only the footprint lookup differs.
+pub fn hosting_income_rows(
+    income_of: impl Fn(&'static str) -> (usize, f64),
+) -> Vec<(&'static str, usize, f64)> {
+    ["OVH", "tzulo", "FDCservers", "4RWEB"]
+        .into_iter()
+        .map(|p| {
+            let (servers, income) = income_of(p);
+            (p, servers, income)
+        })
+        .collect()
+}
+
+/// Appendix A assembly shared by both drivers, parameterized over where a
+/// top publisher's aggregated session hours at threshold index `i` (into
+/// [`SEEDING_THRESHOLDS_H`]) come from.
+pub fn appendix_a_report(
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    aggregated_h_of: impl Fn(&PublisherStats, usize) -> Option<f64>,
+) -> AppendixAReport {
+    let (n, w, _) = paper::APPENDIX_A;
+    let capture_curve: Vec<f64> = (1..=20).map(|m| capture_probability(w, n, m)).collect();
+    let mut medians = [0.0f64; 3];
+    for (i, median) in medians.iter_mut().enumerate() {
+        let mut totals: Vec<f64> = publishers
+            .iter()
+            .filter(|p| groups.top.contains(&p.key))
+            .filter_map(|p| aggregated_h_of(p, i))
+            .collect();
+        totals.sort_by(f64::total_cmp);
+        *median = totals.get(totals.len() / 2).copied().unwrap_or(0.0);
+    }
+    AppendixAReport {
+        capture_curve,
+        m_for_99: queries_needed(w, n, 0.99),
+        threshold_sensitivity: medians,
+    }
+}
+
+/// Per-record ground-truth tallies for V1: the materialized driver scans
+/// the dataset, the streaming consumer folds each record in as it leaves
+/// the channel. Identical per-record code either way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TruthCounters {
+    /// Torrents with an identified publisher IP.
+    pub identified: usize,
+    /// Of those, torrents whose identified IP matches ground truth.
+    pub correct: usize,
+    /// Sum of observed downloaders across all torrents.
+    pub observed_downloads: u64,
+}
+
+impl TruthCounters {
+    /// Folds one record's truth check in.
+    pub fn observe(&mut self, rec: &btpub_crawler::TorrentRecord, eco: &Ecosystem) {
+        self.observed_downloads += rec.observed_downloaders() as u64;
+        if let Some(ip) = rec.publisher_ip {
+            self.identified += 1;
+            let truth = eco
+                .publisher(eco.publications[rec.torrent.0 as usize].publisher)
+                .addresses
+                .all_ips();
+            if truth.contains(&ip) {
+                self.correct += 1;
+            }
+        }
+    }
+}
+
+/// V1 assembly shared by both drivers, parameterized over where a top
+/// publisher's estimated seeding metrics come from.
+pub fn validation_report(
+    eco: &Ecosystem,
+    torrents_total: usize,
+    truth: &TruthCounters,
+    publishers: &[PublisherStats],
+    groups: &Groups,
+    metrics_of: impl Fn(&PublisherStats) -> Option<SeedingMetrics>,
+) -> ValidationReport {
+    // Session estimation error for top publishers (by ground truth).
+    let mut errors: Vec<f64> = Vec::new();
+    let username_of: btpub_fxhash::FxHashMap<&str, usize> = eco
+        .publishers
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.primary_username(), i))
+        .collect();
+    for p in publishers.iter().filter(|p| groups.top.contains(&p.key)) {
+        let btpub_analysis::publishers::PublisherKey::Username(u) = &p.key else {
+            continue;
+        };
+        let Some(&pi) = username_of.get(u.as_str()) else {
+            continue;
+        };
+        if !eco.publishers[pi].profile.is_top() {
+            continue;
+        }
+        let truth_h = eco.session_unions[pi].total().as_hours();
+        if truth_h < 1.0 {
+            continue;
+        }
+        let Some(m) = metrics_of(p) else {
+            continue;
+        };
+        errors.push((m.aggregated_session_h - truth_h).abs() / truth_h);
+    }
+    errors.sort_by(f64::total_cmp);
+    let session_error_median = errors.get(errors.len() / 2).copied().unwrap_or(1.0);
+    ValidationReport {
+        ip_identified_frac: truth.identified as f64 / torrents_total.max(1) as f64,
+        ip_precision: truth.correct as f64 / truth.identified.max(1) as f64,
+        session_error_median,
+        download_coverage: truth.observed_downloads as f64
+            / eco.total_downloads().max(1) as f64,
     }
 }
 

@@ -35,9 +35,11 @@
 
 pub mod experiments;
 pub mod scenario;
+pub mod stream_study;
 pub mod study;
 
 pub use scenario::{Scale, Scenario};
+pub use stream_study::{StreamOptions, StreamStudy};
 pub use study::{Analyses, Study};
 
 pub use btpub_analysis as analysis;

@@ -70,6 +70,7 @@ impl Scale {
             majors: 1.0,
         }
     }
+
 }
 
 /// A named campaign: ecosystem parameters + crawler behaviour + the paper
@@ -161,6 +162,21 @@ impl Scenario {
         }
     }
 
+    /// The campaign-length multiplier behind `repro --scale <base>xN`:
+    /// `n`× the torrent count over `n`× the duration. Announcement
+    /// density, per-swarm popularity (whose arrival decay runs on the
+    /// profile's fixed `tau_days`, not the campaign length) and the
+    /// major-publisher population all stay put — a *longer* campaign,
+    /// not a denser one. This is the axis the streaming pipeline must
+    /// absorb in bounded memory: the crawler's resident state is the
+    /// concurrently-monitored window, which depends on density and
+    /// swarm lifetime but not on how many days the campaign runs.
+    pub fn times(mut self, n: u64) -> Scenario {
+        self.eco.torrents *= n.max(1) as usize;
+        self.eco.duration = SimDuration(self.eco.duration.secs() * n.max(1));
+        self
+    }
+
     /// The "top-k" the paper uses for major-publisher analyses.
     ///
     /// At paper scale this is 84 genuine top publishers + 16 compromised
@@ -209,6 +225,23 @@ mod tests {
         assert_eq!(paper.eco.top_publishers, 84);
         assert_eq!(paper.eco.fake_entities, 35);
         assert_eq!(paper.eco.compromised_usernames, 16);
+    }
+
+    #[test]
+    fn times_extends_campaign_at_constant_density() {
+        let base = Scenario::pb10(Scale::tiny());
+        let x100 = Scenario::pb10(Scale::tiny()).times(100);
+        assert_eq!(x100.eco.torrents, 100 * base.eco.torrents);
+        assert_eq!(x100.eco.duration.secs(), 100 * base.eco.duration.secs());
+        // Per-swarm popularity and the major-publisher population stay
+        // put: a longer campaign, not a denser one.
+        assert_eq!(x100.eco.downloads_scale, base.eco.downloads_scale);
+        assert_eq!(x100.eco.top_publishers, base.eco.top_publishers);
+        assert_eq!(x100.eco.regular_publishers, base.eco.regular_publishers);
+        // x1 is the identity.
+        let x1 = Scenario::pb10(Scale::tiny()).times(1);
+        assert_eq!(x1.eco.torrents, base.eco.torrents);
+        assert_eq!(x1.eco.duration, base.eco.duration);
     }
 
     #[test]

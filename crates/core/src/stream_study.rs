@@ -1,0 +1,341 @@
+//! The streaming study driver: crawl → bounded channel → record-at-a-time
+//! aggregation, producing the exact report bytes of [`crate::Study`]
+//! without ever materializing the campaign dataset.
+//!
+//! The crawl runs on a producer thread emitting finalized
+//! [`btpub_crawler::TorrentRecord`]s in announcement order through a
+//! [`btpub_stream::channel`]; the consumer (this thread) drains chunks
+//! and folds each record into a
+//! [`btpub_analysis::streaming::StreamAggregator`] plus the V1
+//! ground-truth tallies. Aggregation is strictly single-threaded and
+//! strictly in announcement order, so `--jobs` parallelism inside the
+//! crawl cannot reorder a single float operation — which is why the
+//! rendered report is byte-identical to the materialized path at any job
+//! count (asserted by `streaming_report_matches_materialized` below and
+//! gated in `scripts/check.sh`).
+
+use std::path::{Path, PathBuf};
+
+use btpub_analysis::content_type::category_distribution_with;
+use btpub_analysis::economics::{economics_rows, hosting_income_from, site_reports};
+use btpub_analysis::fake::Group;
+use btpub_analysis::longitudinal::longitudinal_rows;
+use btpub_analysis::popularity::popularity_box;
+use btpub_analysis::seeding::group_seeding_boxes_with;
+use btpub_analysis::skewness::{content_share_of_top, contribution_cdf, shares_of_top_k};
+use btpub_analysis::streaming::{
+    RecordDigest, StreamAggregator, StreamAnalyses, StreamConfig, DEFAULT_THRESHOLD_IDX,
+};
+use btpub_crawler::{run_crawl_with, ChannelSink};
+use btpub_portal::Portal;
+use btpub_sim::Ecosystem;
+use btpub_stream::spill::{DistinctU32, DEFAULT_CHUNK_VALUES};
+
+use crate::experiments::{
+    appendix_a_report, class_report, hosting_income_rows, mapping_report, render_full_report,
+    validation_report, DatasetSummary, ReportData, SeedingBoxes, SkewnessReport, TruthCounters,
+};
+use crate::scenario::Scenario;
+
+/// Knobs for the streaming driver.
+#[derive(Debug, Clone, Default)]
+pub struct StreamOptions {
+    /// Directory for spill segments (the global distinct-IP set). `None`
+    /// keeps everything in memory; an unwritable directory warns once and
+    /// falls back to in-memory.
+    pub spill_dir: Option<PathBuf>,
+}
+
+/// A completed streaming campaign: ground truth plus the aggregates —
+/// but, unlike [`crate::Study`], never the materialized dataset.
+pub struct StreamStudy {
+    /// The scenario it ran.
+    pub scenario: Scenario,
+    /// The simulated world (validation + economics oracle, as in `Study`).
+    pub eco: Ecosystem,
+    /// Everything the analysis pipeline produced.
+    pub analyses: StreamAnalyses,
+    /// Per-record ground-truth tallies for V1, folded at ingest.
+    pub truth: TruthCounters,
+}
+
+impl StreamStudy {
+    /// Generates the ecosystem and runs the crawl + aggregation as a
+    /// producer/consumer pair over a bounded channel. Deterministic in
+    /// the scenario, and byte-equivalent to `Study::run` + `analyze` +
+    /// `full_report` at any job count.
+    pub fn run(scenario: &Scenario, opts: &StreamOptions) -> StreamStudy {
+        let eco = Ecosystem::generate(scenario.eco.clone());
+        Self::run_on(scenario, eco, opts)
+    }
+
+    /// [`Self::run`] over an already-generated world — the entry point
+    /// `bench_stream` uses so world generation (whose memory scales with
+    /// the campaign by construction) stays out of the crawl+analysis
+    /// peak-bytes measurement.
+    pub fn run_on(scenario: &Scenario, eco: Ecosystem, opts: &StreamOptions) -> StreamStudy {
+        let _span = btpub_obs::span!("study.run_streamed");
+        let distinct = match &opts.spill_dir {
+            Some(dir) => DistinctU32::with_spill_dir(Path::new(dir), DEFAULT_CHUNK_VALUES),
+            None => DistinctU32::in_memory(),
+        };
+        let mut agg = StreamAggregator::new(
+            StreamConfig {
+                has_usernames: scenario.crawler.collect_usernames,
+                top_k: scenario.top_k(),
+            },
+            &eco.world.db,
+            distinct,
+        );
+        let mut truth = TruthCounters::default();
+        let (tx, rx) = btpub_stream::channel::bounded(btpub_stream::channel::DEFAULT_CAPACITY);
+        std::thread::scope(|scope| {
+            let eco_ref = &eco;
+            let crawler_cfg = &scenario.crawler;
+            scope.spawn(move || {
+                let mut sink = ChannelSink::new(tx);
+                run_crawl_with(eco_ref, crawler_cfg, &mut sink);
+            });
+            // Records arrive the moment each torrent's monitoring ends —
+            // *out of announcement order* (an unordered `ChannelSink`),
+            // so a long-lived early torrent cannot force the crawler to
+            // re-materialize the campaign behind it (head-of-line
+            // blocking). Each record is reduced to a digest on arrival
+            // (order-free: truth tallies are commutative integer sums,
+            // and `RecordDigest::reduce` is a pure per-record function);
+            // only digests — sightings already consumed — wait in the
+            // reorder buffer for their announcement turn, and the
+            // order-sensitive fold runs exactly as the materialized
+            // pipeline would.
+            let mut pending: std::collections::BTreeMap<usize, RecordDigest> =
+                std::collections::BTreeMap::new();
+            let mut next_fold = 0usize;
+            let mut chunk = Vec::with_capacity(btpub_stream::channel::DEFAULT_CHUNK);
+            while rx.recv_chunk(&mut chunk, btpub_stream::channel::DEFAULT_CHUNK) > 0 {
+                for (idx, rec) in chunk.drain(..) {
+                    truth.observe(&rec, eco_ref);
+                    let digest = RecordDigest::reduce(rec);
+                    if idx == next_fold {
+                        agg.fold(&digest);
+                        next_fold += 1;
+                        while let Some(d) = pending.remove(&next_fold) {
+                            agg.fold(&d);
+                            next_fold += 1;
+                        }
+                    } else {
+                        pending.insert(idx, digest);
+                    }
+                }
+            }
+            debug_assert!(pending.is_empty(), "digest reorder buffer fully drained");
+        });
+        let analyses = agg.finish();
+        StreamStudy {
+            scenario: scenario.clone(),
+            eco,
+            analyses,
+            truth,
+        }
+    }
+
+    /// Computes every experiment from the streamed aggregates. Field for
+    /// field equal to [`crate::experiments::Experiments::report_data`]
+    /// over the materialized run of the same scenario.
+    pub fn report_data(&self) -> ReportData {
+        let _span = btpub_obs::span!("study.stream_report");
+        let s = &self.analyses;
+        let eco = &self.eco;
+        let db = &eco.world.db;
+        let top_k = self.scenario.top_k();
+        let totals = &s.totals;
+        let t1 = DatasetSummary {
+            name: self.scenario.crawler.name.clone(),
+            days: eco.config.duration.as_days(),
+            torrents_username: totals.torrents_username,
+            torrents_ip: totals.torrents_ip,
+            torrents_total: totals.torrents_total,
+            ip_addresses: totals.distinct_ips,
+        };
+        let f1 = SkewnessReport {
+            cdf: contribution_cdf(&s.publishers),
+            share_top3pct: content_share_of_top(&s.publishers, 3.0),
+            top_k_shares: shares_of_top_k(&s.publishers, top_k),
+            top_k,
+        };
+        let group_shares_of = |group| {
+            btpub_analysis::fake::group_shares_from(
+                &s.publishers,
+                &s.groups,
+                group,
+                totals.torrents_total,
+                totals.total_downloads,
+            )
+        };
+        let s33 = mapping_report(
+            &s.publishers,
+            &s.groups,
+            db,
+            s.mapping,
+            group_shares_of(Group::Fake),
+            group_shares_of(Group::Top),
+        );
+        let f2 = Group::ALL
+            .into_iter()
+            .map(|g| {
+                (
+                    g,
+                    category_distribution_with(
+                        |idx| s.categories[idx],
+                        &s.publishers,
+                        &s.groups,
+                        g,
+                    ),
+                )
+            })
+            .collect();
+        let f3 = Group::ALL
+            .into_iter()
+            .map(|g| {
+                (
+                    g,
+                    popularity_box(&s.publishers, &s.groups, g, eco.config.seed),
+                )
+            })
+            .collect();
+        let f4 = Group::ALL
+            .into_iter()
+            .map(|g| {
+                let stats: &[_] = if g == Group::Fake {
+                    &s.fake_entities
+                } else {
+                    &s.publishers
+                };
+                let boxes = group_seeding_boxes_with(
+                    stats,
+                    &s.groups,
+                    g,
+                    eco.config.seed,
+                    |members| {
+                        members
+                            .iter()
+                            .filter_map(|p| {
+                                if g == Group::Fake {
+                                    s.fake_seeding_of(&p.key)
+                                } else {
+                                    s.seeding_of(&p.key, DEFAULT_THRESHOLD_IDX)
+                                }
+                            })
+                            .collect()
+                    },
+                )
+                .map(|(seed_time, parallel, aggregated)| SeedingBoxes {
+                    seed_time,
+                    parallel,
+                    aggregated,
+                });
+                (g, boxes)
+            })
+            .collect();
+        let s51 = class_report(&s.classified, |c| {
+            btpub_analysis::classify::class_shares_from(
+                &s.publishers,
+                &s.classified,
+                c,
+                totals.torrents_total,
+                totals.total_downloads,
+            )
+        });
+        let portal = Portal::new(eco);
+        let t4 = longitudinal_rows(&portal, &s.classified, eco.config.horizon());
+        let scale = self.scenario.scale;
+        let correction = 1.0 / eco.config.downloads_scale * (scale.majors / scale.torrents);
+        let reports = site_reports(eco, &s.classified, correction);
+        let t5 = economics_rows(&s.classified, &reports);
+        let s6 =
+            hosting_income_rows(|p| hosting_income_from(&s.isp.footprint(db, p), 300.0));
+        let aa = appendix_a_report(&s.publishers, &s.groups, |p, i| {
+            s.seeding_of(&p.key, i).map(|m| m.aggregated_session_h)
+        });
+        let v1 = validation_report(
+            eco,
+            totals.torrents_total,
+            &self.truth,
+            &s.publishers,
+            &s.groups,
+            |p| s.seeding_of(&p.key, DEFAULT_THRESHOLD_IDX),
+        );
+        ReportData {
+            t1,
+            f1,
+            t2: s.isp.top_isps(db, 10),
+            t3: (s.isp.footprint(db, "OVH"), s.isp.footprint(db, "Comcast")),
+            s33,
+            f2,
+            f3,
+            f4,
+            s51,
+            t4,
+            t5,
+            s6,
+            aa,
+            v1,
+        }
+    }
+
+    /// Renders the full side-by-side report (byte-identical to the
+    /// materialized `Experiments::full_report`).
+    pub fn full_report(&self) -> String {
+        render_full_report(&self.report_data())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scale, Scenario, Study};
+
+    fn assert_stream_matches(scenario: &Scenario) {
+        let materialized = Study::run(scenario);
+        let expected = materialized.analyze().experiments().full_report();
+        let streamed = StreamStudy::run(scenario, &StreamOptions::default());
+        let got = streamed.full_report();
+        assert_eq!(
+            got, expected,
+            "streaming report diverged from materialized for {}",
+            scenario.name
+        );
+    }
+
+    #[test]
+    fn streaming_report_matches_materialized() {
+        assert_stream_matches(&Scenario::pb10(Scale::tiny()));
+    }
+
+    #[test]
+    fn streaming_report_matches_materialized_no_usernames() {
+        assert_stream_matches(&Scenario::mn08(Scale::tiny()));
+    }
+
+    #[test]
+    fn streaming_report_matches_under_faults() {
+        let mut scenario = Scenario::pb10(Scale::tiny());
+        scenario.crawler.fault_profile = btpub_faults::FaultProfile::by_name("hostile").unwrap();
+        assert_stream_matches(&scenario);
+    }
+
+    #[test]
+    fn streaming_with_spill_dir_matches_in_memory() {
+        let scenario = Scenario::pb10(Scale::tiny());
+        let dir = std::env::temp_dir().join(format!("btpub-core-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spilled = StreamStudy::run(
+            &scenario,
+            &StreamOptions {
+                spill_dir: Some(dir.clone()),
+            },
+        );
+        let in_mem = StreamStudy::run(&scenario, &StreamOptions::default());
+        assert_eq!(spilled.full_report(), in_mem.full_report());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -26,8 +26,14 @@ impl Study {
     /// Generates the ecosystem and runs the crawl. Deterministic in the
     /// scenario.
     pub fn run(scenario: &Scenario) -> Study {
-        let _span = btpub_obs::span!("study.run");
         let eco = Ecosystem::generate(scenario.eco.clone());
+        Self::run_on(scenario, eco)
+    }
+
+    /// [`Self::run`] over an already-generated world (the memory
+    /// benchmark generates once, outside its measurement window).
+    pub fn run_on(scenario: &Scenario, eco: Ecosystem) -> Study {
+        let _span = btpub_obs::span!("study.run");
         let dataset = run_crawl(&eco, &scenario.crawler);
         Study {
             scenario: scenario.clone(),

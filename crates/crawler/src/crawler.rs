@@ -10,6 +10,7 @@ use btpub_sim::{Ecosystem, SimDuration, SimTime, TorrentId, MINUTE};
 use btpub_tracker::sim::{probe_with, ClientId, ProbeOutcome, QueryError, TrackerSim};
 
 use crate::dataset::{Dataset, IpFailure, Sighting, TorrentRecord};
+use crate::sink::{CollectSink, RecordSink};
 
 /// Crawl parameters (§2 defaults).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +68,9 @@ enum Event {
 }
 
 struct TorrentState {
+    /// Announcement index: position in discovery order, which is the
+    /// order records must reach the sink in.
+    idx: usize,
     record: TorrentRecord,
     empty_streak: u32,
     /// When the current run of empty replies began.
@@ -77,11 +81,120 @@ struct TorrentState {
     fault_retries: u32,
 }
 
-/// Runs a full measurement campaign against an ecosystem.
+/// Finalized-record bookkeeping. Torrents finish monitoring in event
+/// order; an *ordered* sink must see records in announcement order, so
+/// records that finish early wait in a reorder buffer keyed on their
+/// announcement index. That buffer is **not** bounded by the active
+/// window: one early-announced torrent alive until the horizon blocks
+/// every later record behind it (head-of-line), which at high
+/// announcement density re-materializes most of the campaign. An
+/// unordered sink therefore receives each record the moment it
+/// finalizes, tagged with its index, and reorders on its own side —
+/// the streaming consumer does so *after* reducing records to small
+/// digests, which is what keeps its memory bounded.
+#[derive(Default)]
+struct OrderedEmitter {
+    next_emit: usize,
+    pending: std::collections::BTreeMap<usize, TorrentRecord>,
+    /// High-water mark of the reorder buffer (ordered sinks only).
+    pending_peak: usize,
+    emitted: u64,
+    identified: u64,
+}
+
+impl OrderedEmitter {
+    fn finish<S: RecordSink>(
+        &mut self,
+        st: TorrentState,
+        portal: &Portal,
+        horizon: SimTime,
+        sink: &mut S,
+    ) {
+        let idx = st.idx;
+        let record = finalize_record(st, portal, horizon);
+        if !sink.ordered() {
+            self.tally(&record);
+            sink.emit(idx, record);
+            return;
+        }
+        if idx == self.next_emit {
+            self.emit(record, sink);
+            while let Some(rec) = self.pending.remove(&self.next_emit) {
+                self.emit(rec, sink);
+            }
+        } else {
+            self.pending.insert(idx, record);
+            self.pending_peak = self.pending_peak.max(self.pending.len());
+        }
+    }
+
+    fn tally(&mut self, record: &TorrentRecord) {
+        self.emitted += 1;
+        if record.publisher_ip.is_some() {
+            self.identified += 1;
+        }
+    }
+
+    fn emit<S: RecordSink>(&mut self, record: TorrentRecord, sink: &mut S) {
+        self.tally(&record);
+        let idx = self.next_emit;
+        self.next_emit += 1;
+        sink.emit(idx, record);
+    }
+}
+
+/// Normalise a finished torrent's record. Safe to run the moment the
+/// torrent's monitoring ends: `Portal::is_removed(.., horizon)` is
+/// time-invariant ground truth, so finalizing early sees exactly what
+/// end-of-campaign postprocessing used to see.
+fn finalize_record(mut st: TorrentState, portal: &Portal, horizon: SimTime) -> TorrentRecord {
+    st.record.observed_ips.sort_unstable();
+    st.record.observed_ips.dedup();
+    st.record.observed_removed |= portal.is_removed(st.record.torrent, horizon);
+    // Torrents discovered on the campaign's last RSS polls may have
+    // their first query scheduled past the horizon and never be
+    // contacted; every unidentified record must still carry a cause
+    // (§2: the paper enumerates reasons for unresolved IPs).
+    if st.record.publisher_ip.is_none() && st.record.ip_failure.is_none() {
+        st.record.ip_failure = Some(IpFailure::CampaignEnded);
+    }
+    // Count *final* identification outcomes here rather than in the
+    // event loop: ip_failure is overwritten as attempts progress.
+    match (st.record.publisher_ip, st.record.ip_failure) {
+        (Some(_), _) => btpub_obs::static_counter!("crawler.identify.success").inc(),
+        (None, Some(f)) => {
+            btpub_obs::counter(&format!("crawler.identify.failure.{f:?}")).inc();
+            btpub_obs::trace_instant!(
+                "crawler.torrent.unresolved",
+                u64::from(st.record.torrent.0)
+            );
+        }
+        (None, None) => unreachable!("backfilled above"),
+    }
+    st.record
+}
+
+/// Runs a full measurement campaign against an ecosystem, materializing
+/// the full [`Dataset`] (a [`CollectSink`] over [`run_crawl_with`]).
 ///
 /// Deterministic: the tracker's sampling RNG is seeded from the ecosystem,
 /// and events at equal instants pop in insertion order.
 pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
+    let mut sink = CollectSink::default();
+    run_crawl_with(eco, cfg, &mut sink);
+    Dataset {
+        name: cfg.name.clone(),
+        start: SimTime::ZERO,
+        end: eco.config.horizon(),
+        has_usernames: cfg.collect_usernames,
+        torrents: sink.records,
+    }
+}
+
+/// Streaming core of the crawl: each torrent's record is finalized the
+/// moment its monitoring ends and handed to `sink` in announcement
+/// order, so the engine itself never materializes the campaign.
+pub fn run_crawl_with<S: RecordSink>(eco: &Ecosystem, cfg: &CrawlerConfig, sink: &mut S) {
     let _span = btpub_obs::span!("crawler.run");
     let wall_start = std::time::Instant::now();
     // The fault plan draws purely from (ecosystem seed, stream, index), so
@@ -109,6 +222,8 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
     // Announce replies land in one buffer reused across the whole
     // campaign — the steady-state query loop is allocation-free.
     let mut peers: Vec<Ipv4Addr> = Vec::new();
+    let mut emitter = OrderedEmitter::default();
+    let mut states_peak = 0usize;
     let mut last_poll = SimTime::ZERO;
     queue.schedule(SimTime::ZERO + cfg.rss_poll, Event::RssPoll);
 
@@ -141,6 +256,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         u64::from(item.torrent.0)
                     );
                     let state = TorrentState {
+                        idx: order.len(),
                         record: TorrentRecord {
                             torrent: item.torrent,
                             announced_at: item.at,
@@ -169,6 +285,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         fault_retries: 0,
                     };
                     states.insert(item.torrent, state);
+                    states_peak = states_peak.max(states.len());
                     order.push(item.torrent);
                     // Pounce: first contact within a minute of discovery.
                     queue.schedule(
@@ -192,9 +309,15 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 }
             }
             Event::Query { torrent, round } => {
-                let state = states.get_mut(&torrent).expect("state exists");
+                // The arm body `break`s out of this labeled block where it
+                // used to `continue` the event loop, so the emit check
+                // below runs on every exit path.
+                'query: {
+                let Some(state) = states.get_mut(&torrent) else {
+                    break 'query;
+                };
                 if state.done {
-                    continue;
+                    break 'query;
                 }
                 let first_contact = state.record.first_contact_at.is_none();
                 if first_contact {
@@ -206,7 +329,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                             state.record.ip_failure = Some(IpFailure::RemovedBeforeContact);
                             state.record.observed_removed = true;
                             state.done = true;
-                            continue;
+                            break 'query;
                         }
                         Some(listing) => {
                             state.record.filename = listing.filename;
@@ -261,7 +384,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                         }
                         state.done = true;
                     }
-                    continue;
+                    break 'query;
                 }
                 // Round-robin over vantage points; each is a tracker client.
                 btpub_obs::static_counter!("crawler.query.total").inc();
@@ -271,7 +394,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                     Ok(r) => r,
                     Err(QueryError::RateLimited { retry_at }) => {
                         queue.schedule(retry_at + SimDuration(1), Event::Query { torrent, round });
-                        continue;
+                        break 'query;
                     }
                     Err(
                         err @ (QueryError::TrackerDown { .. }
@@ -321,7 +444,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                             } else {
                                 state.done = true;
                             }
-                            continue;
+                            break 'query;
                         }
                         // Exponential backoff with deterministic jitter;
                         // at least 1 s so the retry lands on a fresh draw.
@@ -378,20 +501,29 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                             }
                             state.done = true;
                         }
-                        continue;
+                        break 'query;
                     }
                     Err(QueryError::Blacklisted | QueryError::UnknownTorrent) => {
                         // Monitoring is over for this torrent.
                         state.done = true;
-                        continue;
+                        break 'query;
                     }
                 };
                 breaker.on_success();
                 state.fault_retries = 0;
                 let population = (reply.complete + reply.incomplete) as usize;
-                // Record the sighting.
+                // Record the sighting. `observed_ips` is kept sorted and
+                // deduplicated *as replies stream in*: `finalize_record`
+                // sorts and dedups anyway, so the emitted record is
+                // unchanged, but the in-flight vector no longer
+                // accumulates every duplicate of every 15-minute reply
+                // for the torrent's whole monitored life — per-torrent
+                // resident memory is O(distinct peers), not O(polls).
                 for ip in &peers {
-                    state.record.observed_ips.push(u32::from(*ip));
+                    let ip = u32::from(*ip);
+                    if let Err(pos) = state.record.observed_ips.binary_search(&ip) {
+                        state.record.observed_ips.insert(pos, ip);
+                    }
                 }
                 let publisher_seen = state
                     .record
@@ -477,7 +609,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                     || (state.empty_streak >= cfg.empty_replies_to_stop && silence_long_enough)
                 {
                     state.done = true;
-                    continue;
+                    break 'query;
                 }
                 // Each client is scheduled against the tracker's *maximum*
                 // interval (15 min), never its current one — a polite
@@ -496,60 +628,35 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
                 } else {
                     state.done = true;
                 }
+                } // end 'query
+                // Every exit path lands here: a torrent whose monitoring
+                // just ended is finalized and emitted (or buffered until
+                // its predecessors emit) immediately, freeing its state.
+                if states.get(&torrent).is_some_and(|s| s.done) {
+                    let st = states.remove(&torrent).expect("checked above");
+                    emitter.finish(st, &portal, horizon, sink);
+                }
             }
         }
     }
 
-    // Assemble records in announcement order, deduplicating observed IPs.
-    // Per-record normalisation is independent of every other record, so
-    // it fans out; the chunked owned map keeps announcement order.
-    let finished: Vec<TorrentState> = order
-        .into_iter()
-        .map(|id| states.remove(&id).expect("state exists"))
-        .collect();
-    let torrents = btpub_par::par_chunk_map_owned("crawler.postprocess", finished, |mut st| {
-        st.record.observed_ips.sort_unstable();
-        st.record.observed_ips.dedup();
-        st.record.observed_removed |= portal.is_removed(st.record.torrent, horizon);
-        // Torrents discovered on the campaign's last RSS polls may
-        // have their first query scheduled past the horizon and never
-        // be contacted; every unidentified record must still carry a
-        // cause (§2: the paper enumerates reasons for unresolved IPs).
-        if st.record.publisher_ip.is_none() && st.record.ip_failure.is_none() {
-            st.record.ip_failure = Some(IpFailure::CampaignEnded);
+    // Torrents still alive at the horizon finalize now, in announcement
+    // order; the emitter's reorder buffer interleaves the stragglers.
+    for id in order {
+        if let Some(st) = states.remove(&id) {
+            emitter.finish(st, &portal, horizon, sink);
         }
-        // Count *final* identification outcomes here rather than in the
-        // event loop: ip_failure is overwritten as attempts progress.
-        match (st.record.publisher_ip, st.record.ip_failure) {
-            (Some(_), _) => btpub_obs::static_counter!("crawler.identify.success").inc(),
-            (None, Some(f)) => {
-                btpub_obs::counter(&format!("crawler.identify.failure.{f:?}")).inc();
-                // Fires on the postprocess worker threads, so traces show
-                // unresolved records flowing through the btpub-par lanes.
-                btpub_obs::trace_instant!(
-                    "crawler.torrent.unresolved",
-                    u64::from(st.record.torrent.0)
-                );
-            }
-            (None, None) => unreachable!("backfilled above"),
-        }
-        st.record
-    });
-    let ds = Dataset {
-        name: cfg.name.clone(),
-        start: SimTime::ZERO,
-        end: horizon,
-        has_usernames: cfg.collect_usernames,
-        torrents,
-    };
+    }
+    debug_assert!(emitter.pending.is_empty(), "reorder buffer fully drained");
     let wall = wall_start.elapsed().as_secs_f64();
     btpub_obs::info!(
         "crawl {} finished", cfg.name;
-        torrents = ds.torrent_count(),
-        identified = ds.ip_identified_count(),
-        torrents_per_sec = (ds.torrent_count() as f64 / wall.max(1e-9)) as u64,
+        torrents = emitter.emitted,
+        identified = emitter.identified,
+        torrents_per_sec = (emitter.emitted as f64 / wall.max(1e-9)) as u64,
+        states_peak = states_peak as u64,
+        reorder_peak = emitter.pending_peak as u64,
     );
-    ds
 }
 
 /// Convenience: `Ipv4Addr` of a raw stored address.

@@ -26,8 +26,10 @@
 pub mod crawler;
 pub mod dataset;
 pub mod live;
+pub mod sink;
 pub mod timeline;
 
-pub use crawler::{run_crawl, CrawlerConfig};
+pub use crawler::{run_crawl, run_crawl_with, CrawlerConfig};
+pub use sink::{ChannelSink, CollectSink, RecordSink};
 pub use dataset::{Dataset, IpFailure, Sighting, TorrentRecord};
 pub use timeline::campaign_timeline;

@@ -1,0 +1,78 @@
+//! Record sinks: where finished [`TorrentRecord`]s go.
+//!
+//! [`run_crawl_with`](crate::crawler::run_crawl_with) finalizes each
+//! torrent's record the moment monitoring for it ends and hands it to a
+//! sink tagged with its announcement index. An *ordered* sink (the
+//! default) receives records in strict announcement order — the crawler
+//! buffers out-of-order finishers until their turn. An *unordered* sink
+//! receives each record immediately: one early-announced torrent that
+//! stays alive for the whole campaign would otherwise force every
+//! later record to wait in the reorder buffer (head-of-line blocking),
+//! re-materializing most of the campaign in memory. The streaming
+//! consumer reorders on its side *after* shrinking each record to a
+//! small digest, so its reorder buffer is bounded by digests, not
+//! full records.
+
+use crate::dataset::TorrentRecord;
+
+/// Consumer of finalized per-torrent records.
+pub trait RecordSink {
+    /// Whether records must arrive in announcement order. Ordered sinks
+    /// make the crawler hold finished records until every
+    /// earlier-announced torrent has finished too; an unordered sink
+    /// takes each record the moment it finalizes and is responsible for
+    /// any reordering it needs (`idx` is the announcement index).
+    fn ordered(&self) -> bool {
+        true
+    }
+
+    /// Accepts the record announced at position `idx`.
+    fn emit(&mut self, idx: usize, record: TorrentRecord);
+}
+
+/// Materializing sink: collects every record (the historical behaviour).
+#[derive(Default)]
+pub struct CollectSink {
+    pub records: Vec<TorrentRecord>,
+}
+
+impl RecordSink for CollectSink {
+    fn emit(&mut self, idx: usize, record: TorrentRecord) {
+        debug_assert_eq!(idx, self.records.len(), "ordered sink fed out of order");
+        self.records.push(record);
+    }
+}
+
+/// Streaming sink: forwards `(announcement index, record)` pairs over a
+/// bounded, backpressured channel the moment each record finalizes. If
+/// the consumer is gone (receiver dropped — the run is already
+/// aborting), remaining records are counted and dropped rather than
+/// panicking the crawl thread.
+pub struct ChannelSink {
+    sender: btpub_stream::channel::Sender<(usize, TorrentRecord)>,
+    disconnected: bool,
+}
+
+impl ChannelSink {
+    pub fn new(sender: btpub_stream::channel::Sender<(usize, TorrentRecord)>) -> Self {
+        Self { sender, disconnected: false }
+    }
+}
+
+impl RecordSink for ChannelSink {
+    fn ordered(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, idx: usize, record: TorrentRecord) {
+        if self.disconnected {
+            btpub_obs::counter("stream.records.dropped").add(1);
+            return;
+        }
+        if self.sender.send((idx, record)).is_err() {
+            self.disconnected = true;
+            btpub_obs::error!("record consumer disconnected mid-crawl; dropping records");
+            btpub_obs::counter("stream.records.dropped").add(1);
+        }
+    }
+}

@@ -19,8 +19,6 @@
 //! another terminal can tail the path and compare the live daemon
 //! against a known-good baseline as it goes.
 
-use std::io::Write;
-
 use btpub::sim::content::Category;
 use btpub::sim::{Ecosystem, SimTime};
 use btpub::{Scale, Scenario};
@@ -221,8 +219,12 @@ fn main() {
         }
     }
     if let Some(path) = json_path {
-        let mut f = std::fs::File::create(&path).expect("create json file");
-        f.write_all(store.to_json().as_bytes()).expect("write json");
+        // Streamed straight to the file: the export never holds a
+        // store-sized string, however long the daemon has been running.
+        let f = std::fs::File::create(&path).expect("create json file");
+        store
+            .write_json(std::io::BufWriter::new(f))
+            .expect("write json");
         println!("\nstore dumped to {path}");
     }
     // Drain the trace before the metrics/manifest writes: drain()

@@ -1,6 +1,7 @@
 //! The monitor's database.
 
-use btpub_fxhash::FxHashMap;
+use std::collections::BTreeMap;
+
 use serde::Serialize;
 
 use btpub_sim::content::Category;
@@ -47,10 +48,14 @@ pub struct PublisherPage {
 }
 
 /// The in-memory store with JSON export.
+///
+/// Pages live in a `BTreeMap` so they are username-sorted *by
+/// construction* — the JSON export walks them in order instead of
+/// re-collecting and re-sorting the whole page set on every call.
 #[derive(Debug, Default)]
 pub struct MonitorStore {
     items: Vec<ItemRecord>,
-    by_username: FxHashMap<String, PublisherPage>,
+    by_username: BTreeMap<String, PublisherPage>,
 }
 
 impl MonitorStore {
@@ -133,20 +138,50 @@ impl MonitorStore {
         self.items.is_empty()
     }
 
-    /// Exports the whole store as JSON (items + publishers).
-    pub fn to_json(&self) -> String {
-        #[derive(Serialize)]
-        struct Export<'a> {
-            items: &'a [ItemRecord],
-            publishers: Vec<&'a PublisherPage>,
+    /// Streams the store as pretty JSON (items + publishers) into `w`,
+    /// record by record: no page re-collection, no re-sort (the pages
+    /// are username-sorted by construction), and — unlike [`Self::to_json`]
+    /// into a string — no store-sized buffer. Transient memory is one
+    /// record's rendering, regardless of how many items the daemon has
+    /// accumulated. Byte-identical to the historical whole-store dump.
+    pub fn write_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        // One record rendered per write, at the indentation the
+        // whole-store `write_pretty` would have used (field level 1,
+        // elements level 2), reusing a single per-record buffer.
+        fn write_seq<'a, W: std::io::Write, T: Serialize + 'a>(
+            w: &mut W,
+            buf: &mut String,
+            items: impl ExactSizeIterator<Item = &'a T>,
+        ) -> std::io::Result<()> {
+            if items.len() == 0 {
+                return w.write_all(b"[]");
+            }
+            w.write_all(b"[\n")?;
+            for (i, item) in items.enumerate() {
+                if i > 0 {
+                    w.write_all(b",\n")?;
+                }
+                buf.clear();
+                buf.push_str("    ");
+                item.to_value().write_pretty(buf, 2);
+                w.write_all(buf.as_bytes())?;
+            }
+            w.write_all(b"\n  ]")
         }
-        let mut publishers: Vec<&PublisherPage> = self.by_username.values().collect();
-        publishers.sort_by(|a, b| a.username.cmp(&b.username));
-        serde_json::to_string_pretty(&Export {
-            items: &self.items,
-            publishers,
-        })
-        .expect("store serialises")
+        let mut buf = String::new();
+        w.write_all(b"{\n  \"items\": ")?;
+        write_seq(&mut w, &mut buf, self.items.iter())?;
+        w.write_all(b",\n  \"publishers\": ")?;
+        write_seq(&mut w, &mut buf, self.by_username.values())?;
+        w.write_all(b"\n}")
+    }
+
+    /// Exports the whole store as one JSON string (see [`Self::write_json`]
+    /// for the streaming form).
+    pub fn to_json(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_json(&mut buf).expect("store serialises");
+        String::from_utf8(buf).expect("export is UTF-8")
     }
 }
 
@@ -203,6 +238,41 @@ mod tests {
         let page = store.publisher("seller").unwrap();
         assert_eq!(page.promo_url.as_deref(), Some("www.x.com"));
         assert_eq!(page.business.as_deref(), Some("BT portal"));
+    }
+
+    #[test]
+    fn write_json_streams_in_bounded_chunks() {
+        // The streaming exporter must hand the writer token-sized pieces,
+        // never an items_len-shaped buffer: the largest single write must
+        // stay constant-bounded while the total grows with the store.
+        struct ChunkMeter {
+            total: usize,
+            max_chunk: usize,
+        }
+        impl std::io::Write for ChunkMeter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.total += buf.len();
+                self.max_chunk = self.max_chunk.max(buf.len());
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut store = MonitorStore::new();
+        for i in 0..2000u32 {
+            store.insert(item(i, &format!("user{:03}", i % 50), Some("1.2.3.4")));
+        }
+        let mut meter = ChunkMeter { total: 0, max_chunk: 0 };
+        store.write_json(&mut meter).unwrap();
+        assert!(meter.total > 100_000, "export is store-sized: {}", meter.total);
+        assert!(
+            meter.max_chunk < 4096,
+            "write chunk {} scales with the store",
+            meter.max_chunk
+        );
+        // And the string form is exactly the streamed bytes.
+        assert_eq!(store.to_json().len(), meter.total);
     }
 
     #[test]

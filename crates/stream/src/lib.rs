@@ -1,0 +1,59 @@
+//! Bounded streaming primitives for the crawl→analysis dataflow.
+//!
+//! The materialized pipeline builds the entire `Dataset` in RAM before a
+//! single aggregation runs; at 100× campaign scale that is the dominant
+//! memory cost. This crate provides the three pieces the streaming spine
+//! needs, all on `std` only:
+//!
+//! * [`channel`] — a bounded, backpressured SPSC channel whose receiver
+//!   drains FIFO in chunks. Producers block when the channel is full, so
+//!   peak queued state is a fixed constant regardless of campaign size.
+//!   Draining is strictly FIFO and the consumer is single-threaded, which
+//!   is why channel timing can never reorder ingest (see DESIGN.md,
+//!   "Why bounded-channel draining order cannot change report bytes").
+//! * [`spill`] — optional spill-to-disk columnar segments (plain
+//!   `std::fs`, length-prefixed frames keyed on a `u32` such as an
+//!   interned `Sym`), plus an external-merge distinct-counter built on
+//!   top for the one genuinely campaign-sized set in the reports: the
+//!   global distinct-IP count.
+//! * [`warn_once`] — one-shot stderr warnings for misconfiguration that
+//!   we fall back from instead of panicking (unwritable spill dir,
+//!   `--scale 0`).
+
+pub mod channel;
+pub mod spill;
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::sync::OnceLock;
+
+/// Emit `msg` on stderr (via the obs `warn!` log) exactly once per
+/// distinct `key` for the lifetime of the process.
+///
+/// Used for fall-back paths: the message should name the offending value
+/// and the accepted forms, then the caller proceeds with the fallback
+/// instead of panicking. Returns `true` the first time a key is seen.
+pub fn warn_once(key: &str, msg: &str) -> bool {
+    static SEEN: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let seen = SEEN.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = seen.lock().unwrap_or_else(|e| e.into_inner());
+    if guard.insert(key.to_string()) {
+        btpub_obs::warn!("{msg}");
+        btpub_obs::counter("stream.warn_once").add(1);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warn_once_fires_once_per_key() {
+        assert!(warn_once("test.key.a", "first"));
+        assert!(!warn_once("test.key.a", "second"));
+        assert!(warn_once("test.key.b", "other key still fires"));
+    }
+}

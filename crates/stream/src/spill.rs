@@ -1,0 +1,368 @@
+//! Spill-to-disk columnar segments and an external distinct counter.
+//!
+//! Segments are plain `std::fs` files of length-prefixed frames:
+//!
+//! ```text
+//! frame := key(u32 LE) len(u32 LE) payload(len bytes)
+//! ```
+//!
+//! The key is caller-defined — typically an interned `Sym` index or a
+//! run sequence number — so a segment doubles as a tiny columnar store
+//! for fields that need a second pass without holding the whole campaign
+//! in RAM.
+//!
+//! [`DistinctU32`] builds on segments to count distinct `u32` values
+//! (the global distinct-IP count is the one campaign-sized set in the
+//! reports): values accumulate in a fixed-capacity chunk; full chunks
+//! are sorted, deduped, and spilled as one sorted run per segment; the
+//! final count is a k-way merge over the runs. The count is exactly the
+//! set cardinality, so the in-memory and spill paths are interchangeable
+//! — which is what lets an unwritable spill dir fall back to in-memory
+//! with a warning instead of a panic.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use btpub_fxhash::FxHashSet;
+
+use crate::warn_once;
+
+/// Writer for one length-prefixed segment file.
+pub struct SegmentWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    bytes: u64,
+    frames: u64,
+}
+
+impl SegmentWriter {
+    /// Create `<dir>/<name>.seg`, truncating any previous file.
+    pub fn create(dir: &Path, name: &str) -> std::io::Result<Self> {
+        let path = dir.join(format!("{name}.seg"));
+        let out = BufWriter::new(File::create(&path)?);
+        Ok(Self { out, path, bytes: 0, frames: 0 })
+    }
+
+    /// Append one `key`-tagged frame.
+    pub fn write_frame(&mut self, key: u32, payload: &[u8]) -> std::io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| std::io::Error::other("frame payload over u32::MAX bytes"))?;
+        self.out.write_all(&key.to_le_bytes())?;
+        self.out.write_all(&len.to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.bytes += 8 + payload.len() as u64;
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Flush and return `(path, frames, bytes)`.
+    pub fn finish(mut self) -> std::io::Result<(PathBuf, u64, u64)> {
+        self.out.flush()?;
+        btpub_obs::counter("stream.spill.segments").add(1);
+        btpub_obs::counter("stream.spill.bytes").add(self.bytes);
+        Ok((self.path, self.frames, self.bytes))
+    }
+}
+
+/// Reader over one segment file's frames, in write order.
+pub struct SegmentReader {
+    input: BufReader<File>,
+}
+
+impl SegmentReader {
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        Ok(Self { input: BufReader::new(File::open(path)?) })
+    }
+
+    /// Read the next `(key, payload)` frame, or `None` at end of file.
+    pub fn next_frame(&mut self) -> std::io::Result<Option<(u32, Vec<u8>)>> {
+        let mut header = [0u8; 8];
+        match self.input.read_exact(&mut header[..1]) {
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            other => other?,
+        }
+        self.input.read_exact(&mut header[1..])?;
+        let key = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        self.input.read_exact(&mut payload)?;
+        Ok(Some((key, payload)))
+    }
+}
+
+/// How many `u32`s a [`DistinctU32`] holds in RAM before spilling a run.
+pub const DEFAULT_CHUNK_VALUES: usize = 1 << 20;
+
+enum Backend {
+    Memory(FxHashSet<u32>),
+    Spill {
+        dir: PathBuf,
+        chunk: Vec<u32>,
+        chunk_cap: usize,
+        runs: Vec<PathBuf>,
+    },
+}
+
+/// Counts distinct `u32` values with bounded memory.
+///
+/// With no spill directory (or an unwritable one — warned once, never a
+/// panic) this is a plain in-memory hash set. With a writable directory
+/// it keeps at most `chunk_cap` values in RAM and spills sorted runs to
+/// segment files, merging at [`DistinctU32::finish`]. Both backends
+/// return exactly the set cardinality.
+pub struct DistinctU32 {
+    backend: Backend,
+}
+
+impl DistinctU32 {
+    pub fn in_memory() -> Self {
+        Self { backend: Backend::Memory(FxHashSet::default()) }
+    }
+
+    /// Spill-backed counter under `dir` (created if missing), falling
+    /// back to in-memory with a one-shot warning if the directory cannot
+    /// be created or written.
+    pub fn with_spill_dir(dir: &Path, chunk_cap: usize) -> Self {
+        match Self::probe_dir(dir) {
+            Ok(()) => Self {
+                backend: Backend::Spill {
+                    dir: dir.to_path_buf(),
+                    chunk: Vec::new(),
+                    chunk_cap: chunk_cap.max(1024),
+                    runs: Vec::new(),
+                },
+            },
+            Err(e) => {
+                warn_once(
+                    &format!("stream.spill.unwritable:{}", dir.display()),
+                    &format!(
+                        "spill directory {:?} is not writable ({e}); accepted forms: an \
+                         existing writable directory or a creatable path — falling back \
+                         to in-memory aggregation",
+                        dir.display().to_string()
+                    ),
+                );
+                Self::in_memory()
+            }
+        }
+    }
+
+    fn probe_dir(dir: &Path) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let probe = dir.join(".btpub-spill-probe");
+        fs::write(&probe, b"ok")?;
+        fs::remove_file(&probe)?;
+        Ok(())
+    }
+
+    /// Insert a batch of values (duplicates welcome).
+    pub fn insert_all(&mut self, values: &[u32]) {
+        match &mut self.backend {
+            Backend::Memory(set) => set.extend(values.iter().copied()),
+            Backend::Spill { dir, chunk, chunk_cap, runs } => {
+                for &v in values {
+                    chunk.push(v);
+                    if chunk.len() >= *chunk_cap {
+                        Self::flush_run(dir, chunk, runs);
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_run(dir: &Path, chunk: &mut Vec<u32>, runs: &mut Vec<PathBuf>) {
+        chunk.sort_unstable();
+        chunk.dedup();
+        let name = format!("distinct-run-{:05}", runs.len());
+        // A failed spill write falls back to keeping the run in memory
+        // for the final merge rather than losing data; the warn_once
+        // makes the degradation visible exactly once.
+        let write = || -> std::io::Result<PathBuf> {
+            let mut w = SegmentWriter::create(dir, &name)?;
+            for block in chunk.chunks(1 << 14) {
+                let mut payload = Vec::with_capacity(block.len() * 4);
+                for v in block {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+                w.write_frame(runs.len() as u32, &payload)?;
+            }
+            let (path, _, _) = w.finish()?;
+            Ok(path)
+        };
+        match write() {
+            Ok(path) => {
+                runs.push(path);
+                chunk.clear();
+            }
+            Err(e) => {
+                warn_once(
+                    &format!("stream.spill.write_failed:{}", dir.display()),
+                    &format!(
+                        "spill write under {:?} failed ({e}); keeping run in memory",
+                        dir.display().to_string()
+                    ),
+                );
+                // Keep the (sorted, deduped) chunk and let it grow.
+            }
+        }
+    }
+
+    /// Number of distinct values seen. Consumes the counter; spill runs
+    /// are removed from disk after merging.
+    pub fn finish(self) -> u64 {
+        match self.backend {
+            Backend::Memory(set) => set.len() as u64,
+            Backend::Spill { chunk, runs, .. } => {
+                let mut last = chunk;
+                last.sort_unstable();
+                last.dedup();
+                let mut cursors: Vec<RunCursor> = Vec::with_capacity(runs.len() + 1);
+                for path in &runs {
+                    match RunCursor::open(path) {
+                        Ok(c) => cursors.push(c),
+                        Err(e) => {
+                            // A run we wrote but cannot read back would
+                            // undercount; surface loudly.
+                            btpub_obs::error!("spill run {path:?} unreadable: {e}");
+                        }
+                    }
+                }
+                cursors.push(RunCursor::from_vec(last));
+                let count = merge_count(cursors);
+                for path in runs {
+                    let _ = fs::remove_file(path);
+                }
+                count
+            }
+        }
+    }
+}
+
+/// Streaming cursor over one sorted run (on disk or in memory).
+struct RunCursor {
+    reader: Option<SegmentReader>,
+    buf: Vec<u32>,
+    pos: usize,
+}
+
+impl RunCursor {
+    fn open(path: &Path) -> std::io::Result<Self> {
+        let mut c = Self { reader: Some(SegmentReader::open(path)?), buf: Vec::new(), pos: 0 };
+        c.refill()?;
+        Ok(c)
+    }
+
+    fn from_vec(values: Vec<u32>) -> Self {
+        Self { reader: None, buf: values, pos: 0 }
+    }
+
+    fn refill(&mut self) -> std::io::Result<()> {
+        self.buf.clear();
+        self.pos = 0;
+        if let Some(reader) = &mut self.reader {
+            if let Some((_, payload)) = reader.next_frame()? {
+                self.buf.reserve(payload.len() / 4);
+                for bytes in payload.chunks_exact(4) {
+                    self.buf.push(u32::from_le_bytes(bytes.try_into().unwrap()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u32> {
+        self.buf.get(self.pos).copied()
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+        if self.pos >= self.buf.len() && self.reader.is_some() {
+            if let Err(e) = self.refill() {
+                btpub_obs::error!("spill run read error mid-merge: {e}");
+                self.buf.clear();
+                self.pos = 0;
+            }
+        }
+    }
+}
+
+fn merge_count(mut cursors: Vec<RunCursor>) -> u64 {
+    let mut count = 0u64;
+    let mut last: Option<u32> = None;
+    loop {
+        let mut min: Option<u32> = None;
+        for c in &cursors {
+            if let Some(v) = c.peek() {
+                min = Some(min.map_or(v, |m: u32| m.min(v)));
+            }
+        }
+        let Some(v) = min else { break };
+        if last != Some(v) {
+            count += 1;
+            last = Some(v);
+        }
+        for c in &mut cursors {
+            while c.peek() == Some(v) {
+                c.advance();
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("btpub-stream-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn segment_roundtrip_preserves_frames() {
+        let dir = tmpdir("seg");
+        fs::create_dir_all(&dir).unwrap();
+        let mut w = SegmentWriter::create(&dir, "t").unwrap();
+        w.write_frame(7, b"hello").unwrap();
+        w.write_frame(9, b"").unwrap();
+        w.write_frame(u32::MAX, &[1, 2, 3]).unwrap();
+        let (path, frames, bytes) = w.finish().unwrap();
+        assert_eq!(frames, 3);
+        assert_eq!(bytes, 8 * 3 + 5 + 3);
+        let mut r = SegmentReader::open(&path).unwrap();
+        assert_eq!(r.next_frame().unwrap(), Some((7, b"hello".to_vec())));
+        assert_eq!(r.next_frame().unwrap(), Some((9, Vec::new())));
+        assert_eq!(r.next_frame().unwrap(), Some((u32::MAX, vec![1, 2, 3])));
+        assert_eq!(r.next_frame().unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn spill_distinct_matches_in_memory() {
+        let dir = tmpdir("distinct");
+        let mut spill = DistinctU32::with_spill_dir(&dir, 0); // cap clamps to 1024
+        let mut mem = DistinctU32::in_memory();
+        // Adversarial-ish: dense duplicates, reverse order, cross-chunk repeats.
+        let mut vals = Vec::new();
+        for round in 0..5u32 {
+            for v in (0..3000u32).rev() {
+                vals.push(v % (500 + round * 700));
+            }
+        }
+        spill.insert_all(&vals);
+        mem.insert_all(&vals);
+        assert_eq!(spill.finish(), mem.finish());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unwritable_spill_dir_falls_back_to_memory() {
+        // /proc is not writable in any environment we run in.
+        let mut d = DistinctU32::with_spill_dir(Path::new("/proc/btpub-no-such"), 4096);
+        d.insert_all(&[1, 2, 2, 3]);
+        assert_eq!(d.finish(), 3);
+    }
+}

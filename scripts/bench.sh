@@ -12,27 +12,44 @@
 #                       announce, and the flight-recorder on-vs-off
 #                       announce cost (trace_overhead_pct)
 #                       → BENCH_hotpath.json
+#   * `bench_stream`  — the streaming-memory profile: counting-allocator
+#                       peak bytes for the streaming vs materialized
+#                       pipeline at 1x and 100x-shape campaign density,
+#                       records/sec, and the streaming-vs-materialized
+#                       report byte-identity check → BENCH_stream.json
+#
+# Baselines are only comparable from the environment that gates them:
+# scripts/check.sh runs the perf gates at --jobs 1 on the local machine,
+# so a baseline recorded at another job count (or committed from a
+# machine with a different CPU count) would gate noise. This script
+# refuses to leave such a baseline behind.
 #
 # Usage: scripts/bench.sh [--scale tiny|repro|paper] [--jobs N] [--runs K]
-#        (--scale/--jobs go to both binaries; --runs only to bench_par)
+#        (--scale/--jobs go to bench_par + bench_hotpath; --jobs also to
+#        bench_stream; --runs only to bench_par)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 par_args=()
 hotpath_args=()
+stream_args=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --runs)
             par_args+=("$1" "$2"); shift 2 ;;
-        --scale|--jobs)
+        --scale)
             par_args+=("$1" "$2"); hotpath_args+=("$1" "$2"); shift 2 ;;
+        --jobs)
+            par_args+=("$1" "$2"); hotpath_args+=("$1" "$2")
+            stream_args+=("$1" "$2"); shift 2 ;;
         *)
             echo "unknown argument: $1" >&2; exit 2 ;;
     esac
 done
 
 echo "== build (release) =="
-cargo build --release --offline -p btpub-bench --bin bench_par --bin bench_hotpath
+cargo build --release --offline -p btpub-bench \
+    --bin bench_par --bin bench_hotpath --bin bench_stream
 
 echo "== bench_par =="
 ./target/release/bench_par --out BENCH_par.json "${par_args[@]+"${par_args[@]}"}"
@@ -40,9 +57,33 @@ echo "== bench_par =="
 echo "== bench_hotpath =="
 ./target/release/bench_hotpath --out BENCH_hotpath.json "${hotpath_args[@]+"${hotpath_args[@]}"}"
 
+echo "== bench_stream =="
+./target/release/bench_stream --out BENCH_stream.json "${stream_args[@]+"${stream_args[@]}"}"
+
+echo "== baseline environment check =="
+# A freshly-recorded gate baseline must describe the environment the
+# gate will run in: scripts/check.sh gates at --jobs 1 on this machine.
+cpus="$(nproc)"
+for f in BENCH_hotpath.json BENCH_stream.json; do
+    got_cpus="$(sed -n 's/.*"cpus": \([0-9]*\).*/\1/p' "$f" | head -1)"
+    got_jobs="$(sed -n 's/.*"jobs": \([0-9]*\).*/\1/p' "$f" | head -1)"
+    if [ "$got_cpus" != "$cpus" ] || [ "$got_jobs" != "1" ]; then
+        echo "FAIL: $f records cpus=$got_cpus jobs=$got_jobs, but" >&2
+        echo "      scripts/check.sh gates at cpus=$cpus jobs=1 —" >&2
+        echo "      a baseline from a different environment would gate noise." >&2
+        echo "      Rerun scripts/bench.sh without --jobs on the gate machine;" >&2
+        echo "      do not commit this baseline." >&2
+        exit 3
+    fi
+done
+echo "baselines match the gate environment (cpus=$cpus, jobs=1)"
+
 echo "== BENCH_par.json =="
 cat BENCH_par.json
 echo
 echo "== BENCH_hotpath.json =="
 cat BENCH_hotpath.json
+echo
+echo "== BENCH_stream.json =="
+cat BENCH_stream.json
 echo

@@ -168,6 +168,81 @@ if [ "$rc" -ne 1 ]; then
 fi
 echo "periodic manifests deterministic; partial-run semantics hold"
 
+echo "== streaming pipeline: --stream must not move a report byte =="
+# The streaming dataflow (bounded channel, out-of-order record arrival,
+# digest reorder, sketch-backed aggregation) against the materialized
+# reports from the determinism section, at both job counts.
+./target/release/repro --scenario all --scale tiny --jobs 1 --stream \
+    > "$tmpdir/stream-serial.txt" 2>/dev/null
+./target/release/repro --scenario all --scale tiny --jobs 4 --stream \
+    > "$tmpdir/stream-parallel.txt" 2>/dev/null
+for f in stream-serial stream-parallel; do
+    if ! diff -u "$tmpdir/serial.txt" "$tmpdir/$f.txt"; then
+        echo "FAIL: streaming report ($f) differs from materialized" >&2
+        exit 1
+    fi
+done
+echo "streaming reports byte-identical to materialized at jobs 1 and 4"
+
+echo "== spill-to-disk: --spill-dir must not move a byte; unwritable dir warns and falls back =="
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    > "$tmpdir/pb10-plain.txt" 2>/dev/null
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --spill-dir "$tmpdir/spill" > "$tmpdir/pb10-spill.txt" 2>/dev/null
+if ! diff -u "$tmpdir/pb10-plain.txt" "$tmpdir/pb10-spill.txt"; then
+    echo "FAIL: spill-to-disk changed the report bytes" >&2
+    exit 1
+fi
+: > "$tmpdir/not-a-dir"
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --spill-dir "$tmpdir/not-a-dir/sub" > "$tmpdir/pb10-nospill.txt" \
+    2> "$tmpdir/nospill-err.txt"
+if ! grep -q "falling back" "$tmpdir/nospill-err.txt"; then
+    echo "FAIL: unwritable spill dir produced no fallback warning" >&2
+    cat "$tmpdir/nospill-err.txt" >&2
+    exit 1
+fi
+if ! diff -u "$tmpdir/pb10-plain.txt" "$tmpdir/pb10-nospill.txt"; then
+    echo "FAIL: in-memory spill fallback changed the report bytes" >&2
+    exit 1
+fi
+echo "spill run byte-identical; unwritable dir warns and falls back"
+
+echo "== --scale 0 fallback: warn once, run at 1x =="
+./target/release/repro --scenario pb10 --scale 0 --jobs 1 \
+    > "$tmpdir/pb10-scale0.txt" 2> "$tmpdir/scale0-err.txt"
+if [ "$(grep -c 'running at 1x' "$tmpdir/scale0-err.txt")" -ne 1 ]; then
+    echo "FAIL: --scale 0 must warn exactly once; stderr was:" >&2
+    cat "$tmpdir/scale0-err.txt" >&2
+    exit 1
+fi
+if ! diff -u "$tmpdir/pb10-plain.txt" "$tmpdir/pb10-scale0.txt"; then
+    echo "FAIL: --scale 0 fallback did not run at 1x tiny" >&2
+    exit 1
+fi
+echo "--scale 0 warns once and falls back to 1x"
+
+echo "== memory gate: 100x-shape streaming peak vs committed BENCH_stream.json =="
+# The tiny 100×-shape campaign must run under the committed byte ceiling
+# with sublinear 1×→100× peak growth, and the 1× streaming report must
+# stay byte-identical to the materialized one (checked in-process).
+./target/release/bench_stream --jobs 1 \
+    --out "$tmpdir/bench_stream.json" --gate BENCH_stream.json
+
+echo "== memory gate inversion: an injected leak ceiling must trip the gate =="
+# Doctor the committed baseline down to a 1 KiB ceiling: replaying the
+# fresh measurement against it must fail — proving the gate actually
+# compares peak bytes and is not a rubber stamp.
+sed -E 's/("ceiling_bytes": )[0-9]+/\11024/' \
+    BENCH_stream.json > "$tmpdir/bench_stream_broken.json"
+if ./target/release/bench_stream --replay "$tmpdir/bench_stream.json" \
+    --gate "$tmpdir/bench_stream_broken.json" \
+    --out "$tmpdir/bench_stream_replay.json" >/dev/null 2>&1; then
+    echo "FAIL: memory gate passed against a 1 KiB ceiling (gate is inert)" >&2
+    exit 1
+fi
+echo "memory gate flags the injected ceiling breach (exit nonzero)"
+
 echo "== perf smoke gate: tiny-scale hotpath vs committed BENCH_hotpath.json =="
 # Reduced-scale pass of the hotpath bench, gated against the committed
 # baseline: fails on any allocs-per-announce regression (the fast path

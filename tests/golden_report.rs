@@ -13,7 +13,7 @@
 //! `./target/release/repro --scenario pb10 --scale tiny [--fault-profile
 //! hostile] 2>/dev/null` over each fixture file.
 
-use btpub::{Scale, Scenario, Study};
+use btpub::{Scale, Scenario, StreamOptions, StreamStudy, Study};
 use btpub_faults::FaultProfile;
 use btpub_par::Jobs;
 use std::fmt::Write as _;
@@ -30,6 +30,21 @@ fn render_pb10_tiny(profile: FaultProfile, jobs: usize) -> String {
     writeln!(out, "################ scenario pb10 ################").unwrap();
     writeln!(out, "# fault-profile: {}", scenario.crawler.fault_profile.name).unwrap();
     write!(out, "{}", analyses.experiments().full_report()).unwrap();
+    out
+}
+
+/// The same report through the streaming pipeline (`repro --stream`):
+/// bounded channel, record-at-a-time aggregation, quantile sketches —
+/// and still not one byte of drift from the committed fixtures.
+fn render_pb10_tiny_streamed(profile: FaultProfile, jobs: usize) -> String {
+    btpub_par::set_global(Jobs::new(jobs));
+    let mut scenario = Scenario::pb10(Scale::tiny());
+    scenario.crawler.fault_profile = profile;
+    let study = StreamStudy::run(&scenario, &StreamOptions::default());
+    let mut out = String::new();
+    writeln!(out, "################ scenario pb10 ################").unwrap();
+    writeln!(out, "# fault-profile: {}", scenario.crawler.fault_profile.name).unwrap();
+    write!(out, "{}", study.full_report()).unwrap();
     out
 }
 
@@ -71,6 +86,22 @@ fn pb10_reports_match_committed_fixtures_at_all_jobs_and_profiles() {
             &render_pb10_tiny(FaultProfile::hostile(), jobs),
             hostile,
             &format!("hostile profile, --jobs {jobs}"),
+        );
+    }
+    // The streaming pipeline against the *same* fixtures: the bounded
+    // channel, the record-at-a-time fold, and the quantile sketches
+    // behind the box-plot sections must reproduce the committed bytes
+    // exactly, serial and parallel.
+    for jobs in [1, 4] {
+        assert_matches_fixture(
+            &render_pb10_tiny_streamed(FaultProfile::clean(), jobs),
+            clean,
+            &format!("clean profile, --jobs {jobs}, streamed"),
+        );
+        assert_matches_fixture(
+            &render_pb10_tiny_streamed(FaultProfile::hostile(), jobs),
+            hostile,
+            &format!("hostile profile, --jobs {jobs}, streamed"),
         );
     }
     // Same four configurations with the flight recorder armed, against
