@@ -114,6 +114,61 @@ impl ClassAcc {
         }
     }
 
+    /// Serializes the accumulator for a checkpoint. `lang_counts` is
+    /// written key-sorted so the same state always yields the same bytes.
+    pub fn encode_state(&self, enc: &mut btpub_stream::checkpoint::Enc) {
+        match &self.url {
+            Some(u) => {
+                enc.bool(true);
+                enc.str(u);
+            }
+            None => enc.bool(false),
+        }
+        enc.usize(self.placements.len());
+        for p in &self.placements {
+            enc.u8(match p {
+                UrlPlacement::Filename => 0,
+                UrlPlacement::Textbox => 1,
+            });
+        }
+        enc.usize(self.porn);
+        enc.usize(self.n);
+        let mut langs: Vec<(&String, &usize)> = self.lang_counts.iter().collect();
+        langs.sort();
+        enc.usize(langs.len());
+        for (l, c) in langs {
+            enc.str(l);
+            enc.usize(*c);
+        }
+    }
+
+    /// Restores from [`Self::encode_state`] bytes.
+    pub fn decode_state(
+        dec: &mut btpub_stream::checkpoint::Dec,
+    ) -> Result<Self, btpub_stream::checkpoint::CheckpointError> {
+        use btpub_stream::checkpoint::CheckpointError;
+        let url = dec.bool()?.then(|| dec.str()).transpose()?;
+        let n_placements = dec.usize()?;
+        let mut placements = Vec::with_capacity(n_placements.min(4));
+        for _ in 0..n_placements {
+            placements.push(match dec.u8()? {
+                0 => UrlPlacement::Filename,
+                1 => UrlPlacement::Textbox,
+                _ => return Err(CheckpointError::Decode { what: "UrlPlacement tag" }),
+            });
+        }
+        let porn = dec.usize()?;
+        let n = dec.usize()?;
+        let n_langs = dec.usize()?;
+        let mut lang_counts = FxHashMap::default();
+        for _ in 0..n_langs {
+            let l = dec.str()?;
+            let c = dec.usize()?;
+            lang_counts.insert(l, c);
+        }
+        Ok(Self { url, placements, porn, n, lang_counts })
+    }
+
     /// Applies the classification rules and produces the publisher's
     /// [`Classified`] entry.
     pub fn finish(self, key: PublisherKey) -> Classified {

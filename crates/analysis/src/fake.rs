@@ -136,6 +136,111 @@ impl GroupSignals {
         }
     }
 
+    /// Serializes the evidence for a checkpoint. Symbols are written by
+    /// dense index (re-interning the same usernames in the same order
+    /// reconstructs them); every map and set is key-sorted so the same
+    /// state always yields the same bytes.
+    pub fn encode_state(&self, enc: &mut btpub_stream::checkpoint::Enc) {
+        let mut syms: Vec<u32> = self.fake_syms.iter().map(|s| s.index() as u32).collect();
+        syms.sort_unstable();
+        enc.usize(syms.len());
+        for s in syms {
+            enc.u32(s);
+        }
+        let mut by_ip: Vec<(u32, Vec<u32>)> = self
+            .by_ip
+            .iter()
+            .map(|(&ip, set)| {
+                let mut inner: Vec<u32> = set.iter().map(|s| s.index() as u32).collect();
+                inner.sort_unstable();
+                (ip, inner)
+            })
+            .collect();
+        by_ip.sort_unstable();
+        enc.usize(by_ip.len());
+        for (ip, inner) in by_ip {
+            enc.u32(ip);
+            enc.usize(inner.len());
+            for s in inner {
+                enc.u32(s);
+            }
+        }
+        let mut removed: Vec<(u32, (usize, usize))> =
+            self.ip_removed.iter().map(|(&ip, &v)| (ip, v)).collect();
+        removed.sort_unstable();
+        enc.usize(removed.len());
+        for (ip, (total, rm)) in removed {
+            enc.u32(ip);
+            enc.usize(total);
+            enc.usize(rm);
+        }
+        let mut pairs: Vec<((u32, u32), usize)> = self
+            .ip_torrents
+            .iter()
+            .map(|(&(sym, ip), &n)| ((sym.index() as u32, ip), n))
+            .collect();
+        pairs.sort_unstable();
+        enc.usize(pairs.len());
+        for ((sym, ip), n) in pairs {
+            enc.u32(sym);
+            enc.u32(ip);
+            enc.usize(n);
+        }
+        let mut content: Vec<(u32, usize)> =
+            self.ip_content.iter().map(|(&ip, &n)| (ip, n)).collect();
+        content.sort_unstable();
+        enc.usize(content.len());
+        for (ip, n) in content {
+            enc.u32(ip);
+            enc.usize(n);
+        }
+    }
+
+    /// Restores from [`Self::encode_state`] bytes. `users` must already
+    /// hold the re-interned usernames of the resumed fold.
+    pub fn decode_state(
+        dec: &mut btpub_stream::checkpoint::Dec,
+        users: &Interner,
+    ) -> Result<Self, btpub_stream::checkpoint::CheckpointError> {
+        use btpub_stream::checkpoint::CheckpointError;
+        let sym = |idx: u32| {
+            users
+                .sym_at(idx as usize)
+                .ok_or(CheckpointError::Decode { what: "GroupSignals symbol index" })
+        };
+        let mut out = GroupSignals::default();
+        for _ in 0..dec.usize()? {
+            out.fake_syms.insert(sym(dec.u32()?)?);
+        }
+        for _ in 0..dec.usize()? {
+            let ip = dec.u32()?;
+            let n = dec.usize()?;
+            let mut set = FxHashSet::default();
+            for _ in 0..n {
+                set.insert(sym(dec.u32()?)?);
+            }
+            out.by_ip.insert(ip, set);
+        }
+        for _ in 0..dec.usize()? {
+            let ip = dec.u32()?;
+            let total = dec.usize()?;
+            let rm = dec.usize()?;
+            out.ip_removed.insert(ip, (total, rm));
+        }
+        for _ in 0..dec.usize()? {
+            let s = sym(dec.u32()?)?;
+            let ip = dec.u32()?;
+            let n = dec.usize()?;
+            out.ip_torrents.insert((s, ip), n);
+        }
+        for _ in 0..dec.usize()? {
+            let ip = dec.u32()?;
+            let n = dec.usize()?;
+            out.ip_content.insert(ip, n);
+        }
+        Ok(out)
+    }
+
     /// Content counts per identified IP, sorted descending with the same
     /// tie-break as [`top_ips_by_content`].
     pub fn top_ips(&self) -> Vec<(u32, usize)> {

@@ -71,6 +71,63 @@ impl IspAgg {
             .collect()
     }
 
+    /// Serializes the aggregate for a checkpoint, ISPs and inner sets
+    /// key-sorted for byte-stable output.
+    pub fn encode_state(&self, enc: &mut btpub_stream::checkpoint::Enc) {
+        let mut isps: Vec<(&IspId, &IspAcc)> = self.per_isp.iter().collect();
+        isps.sort_by_key(|(id, _)| id.0);
+        enc.usize(isps.len());
+        for (id, acc) in isps {
+            enc.u32(u32::from(id.0));
+            enc.usize(acc.fed);
+            let mut ips: Vec<u32> = acc.ips.iter().copied().collect();
+            ips.sort_unstable();
+            enc.usize(ips.len());
+            for ip in ips {
+                enc.u32(ip);
+            }
+            let mut prefixes: Vec<u16> = acc.prefixes.iter().copied().collect();
+            prefixes.sort_unstable();
+            enc.usize(prefixes.len());
+            for p in prefixes {
+                enc.u32(u32::from(p));
+            }
+            let mut locations: Vec<u16> = acc.locations.iter().map(|l| l.0).collect();
+            locations.sort_unstable();
+            enc.usize(locations.len());
+            for l in locations {
+                enc.u32(u32::from(l));
+            }
+        }
+        enc.usize(self.attributed);
+    }
+
+    /// Restores from [`Self::encode_state`] bytes.
+    pub fn decode_state(
+        dec: &mut btpub_stream::checkpoint::Dec,
+    ) -> Result<Self, btpub_stream::checkpoint::CheckpointError> {
+        use btpub_stream::checkpoint::CheckpointError;
+        let narrow = |v: u32| {
+            u16::try_from(v).map_err(|_| CheckpointError::Decode { what: "IspAgg u16 id" })
+        };
+        let mut per_isp = FxHashMap::default();
+        for _ in 0..dec.usize()? {
+            let id = IspId(narrow(dec.u32()?)?);
+            let mut acc = IspAcc { fed: dec.usize()?, ..IspAcc::default() };
+            for _ in 0..dec.usize()? {
+                acc.ips.insert(dec.u32()?);
+            }
+            for _ in 0..dec.usize()? {
+                acc.prefixes.insert(narrow(dec.u32()?)?);
+            }
+            for _ in 0..dec.usize()? {
+                acc.locations.insert(LocationId(narrow(dec.u32()?)?));
+            }
+            per_isp.insert(id, acc);
+        }
+        Ok(Self { per_isp, attributed: dec.usize()? })
+    }
+
     /// Table 3's row for one ISP, by display name.
     pub fn footprint(&self, db: &GeoDb, isp_name: &str) -> IspFootprint {
         let acc = db

@@ -133,6 +133,39 @@ impl SeedAcc {
             torrents_measured: self.measured,
         })
     }
+
+    /// Serializes the accumulator for a checkpoint: the union's disjoint
+    /// intervals plus the three scalars (`sum_hours` as raw bits — the
+    /// restored float must be the identical bit pattern, not a re-parse).
+    pub fn encode_state(&self, enc: &mut btpub_stream::checkpoint::Enc) {
+        enc.usize(self.union.session_count());
+        for (a, b) in self.union.iter() {
+            enc.u64(a.0);
+            enc.u64(b.0);
+        }
+        enc.u64(self.per_torrent_total.0);
+        enc.usize(self.measured);
+        enc.f64(self.sum_hours);
+    }
+
+    /// Restores from [`Self::encode_state`] bytes.
+    pub fn decode_state(
+        dec: &mut btpub_stream::checkpoint::Dec,
+    ) -> Result<Self, btpub_stream::checkpoint::CheckpointError> {
+        let n = dec.usize()?;
+        let mut raw = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let a = SimTime(dec.u64()?);
+            let b = SimTime(dec.u64()?);
+            raw.push((a, b));
+        }
+        Ok(Self {
+            union: IntervalSet::from_raw(raw),
+            per_torrent_total: SimDuration(dec.u64()?),
+            measured: dec.usize()?,
+            sum_hours: dec.f64()?,
+        })
+    }
 }
 
 /// Computes the Figure 4 metrics for one publisher, or `None` when no

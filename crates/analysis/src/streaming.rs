@@ -32,6 +32,7 @@ use btpub_geodb::GeoDb;
 use btpub_sim::content::Category;
 use btpub_sim::intervals::IntervalSet;
 use btpub_sim::SimDuration;
+use btpub_stream::checkpoint::{CheckpointError, Dec, Enc};
 use btpub_stream::spill::DistinctU32;
 
 use crate::classify::{ClassAcc, Classified};
@@ -101,6 +102,33 @@ impl RecordDigest {
         });
         rec.sightings = Vec::new();
         RecordDigest { rec, sessions }
+    }
+}
+
+/// Total order on aggregation keys for byte-stable checkpoint output.
+fn ikey_rank(key: &IKey) -> (u8, u32) {
+    match key {
+        IKey::User(s) => (0, s.index() as u32),
+        IKey::Ip(ip) => (1, *ip),
+    }
+}
+
+fn encode_ikey(enc: &mut Enc, key: &IKey) {
+    let (tag, val) = ikey_rank(key);
+    enc.u8(tag);
+    enc.u32(val);
+}
+
+fn decode_ikey(dec: &mut Dec, users: &Interner) -> Result<IKey, CheckpointError> {
+    let tag = dec.u8()?;
+    let val = dec.u32()?;
+    match tag {
+        0 => users
+            .sym_at(val as usize)
+            .map(IKey::User)
+            .ok_or(CheckpointError::Decode { what: "IKey symbol index" }),
+        1 => Ok(IKey::Ip(val)),
+        _ => Err(CheckpointError::Decode { what: "IKey tag" }),
     }
 }
 
@@ -224,6 +252,146 @@ impl<'d> StreamAggregator<'d> {
                 }
             }
         }
+    }
+
+    /// Serializes the aggregator's complete fold state for a checkpoint.
+    ///
+    /// Symbols are written by dense index; the interner itself is written
+    /// as its strings in symbol order, so decoding re-interns them and
+    /// recovers identical `Sym` values. Hash maps are written key-sorted:
+    /// checkpoints of the same state are byte-identical no matter what
+    /// iteration order the maps happen to have, and restoring them cannot
+    /// perturb the report because nothing report-facing iterates these
+    /// maps unsorted (the standing fxhash contract).
+    pub fn encode_state(&self, enc: &mut Enc) {
+        enc.usize(self.users.len());
+        for (_, s) in self.users.iter() {
+            enc.str(s);
+        }
+        let mut pub_keys: Vec<&IKey> = self.pubs.keys().collect();
+        pub_keys.sort_by_key(|k| ikey_rank(k));
+        enc.usize(pub_keys.len());
+        for key in pub_keys {
+            encode_ikey(enc, key);
+            let acc = &self.pubs[key];
+            enc.usize(acc.partial.torrents.len());
+            for &t in &acc.partial.torrents {
+                enc.usize(t);
+            }
+            enc.u64(acc.partial.downloads);
+            let mut ips: Vec<u32> = acc.partial.ips.iter().copied().collect();
+            ips.sort_unstable();
+            enc.usize(ips.len());
+            for ip in ips {
+                enc.u32(ip);
+            }
+            acc.class.encode_state(enc);
+            for s in &acc.seeding {
+                s.encode_state(enc);
+            }
+        }
+        let mut ip_keys: Vec<u32> = self.per_ip.keys().copied().collect();
+        ip_keys.sort_unstable();
+        enc.usize(ip_keys.len());
+        for ip in ip_keys {
+            enc.u32(ip);
+            let acc = &self.per_ip[&ip];
+            enc.usize(acc.torrents.len());
+            for &t in &acc.torrents {
+                enc.usize(t);
+            }
+            enc.u64(acc.downloads);
+            acc.seeding.encode_state(enc);
+        }
+        self.signals.encode_state(enc);
+        self.isp.encode_state(enc);
+        enc.usize(self.categories.len());
+        for cat in &self.categories {
+            let idx = Category::ALL
+                .iter()
+                .position(|c| c == cat)
+                .expect("category in Category::ALL");
+            enc.u8(idx as u8);
+        }
+        self.distinct.encode_state(enc);
+        enc.usize(self.torrents_username);
+        enc.usize(self.torrents_ip);
+        enc.u64(self.total_downloads);
+        enc.usize(self.next_idx);
+    }
+
+    /// Restores an aggregator from [`Self::encode_state`] bytes. `spill`
+    /// mirrors the `DistinctU32` construction arguments of the current
+    /// run; a checkpoint holding spilled runs is refused without one.
+    pub fn decode_state(
+        cfg: StreamConfig,
+        db: &'d GeoDb,
+        spill: Option<(&std::path::Path, usize)>,
+        dec: &mut Dec,
+    ) -> Result<Self, CheckpointError> {
+        let mut users = Interner::with_capacity(1024);
+        for _ in 0..dec.usize()? {
+            let s = dec.str()?;
+            users.intern(&s);
+        }
+        let mut pubs: FxHashMap<IKey, PubAcc> = FxHashMap::default();
+        for _ in 0..dec.usize()? {
+            let key = decode_ikey(dec, &users)?;
+            let mut partial = Partial::default();
+            for _ in 0..dec.usize()? {
+                partial.torrents.push(dec.usize()?);
+            }
+            partial.downloads = dec.u64()?;
+            for _ in 0..dec.usize()? {
+                partial.ips.insert(dec.u32()?);
+            }
+            let class = ClassAcc::decode_state(dec)?;
+            let seeding = [
+                SeedAcc::decode_state(dec)?,
+                SeedAcc::decode_state(dec)?,
+                SeedAcc::decode_state(dec)?,
+            ];
+            pubs.insert(key, PubAcc { partial, class, seeding });
+        }
+        let mut per_ip: FxHashMap<u32, IpAcc> = FxHashMap::default();
+        for _ in 0..dec.usize()? {
+            let ip = dec.u32()?;
+            let mut acc = IpAcc::default();
+            for _ in 0..dec.usize()? {
+                acc.torrents.push(dec.usize()?);
+            }
+            acc.downloads = dec.u64()?;
+            acc.seeding = SeedAcc::decode_state(dec)?;
+            per_ip.insert(ip, acc);
+        }
+        let signals = GroupSignals::decode_state(dec, &users)?;
+        let isp = IspAgg::decode_state(dec)?;
+        let n_cats = dec.usize()?;
+        let mut categories = Vec::with_capacity(n_cats.min(1 << 20));
+        for _ in 0..n_cats {
+            let idx = dec.u8()? as usize;
+            let cat = Category::ALL
+                .get(idx)
+                .copied()
+                .ok_or(CheckpointError::Decode { what: "Category index" })?;
+            categories.push(cat);
+        }
+        let distinct = DistinctU32::decode_state(dec, spill)?;
+        Ok(StreamAggregator {
+            cfg,
+            db,
+            users,
+            pubs,
+            per_ip,
+            signals,
+            isp,
+            categories,
+            distinct,
+            torrents_username: dec.usize()?,
+            torrents_ip: dec.usize()?,
+            total_downloads: dec.u64()?,
+            next_idx: dec.usize()?,
+        })
     }
 
     /// Finishes the aggregation: resolves, sorts, detects, classifies.
@@ -503,6 +671,59 @@ mod tests {
             let expect = publisher_seeding_metrics(&ds, entity, default_offline_threshold());
             assert_eq!(s.fake_seeding_of(&entity.key), expect);
         }
+    }
+
+    #[test]
+    fn aggregator_state_roundtrips_mid_campaign() {
+        let ds = dataset();
+        let database = db();
+        let cfg = StreamConfig { has_usernames: true, top_k: 5 };
+        let mut a = StreamAggregator::new(cfg.clone(), &database, DistinctU32::in_memory());
+        for rec in &ds.torrents[..10] {
+            a.ingest(rec);
+        }
+        let mut enc = Enc::new();
+        a.encode_state(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut b =
+            StreamAggregator::decode_state(cfg, &database, None, &mut Dec::new(&bytes)).unwrap();
+        // Folding the rest into the original and the restored copy must
+        // leave them in byte-identical states…
+        for rec in &ds.torrents[10..] {
+            a.ingest(rec);
+            b.ingest(rec);
+        }
+        let (mut ea, mut eb) = (Enc::new(), Enc::new());
+        a.encode_state(&mut ea);
+        b.encode_state(&mut eb);
+        assert_eq!(ea.into_bytes(), eb.into_bytes());
+        // …and identical states finish into identical analyses.
+        let sa = a.finish();
+        let sb = b.finish();
+        assert_eq!(sa.publishers, sb.publishers);
+        assert_eq!(sa.classified, sb.classified);
+        assert_eq!(sa.fake_entities, sb.fake_entities);
+        assert_eq!(sa.totals, sb.totals);
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_stable_for_identical_folds() {
+        // Two aggregators fed the same records must emit the same
+        // checkpoint bytes — map iteration order must not leak.
+        let ds = dataset();
+        let database = db();
+        let cfg = StreamConfig { has_usernames: true, top_k: 5 };
+        let encode = || {
+            let mut agg =
+                StreamAggregator::new(cfg.clone(), &database, DistinctU32::in_memory());
+            for rec in &ds.torrents {
+                agg.ingest(rec);
+            }
+            let mut enc = Enc::new();
+            agg.encode_state(&mut enc);
+            enc.into_bytes()
+        };
+        assert_eq!(encode(), encode());
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale tiny|repro|paper|<preset>xN|N] [--scenario mn08|pb09|pb10|all]
-//!       [--exp ID] [--jobs N] [--stream] [--spill-dir DIR]
+//!       [--exp ID] [--jobs N] [--stream] [--spill-dir DIR] [--spill-chunk N]
+//!       [--checkpoint-dir DIR] [--checkpoint-every N]
 //!       [--metrics out.json] [--fault-profile clean|flaky|hostile]
 //!       [--trace out.json] [--manifest out.json]
 //! ```
@@ -31,9 +32,20 @@
 //! `scripts/check.sh` at jobs 1 and 4, clean and hostile). `--spill-dir
 //! DIR` (implies `--stream`) spills the global distinct-IP set to sorted
 //! segment runs under DIR; an unwritable DIR warns once on stderr and
-//! falls back to in-memory. `--trace` still records spans in stream mode,
-//! but per-scenario campaign timelines need the materialized dataset and
-//! are skipped.
+//! falls back to in-memory. `--spill-chunk N` (implies `--stream`)
+//! overrides the spill chunk capacity — a small N forces run flushing at
+//! tiny scales, which the crash-injection tests use. `--trace` still
+//! records spans in stream mode, but per-scenario campaign timelines
+//! need the materialized dataset and are skipped.
+//!
+//! Checkpointing: `--checkpoint-dir DIR` (implies `--stream`) snapshots
+//! the fold state under `DIR/<scenario>/` every `--checkpoint-every N`
+//! folds (default 256) and resumes from an existing checkpoint on start;
+//! the final report is byte-identical to an uninterrupted run (gated by
+//! `scripts/check.sh`, which kills a campaign mid-flight with
+//! `BTPUB_CRASH` and diffs the resumed stdout). A corrupt or mismatched
+//! checkpoint is refused with a named reason and exit code 1; an
+//! unwritable DIR warns once and runs checkpoint-free.
 //!
 //! Scale: besides the presets, `--scale` accepts a campaign-length
 //! multiplier — `tinyx100` (any `<preset>xN`) or a bare integer `N`
@@ -52,7 +64,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use btpub::experiments::{render_full_report, ReportData};
-use btpub::{Scale, Scenario, StreamOptions, StreamStudy, Study};
+use btpub::{CheckpointPolicy, Scale, Scenario, StreamOptions, StreamOutcome, StreamStudy, Study};
 use btpub_faults::FaultProfile;
 
 /// The known experiment ids (`--exp`), excluding `all`.
@@ -119,6 +131,9 @@ fn main() {
     let mut fault_profile: Option<FaultProfile> = None;
     let mut stream = false;
     let mut spill_dir: Option<PathBuf> = None;
+    let mut spill_chunk: Option<usize> = None;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut checkpoint_every = 256u64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -147,6 +162,37 @@ fn main() {
                 }
                 // Spilling only exists on the streaming path.
                 stream = true;
+            }
+            "--spill-chunk" => {
+                i += 1;
+                spill_chunk = match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--spill-chunk requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
+                stream = true;
+            }
+            "--checkpoint-dir" => {
+                i += 1;
+                checkpoint_dir = args.get(i).map(PathBuf::from);
+                if checkpoint_dir.is_none() {
+                    eprintln!("--checkpoint-dir requires a path");
+                    std::process::exit(2);
+                }
+                // Checkpointing only exists on the streaming path.
+                stream = true;
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = match args.get(i).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--checkpoint-every requires a positive integer");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--scenario" => {
                 i += 1;
@@ -268,7 +314,14 @@ fn main() {
     // studies), then print the assembled chunks in scenario order so
     // stdout does not depend on completion order or job count.
     let exp_ref = exp.as_deref();
-    let stream_opts = stream.then_some(StreamOptions { spill_dir });
+    let stream_opts = stream.then_some(StreamOptions {
+        spill_dir,
+        spill_chunk,
+        checkpoint: checkpoint_dir.map(|dir| CheckpointPolicy {
+            dir,
+            every: checkpoint_every,
+        }),
+    });
     let chunks = btpub_par::par_map("repro.scenarios", &scenarios, |(name, scenario)| {
         run_scenario(name, scenario, exp_ref, stream_opts.as_ref())
     });
@@ -326,13 +379,32 @@ fn run_scenario(
                 torrents = scenario.eco.torrents,
                 days = scenario.eco.duration.as_days(),
             );
-            // Per-scenario spill subdirectory: `--scenario all` runs the
-            // campaigns concurrently, and segment run files must not
-            // collide across them.
+            // Per-scenario spill and checkpoint subdirectories:
+            // `--scenario all` runs the campaigns concurrently, and
+            // neither segment runs nor checkpoint files may collide
+            // across them.
             let opts = StreamOptions {
                 spill_dir: opts.spill_dir.as_ref().map(|d| d.join(name)),
+                spill_chunk: opts.spill_chunk,
+                checkpoint: opts.checkpoint.as_ref().map(|p| CheckpointPolicy {
+                    dir: p.dir.join(name),
+                    every: p.every,
+                }),
             };
-            let study = StreamStudy::run(scenario, &opts);
+            let study = match StreamStudy::try_run(scenario, &opts) {
+                Ok(StreamOutcome::Complete(study)) => study,
+                Ok(StreamOutcome::Interrupted { .. }) => {
+                    unreachable!("repro runs without an interrupting observer")
+                }
+                Err(e) => {
+                    // A refused checkpoint (corrupt, or from a different
+                    // scenario/seed) must fail loudly, not silently
+                    // restart the campaign: the operator pointed us at
+                    // state we cannot honour.
+                    eprintln!("[{name}] checkpoint error: {e}");
+                    std::process::exit(1);
+                }
+            };
             btpub_obs::info!(
                 "[{name}] campaign done (streamed)";
                 secs = started.elapsed().as_secs_f64(),

@@ -39,7 +39,7 @@ pub mod stream_study;
 pub mod study;
 
 pub use scenario::{Scale, Scenario};
-pub use stream_study::{StreamOptions, StreamStudy};
+pub use stream_study::{CheckpointPolicy, StreamOptions, StreamOutcome, StreamStudy};
 pub use study::{Analyses, Study};
 
 pub use btpub_analysis as analysis;

@@ -41,6 +41,13 @@ pub struct CrawlerConfig {
     /// Consecutive failed announces tolerated per torrent before the
     /// crawler records a failure cause and resumes its normal cadence.
     pub max_fault_retries: u32,
+    /// Optional cap on the crawl horizon, in simulated seconds. The
+    /// crawl stops at `min(cap, ecosystem horizon)` — the generated
+    /// world is untouched (shrinking the ecosystem's own duration would
+    /// change every seeded draw), so a capped crawl observes a strict
+    /// prefix of the uncapped campaign. `None` runs to the ecosystem
+    /// horizon.
+    pub horizon_secs: Option<u64>,
 }
 
 impl Default for CrawlerConfig {
@@ -57,6 +64,19 @@ impl Default for CrawlerConfig {
             ident_attempts: 6,
             fault_profile: FaultProfile::clean(),
             max_fault_retries: 6,
+            horizon_secs: None,
+        }
+    }
+}
+
+impl CrawlerConfig {
+    /// The horizon this configuration actually crawls to: the ecosystem
+    /// horizon, optionally capped by [`Self::horizon_secs`].
+    pub fn effective_horizon(&self, eco: &Ecosystem) -> SimTime {
+        let full = eco.config.horizon();
+        match self.horizon_secs {
+            Some(secs) => SimTime(secs).min(full),
+            None => full,
         }
     }
 }
@@ -185,7 +205,7 @@ pub fn run_crawl(eco: &Ecosystem, cfg: &CrawlerConfig) -> Dataset {
     Dataset {
         name: cfg.name.clone(),
         start: SimTime::ZERO,
-        end: eco.config.horizon(),
+        end: cfg.effective_horizon(eco),
         has_usernames: cfg.collect_usernames,
         torrents: sink.records,
     }
@@ -215,7 +235,7 @@ pub fn run_crawl_with<S: RecordSink>(eco: &Ecosystem, cfg: &CrawlerConfig, sink:
     // crawler into earning strikes.
     let mut breaker = CircuitBreaker::tracker();
     let retry_policy = RetryPolicy::announce();
-    let horizon = eco.config.horizon();
+    let horizon = cfg.effective_horizon(eco);
     let mut queue: EventQueue<Event> = EventQueue::new();
     let mut states: FxHashMap<TorrentId, TorrentState> = FxHashMap::default();
     let mut order: Vec<TorrentId> = Vec::new();
@@ -227,8 +247,16 @@ pub fn run_crawl_with<S: RecordSink>(eco: &Ecosystem, cfg: &CrawlerConfig, sink:
     let mut last_poll = SimTime::ZERO;
     queue.schedule(SimTime::ZERO + cfg.rss_poll, Event::RssPoll);
 
+    let mut stopped_early = false;
     while let Some((now, event)) = queue.pop() {
         if now > horizon {
+            break;
+        }
+        if sink.cancelled() {
+            // The consumer has flushed its final checkpoint (graceful
+            // shutdown): stop simulating. Nothing is finalized after this
+            // point — a cancelled crawl emits no partial records.
+            stopped_early = true;
             break;
         }
         // One engine tick = one event dispatch; the guard records even on
@@ -641,13 +669,18 @@ pub fn run_crawl_with<S: RecordSink>(eco: &Ecosystem, cfg: &CrawlerConfig, sink:
     }
 
     // Torrents still alive at the horizon finalize now, in announcement
-    // order; the emitter's reorder buffer interleaves the stragglers.
-    for id in order {
-        if let Some(st) = states.remove(&id) {
-            emitter.finish(st, &portal, horizon, sink);
+    // order; the emitter's reorder buffer interleaves the stragglers. A
+    // cancelled crawl skips this: its consumer is gone, and emitting
+    // partial-monitoring records would hand a resumed run different
+    // bytes than the uninterrupted one.
+    if !stopped_early {
+        for id in order {
+            if let Some(st) = states.remove(&id) {
+                emitter.finish(st, &portal, horizon, sink);
+            }
         }
+        debug_assert!(emitter.pending.is_empty(), "reorder buffer fully drained");
     }
-    debug_assert!(emitter.pending.is_empty(), "reorder buffer fully drained");
     let wall = wall_start.elapsed().as_secs_f64();
     btpub_obs::info!(
         "crawl {} finished", cfg.name;

@@ -1,0 +1,98 @@
+//! Deterministic crash injection: seeded process-abort points.
+//!
+//! A crash point is a named site in the pipeline (`"checkpoint.pre_rename"`,
+//! `"spill.flush.frame"`, …) that counts how many times it is reached. When
+//! the process is *armed* — the `BTPUB_CRASH` environment variable holds
+//! `"<site>:<hit>"` — reaching the named site for the `hit`-th time aborts
+//! the process with SIGABRT, exactly as an OOM-kill or power cut would from
+//! the filesystem's point of view: no destructors, no flushes, no atexit.
+//!
+//! Unarmed, a crash point is a single relaxed atomic increment on a
+//! process-wide "disarmed" fast path — cheap enough to leave in production
+//! code, in the same spirit as the armed-tracing plane.
+//!
+//! Which hit to crash on is itself a seeded draw: [`hit_for`] maps
+//! `(seed, site)` through the same [`crate::mix`] family as every other
+//! fault decision, so the crash-resume test sweep is reproducible from the
+//! campaign seed alone and never depends on wall-clock or scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+struct CrashPlan {
+    site: String,
+    hit: u64,
+    count: AtomicU64,
+}
+
+fn plan() -> &'static Option<CrashPlan> {
+    static PLAN: OnceLock<Option<CrashPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("BTPUB_CRASH").ok()?;
+        let (site, hit) = spec.rsplit_once(':')?;
+        let hit: u64 = hit.parse().ok()?;
+        if site.is_empty() || hit == 0 {
+            return None;
+        }
+        Some(CrashPlan {
+            site: site.to_string(),
+            hit,
+            count: AtomicU64::new(0),
+        })
+    })
+}
+
+/// Marks a crash site. No-op unless the process is armed for exactly
+/// this site via `BTPUB_CRASH="<site>:<hit>"`, in which case the
+/// `hit`-th arrival aborts the process (after printing a marker to
+/// stderr so supervisors can tell an injected crash from a genuine one).
+pub fn crash_point(site: &str) {
+    let Some(p) = plan() else { return };
+    if p.site != site {
+        return;
+    }
+    let n = p.count.fetch_add(1, Ordering::Relaxed) + 1;
+    if n == p.hit {
+        eprintln!("btpub-crash: injected abort at {site}:{n}");
+        std::process::abort();
+    }
+}
+
+/// Seeded choice of which arrival at `site` to crash on, in `1..=window`.
+///
+/// Pure in `(seed, site)` via [`crate::mix`], so a crash-sweep over sites
+/// is reproducible from the seed alone.
+pub fn hit_for(seed: u64, site: &str, window: u64) -> u64 {
+    1 + crate::mix(seed, site, 0) % window.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_crash_point_is_a_no_op() {
+        // The test harness never sets BTPUB_CRASH; reaching a site many
+        // times must be inert.
+        for _ in 0..1000 {
+            crash_point("test.site");
+        }
+    }
+
+    #[test]
+    fn hit_for_is_deterministic_and_in_window() {
+        for site in ["a", "b", "stream.fold"] {
+            for window in [1u64, 2, 7, 1000] {
+                let h = hit_for(42, site, window);
+                assert_eq!(h, hit_for(42, site, window));
+                assert!((1..=window).contains(&h), "{site} {window} -> {h}");
+            }
+        }
+        assert_ne!(hit_for(42, "a", 1000), hit_for(43, "a", 1000));
+    }
+
+    #[test]
+    fn hit_for_handles_zero_window() {
+        assert_eq!(hit_for(1, "x", 0), 1);
+    }
+}

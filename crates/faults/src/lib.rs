@@ -29,12 +29,14 @@
 //! through `btpub-obs`.
 
 pub mod breaker;
+pub mod crash;
 pub mod net;
 pub mod plan;
 pub mod profile;
 pub mod retry;
 
 pub use breaker::{BreakerState, CircuitBreaker};
+pub use crash::{crash_point, hit_for};
 pub use net::NetConfig;
 pub use plan::{points, Fault, FaultPlan, FaultPoint};
 pub use profile::FaultProfile;

@@ -83,6 +83,15 @@ impl Interner {
         self.strings.is_empty()
     }
 
+    /// The symbol at a dense index, if one has been minted. The inverse
+    /// of [`Sym::index`] — what lets serialized state name symbols by
+    /// index and a restore turn them back into `Sym`s after re-interning
+    /// the same strings in the same order.
+    #[inline]
+    pub fn sym_at(&self, index: usize) -> Option<Sym> {
+        (index < self.strings.len()).then_some(Sym(index as u32))
+    }
+
     /// All interned strings in symbol (insertion) order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
         self.strings

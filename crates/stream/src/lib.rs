@@ -21,6 +21,7 @@
 //!   `--scale 0`).
 
 pub mod channel;
+pub mod checkpoint;
 pub mod spill;
 
 use std::collections::BTreeSet;

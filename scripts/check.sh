@@ -251,4 +251,147 @@ echo "== perf smoke gate: tiny-scale hotpath vs committed BENCH_hotpath.json =="
 ./target/release/bench_hotpath --scale tiny --jobs 1 \
     --out "$tmpdir/bench_hotpath.json" --gate BENCH_hotpath.json
 
+echo "== crash-resume gate: seeded kill mid-campaign, resume, byte-diff =="
+# Arm a deterministic abort at the 128th fold, run with checkpoints, and
+# prove the resumed run's stdout is byte-identical to the uninterrupted
+# report — at jobs 1 and 4.
+for jobs in 1 4; do
+    ckdir="$tmpdir/crash-ckpt-j$jobs"
+    set +e
+    BTPUB_CRASH="stream.fold:128" ./target/release/repro --scenario pb10 \
+        --scale tiny --jobs "$jobs" --checkpoint-dir "$ckdir" \
+        --checkpoint-every 64 >/dev/null 2> "$tmpdir/crash-err-j$jobs.txt"
+    rc=$?
+    set -e
+    if [ "$rc" -eq 0 ]; then
+        echo "FAIL: armed crash run (jobs $jobs) exited cleanly" >&2
+        exit 1
+    fi
+    if ! grep -q "btpub-crash: injected abort at stream.fold:128" \
+        "$tmpdir/crash-err-j$jobs.txt"; then
+        echo "FAIL: crash run (jobs $jobs) died for the wrong reason:" >&2
+        cat "$tmpdir/crash-err-j$jobs.txt" >&2
+        exit 1
+    fi
+    ./target/release/repro --scenario pb10 --scale tiny --jobs "$jobs" \
+        --checkpoint-dir "$ckdir" --checkpoint-every 64 \
+        > "$tmpdir/resumed-j$jobs.txt" 2>/dev/null
+    if ! diff -u "$tmpdir/pb10-plain.txt" "$tmpdir/resumed-j$jobs.txt"; then
+        echo "FAIL: resumed report (jobs $jobs) differs from uninterrupted" >&2
+        exit 1
+    fi
+done
+echo "kill-and-resume byte-identical at jobs 1 and 4"
+
+echo "== checkpoint inversion: a corrupted checkpoint must be refused =="
+# Kill mid-campaign again, flip one byte of the checkpoint payload, and
+# prove resume refuses it with a named reason instead of misparsing.
+ckdir="$tmpdir/corrupt-ckpt"
+set +e
+BTPUB_CRASH="stream.fold:128" ./target/release/repro --scenario pb10 \
+    --scale tiny --jobs 1 --checkpoint-dir "$ckdir" --checkpoint-every 64 \
+    >/dev/null 2>&1
+set -e
+ckfile="$ckdir/pb10/checkpoint.ckpt"
+if [ ! -f "$ckfile" ]; then
+    echo "FAIL: crash run left no checkpoint at $ckfile" >&2
+    exit 1
+fi
+byte=$(dd if="$ckfile" bs=1 skip=40 count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((byte ^ 1)))" \
+    | dd of="$ckfile" bs=1 seek=40 conv=notrunc 2>/dev/null
+set +e
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --checkpoint-dir "$ckdir" --checkpoint-every 64 \
+    >/dev/null 2> "$tmpdir/corrupt-err.txt"
+rc=$?
+set -e
+if [ "$rc" -eq 0 ]; then
+    echo "FAIL: resume accepted a corrupted checkpoint" >&2
+    exit 1
+fi
+if ! grep -qE "crc mismatch|corrupt" "$tmpdir/corrupt-err.txt"; then
+    echo "FAIL: corrupted-checkpoint refusal did not name the reason:" >&2
+    cat "$tmpdir/corrupt-err.txt" >&2
+    exit 1
+fi
+echo "corrupted checkpoint refused with a named reason (exit $rc)"
+
+echo "== checkpoint inversion: a mismatched campaign must be refused by name =="
+# Resume the (intact) pb10 checkpoint under a different fault profile:
+# the fingerprint check must refuse and say which field disagrees.
+ckdir="$tmpdir/mismatch-ckpt"
+set +e
+BTPUB_CRASH="stream.fold:128" ./target/release/repro --scenario pb10 \
+    --scale tiny --jobs 1 --checkpoint-dir "$ckdir" --checkpoint-every 64 \
+    >/dev/null 2>&1
+./target/release/repro --scenario pb10 --scale tiny --jobs 1 \
+    --fault-profile hostile --checkpoint-dir "$ckdir" --checkpoint-every 64 \
+    >/dev/null 2> "$tmpdir/mismatch-err.txt"
+rc=$?
+set -e
+if [ "$rc" -eq 0 ]; then
+    echo "FAIL: resume accepted a checkpoint from a different fault profile" >&2
+    exit 1
+fi
+if ! grep -q "fault_profile" "$tmpdir/mismatch-err.txt"; then
+    echo "FAIL: mismatch refusal did not name the offending field:" >&2
+    cat "$tmpdir/mismatch-err.txt" >&2
+    exit 1
+fi
+echo "mismatched checkpoint refused naming fault_profile"
+
+echo "== monitor crash-resume: abort, restart, summary byte-identical =="
+./target/release/btpub-monitor --scale tiny > "$tmpdir/mon-baseline.txt" 2>/dev/null
+mondir="$tmpdir/mon-crash-ckpt"
+set +e
+BTPUB_CRASH="stream.fold:100" ./target/release/btpub-monitor --scale tiny \
+    --checkpoint-dir "$mondir" --checkpoint-every 50 >/dev/null 2>&1
+rc=$?
+set -e
+if [ "$rc" -eq 0 ]; then
+    echo "FAIL: armed monitor crash run exited cleanly" >&2
+    exit 1
+fi
+./target/release/btpub-monitor --scale tiny --checkpoint-dir "$mondir" \
+    --checkpoint-every 50 > "$tmpdir/mon-resumed.txt" 2>/dev/null
+if ! diff -u "$tmpdir/mon-baseline.txt" "$tmpdir/mon-resumed.txt"; then
+    echo "FAIL: resumed monitor summary differs from uninterrupted" >&2
+    exit 1
+fi
+echo "monitor kill-and-resume summary byte-identical"
+
+echo "== monitor graceful shutdown: SIGTERM flushes a checkpoint, restart resumes =="
+# Repro scale with a 10-day cap is long enough (~several seconds) to
+# land a SIGTERM mid-campaign; the daemon must exit 0, leave a
+# checkpoint, and a restart must finish with the same summary as an
+# uninterrupted twin. (If the box is fast enough that the run finished
+# before the signal, the restart degenerates to a fresh run and the
+# diff still must hold.)
+mondir="$tmpdir/mon-term-ckpt"
+./target/release/btpub-monitor --scale repro --days 10 \
+    > "$tmpdir/mon-term-baseline.txt" 2>/dev/null
+./target/release/btpub-monitor --scale repro --days 10 \
+    --checkpoint-dir "$mondir" --checkpoint-every 100 \
+    > "$tmpdir/mon-term-first.txt" 2>/dev/null &
+monpid=$!
+sleep 4
+kill -TERM "$monpid" 2>/dev/null || true
+set +e
+wait "$monpid"
+rc=$?
+set -e
+if [ "$rc" -ne 0 ]; then
+    echo "FAIL: SIGTERM'd monitor exited $rc (graceful shutdown must exit 0)" >&2
+    exit 1
+fi
+./target/release/btpub-monitor --scale repro --days 10 \
+    --checkpoint-dir "$mondir" --checkpoint-every 100 \
+    > "$tmpdir/mon-term-resumed.txt" 2>/dev/null
+if ! diff -u "$tmpdir/mon-term-baseline.txt" "$tmpdir/mon-term-resumed.txt"; then
+    echo "FAIL: post-SIGTERM resumed summary differs from uninterrupted" >&2
+    exit 1
+fi
+echo "SIGTERM is indistinguishable from a clean stop"
+
 echo "all checks passed"
