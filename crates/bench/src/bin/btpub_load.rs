@@ -1,0 +1,247 @@
+//! `btpub-load`: the deterministic load generator as a command.
+//!
+//! ```text
+//! btpub-load [--seed N] [--torrents T] [--clients C] [--announces A]
+//!            [--ecosystem] [--no-garble] [--drivers D] [--shards S]
+//!            [--transport udp|tcp|mixed] [--mode batch|single]
+//!            [--profile clean|flaky|hostile]
+//!            [--udp ADDR --url URL]
+//!            [--metrics PATH] [--manifest PATH] [--report]
+//! ```
+//!
+//! Builds a replayable announce [`Script`] (synthetic by default;
+//! `--ecosystem` replays a generated tiny ecosystem instead), computes
+//! the in-process oracle snapshot, fires the script over real loopback
+//! sockets, and compares the daemon's final snapshot byte-for-byte
+//! against the oracle. Exits 1 on any divergence.
+//!
+//! By default it self-hosts a [`ServeDaemon`] with `--shards` shards.
+//! With `--udp` and `--url` it targets an external daemon instead (one
+//! started by `btpub-serve` with the *same* `--seed`, `--torrents`, and
+//! `--profile`, or the snapshots cannot match); the final snapshot is
+//! fetched over HTTP from the daemon's `/snapshot` endpoint.
+//!
+//! `--metrics` dumps the full metric registry (including the `serve.*`
+//! counters and latency histograms the daemon recorded in-process),
+//! `--manifest` writes a run manifest for `obs_diff` (the `serve.*`
+//! tallies ride along but stay out of the digest — retransmits inflate
+//! them), and `--report` prints the human-readable text report to
+//! stdout.
+
+use btpub_faults::{FaultProfile, NetConfig};
+use btpub_sim::{Ecosystem, EcosystemConfig};
+use btpub_tracker::client::HttpSession;
+use btpub_tracker::serve::load::{self, LoadConfig, Mode, Transport};
+use btpub_tracker::serve::script::Script;
+use btpub_tracker::serve::{oracle, ServeConfig, ServeDaemon};
+
+/// Outcome-class labels indexed by wire code.
+const CLASS_NAMES: [&str; 8] = [
+    "admitted",
+    "duplicate",
+    "rate_limited",
+    "blacklisted",
+    "unknown",
+    "down",
+    "dropped",
+    "malformed",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: btpub-load [--seed N] [--torrents T] [--clients C] [--announces A] \
+         [--ecosystem] [--no-garble] [--drivers D] [--shards S] [--transport udp|tcp|mixed] \
+         [--mode batch|single] [--profile clean|flaky|hostile] [--udp ADDR --url URL] \
+         [--metrics PATH] [--manifest PATH] [--report]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 0u64;
+    let mut torrents = 32u32;
+    let mut clients = 128u32;
+    let mut announces = 10_000usize;
+    let mut ecosystem = false;
+    let mut no_garble = false;
+    let mut shards = 8usize;
+    let mut profile = FaultProfile::clean();
+    let mut cfg = LoadConfig::new(4);
+    let mut udp: Option<std::net::SocketAddr> = None;
+    let mut url: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
+    let mut text_report = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if flag == "--ecosystem" {
+            ecosystem = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--no-garble" {
+            no_garble = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--report" {
+            text_report = true;
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        let num = |v: &str| -> u64 { v.parse().unwrap_or_else(|_| usage()) };
+        match flag.as_str() {
+            "--seed" => seed = num(&value),
+            "--torrents" => torrents = num(&value) as u32,
+            "--clients" => clients = num(&value).max(1) as u32,
+            "--announces" => announces = num(&value) as usize,
+            "--drivers" => cfg.drivers = num(&value).max(1) as usize,
+            "--shards" => shards = num(&value).max(1) as usize,
+            "--transport" => {
+                cfg.transport = match value.as_str() {
+                    "udp" => Transport::Udp,
+                    "tcp" => Transport::Tcp,
+                    "mixed" => Transport::Mixed,
+                    _ => usage(),
+                }
+            }
+            "--mode" => {
+                cfg.mode = match value.as_str() {
+                    "batch" => Mode::Batch,
+                    "single" => Mode::Single,
+                    _ => usage(),
+                }
+            }
+            "--profile" => {
+                profile = match value.as_str() {
+                    "clean" => FaultProfile::clean(),
+                    "flaky" => FaultProfile::flaky(),
+                    "hostile" => FaultProfile::hostile(),
+                    _ => usage(),
+                }
+            }
+            "--udp" => udp = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--url" => url = Some(value),
+            "--metrics" => metrics_path = Some(value),
+            "--manifest" => manifest_path = Some(value),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    cfg.profile = profile.clone();
+    let fault_name = profile.name.clone();
+
+    let mut script = if ecosystem {
+        let eco = Ecosystem::generate(EcosystemConfig::tiny(seed));
+        Script::from_ecosystem(&eco)
+    } else {
+        Script::synthetic(seed, torrents, clients, announces)
+    };
+    if no_garble {
+        script.ops.retain(|o| !o.garbled);
+    }
+    eprintln!(
+        "btpub-load: {} ops over {} torrents, {} drivers",
+        script.ops.len(),
+        script.torrents,
+        cfg.drivers
+    );
+    let expected = oracle::oracle_snapshot(&script, profile.clone());
+
+    let started = std::time::Instant::now();
+    let (snapshot, report) = match (udp, url) {
+        (Some(udp_addr), Some(announce_url)) => {
+            let report = load::run(&script, udp_addr, &announce_url, &cfg)
+                .expect("load run against external daemon");
+            let mut session = HttpSession::connect(&announce_url, &NetConfig::loopback_test())
+                .expect("connect for /snapshot");
+            let bytes = session.get("/snapshot").expect("fetch /snapshot");
+            (String::from_utf8(bytes).expect("snapshot is text"), report)
+        }
+        (None, None) => {
+            let mut scfg = ServeConfig::new(script.seed, shards, script.torrents);
+            scfg.profile = profile;
+            let daemon = ServeDaemon::start(scfg).expect("bind loopback daemon");
+            let report = load::run(&script, daemon.udp_addr(), &daemon.announce_url(), &cfg)
+                .expect("load run");
+            (daemon.shutdown(), report)
+        }
+        _ => {
+            eprintln!("btpub-load: --udp and --url must be given together");
+            std::process::exit(2);
+        }
+    };
+    let wall = started.elapsed().as_secs_f64();
+
+    eprintln!(
+        "btpub-load: sent {} (+{} garbled) in {:.3}s = {:.0} announces/s, {} errors",
+        report.sent,
+        report.garbled_sent,
+        wall,
+        report.sent as f64 / wall.max(1e-9),
+        report.errors
+    );
+    for (name, count) in CLASS_NAMES.iter().zip(report.classes.0) {
+        if count > 0 {
+            eprintln!("btpub-load:   {name:<12} {count}");
+        }
+    }
+    if !report.latencies_ns.is_empty() {
+        let mut lat = report.latencies_ns.clone();
+        lat.sort_unstable();
+        eprintln!(
+            "btpub-load:   p50 {} ns, p99 {} ns ({} exchanges)",
+            lat[lat.len() / 2],
+            lat[(lat.len() * 99 / 100).min(lat.len() - 1)],
+            lat.len()
+        );
+    }
+
+    // Observability artifacts come before the verdict so a diverging
+    // run still leaves its metrics behind for the post-mortem. In
+    // self-hosted mode the daemon ran in-process, so the registry holds
+    // the full serve.* surface; against an external daemon it only
+    // holds this side of the wire.
+    if let Some(path) = &metrics_path {
+        let json = serde_json::to_string_pretty(&btpub_obs::global().snapshot())
+            .expect("snapshot serializes");
+        std::fs::write(path, json).expect("write --metrics");
+        eprintln!("btpub-load: metrics snapshot written to {path}");
+    }
+    if let Some(path) = &manifest_path {
+        use serde_json::Value;
+        let meta = [
+            ("bin", Value::from("btpub-load")),
+            ("seed", Value::from(seed)),
+            ("torrents", Value::from(u64::from(script.torrents))),
+            ("ops", Value::from(script.ops.len() as u64)),
+            ("fault_profile", Value::from(fault_name)),
+            ("shards", Value::from(shards as u64)),
+        ];
+        let manifest = btpub_obs::manifest::build(btpub_obs::global(), &meta);
+        btpub_obs::manifest::write(std::path::Path::new(path), &manifest)
+            .expect("write --manifest");
+        eprintln!("btpub-load: run manifest written to {path}");
+    }
+    if text_report {
+        print!("{}", btpub_obs::text_report(btpub_obs::global()));
+    }
+
+    if snapshot == expected {
+        eprintln!("btpub-load: snapshot matches the oracle ({} bytes)", snapshot.len());
+    } else {
+        eprintln!("btpub-load: SNAPSHOT MISMATCH");
+        for (i, (a, b)) in expected.lines().zip(snapshot.lines()).enumerate() {
+            if a != b {
+                eprintln!("btpub-load: first divergence at line {i}:");
+                eprintln!("btpub-load:   oracle: {a}");
+                eprintln!("btpub-load:   live:   {b}");
+                break;
+            }
+        }
+        std::process::exit(1);
+    }
+}

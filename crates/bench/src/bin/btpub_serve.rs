@@ -1,0 +1,97 @@
+//! `btpub-serve`: the sharded tracker daemon as a command.
+//!
+//! ```text
+//! btpub-serve [--seed N] [--shards N] [--torrents N]
+//!             [--udp-port P] [--tcp-port P]
+//!             [--udp-workers N] [--tcp-workers N]
+//!             [--profile clean|flaky|hostile] [--duration SECS]
+//! ```
+//!
+//! Binds both front ends, prints the bound addresses on the first
+//! stdout line (`udp=... tcp=... announce=...`) so a driver script can
+//! parse them, then serves until `--duration` elapses or stdin reaches
+//! EOF. On shutdown the daemon drains every worker, writes the final
+//! swarm snapshot to stdout (the same text `btpub-load` compares
+//! against its oracle), and the counter totals to stderr.
+
+use std::io::{Read, Write};
+
+use btpub_faults::FaultProfile;
+use btpub_tracker::serve::{ServeConfig, ServeDaemon};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: btpub-serve [--seed N] [--shards N] [--torrents N] \
+         [--udp-port P] [--tcp-port P] [--udp-workers N] [--tcp-workers N] \
+         [--profile clean|flaky|hostile] [--duration SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::new(0, 8, 64);
+    let mut duration: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        let num = |i: usize| -> u64 {
+            value(i).parse().unwrap_or_else(|_| usage())
+        };
+        match args[i].as_str() {
+            "--seed" => cfg.seed = num(i),
+            "--shards" => cfg.shards = num(i).max(1) as usize,
+            "--torrents" => cfg.torrents = num(i) as u32,
+            "--udp-port" => cfg.udp_port = num(i) as u16,
+            "--tcp-port" => cfg.tcp_port = num(i) as u16,
+            "--udp-workers" => cfg.udp_workers = num(i).max(1) as usize,
+            "--tcp-workers" => cfg.tcp_workers = num(i).max(1) as usize,
+            "--profile" => {
+                cfg.profile = match value(i).as_str() {
+                    "clean" => FaultProfile::clean(),
+                    "flaky" => FaultProfile::flaky(),
+                    "hostile" => FaultProfile::hostile(),
+                    _ => usage(),
+                }
+            }
+            "--duration" => duration = Some(num(i)),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let daemon = match ServeDaemon::start(cfg.clone()) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("btpub-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "udp={} tcp={} announce={}",
+        daemon.udp_addr(),
+        daemon.tcp_addr(),
+        daemon.announce_url()
+    );
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "btpub-serve: seed={} shards={} torrents={} workers={}udp/{}tcp",
+        cfg.seed, cfg.shards, cfg.torrents, cfg.udp_workers, cfg.tcp_workers
+    );
+
+    match duration {
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        None => {
+            // Serve until the controlling process closes our stdin.
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().read_to_end(&mut sink);
+        }
+    }
+
+    let counts = daemon.plane().counts();
+    let shards = daemon.plane().shard_announce_counts();
+    let snapshot = daemon.shutdown();
+    eprintln!("btpub-serve: {counts:?}");
+    eprintln!("btpub-serve: shard announces {shards:?}");
+    print!("{snapshot}");
+}

@@ -9,7 +9,8 @@
 //!
 //! Only the **deterministic** metric set: counters and gauges, minus
 //! the timing- and scheduling-dependent ones (`span.*` self-time
-//! counters, `par.*.steals` steal counts, `par.*.queue_depth`).
+//! counters, `par.*.steals` steal counts, `par.*.queue_depth`, and
+//! the `serve.*` live-socket tallies, which retransmits inflate).
 //! Histograms are excluded wholesale — every histogram in this
 //! workspace measures wall-clock latency, which legitimately varies
 //! between byte-identical runs. The digest is an FNV-1a 64 over the
@@ -40,7 +41,18 @@ fn deterministic_counter(name: &str) -> bool {
     // scheduling luck; trace.* is flight-recorder drop/trip accounting
     // that only exists when (and how hard) the recorder is armed — a
     // traced run must digest identically to its traceless twin.
-    !name.starts_with("span.") && !name.starts_with("trace.") && !name.ends_with(".steals")
+    // serve.* counters tally live socket traffic: retransmits and
+    // reconnects legitimately inflate them between byte-identical swarm
+    // snapshots, so the serve plane proves itself via snapshot parity,
+    // not digests.
+    // retry.breaker.serve.* is the serve plane's garble breaker: it
+    // opens on wall-clock bursts, unlike the sim-time breakers, so it
+    // shares the serve.* exemption.
+    !name.starts_with("span.")
+        && !name.starts_with("trace.")
+        && !name.starts_with("serve.")
+        && !name.starts_with("retry.breaker.serve.")
+        && !name.ends_with(".steals")
 }
 
 /// Whether a gauge participates in digests and diffs.
@@ -304,11 +316,14 @@ mod tests {
                 ("crawler.polls", 7),
                 ("span.sim.tick.self_ns", 123_456_789),
                 ("par.sim.swarms.steals", 42),
+                ("serve.announce.total", 10_128),
+                ("serve.announce.duplicate", 128),
             ],
             &[("par.sim.swarms.queue_depth", 3)],
         );
-        // The noisy registry records wall time and scheduling luck; the
-        // histogram section is excluded wholesale.
+        // The noisy registry records wall time, scheduling luck, and
+        // live-socket traffic (retransmit-inflated); the histogram
+        // section is excluded wholesale.
         noisy.histogram("span.sim.tick.ns").record(999);
         let a = build(&quiet, &[]);
         let b = build(&noisy, &[]);

@@ -49,6 +49,79 @@ pub fn scrape_path(announce_path: &str) -> Option<String> {
     Some(format!("{dir}scrape{rest}"))
 }
 
+/// A keep-alive HTTP tracker session: one TCP connection carrying any
+/// number of announce/scrape exchanges (HTTP/1.1 with exact
+/// `Content-Length` framing on both sides). The serving daemon's load
+/// drivers run a whole campaign's worth of announces through one of
+/// these instead of paying a connect per announce.
+pub struct HttpSession {
+    stream: TcpStream,
+    reader: io::BufReader<TcpStream>,
+    announce_path: String,
+}
+
+impl HttpSession {
+    /// Connects to the tracker behind `announce_url`.
+    pub fn connect(announce_url: &str, net: &NetConfig) -> io::Result<HttpSession> {
+        let (addr, path) = parse_tracker_url(announce_url)?;
+        let stream = TcpStream::connect_timeout(&addr, net.connect_timeout)?;
+        stream.set_read_timeout(Some(net.read_timeout))?;
+        stream.set_write_timeout(Some(net.write_timeout))?;
+        let reader = io::BufReader::new(stream.try_clone()?);
+        Ok(HttpSession {
+            stream,
+            reader,
+            announce_path: path,
+        })
+    }
+
+    /// Issues one `GET` and returns the response body. `target` is the
+    /// path plus optional query string (e.g. `/announce?...`).
+    pub fn get(&mut self, target: &str) -> io::Result<Vec<u8>> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: tracker\r\n\r\n");
+        io::Write::write_all(&mut self.stream, request.as_bytes())?;
+        http::read_response_from(&mut self.reader)
+    }
+
+    /// Writes raw bytes to the underlying stream — the load generator
+    /// uses this to send deliberately garbled requests.
+    pub fn raw_write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.stream, bytes)
+    }
+
+    /// Sends an announce over the session, with `extra` query parameters
+    /// appended verbatim (the serving plane's logical-clock transport —
+    /// see [`crate::serve`] — rides in here; pass `""` for none).
+    pub fn announce(
+        &mut self,
+        req: &AnnounceRequest,
+        extra: &str,
+    ) -> io::Result<AnnounceResponse> {
+        let path = self.announce_path.clone();
+        let body = self.get(&format!("{path}?{}{extra}", req.to_query()))?;
+        AnnounceResponse::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Scrapes counters for the given torrents over the session.
+    pub fn scrape(&mut self, torrents: &[InfoHash]) -> io::Result<ScrapeResponse> {
+        let path = scrape_path(&self.announce_path).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "tracker URL does not support scrape",
+            )
+        })?;
+        let query: String = torrents
+            .iter()
+            .map(|ih| format!("info_hash={}", urlencode::encode(&ih.0)))
+            .collect::<Vec<_>>()
+            .join("&");
+        let body = self.get(&format!("{path}?{query}"))?;
+        ScrapeResponse::decode(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
 /// Sends an announce to `announce_url` and parses the reply, using the
 /// default [`NetConfig`] timeouts.
 pub fn announce(announce_url: &str, req: &AnnounceRequest) -> io::Result<AnnounceResponse> {

@@ -1,6 +1,10 @@
-//! A deliberately tiny HTTP/1.0 subset — just enough for the tracker's
+//! A deliberately tiny HTTP subset — just enough for the tracker's
 //! `GET /announce?…` and `GET /scrape?…` endpoints. 2010-era trackers
-//! (and clients) spoke exactly this dialect.
+//! spoke HTTP/1.0 one-shot; the serving daemon ([`crate::serve`]) needs
+//! keep-alive and pipelining, so requests are framed incrementally
+//! (headers + `Content-Length` bodies) and responses always carry an
+//! exact `Content-Length`, letting any number of exchanges share one
+//! connection.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -11,23 +15,31 @@ pub struct Request {
     pub path: String,
     /// Raw query string (no leading `?`), possibly empty.
     pub query: String,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, or an explicit `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
-/// Reads one HTTP request from a stream. Headers are consumed and
-/// discarded; bodies are not supported (GET only).
-pub fn read_request<R: Read>(stream: R) -> std::io::Result<Request> {
-    let mut reader = BufReader::new(stream);
+/// Reads one HTTP request from a buffered stream, leaving any pipelined
+/// follow-up requests in the reader's buffer. Returns `Ok(None)` on a
+/// clean EOF before a new request line (the keep-alive peer hung up).
+///
+/// GET only; a request body declared via `Content-Length` is drained so
+/// the next pipelined request still starts on a frame boundary.
+pub fn read_request_from<R: BufRead>(reader: &mut R) -> std::io::Result<Option<Request>> {
     let mut line = String::new();
-    reader.read_line(&mut line)?;
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default();
-    let target = parts.next().unwrap_or_default();
-    if method != "GET" {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("unsupported method {method:?}"),
-        ));
-    }
+    let target = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or_default();
+    // HTTP/1.1 keeps the connection open unless told otherwise;
+    // HTTP/1.0 closes unless asked to stay.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    let bad_method = method != "GET";
     // Drain headers until the blank line.
     loop {
         let mut header = String::new();
@@ -35,37 +47,147 @@ pub fn read_request<R: Read>(stream: R) -> std::io::Result<Request> {
         if n == 0 || header == "\r\n" || header == "\n" {
             break;
         }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.eq_ignore_ascii_case("keep-alive");
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+        }
+    }
+    // Consume any body so framing survives even a rejected request.
+    if content_length > 0 {
+        std::io::copy(
+            &mut reader.take(content_length as u64),
+            &mut std::io::sink(),
+        )?;
+    }
+    if bad_method {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unsupported method {method:?}"),
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    Ok(Some(Request {
+        path,
+        query,
+        keep_alive,
+    }))
+}
+
+/// Attempts to parse one complete request from the front of `buf`
+/// without consuming from a stream — the readiness-loop variant of
+/// [`read_request_from`] for non-blocking sockets that accumulate bytes
+/// into per-connection buffers.
+///
+/// Returns `Ok(Some((request, consumed)))` when a whole request
+/// (headers plus any `Content-Length` body) is present, `Ok(None)` when
+/// more bytes are needed, and `Err` for garbage (non-GET, no HTTP
+/// request line, or a header section past 16 KiB).
+pub fn try_parse_request(buf: &[u8]) -> std::io::Result<Option<(Request, usize)>> {
+    const MAX_HEAD: usize = 16 * 1024;
+    let head_end = match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(i) => i,
+        None => {
+            if buf.len() > MAX_HEAD {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "header section too large",
+                ));
+            }
+            return Ok(None);
+        }
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if !version.starts_with("HTTP/") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not an HTTP request line",
+        ));
+    }
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    for header in lines {
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.eq_ignore_ascii_case("keep-alive");
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            }
+        }
+    }
+    let total = head_end + 4 + content_length;
+    if buf.len() < total {
+        return Ok(None); // body still in flight
+    }
+    if method != "GET" {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unsupported method {method:?}"),
+        ));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
         None => (target.to_string(), String::new()),
     };
-    Ok(Request { path, query })
+    Ok(Some((
+        Request {
+            path,
+            query,
+            keep_alive,
+        },
+        total,
+    )))
 }
 
-/// Writes a `200 OK` response with a binary body.
+/// Reads one HTTP request from a stream (one-shot convenience around
+/// [`read_request_from`]; EOF before a request is an error here).
+pub fn read_request<R: Read>(stream: R) -> std::io::Result<Request> {
+    read_request_from(&mut BufReader::new(stream))?.ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no request")
+    })
+}
+
+/// Writes a `200 OK` response with a binary body. The exact
+/// `Content-Length` makes the response self-framing, so keep-alive
+/// clients know precisely where the next pipelined response begins.
 pub fn write_ok<W: Write>(mut stream: W, body: &[u8]) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n",
         body.len()
     )?;
     stream.write_all(body)?;
     stream.flush()
 }
 
-/// Writes an error response.
+/// Writes an error response. Errors end the conversation, so the
+/// connection is marked for close.
 pub fn write_error<W: Write>(mut stream: W, code: u16, reason: &str) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.0 {code} {reason}\r\nContent-Length: 0\r\n\r\n"
+        "HTTP/1.1 {code} {reason}\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
     )?;
     stream.flush()
 }
 
-/// Reads a response, returning the body on 200 or an error otherwise.
-pub fn read_response<R: Read>(stream: R) -> std::io::Result<Vec<u8>> {
-    let mut reader = BufReader::new(stream);
+/// Reads one response from a buffered stream, returning the body on 200
+/// or an error otherwise. Stops exactly at `Content-Length`, so a
+/// keep-alive client can call this repeatedly on the same reader.
+pub fn read_response_from<R: BufRead>(reader: &mut R) -> std::io::Result<Vec<u8>> {
     let mut status = String::new();
     reader.read_line(&mut status)?;
     let code: u16 = status
@@ -88,11 +210,6 @@ pub fn read_response<R: Read>(stream: R) -> std::io::Result<Vec<u8>> {
             }
         }
     }
-    if code != 200 {
-        return Err(std::io::Error::other(
-            format!("HTTP {code}"),
-        ));
-    }
     let mut body = Vec::new();
     match content_length {
         Some(len) => {
@@ -103,7 +220,15 @@ pub fn read_response<R: Read>(stream: R) -> std::io::Result<Vec<u8>> {
             reader.read_to_end(&mut body)?;
         }
     }
+    if code != 200 {
+        return Err(std::io::Error::other(format!("HTTP {code}")));
+    }
     Ok(body)
+}
+
+/// Reads a response, returning the body on 200 or an error otherwise.
+pub fn read_response<R: Read>(stream: R) -> std::io::Result<Vec<u8>> {
+    read_response_from(&mut BufReader::new(stream))
 }
 
 #[cfg(test)]
@@ -116,6 +241,7 @@ mod tests {
         let req = read_request(&raw[..]).unwrap();
         assert_eq!(req.path, "/announce");
         assert_eq!(req.query, "a=1&b=2");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
     }
 
     #[test]
@@ -124,6 +250,15 @@ mod tests {
         let req = read_request(&raw[..]).unwrap();
         assert_eq!(req.path, "/scrape");
         assert_eq!(req.query, "");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_header_overrides_version_default() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!read_request(&raw[..]).unwrap().keep_alive);
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(read_request(&raw[..]).unwrap().keep_alive);
     }
 
     #[test]
@@ -133,11 +268,77 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_parse_in_order() {
+        let raw = b"GET /a?x=1 HTTP/1.1\r\n\r\nGET /b?y=2 HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let first = read_request_from(&mut reader).unwrap().unwrap();
+        assert_eq!((first.path.as_str(), first.query.as_str()), ("/a", "x=1"));
+        assert!(first.keep_alive);
+        let second = read_request_from(&mut reader).unwrap().unwrap();
+        assert_eq!((second.path.as_str(), second.query.as_str()), ("/b", "y=2"));
+        assert!(!second.keep_alive);
+        assert!(read_request_from(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn request_body_is_drained_for_framing() {
+        // A body between two pipelined requests must not desynchronise
+        // the parser.
+        let raw = b"GET /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        assert_eq!(read_request_from(&mut reader).unwrap().unwrap().path, "/a");
+        assert_eq!(read_request_from(&mut reader).unwrap().unwrap().path, "/b");
+    }
+
+    #[test]
+    fn try_parse_handles_partial_and_pipelined() {
+        let wire = b"GET /a?x=1 HTTP/1.1\r\nHost: t\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        // Byte-by-byte arrival: no prefix short of the full head parses.
+        for cut in 0..31 {
+            assert!(try_parse_request(&wire[..cut]).unwrap().is_none(), "cut={cut}");
+        }
+        let (first, used) = try_parse_request(wire).unwrap().unwrap();
+        assert_eq!((first.path.as_str(), first.query.as_str()), ("/a", "x=1"));
+        let (second, used2) = try_parse_request(&wire[used..]).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(used + used2, wire.len());
+    }
+
+    #[test]
+    fn try_parse_waits_for_declared_body() {
+        let wire = b"GET /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel";
+        assert!(try_parse_request(wire).unwrap().is_none(), "body incomplete");
+        let full = b"GET /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let (_, used) = try_parse_request(full).unwrap().unwrap();
+        assert_eq!(used, full.len());
+    }
+
+    #[test]
+    fn try_parse_rejects_garbage() {
+        assert!(try_parse_request(b"\xff\xff\xff\xff garbage\r\n\r\n").is_err());
+        assert!(try_parse_request(b"POST /a HTTP/1.1\r\n\r\n").is_err());
+        // An unterminated flood of header bytes errors out instead of
+        // buffering forever.
+        let flood = vec![b'A'; 20 * 1024];
+        assert!(try_parse_request(&flood).is_err());
+    }
+
+    #[test]
     fn response_roundtrip() {
         let mut wire = Vec::new();
         write_ok(&mut wire, b"d8:intervali900ee").unwrap();
         let body = read_response(&wire[..]).unwrap();
         assert_eq!(body, b"d8:intervali900ee");
+    }
+
+    #[test]
+    fn pipelined_responses_frame_by_content_length() {
+        let mut wire = Vec::new();
+        write_ok(&mut wire, b"first").unwrap();
+        write_ok(&mut wire, b"second").unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        assert_eq!(read_response_from(&mut reader).unwrap(), b"first");
+        assert_eq!(read_response_from(&mut reader).unwrap(), b"second");
     }
 
     #[test]

@@ -24,11 +24,23 @@
 //!   piece-serving seeders — plus the probe client and a verifying
 //!   download client ([`livepeer::download_from_peer`], §5's fake-content
 //!   check).
+//! * [`serve`] is the production path: a long-lived multi-threaded
+//!   daemon ([`serve::ServeDaemon`], the `btpub-serve` bin) over sharded
+//!   swarm state with BEP-15 UDP and keep-alive HTTP front ends, plus
+//!   the deterministic load generator ([`serve::load`], `btpub-load`)
+//!   whose logical-clock announce scripts make the daemon's final
+//!   snapshot byte-comparable to an in-process oracle.
+//!
+//! The rate-limit clock, strike ladder and blacklist live in
+//! [`enforce::Enforcer`], shared verbatim by [`sim::TrackerSim`] and the
+//! live serving plane so the two admission paths cannot drift.
 
 pub mod client;
+pub mod enforce;
 pub mod http;
 pub mod livepeer;
 pub mod registry;
+pub mod serve;
 pub mod server;
 pub mod sim;
 pub mod udp_server;

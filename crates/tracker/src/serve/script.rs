@@ -1,0 +1,295 @@
+//! Deterministic announce scripts for the serving daemon.
+//!
+//! A script is the ground truth a load run replays: every announce with
+//! its logical timestamp, in a canonical global order. The in-process
+//! oracle applies the script directly; `btpub-load` partitions it
+//! across driver threads (each client's ops stay with one driver, in
+//! script order) and fires it over real sockets. Because admission
+//! depends only on announce content — never wall-clock arrival — both
+//! roads end in the same swarm snapshot.
+//!
+//! Two generators:
+//!
+//! * [`Script::from_ecosystem`] replays a simulated ecosystem: every
+//!   downloader session (started / completed / periodic re-announce /
+//!   stopped), every publisher seeding session, plus adversarial
+//!   traffic — hammering clients that earn the blacklist, unknown
+//!   torrents, garbled datagrams.
+//! * [`Script::synthetic`] generates the same op mix without paying for
+//!   ecosystem generation — the bench harness's workload.
+
+use btpub_faults::mix;
+use btpub_proto::tracker::AnnounceEvent;
+use btpub_sim::Ecosystem;
+
+/// One scripted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Client id (also the scripted source IPv4 as a `u32`).
+    pub client: u32,
+    /// Torrent id; ids `>= Script::torrents` are deliberately
+    /// unregistered.
+    pub torrent: u32,
+    /// Logical timestamp, seconds.
+    pub t: u64,
+    /// Lifecycle event.
+    pub event: AnnounceEvent,
+    /// Bytes left (0 = seeder).
+    pub left: u64,
+    /// When set, the driver sends undecodable garbage instead of the
+    /// announce (the op's other fields only seed the garbage bytes).
+    pub garbled: bool,
+}
+
+impl Op {
+    /// The listening port a scripted client announces.
+    pub fn port(&self) -> u16 {
+        6881 + (self.client % 1009) as u16
+    }
+}
+
+/// A replayable announce script.
+#[derive(Debug, Clone)]
+pub struct Script {
+    /// Seed the torrent registry and garbage bytes derive from.
+    pub seed: u64,
+    /// Registered torrent count (ops may reference beyond it).
+    pub torrents: u32,
+    /// Operations in canonical global order.
+    pub ops: Vec<Op>,
+}
+
+/// Hammering clients get ids far above any ecosystem address.
+const HAMMER_BASE: u32 = 0xF000_0000;
+/// Clients probing unregistered torrents.
+const UNKNOWN_BASE: u32 = 0xF100_0000;
+/// Clients sending garbage.
+const GARBLE_BASE: u32 = 0xF200_0000;
+
+impl Script {
+    /// Replays `eco` as announce traffic: one client per downloader IP,
+    /// one per publisher seeding address, plus adversarial extras.
+    pub fn from_ecosystem(eco: &Ecosystem) -> Script {
+        let seed = eco.config.seed;
+        let torrents = eco.publications.len() as u32;
+        let mut ops = Vec::new();
+        for (idx, trace) in eco.swarms.iter().enumerate() {
+            let torrent = idx as u32;
+            // Publisher seeding sessions: present from session start to
+            // end, seeder the whole time.
+            for (from, to) in trace.sessions.iter() {
+                let addr = u32::from(eco.publisher_addr(
+                    btpub_sim::TorrentId(torrent),
+                    from,
+                ));
+                ops.push(Op {
+                    client: addr,
+                    torrent,
+                    t: from.secs(),
+                    event: AnnounceEvent::Started,
+                    left: 0,
+                    garbled: false,
+                });
+                ops.push(Op {
+                    client: addr,
+                    torrent,
+                    t: to.secs().max(from.secs() + 1),
+                    event: AnnounceEvent::Stopped,
+                    left: 0,
+                    garbled: false,
+                });
+            }
+            for peer in trace.peers() {
+                let arrival = peer.arrival.secs();
+                ops.push(Op {
+                    client: peer.ip,
+                    torrent,
+                    t: arrival,
+                    event: AnnounceEvent::Started,
+                    left: 1 << 20,
+                    garbled: false,
+                });
+                let mut completed_at = None;
+                if let Some(c) = peer.completed {
+                    let t = c.secs().max(arrival + 1);
+                    completed_at = Some(t);
+                    ops.push(Op {
+                        client: peer.ip,
+                        torrent,
+                        t,
+                        event: AnnounceEvent::Completed,
+                        left: 0,
+                        garbled: false,
+                    });
+                }
+                // Periodic re-announces while resident. Some land inside
+                // the minimum interval and get rate-limited — that is
+                // part of the workload, and it is deterministic.
+                let mut t = arrival + 1800;
+                while t < peer.departure.secs() {
+                    let left = match completed_at {
+                        Some(c) if t >= c => 0,
+                        _ => 1 << 20,
+                    };
+                    ops.push(Op {
+                        client: peer.ip,
+                        torrent,
+                        t,
+                        event: AnnounceEvent::Interval,
+                        left,
+                        garbled: false,
+                    });
+                    t += 1800;
+                }
+                ops.push(Op {
+                    client: peer.ip,
+                    torrent,
+                    t: peer.departure.secs().max(arrival + 1),
+                    event: AnnounceEvent::Stopped,
+                    left: match completed_at {
+                        Some(_) => 0,
+                        None => 1 << 20,
+                    },
+                    garbled: false,
+                });
+            }
+        }
+        push_adversarial(&mut ops, seed, torrents);
+        finish(seed, torrents, ops)
+    }
+
+    /// A synthetic script: `clients` well-behaved clients spreading
+    /// `announces` lifecycle announces over `torrents` torrents, plus
+    /// the same adversarial extras as the ecosystem replay.
+    pub fn synthetic(seed: u64, torrents: u32, clients: u32, announces: usize) -> Script {
+        assert!(torrents > 0 && clients > 0);
+        let mut ops = Vec::with_capacity(announces + 256);
+        for i in 0..announces {
+            let draw = mix(seed, "script.synth", i as u64);
+            let client = 1000 + (draw as u32 % clients);
+            let torrent = (draw >> 32) as u32 % torrents;
+            // Each client walks its own logical clock fast enough that
+            // most announces admit, with enough near-misses to exercise
+            // the rate limiter.
+            let t = (i as u64 / u64::from(clients)) * 700 + u64::from(client % 97) * 11;
+            let phase = draw % 10;
+            let (event, left) = match phase {
+                0 => (AnnounceEvent::Started, 1 << 20),
+                1 => (AnnounceEvent::Completed, 0),
+                2 => (AnnounceEvent::Stopped, 0),
+                _ => (AnnounceEvent::Interval, if draw.is_multiple_of(3) { 0 } else { 1 << 20 }),
+            };
+            ops.push(Op {
+                client,
+                torrent,
+                t,
+                event,
+                left,
+                garbled: false,
+            });
+        }
+        push_adversarial(&mut ops, seed, torrents);
+        finish(seed, torrents, ops)
+    }
+}
+
+/// Appends the adversarial traffic every script carries: hammer clients
+/// that earn the 20-strike blacklist, unknown-torrent probes, and
+/// garbled sends.
+fn push_adversarial(ops: &mut Vec<Op>, seed: u64, torrents: u32) {
+    for k in 0..4u32 {
+        let client = HAMMER_BASE + k;
+        let torrent = k % torrents.max(1);
+        // 30 announces 10 s apart: every re-query lands inside the
+        // egregious half-interval window (< 300 s), so strikes
+        // accumulate straight past the 20-strike limit.
+        for j in 0..30u64 {
+            ops.push(Op {
+                client,
+                torrent,
+                t: 3600 * u64::from(k) + j * 10,
+                event: AnnounceEvent::Interval,
+                left: 1 << 20,
+                garbled: false,
+            });
+        }
+    }
+    for j in 0..8u32 {
+        ops.push(Op {
+            client: UNKNOWN_BASE + j,
+            torrent: torrents + j,
+            t: 600 * u64::from(j),
+            event: AnnounceEvent::Interval,
+            left: 1 << 20,
+            garbled: false,
+        });
+    }
+    // One garbled send per ~64 real ops, at least four.
+    let garbles = (ops.len() / 64).max(4);
+    for g in 0..garbles {
+        let draw = mix(seed, "script.garble", g as u64);
+        ops.push(Op {
+            client: GARBLE_BASE + g as u32,
+            torrent: (draw as u32) % torrents.max(1),
+            t: draw % 100_000,
+            event: AnnounceEvent::Interval,
+            left: 0,
+            garbled: true,
+        });
+    }
+}
+
+/// Sorts into the canonical global order and wraps up.
+fn finish(seed: u64, torrents: u32, mut ops: Vec<Op>) -> Script {
+    // Stable on (t, client): a client's equal-time ops keep their
+    // generation order, which is also the order drivers send them in.
+    ops.sort_by_key(|op| (op.t, op.client));
+    Script {
+        seed,
+        torrents,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_ordered() {
+        let a = Script::synthetic(9, 8, 32, 500);
+        let b = Script::synthetic(9, 8, 32, 500);
+        assert_eq!(a.ops, b.ops);
+        assert!(a.ops.windows(2).all(|w| w[0].t <= w[1].t));
+        assert!(a.ops.len() > 500, "adversarial extras present");
+        assert!(a.ops.iter().any(|o| o.garbled));
+        assert!(a.ops.iter().any(|o| o.torrent >= a.torrents));
+        assert!(a.ops.iter().any(|o| o.client >= HAMMER_BASE));
+    }
+
+    #[test]
+    fn per_client_ops_are_time_ordered() {
+        let s = Script::synthetic(10, 4, 16, 400);
+        let mut last: std::collections::HashMap<u32, u64> = Default::default();
+        for op in &s.ops {
+            let e = last.entry(op.client).or_insert(0);
+            assert!(op.t >= *e, "client {} goes back in time", op.client);
+            *e = op.t;
+        }
+    }
+
+    #[test]
+    fn ecosystem_replay_covers_lifecycles() {
+        let eco = Ecosystem::generate(btpub_sim::EcosystemConfig::tiny(77));
+        let s = Script::from_ecosystem(&eco);
+        assert_eq!(s.torrents as usize, eco.publications.len());
+        let started = s.ops.iter().filter(|o| o.event == AnnounceEvent::Started).count();
+        let stopped = s.ops.iter().filter(|o| o.event == AnnounceEvent::Stopped).count();
+        let completed = s.ops.iter().filter(|o| o.event == AnnounceEvent::Completed).count();
+        assert!(started > 0 && stopped > 0 && completed > 0);
+        assert_eq!(started, stopped, "every session opens and closes");
+        // Deterministic.
+        let again = Script::from_ecosystem(&eco);
+        assert_eq!(s.ops, again.ops);
+    }
+}

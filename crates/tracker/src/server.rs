@@ -86,8 +86,8 @@ fn serve(listener: TcpListener, registry: Arc<Mutex<Registry>>, stop: Arc<Atomic
         match listener.accept() {
             Ok((stream, peer)) => {
                 let registry = Arc::clone(&registry);
-                // One short-lived thread per connection: tracker exchanges
-                // are a single request/response, so the cost is bounded.
+                // One thread per connection; with keep-alive a client can
+                // run its whole announce session over it.
                 let _ = std::thread::Builder::new()
                     .name("tracker-conn".into())
                     .spawn(move || handle_connection(stream, peer, registry));
@@ -103,17 +103,41 @@ fn serve(listener: TcpListener, registry: Arc<Mutex<Registry>>, stop: Arc<Atomic
 fn handle_connection(stream: TcpStream, peer: SocketAddr, registry: Arc<Mutex<Registry>>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let request = match http::read_request(&stream) {
-        Ok(r) => r,
-        Err(_) => {
-            let _ = http::write_error(&stream, 400, "Bad Request");
-            return;
-        }
-    };
     let from_ip = match peer {
         SocketAddr::V4(v4) => *v4.ip(),
         SocketAddr::V6(_) => Ipv4Addr::LOCALHOST,
     };
+    // One buffered reader for the connection's lifetime: bytes the
+    // kernel delivered beyond the current request stay in the buffer,
+    // which is what makes pipelined requests work — every response is
+    // Content-Length-framed, so replies simply queue up in order.
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    loop {
+        let request = match http::read_request_from(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return, // peer closed between requests
+            Err(_) => {
+                let _ = http::write_error(&stream, 400, "Bad Request");
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        respond(&stream, &request, from_ip, &registry);
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn respond(
+    stream: &TcpStream,
+    request: &http::Request,
+    from_ip: Ipv4Addr,
+    registry: &Mutex<Registry>,
+) {
     match request.path.as_str() {
         "/announce" => {
             let response = match AnnounceRequest::from_query(&request.query) {
@@ -138,7 +162,7 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, registry: Arc<Mutex<Re
                     }
                 }
             };
-            let _ = http::write_ok(&stream, &response.encode());
+            let _ = http::write_ok(stream, &response.encode());
         }
         "/scrape" => {
             let mut files = Vec::new();
@@ -152,10 +176,114 @@ fn handle_connection(stream: TcpStream, peer: SocketAddr, registry: Arc<Mutex<Re
                     }
                 }
             }
-            let _ = http::write_ok(&stream, &ScrapeResponse { files }.encode());
+            let _ = http::write_ok(stream, &ScrapeResponse { files }.encode());
         }
         _ => {
-            let _ = http::write_error(&stream, 404, "Not Found");
+            let _ = http::write_error(stream, 404, "Not Found");
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpSession;
+    use btpub_faults::NetConfig;
+    use btpub_proto::tracker::AnnounceEvent;
+    use btpub_proto::types::PeerId;
+    use std::io::{BufReader, Write};
+
+    fn announce_req(ih: InfoHash, id: u8, left: u64) -> AnnounceRequest {
+        AnnounceRequest {
+            info_hash: ih,
+            peer_id: PeerId([id; 20]),
+            port: 6881 + u16::from(id),
+            uploaded: 0,
+            downloaded: 0,
+            left,
+            event: AnnounceEvent::Started,
+            numwant: 50,
+            compact: true,
+        }
+    }
+
+    #[test]
+    fn keep_alive_session_serves_many_requests() {
+        let srv = TrackerServer::start(42).unwrap();
+        let ih = InfoHash([5; 20]);
+        srv.register(ih);
+        let mut session =
+            HttpSession::connect(&srv.announce_url(), &NetConfig::default()).unwrap();
+        // Seeder, leecher, then a scrape — all on one connection.
+        let r = session.announce(&announce_req(ih, 1, 0), "").unwrap();
+        assert!(matches!(r, AnnounceResponse::Ok { complete: 1, .. }));
+        let r = session.announce(&announce_req(ih, 2, 100), "").unwrap();
+        assert!(matches!(
+            r,
+            AnnounceResponse::Ok {
+                complete: 1,
+                incomplete: 1,
+                ..
+            }
+        ));
+        let scrape = session.scrape(&[ih]).unwrap();
+        assert_eq!(scrape.files.len(), 1);
+        assert_eq!(scrape.files[0].1.complete, 1);
+        assert_eq!(scrape.files[0].1.incomplete, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_answered_in_order() {
+        let srv = TrackerServer::start(43).unwrap();
+        let ih = InfoHash([6; 20]);
+        srv.register(ih);
+        let stream = TcpStream::connect(srv.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        // Three announces written back-to-back before reading anything:
+        // the server must frame each response with an exact
+        // Content-Length and answer in request order.
+        let mut wire = Vec::new();
+        for (id, left) in [(1u8, 0u64), (2, 100), (3, 100)] {
+            let q = announce_req(ih, id, left).to_query();
+            write!(wire, "GET /announce?{q} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        }
+        (&stream).write_all(&wire).unwrap();
+        let mut reader = BufReader::new(&stream);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let body = http::read_response_from(&mut reader).unwrap();
+            match AnnounceResponse::decode(&body).unwrap() {
+                AnnounceResponse::Ok {
+                    complete,
+                    incomplete,
+                    ..
+                } => seen.push((complete, incomplete)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Responses arrive in request order: the swarm grows monotonically.
+        assert_eq!(seen, vec![(1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn http_1_0_connection_closes_after_response() {
+        let srv = TrackerServer::start(44).unwrap();
+        let ih = InfoHash([7; 20]);
+        srv.register(ih);
+        let stream = TcpStream::connect(srv.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let q = announce_req(ih, 1, 0).to_query();
+        write!(&stream, "GET /announce?{q} HTTP/1.0\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(&stream);
+        let body = http::read_response_from(&mut reader).unwrap();
+        assert!(AnnounceResponse::decode(&body).is_ok());
+        // The server hangs up: the next read sees EOF.
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut reader, &mut rest).unwrap();
+        assert!(rest.is_empty());
     }
 }

@@ -1,0 +1,174 @@
+//! Loopback soak tests for the sharded serving plane.
+//!
+//! These run the deterministic load generator against a real
+//! [`ServeDaemon`] on loopback — many concurrent clients, mixed
+//! UDP/TCP transports, seeded garbled frames and fault-plan outages —
+//! and hold the daemon to the serving contract: the shard-merged swarm
+//! snapshot must equal the in-process oracle byte-for-byte, at any
+//! shard count, under any fault profile, with zero client-visible
+//! errors.
+
+use std::net::{Ipv4Addr, TcpListener, UdpSocket};
+
+use btpub_faults::FaultProfile;
+use btpub_proto::tracker::AnnounceEvent;
+use btpub_tracker::serve::load::{self, LoadConfig, Mode, Transport};
+use btpub_tracker::serve::script::Script;
+use btpub_tracker::serve::wire::{self, AnnounceItem};
+use btpub_tracker::serve::{oracle, ServeConfig, ServeDaemon};
+
+/// Panics with the first diverging line, which names the exact counter
+/// or swarm entry that drifted — far more useful than a 40 KiB diff.
+fn assert_snapshot_matches(expected: &str, got: &str) {
+    if expected == got {
+        return;
+    }
+    for (i, (a, b)) in expected.lines().zip(got.lines()).enumerate() {
+        if a != b {
+            panic!("snapshot diverged at line {i}:\n  oracle: {a}\n  live:   {b}");
+        }
+    }
+    panic!(
+        "snapshot is a strict prefix mismatch: oracle {} bytes, live {}",
+        expected.len(),
+        got.len()
+    );
+}
+
+/// Runs `script` against a fresh daemon and returns the final snapshot
+/// alongside the load report.
+fn run_against_daemon(
+    script: &Script,
+    profile: FaultProfile,
+    shards: usize,
+    cfg: &LoadConfig,
+) -> (String, load::LoadReport) {
+    let mut scfg = ServeConfig::new(script.seed, shards, script.torrents);
+    scfg.profile = profile;
+    let daemon = ServeDaemon::start(scfg).expect("bind loopback daemon");
+    let report =
+        load::run(script, daemon.udp_addr(), &daemon.announce_url(), cfg).expect("load run");
+    (daemon.shutdown(), report)
+}
+
+#[test]
+fn soak_64_mixed_clients_match_oracle() {
+    // 64 concurrent driver threads (even → UDP batch, odd → HTTP
+    // keep-alive), 128 scripted clients, seeded garbled frames riding
+    // along, a flaky fault plan (outages + dropped replies) on the
+    // daemon side.
+    let script = Script::synthetic(0x50A7, 24, 128, 6_000);
+    let profile = FaultProfile::flaky();
+    let expected = oracle::oracle_snapshot(&script, profile.clone());
+
+    let mut scfg = ServeConfig::new(script.seed, 8, script.torrents);
+    scfg.profile = profile.clone();
+    let daemon = ServeDaemon::start(scfg).expect("bind loopback daemon");
+    let mut cfg = LoadConfig::new(64);
+    cfg.profile = profile;
+    let report =
+        load::run(&script, daemon.udp_addr(), &daemon.announce_url(), &cfg).expect("load run");
+
+    assert_eq!(report.errors, 0, "soak must finish without client errors");
+    assert!(report.garbled_sent > 0, "soak must exercise garbled frames");
+    let shard_counts = daemon.plane().shard_announce_counts();
+    assert!(
+        shard_counts.iter().filter(|&&c| c > 0).count() >= 4,
+        "24 torrents should land on several of 8 shards, got {shard_counts:?}"
+    );
+    assert_snapshot_matches(&expected, &daemon.shutdown());
+}
+
+#[test]
+fn hostile_profile_still_matches_oracle() {
+    // The hostile plan has longer outages and heavier drop/corrupt
+    // rates; every refusal class still has to tally identically on
+    // both sides.
+    let script = Script::synthetic(0x0B0B, 16, 64, 2_000);
+    let profile = FaultProfile::hostile();
+    let expected = oracle::oracle_snapshot(&script, profile.clone());
+    let mut cfg = LoadConfig::new(16);
+    cfg.profile = profile.clone();
+    let (snapshot, report) = run_against_daemon(&script, profile, 8, &cfg);
+    assert_eq!(report.errors, 0);
+    assert_snapshot_matches(&expected, &snapshot);
+}
+
+#[test]
+fn shard_count_does_not_change_the_snapshot() {
+    // The shard plane is a layout choice, not a semantic one: the same
+    // script must produce byte-identical snapshots at 1 and 8 shards.
+    let script = Script::synthetic(0x77AA, 16, 64, 2_000);
+    let profile = FaultProfile::clean();
+    let expected = oracle::oracle_snapshot(&script, profile.clone());
+    let mut cfg = LoadConfig::new(8);
+    cfg.profile = profile.clone();
+    let (snap_1, r1) = run_against_daemon(&script, profile.clone(), 1, &cfg);
+    let (snap_8, r8) = run_against_daemon(&script, profile, 8, &cfg);
+    assert_eq!((r1.errors, r8.errors), (0, 0));
+    assert_snapshot_matches(&expected, &snap_1);
+    assert_snapshot_matches(&expected, &snap_8);
+}
+
+#[test]
+fn single_announce_udp_flaky_matches_oracle() {
+    // BEP-15 single-announce datagrams under a flaky plan: outage
+    // windows answer with silence on UDP, so the driver leans on the
+    // shared fault plan to know when not to wait.
+    let script = Script::synthetic(0x51DE, 8, 32, 600);
+    let profile = FaultProfile::flaky();
+    let expected = oracle::oracle_snapshot(&script, profile.clone());
+    let mut cfg = LoadConfig::new(8);
+    cfg.profile = profile.clone();
+    cfg.mode = Mode::Single;
+    cfg.transport = Transport::Udp;
+    let (snapshot, report) = run_against_daemon(&script, profile, 4, &cfg);
+    assert_eq!(report.errors, 0);
+    assert_snapshot_matches(&expected, &snapshot);
+}
+
+#[test]
+fn shutdown_drains_in_flight_batches() {
+    // A batch whose reply nobody reads must still be applied before
+    // the snapshot is cut: shutdown drains the sockets, it does not
+    // race them.
+    let daemon = ServeDaemon::start(ServeConfig::new(21, 4, 8)).expect("bind");
+    let sock = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let items: Vec<AnnounceItem> = (0..8u32)
+        .map(|i| AnnounceItem {
+            info_hash: wire::info_hash_for(21, i),
+            peer_id: wire::peer_id_for(300 + i),
+            t: 1_000 + u64::from(i),
+            left: 64,
+            event: AnnounceEvent::Started,
+            ip: 300 + i,
+            port: 6_881,
+        })
+        .collect();
+    sock.send_to(&wire::encode_batch(9, &items), daemon.udp_addr()).unwrap();
+    // No recv: the reply stays unread, the announces must not.
+    let snapshot = daemon.shutdown();
+    assert!(
+        snapshot.contains("counts admitted=8"),
+        "drained snapshot should hold all 8 announces:\n{snapshot}"
+    );
+}
+
+#[test]
+fn port_in_use_is_an_error_not_a_panic() {
+    let tcp_holder = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let mut cfg = ServeConfig::new(5, 1, 1);
+    cfg.tcp_port = tcp_holder.local_addr().unwrap().port();
+    match ServeDaemon::start(cfg) {
+        Ok(_) => panic!("bound a TCP port another listener holds"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse, "{e}"),
+    }
+
+    let udp_holder = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let mut cfg = ServeConfig::new(5, 1, 1);
+    cfg.udp_port = udp_holder.local_addr().unwrap().port();
+    match ServeDaemon::start(cfg) {
+        Ok(_) => panic!("bound a UDP port another socket holds"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse, "{e}"),
+    }
+}

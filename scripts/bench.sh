@@ -17,6 +17,12 @@
 #                       pipeline at 1x and 100x-shape campaign density,
 #                       records/sec, and the streaming-vs-materialized
 #                       report byte-identity check → BENCH_stream.json
+#   * `bench_serve`   — the serving profile: the sharded tracker daemon
+#                       on real loopback sockets (announces/sec over
+#                       UDP batches, single-announce p50/p99 RTT,
+#                       per-shard balance) plus the daemon-vs-oracle
+#                       snapshot parity checks at 1 and 8 shards
+#                       → BENCH_serve.json
 #
 # Baselines are only comparable from the environment that gates them:
 # scripts/check.sh runs the perf gates at --jobs 1 on the local machine,
@@ -26,13 +32,14 @@
 #
 # Usage: scripts/bench.sh [--scale tiny|repro|paper] [--jobs N] [--runs K]
 #        (--scale/--jobs go to bench_par + bench_hotpath; --jobs also to
-#        bench_stream; --runs only to bench_par)
+#        bench_stream + bench_serve; --runs only to bench_par)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 par_args=()
 hotpath_args=()
 stream_args=()
+serve_args=()
 while [ $# -gt 0 ]; do
     case "$1" in
         --runs)
@@ -41,7 +48,7 @@ while [ $# -gt 0 ]; do
             par_args+=("$1" "$2"); hotpath_args+=("$1" "$2"); shift 2 ;;
         --jobs)
             par_args+=("$1" "$2"); hotpath_args+=("$1" "$2")
-            stream_args+=("$1" "$2"); shift 2 ;;
+            stream_args+=("$1" "$2"); serve_args+=("$1" "$2"); shift 2 ;;
         *)
             echo "unknown argument: $1" >&2; exit 2 ;;
     esac
@@ -49,7 +56,7 @@ done
 
 echo "== build (release) =="
 cargo build --release --offline -p btpub-bench \
-    --bin bench_par --bin bench_hotpath --bin bench_stream
+    --bin bench_par --bin bench_hotpath --bin bench_stream --bin bench_serve
 
 echo "== bench_par =="
 ./target/release/bench_par --out BENCH_par.json "${par_args[@]+"${par_args[@]}"}"
@@ -60,11 +67,14 @@ echo "== bench_hotpath =="
 echo "== bench_stream =="
 ./target/release/bench_stream --out BENCH_stream.json "${stream_args[@]+"${stream_args[@]}"}"
 
+echo "== bench_serve =="
+./target/release/bench_serve --out BENCH_serve.json "${serve_args[@]+"${serve_args[@]}"}"
+
 echo "== baseline environment check =="
 # A freshly-recorded gate baseline must describe the environment the
 # gate will run in: scripts/check.sh gates at --jobs 1 on this machine.
 cpus="$(nproc)"
-for f in BENCH_hotpath.json BENCH_stream.json; do
+for f in BENCH_hotpath.json BENCH_stream.json BENCH_serve.json; do
     got_cpus="$(sed -n 's/.*"cpus": \([0-9]*\).*/\1/p' "$f" | head -1)"
     got_jobs="$(sed -n 's/.*"jobs": \([0-9]*\).*/\1/p' "$f" | head -1)"
     if [ "$got_cpus" != "$cpus" ] || [ "$got_jobs" != "1" ]; then
@@ -86,4 +96,7 @@ cat BENCH_hotpath.json
 echo
 echo "== BENCH_stream.json =="
 cat BENCH_stream.json
+echo
+echo "== BENCH_serve.json =="
+cat BENCH_serve.json
 echo

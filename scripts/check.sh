@@ -251,6 +251,62 @@ echo "== perf smoke gate: tiny-scale hotpath vs committed BENCH_hotpath.json =="
 ./target/release/bench_hotpath --scale tiny --jobs 1 \
     --out "$tmpdir/bench_hotpath.json" --gate BENCH_hotpath.json
 
+echo "== serve smoke gate: loopback daemon vs committed BENCH_serve.json =="
+# Real-socket pass of the serving bench, gated against the committed
+# baseline: fails if the daemon's shard-merged snapshot diverges from
+# the in-process oracle (at 1 shard, 8 shards, or under throughput
+# load), or on a >20% announces/sec regression.
+./target/release/bench_serve --jobs 1 \
+    --out "$tmpdir/bench_serve.json" --gate BENCH_serve.json
+
+echo "== serve gate inversion: a doctored baseline must trip the gate =="
+# Inflate the committed throughput 10x: replaying the fresh measurement
+# against it must fail — proving the gate compares announces/sec and is
+# not a rubber stamp.
+sed -E 's/("announces_per_sec": )[0-9.]+/\19000000.0/' \
+    BENCH_serve.json > "$tmpdir/bench_serve_broken.json"
+if ./target/release/bench_serve --replay "$tmpdir/bench_serve.json" \
+    --gate "$tmpdir/bench_serve_broken.json" \
+    --out "$tmpdir/bench_serve_replay.json" >/dev/null 2>&1; then
+    echo "FAIL: serve gate passed a 10x throughput baseline (gate is inert)" >&2
+    exit 1
+fi
+# Same for a parity flip: a snapshot that diverged from the oracle must
+# never pass, whatever the throughput says.
+sed -E 's/("oracle_match_8shard": )true/\1false/' \
+    "$tmpdir/bench_serve.json" > "$tmpdir/bench_serve_noparity.json"
+if ./target/release/bench_serve --replay "$tmpdir/bench_serve_noparity.json" \
+    --gate BENCH_serve.json \
+    --out "$tmpdir/bench_serve_replay2.json" >/dev/null 2>&1; then
+    echo "FAIL: serve gate passed a snapshot that diverged from the oracle" >&2
+    exit 1
+fi
+echo "serve gate flags the doctored baseline and the parity flip (exit nonzero)"
+
+echo "== serve metrics: btpub-load must surface serve.* in metrics/manifest/report =="
+./target/release/btpub-load --seed 7 --announces 800 --clients 32 --drivers 4 \
+    --metrics "$tmpdir/serve-metrics.json" \
+    --manifest "$tmpdir/serve-manifest-a.json" \
+    --report > "$tmpdir/serve-report.txt" 2>/dev/null
+for key in 'serve.announce.total' 'serve.shard.0.announces' 'serve.announce.apply_ns'; do
+    if ! grep -q "\"$key\"" "$tmpdir/serve-metrics.json"; then
+        echo "FAIL: metric $key missing from btpub-load --metrics snapshot" >&2
+        exit 1
+    fi
+done
+if ! grep -q 'serve\.announce\.total' "$tmpdir/serve-report.txt"; then
+    echo "FAIL: serve.* counters missing from the text report" >&2
+    exit 1
+fi
+# Two independent live runs retransmit differently, so their raw serve.*
+# tallies drift — the manifests must still digest-compare clean because
+# serve.* is excluded from the deterministic set.
+./target/release/btpub-load --seed 7 --announces 800 --clients 32 --drivers 4 \
+    --manifest "$tmpdir/serve-manifest-b.json" >/dev/null 2>&1
+./target/release/obs_diff "$tmpdir/serve-manifest-a.json" \
+    "$tmpdir/serve-manifest-b.json"
+echo "serve.* surfaced in metrics, manifest, and report; digests unperturbed"
+
 echo "== crash-resume gate: seeded kill mid-campaign, resume, byte-diff =="
 # Arm a deterministic abort at the 128th fold, run with checkpoints, and
 # prove the resumed run's stdout is byte-identical to the uninterrupted
