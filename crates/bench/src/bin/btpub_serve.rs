@@ -5,6 +5,7 @@
 //!             [--udp-port P] [--tcp-port P]
 //!             [--udp-workers N] [--tcp-workers N]
 //!             [--profile clean|flaky|hostile] [--duration SECS]
+//!             [--manifest PATH] [--manifest-every SECS]
 //! ```
 //!
 //! Binds both front ends, prints the bound addresses on the first
@@ -23,7 +24,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: btpub-serve [--seed N] [--shards N] [--torrents N] \
          [--udp-port P] [--tcp-port P] [--udp-workers N] [--tcp-workers N] \
-         [--profile clean|flaky|hostile] [--duration SECS]"
+         [--profile clean|flaky|hostile] [--duration SECS] \
+         [--manifest PATH] [--manifest-every SECS]"
     );
     std::process::exit(2);
 }
@@ -55,6 +57,8 @@ fn main() {
                 }
             }
             "--duration" => duration = Some(num(i)),
+            "--manifest" => cfg.manifest = Some(value(i).into()),
+            "--manifest-every" => cfg.manifest_every_secs = num(i).max(1),
             _ => usage(),
         }
         i += 2;

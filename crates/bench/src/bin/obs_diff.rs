@@ -123,6 +123,35 @@ struct WatchOpts {
     expect_partial: bool,
 }
 
+/// Flight-recorder loss accounting in a live snapshot: total
+/// `trace.dropped.*` / `trace.capped.*` events plus the per-lane lines.
+/// The trace counters are digest-excluded, so a lossy trace would
+/// otherwise sail through a watch silently — but a verdict over a lossy
+/// run means any `/trace/snapshot` evidence is incomplete, which the
+/// operator should know *before* trusting it.
+fn trace_loss(live: &Value) -> (u64, Vec<String>) {
+    let root = live.get("snapshot").unwrap_or(live);
+    let mut total = 0u64;
+    let mut lines = Vec::new();
+    if let Some(counters) = root.get("counters").and_then(Value::as_object) {
+        for (name, v) in counters.iter() {
+            let lost = v.as_u64().unwrap_or(0);
+            if lost == 0 {
+                continue;
+            }
+            if let Some(lane) = name.strip_prefix("trace.dropped.") {
+                total += lost;
+                lines.push(format!("lane {lane}: {lost} events dropped (ring overflow)"));
+            } else if let Some(lane) = name.strip_prefix("trace.capped.") {
+                total += lost;
+                lines.push(format!("lane {lane}: {lost} events capped (rate cap)"));
+            }
+        }
+    }
+    lines.sort();
+    (total, lines)
+}
+
 /// Tails `live_path`, re-comparing against the baseline every time the
 /// file changes. See the module docs for strict vs `--expect-partial`
 /// semantics. With `--max-checks 0` a healthy watch runs forever (a
@@ -131,6 +160,7 @@ fn watch(baseline_path: &str, live_path: &str, opts: &WatchOpts) -> ! {
     let baseline = read_json(baseline_path);
     let mut checks = 0u64;
     let mut last_sig = None;
+    let mut last_loss = 0u64;
     loop {
         let sig = file_sig(live_path);
         if sig.is_some() && sig != last_sig {
@@ -148,6 +178,20 @@ fn watch(baseline_path: &str, live_path: &str, opts: &WatchOpts) -> ! {
             };
             guard_compatible(&baseline, &live, baseline_path, live_path);
             checks += 1;
+            // Warn (once per growth) when the watched run's flight
+            // recorder lost events — the verdict below still stands,
+            // but its trace evidence is lossy.
+            let (loss, lanes) = trace_loss(&live);
+            if loss > last_loss {
+                eprintln!(
+                    "obs_diff: warning: watched run has a lossy trace \
+                     ({loss} events dropped/capped):"
+                );
+                for l in &lanes {
+                    eprintln!("  {l}");
+                }
+                last_loss = loss;
+            }
             if opts.expect_partial {
                 let v = btpub_obs::manifest::watch_verdict(&baseline, &live, opts.tolerance_pct);
                 if !v.overshoots.is_empty() {

@@ -34,6 +34,11 @@ pub struct CircuitBreaker {
     consecutive: u32,
     /// Set while open/half-open: when the cooldown ends.
     open_until: Option<u64>,
+    /// Whether this breaker currently holds a full-rate tracing window
+    /// open (`btpub_obs::trace::push_full_rate`). Tracked per instance
+    /// so half-open re-trips cannot double-push and so the matching pop
+    /// fires exactly once, on the close transition.
+    full_rate: bool,
 }
 
 impl CircuitBreaker {
@@ -47,6 +52,7 @@ impl CircuitBreaker {
             cooldown_secs,
             consecutive: 0,
             open_until: None,
+            full_rate: false,
         }
     }
 
@@ -92,6 +98,14 @@ impl CircuitBreaker {
                 0,
             );
         }
+        if self.full_rate {
+            // Close transition ends the full-rate tracing window this
+            // breaker opened. Keyed off breaker state, not off the
+            // recorder gate, so push/pop depth stays balanced even if
+            // tracing is armed or disarmed mid-incident.
+            self.full_rate = false;
+            btpub_obs::trace::pop_full_rate(self.name);
+        }
         self.consecutive = 0;
         self.open_until = None;
     }
@@ -103,6 +117,13 @@ impl CircuitBreaker {
         if self.consecutive >= self.threshold {
             if self.open_until.is_none_or(|until| now >= until) {
                 btpub_obs::counter(&format!("retry.breaker.{}.opened", self.name)).inc();
+                if !self.full_rate {
+                    // First open of this incident: trace at full rate
+                    // until the close transition pops the window. A
+                    // half-open re-trip keeps the existing window.
+                    self.full_rate = true;
+                    btpub_obs::trace::push_full_rate(self.name);
+                }
                 if btpub_obs::trace::enabled() {
                     btpub_obs::trace::record_named(
                         &format!("breaker.{}.opened", self.name),
@@ -123,9 +144,19 @@ impl CircuitBreaker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Tests that trip a breaker touch the process-global full-rate
+    /// tracing depth; serialize them so assertions about it are not
+    /// racing a concurrently-scheduled #[test].
+    fn serialize_full_rate() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn trips_after_threshold_and_cools_down() {
+        let _g = serialize_full_rate();
         let mut b = CircuitBreaker::new("test.trip", 3, 100);
         assert!(b.allow(0));
         b.on_failure(10);
@@ -139,10 +170,13 @@ mod tests {
         assert_eq!(b.state(112), BreakerState::HalfOpen);
         assert!(b.allow(112));
         assert_eq!(b.retry_at(112), None);
+        // Close the breaker so its full-rate tracing window pops.
+        b.on_success();
     }
 
     #[test]
     fn half_open_failure_reopens_success_closes() {
+        let _g = serialize_full_rate();
         let mut b = CircuitBreaker::new("test.halfopen", 2, 100);
         b.on_failure(0);
         b.on_failure(1);
@@ -156,6 +190,35 @@ mod tests {
         assert_eq!(b.state(202), BreakerState::Closed);
         b.on_failure(300);
         assert_eq!(b.state(300), BreakerState::Closed, "one failure after reset");
+    }
+
+    #[test]
+    fn open_close_transitions_drive_full_rate_tracing() {
+        let _g = serialize_full_rate();
+        assert!(
+            !btpub_obs::trace::full_rate_active(),
+            "serialized tripping tests leave the depth balanced"
+        );
+        let mut b = CircuitBreaker::new("test.adaptive", 2, 100);
+        b.on_failure(0);
+        assert!(!btpub_obs::trace::full_rate_active(), "below threshold");
+        b.on_failure(1);
+        assert!(
+            btpub_obs::trace::full_rate_active(),
+            "opening pushes a full-rate tracing window"
+        );
+        // A failed half-open trial re-trips; the existing window must
+        // be kept, not double-pushed (or one pop would not restore).
+        b.on_failure(101);
+        assert!(btpub_obs::trace::full_rate_active());
+        b.on_success();
+        assert!(
+            !btpub_obs::trace::full_rate_active(),
+            "the close transition pops exactly the one window"
+        );
+        // Routine successes on a closed breaker pop nothing.
+        b.on_success();
+        assert!(!btpub_obs::trace::full_rate_active());
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub use registry::{global, Registry};
 pub use report::text_report;
 pub use span::SpanGuard;
 
+/// Re-exported so downstream crates can build [`manifest`] metadata
+/// (`serde_json::Value`) without taking their own dependency.
+pub use serde_json;
+
 use std::sync::Arc;
 
 /// Fetches (creating on first use) the global counter `name`.

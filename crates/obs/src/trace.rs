@@ -127,11 +127,18 @@ fn recompute_hot() {
     let hot = match STATE.load(Ordering::Relaxed) {
         ON => {
             let mut h = HOT_INIT | HOT_ON;
-            if !SAMPLE_TABLE.load(Ordering::Acquire).is_null() {
-                h |= HOT_SAMPLED;
-            }
-            if RATE_CAP.load(Ordering::Relaxed) != 0 {
-                h |= HOT_CAPPED;
+            // While any circuit breaker is open (see push_full_rate),
+            // the sampling and throttle bits stay out of the gate: the
+            // spec remains installed but record sites skip it entirely,
+            // so an incident is traced at full rate and closing the
+            // last breaker restores the configured spec atomically.
+            if FULL_RATE_DEPTH.load(Ordering::Relaxed) == 0 {
+                if !SAMPLE_TABLE.load(Ordering::Acquire).is_null() {
+                    h |= HOT_SAMPLED;
+                }
+                if RATE_CAP.load(Ordering::Relaxed) != 0 {
+                    h |= HOT_CAPPED;
+                }
             }
             h
         }
@@ -999,6 +1006,76 @@ fn ensure_sample_env() {
 }
 
 // ---------------------------------------------------------------------
+// Breaker-driven adaptive sampling
+// ---------------------------------------------------------------------
+
+/// How many failure domains (circuit breakers) are currently open.
+/// While non-zero, [`recompute_hot`] leaves `HOT_SAMPLED` and
+/// `HOT_CAPPED` out of the fused gate, so armed record sites skip the
+/// sampling and throttle checks entirely — full-rate tracing exactly
+/// while the system is unhealthy. The installed spec ([`SAMPLE_TABLE`]
+/// / [`RATE_CAP`]) is untouched, so the swap back is one gate store.
+static FULL_RATE_DEPTH: AtomicU32 = AtomicU32::new(0);
+
+/// Enters a full-rate tracing window: a circuit breaker opened, and
+/// until every open breaker closes again ([`pop_full_rate`]) the armed
+/// recorder bypasses any installed sampling spec and rate cap — the
+/// events leading *out of* an incident are the ones worth keeping
+/// whole. Deterministic by construction: callers key this off breaker
+/// state transitions, which are pure functions of the input sequence,
+/// never off wall clock — and the recorder still writes only to its own
+/// rings, so an adaptive armed run cannot move a report byte.
+///
+/// `reason` labels the window (the breaker name) in the
+/// digest-excluded `trace.adaptive.*` counters and, when armed, as a
+/// trace instant.
+pub fn push_full_rate(reason: &str) {
+    let prev = FULL_RATE_DEPTH.fetch_add(1, Ordering::Relaxed);
+    recompute_hot();
+    crate::counter("trace.adaptive.windows").inc();
+    crate::counter(&format!("trace.adaptive.windows.{reason}")).inc();
+    if prev == 0 && enabled() {
+        record_named("trace.adaptive.full_rate.enter", EventKind::Instant, 1);
+    }
+}
+
+/// Leaves a full-rate tracing window (the breaker that pushed it
+/// closed). The configured sampling spec and cap come back into force
+/// once the last open window pops. Unbalanced pops (a cloned breaker,
+/// say) are ignored rather than underflowed.
+pub fn pop_full_rate(reason: &str) {
+    let mut cur = FULL_RATE_DEPTH.load(Ordering::Relaxed);
+    loop {
+        if cur == 0 {
+            return;
+        }
+        match FULL_RATE_DEPTH.compare_exchange_weak(
+            cur,
+            cur - 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(prev) => {
+                cur = prev;
+                break;
+            }
+            Err(v) => cur = v,
+        }
+    }
+    recompute_hot();
+    crate::counter(&format!("trace.adaptive.closed.{reason}")).inc();
+    if cur == 1 && enabled() {
+        record_named("trace.adaptive.full_rate.exit", EventKind::Instant, 0);
+    }
+}
+
+/// Whether at least one full-rate window is open (some breaker is
+/// tripped and the sampling spec is bypassed).
+pub fn full_rate_active() -> bool {
+    FULL_RATE_DEPTH.load(Ordering::Relaxed) > 0
+}
+
+// ---------------------------------------------------------------------
 // Snapshots, draining, export
 // ---------------------------------------------------------------------
 
@@ -1319,11 +1396,36 @@ pub fn trip(reason: &str) -> Option<PathBuf> {
     let doc = chrome_trace_with(&snap, vec![marker]);
     let json = serde_json::to_string(&doc).ok()?;
     if let Err(e) = std::fs::write(&path, json) {
-        eprintln!("btpub-obs: black-box dump to {} failed: {e}", path.display());
+        // An unwritable prefix would otherwise fail (and warn) on every
+        // distinct trip reason for the rest of the run. Warn once and
+        // disable instead, mirroring the spill-dir and checkpoint-dir
+        // fallbacks: clearing the prefix makes every later trip a
+        // cheap no-op.
+        let mut bb = BLACKBOX.lock().expect("trace blackbox lock");
+        if let Some(prefix) = bb.prefix.take() {
+            eprintln!(
+                "btpub-obs: black-box dump to {} failed: {e}; snapshot prefix \
+                 {prefix:?} is unwritable, falling back to no black-box dumps \
+                 for the rest of the run",
+                path.display()
+            );
+        }
         return None;
     }
     crate::counter("trace.blackbox.trips").inc();
     Some(path)
+}
+
+/// Resets the process-global black-box state (prefix, per-reason dedup
+/// list, per-process dump count). The dedup list and cap are
+/// deliberately never reset in production — this exists so tests of the
+/// trip path can run from a known state.
+#[doc(hidden)]
+pub fn reset_blackbox_for_tests() {
+    let mut bb = BLACKBOX.lock().expect("trace blackbox lock");
+    bb.prefix = None;
+    bb.seen.clear();
+    bb.written = 0;
 }
 
 static PANIC_HOOK: OnceLock<PathBuf> = OnceLock::new();
@@ -1660,5 +1762,111 @@ mod tests {
 
         // Drained means drained.
         assert_eq!(drain().event_count(), 0);
+
+        // Breaker-driven adaptive override: with a near-everything
+        // sampling spec installed, a full-rate window keeps every
+        // event; popping it restores the spec.
+        set_enabled(true);
+        set_sample_spec("test.adaptive.site:1000000,seed:9").expect("spec");
+        let site = sym("test.adaptive.site");
+        for _ in 0..64 {
+            record(site, EventKind::Instant, 1);
+        }
+        push_full_rate("unit");
+        assert!(full_rate_active());
+        for _ in 0..64 {
+            record(site, EventKind::Instant, 2);
+        }
+        pop_full_rate("unit");
+        assert!(!full_rate_active());
+        pop_full_rate("unit"); // unbalanced pop must not underflow
+        assert!(!full_rate_active());
+        for _ in 0..64 {
+            record(site, EventKind::Instant, 3);
+        }
+        set_enabled(false);
+        set_sample_spec("").expect("clear spec");
+        let snap = drain();
+        let payloads: Vec<u64> = snap
+            .threads
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .filter(|e| snap.name(e.sym) == "test.adaptive.site")
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(
+            payloads.iter().filter(|&&p| p == 2).count(),
+            64,
+            "a full-rate window bypasses the sampling spec entirely"
+        );
+        assert!(
+            payloads.iter().filter(|&&p| p != 2).count() < 8,
+            "outside the window 1-in-1000000 sampling keeps almost nothing: {payloads:?}"
+        );
+        assert!(
+            snap.symbols.iter().any(|s| s == "trace.adaptive.full_rate.enter"),
+            "the window boundary is marked in the trace"
+        );
+
+        // The black box: per-reason dedup, the per-process cap under
+        // concurrent trips, and the unwritable-prefix fallback.
+        set_enabled(true);
+        reset_blackbox_for_tests();
+        let dir = std::env::temp_dir().join(format!("btpub-trace-bb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        set_snapshot_prefix(Some(dir.join("bb").to_string_lossy().into_owned()));
+        record_named("test.blackbox.event", EventKind::Instant, 1);
+        let first = trip("unit.reason.alpha").expect("first trip dumps");
+        assert!(first.exists());
+        assert!(
+            trip("unit.reason.alpha").is_none(),
+            "the same reason twice yields exactly one dump"
+        );
+        let second = trip("unit.reason.beta").expect("a distinct reason dumps");
+        assert_ne!(first, second, "distinct reasons yield distinct dumps");
+        // 32 distinct reasons racing from 8 threads: exactly
+        // BLACKBOX_MAX - 2 more dumps (2 already written above), never
+        // one over.
+        let wrote: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|w| {
+                    scope.spawn(move || {
+                        (0..4)
+                            .filter(|i| trip(&format!("unit.cap.{w}.{i}")).is_some())
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .sum()
+        });
+        assert_eq!(
+            wrote,
+            BLACKBOX_MAX as usize - 2,
+            "the per-process cap holds under concurrent trips"
+        );
+        assert!(
+            trip("unit.cap.overflow").is_none(),
+            "trips past the cap are refused"
+        );
+        // An unwritable prefix warns once and disables dumps instead of
+        // retrying (and failing) on every later trip reason.
+        reset_blackbox_for_tests();
+        set_snapshot_prefix(Some(
+            dir.join("no-such-subdir")
+                .join("bb")
+                .to_string_lossy()
+                .into_owned(),
+        ));
+        assert!(trip("unit.unwritable.a").is_none());
+        assert!(
+            BLACKBOX.lock().expect("trace blackbox lock").prefix.is_none(),
+            "a failed dump clears the prefix so later trips are no-ops"
+        );
+        reset_blackbox_for_tests();
+        set_enabled(false);
+        drain();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

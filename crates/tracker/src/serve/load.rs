@@ -14,7 +14,10 @@
 //! announces (the latency path, retransmit-tolerant), and HTTP
 //! keep-alive sessions (announce + `&t=`/`&ip=` extensions). Garbled
 //! ops send deliberately undecodable bytes on whichever transport the
-//! driver runs.
+//! driver runs; on UDP they carry a stamped transaction id (see
+//! `wire::set_garbage_txn`) so delivery is confirmed by the daemon's
+//! error reply and lost frames are retransmitted — which is what keeps
+//! the snapshot's `garbled` count exact over a lossy loopback.
 
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 
@@ -240,9 +243,10 @@ fn udp_batch_driver(
     let mut buf = vec![0u8; 32 * 1024];
     let mut pending: Vec<wire::AnnounceItem> = Vec::with_capacity(wire::MAX_BATCH);
     let mut txn = 0u32;
-    let mut flush = |pending: &mut Vec<wire::AnnounceItem>,
-                     txn: &mut u32,
-                     report: &mut LoadReport|
+    let flush = |pending: &mut Vec<wire::AnnounceItem>,
+                 txn: &mut u32,
+                 report: &mut LoadReport,
+                 buf: &mut [u8]|
      -> std::io::Result<()> {
         if pending.is_empty() {
             return Ok(());
@@ -250,7 +254,7 @@ fn udp_batch_driver(
         *txn += 1;
         let frame = wire::encode_batch(*txn, pending);
         let started = std::time::Instant::now();
-        match exchange_raw(&socket, to, &frame, batch_txn, *txn, &cfg.net, &mut buf)? {
+        match exchange_raw(&socket, to, &frame, batch_txn, *txn, &cfg.net, buf)? {
             Some(len) => {
                 report.latencies_ns.push(started.elapsed().as_nanos() as u64);
                 if let Some((_, outcomes)) = wire::decode_batch_response(&buf[..len]) {
@@ -268,18 +272,29 @@ fn udp_batch_driver(
     for op in ops {
         if op.garbled {
             // Order matters: everything before the garbage must be on
-            // the wire first.
-            flush(&mut pending, &mut txn, &mut report)?;
-            socket.send_to(&wire::garbage(script.seed, u64::from(op.client)), to)?;
+            // the wire first. The garbage itself is confirmable — the
+            // stamped txn comes back in the daemon's error reply — so a
+            // frame lost to a full kernel buffer is retransmitted
+            // instead of silently missing from the `garbled` count
+            // (the daemon dedups the exact resend as `duplicate`).
+            flush(&mut pending, &mut txn, &mut report, &mut buf)?;
+            txn += 1;
+            let mut frame = wire::garbage(script.seed, u64::from(op.client));
+            wire::set_garbage_txn(&mut frame, txn);
+            if exchange_raw(&socket, to, &frame, bep15_txn, txn, &cfg.net, &mut buf)?
+                .is_none()
+            {
+                report.errors += 1;
+            }
             report.garbled_sent += 1;
             continue;
         }
         pending.push(super::oracle::item_for(script, op));
         if pending.len() == wire::MAX_BATCH {
-            flush(&mut pending, &mut txn, &mut report)?;
+            flush(&mut pending, &mut txn, &mut report, &mut buf)?;
         }
     }
-    flush(&mut pending, &mut txn, &mut report)?;
+    flush(&mut pending, &mut txn, &mut report, &mut buf)?;
     Ok(report)
 }
 
@@ -303,7 +318,17 @@ fn udp_single_driver(
     let mut txn = 0u32;
     for op in ops {
         if op.garbled {
-            socket.send_to(&wire::garbage(script.seed, u64::from(op.client)), to)?;
+            // Confirmable garbage, same as the batch driver: wait for
+            // the error reply echoing the stamped txn, retransmit on
+            // loss, let the daemon dedup the resend.
+            txn = txn.wrapping_add(1);
+            let mut frame = wire::garbage(script.seed, u64::from(op.client));
+            wire::set_garbage_txn(&mut frame, txn);
+            if exchange_raw(&socket, to, &frame, bep15_txn, txn, &cfg.net, &mut buf)?
+                .is_none()
+            {
+                report.errors += 1;
+            }
             report.garbled_sent += 1;
             continue;
         }

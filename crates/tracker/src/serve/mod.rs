@@ -29,6 +29,7 @@ pub mod wire;
 
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -36,7 +37,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use btpub_faults::FaultProfile;
+use btpub_faults::{BreakerState, FaultProfile};
+use btpub_obs::serde_json::Value;
 use btpub_proto::tracker::{
     AnnounceRequest, AnnounceResponse, PeerEntry, ScrapeResponse,
 };
@@ -70,6 +72,12 @@ pub struct ServeConfig {
     pub udp_port: u16,
     /// TCP bind port (`0` = ephemeral).
     pub tcp_port: u16,
+    /// Periodic run-manifest path (`None` = no emission). Written
+    /// atomically, so `obs_diff --watch` and `btpub-ops bundle` never
+    /// see a torn file; a final manifest is always written on shutdown.
+    pub manifest: Option<PathBuf>,
+    /// Seconds between periodic manifest writes.
+    pub manifest_every_secs: u64,
 }
 
 impl ServeConfig {
@@ -85,6 +93,8 @@ impl ServeConfig {
             tcp_workers: 2,
             udp_port: 0,
             tcp_port: 0,
+            manifest: None,
+            manifest_every_secs: 5,
         }
     }
 }
@@ -163,6 +173,16 @@ impl ServeDaemon {
                     .spawn(move || accept_loop(tcp, inboxes, stop))?,
             );
         }
+        if let Some(path) = cfg.manifest.clone() {
+            let stop = Arc::clone(&stop);
+            let every = Duration::from_secs(cfg.manifest_every_secs.max(1));
+            let meta = manifest_meta(&cfg);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("serve-manifest".into())
+                    .spawn(move || manifest_emitter(path, every, meta, stop))?,
+            );
+        }
         Ok(ServeDaemon {
             plane,
             udp_addr,
@@ -219,6 +239,53 @@ impl Drop for ServeDaemon {
     fn drop(&mut self) {
         self.stop_and_join();
     }
+}
+
+/// The daemon's manifest metadata block. `fault_profile` and
+/// `jobs_effective` use the same keys as `repro`/`btpub-monitor`
+/// manifests so `obs_diff`'s cross-config guard applies unchanged.
+fn manifest_meta(cfg: &ServeConfig) -> Vec<(&'static str, Value)> {
+    vec![
+        ("bin", Value::from("btpub-serve")),
+        ("seed", Value::from(cfg.seed)),
+        ("shards", Value::from(cfg.shards as u64)),
+        ("torrents", Value::from(cfg.torrents)),
+        ("fault_profile", Value::from(cfg.profile.name.as_str())),
+        (
+            "jobs_effective",
+            Value::from((cfg.udp_workers.max(1) + cfg.tcp_workers.max(1)) as u64),
+        ),
+    ]
+}
+
+/// Periodic atomic manifest emission (the daemon-side twin of
+/// btpub-monitor's `--manifest-every`). Live `serve.*`/`trace.*`
+/// counters are digest-excluded, so two daemons serving the same script
+/// still digest-compare clean. A final manifest is written when `stop`
+/// is observed, so shutdown always leaves a complete snapshot for
+/// `btpub-ops bundle`.
+fn manifest_emitter(
+    path: PathBuf,
+    every: Duration,
+    meta: Vec<(&'static str, Value)>,
+    stop: Arc<AtomicBool>,
+) {
+    let emit = || {
+        let manifest = btpub_obs::manifest::build(btpub_obs::global(), &meta);
+        if let Err(e) = btpub_obs::manifest::write(&path, &manifest) {
+            btpub_obs::warn!("manifest write failed"; path = path.display(), error = e);
+        }
+    };
+    let mut last = Instant::now();
+    emit();
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(20));
+        if last.elapsed() >= every {
+            emit();
+            last = Instant::now();
+        }
+    }
+    emit();
 }
 
 /// UDP readiness worker: burst-drains the shared non-blocking socket.
@@ -292,7 +359,7 @@ fn handle_datagram(
                 let _ = socket.send_to(&wire::encode_batch_response(txn, outcomes), from);
             }
             None => {
-                let _ = plane.note_garbled(now_secs);
+                let _ = plane.note_garbled_frame(now_secs, data);
             }
         }
         return;
@@ -300,9 +367,10 @@ fn handle_datagram(
     let request = match UdpRequest::decode(data) {
         Ok(r) => r,
         Err(_) => {
-            // Garbage. Count it; pay for a polite error reply only
-            // while the circuit breaker is closed.
-            if plane.note_garbled(now_secs) && data.len() >= 16 {
+            // Garbage. Count it (exact retransmits dedup to
+            // `duplicate`); pay for a polite error reply only while
+            // the circuit breaker is closed.
+            if plane.note_garbled_frame(now_secs, data) && data.len() >= 16 {
                 let txn = u32::from_be_bytes([data[12], data[13], data[14], data[15]]);
                 let reply = UdpResponse::Error {
                     transaction_id: txn,
@@ -616,10 +684,18 @@ fn respond_http(
     peers: &mut Vec<std::net::SocketAddrV4>,
 ) -> HttpReply {
     match request.path.as_str() {
-        "/announce" => HttpReply::Ok(announce_http(
-            plane, &request.query, from_ip, epoch, outcomes, peers,
-        )),
+        // Successfully parsed tracker traffic closes the garble
+        // breaker's failure streak, mirroring the UDP path. The ops
+        // endpoints below deliberately do not: a monitoring probe
+        // polling `/healthz` must not clear an open incident.
+        "/announce" => {
+            plane.note_decoded();
+            HttpReply::Ok(announce_http(
+                plane, &request.query, from_ip, epoch, outcomes, peers,
+            ))
+        }
         "/scrape" => {
+            plane.note_decoded();
             let mut files = Vec::new();
             for (k, v) in urlencode::parse_query(&request.query) {
                 if k == "info_hash" {
@@ -639,8 +715,94 @@ fn respond_http(
             let shards = plane.shard_announce_counts();
             HttpReply::Ok(format!("{c:?}\nshards={shards:?}\n").into_bytes())
         }
+        "/metrics" => {
+            btpub_obs::counter("serve.http.metrics").inc();
+            HttpReply::Ok(metrics_body(&request.query))
+        }
+        "/healthz" => {
+            btpub_obs::counter("serve.http.healthz").inc();
+            HttpReply::Ok(healthz_body(plane, epoch.elapsed().as_secs()))
+        }
+        "/trace/snapshot" => {
+            btpub_obs::counter("serve.http.trace_snapshot").inc();
+            let snap = btpub_obs::trace::snapshot_last(2048);
+            let trace = btpub_obs::trace::chrome_trace(&snap);
+            HttpReply::Ok(trace.to_string().into_bytes())
+        }
         _ => HttpReply::NotFound,
     }
+}
+
+/// `/metrics`: the full registry as a text report, or as the same JSON
+/// snapshot a manifest embeds when the query asks for
+/// `format=json`.
+fn metrics_body(query: &str) -> Vec<u8> {
+    let json = query.split('&').any(|kv| kv == "format=json");
+    if json {
+        let mut text = btpub_obs::global().snapshot().to_string();
+        text.push('\n');
+        text.into_bytes()
+    } else {
+        btpub_obs::text_report(btpub_obs::global()).into_bytes()
+    }
+}
+
+/// `/healthz`: readiness plus a breaker/fault one-pager. The daemon is
+/// `ok` while its garble breaker is closed and `degraded` while the
+/// breaker refuses traffic — it still answers, which is the point of a
+/// health endpoint on a struggling daemon.
+fn healthz_body(plane: &Plane, now_secs: u64) -> Vec<u8> {
+    use std::fmt::Write;
+    let (state, retry_at) = plane.breaker_status(now_secs);
+    let mut out = String::new();
+    let status = match state {
+        BreakerState::Open => "degraded",
+        BreakerState::Closed | BreakerState::HalfOpen => "ok",
+    };
+    let _ = writeln!(out, "status={status}");
+    let _ = writeln!(out, "profile={}", plane.config().profile.name);
+    let _ = writeln!(
+        out,
+        "breaker.serve state={} retry_at={}",
+        match state {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        },
+        retry_at.map_or_else(|| "-".into(), |t| t.to_string()),
+    );
+    let _ = writeln!(
+        out,
+        "trace armed={} full_rate={}",
+        u8::from(btpub_obs::trace::enabled()),
+        u8::from(btpub_obs::trace::full_rate_active()),
+    );
+    let c = plane.counts();
+    let _ = writeln!(
+        out,
+        "counts admitted={} rate_limited={} blacklisted={} unknown={} \
+         down={} dropped={} malformed={} garbled={}",
+        c.admitted,
+        c.rate_limited,
+        c.blacklisted,
+        c.unknown,
+        c.down,
+        c.dropped,
+        c.malformed,
+        c.garbled
+    );
+    // Flight-recorder loss accounting: a lossy trace is worth knowing
+    // about before anyone reads `/trace/snapshot`.
+    let (mut dropped, mut capped) = (0u64, 0u64);
+    for (name, v) in btpub_obs::global().counters() {
+        if name.starts_with("trace.dropped.") {
+            dropped += v;
+        } else if name.starts_with("trace.capped.") {
+            capped += v;
+        }
+    }
+    let _ = writeln!(out, "trace.dropped={dropped} trace.capped={capped}");
+    out.into_bytes()
 }
 
 /// The HTTP announce endpoint. Standard BitTorrent query parameters,
@@ -889,6 +1051,53 @@ mod tests {
             AnnounceResponse::Failure(msg) => assert_eq!(msg, "torrent not registered"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn ops_endpoints_and_periodic_manifest() {
+        let dir = std::env::temp_dir().join(format!("btpub-serve-ops-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest_path = dir.join("serve-manifest.json");
+        let mut cfg = ServeConfig::new(18, 2, 4);
+        cfg.manifest = Some(manifest_path.clone());
+        cfg.manifest_every_secs = 1;
+        let d = ServeDaemon::start(cfg).unwrap();
+        let net = btpub_faults::NetConfig::loopback_test();
+        let mut session =
+            crate::client::HttpSession::connect(&d.announce_url(), &net).unwrap();
+        let health = String::from_utf8(session.get("/healthz").unwrap()).unwrap();
+        assert!(health.starts_with("status=ok"), "{health}");
+        assert!(health.contains("profile=clean"), "{health}");
+        assert!(health.contains("breaker.serve state=closed retry_at=-"), "{health}");
+        assert!(health.contains("counts admitted=0"), "{health}");
+        assert!(health.contains("trace.dropped="), "{health}");
+        // The text report includes the endpoint-hit counter the healthz
+        // request above just bumped.
+        let text = String::from_utf8(session.get("/metrics").unwrap()).unwrap();
+        assert!(text.contains("serve.http.healthz"), "{text}");
+        let json: Value = btpub_obs::serde_json::from_str(
+            &String::from_utf8(session.get("/metrics?format=json").unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(json["counters"]["serve.http.metrics"].as_u64() >= Some(1), "{json}");
+        // The trace snapshot is valid Chrome trace JSON even disarmed.
+        let trace: Value = btpub_obs::serde_json::from_str(
+            &String::from_utf8(session.get("/trace/snapshot").unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert!(trace["traceEvents"].as_array().is_some(), "{trace}");
+        // Shutdown always leaves a final, complete manifest behind.
+        drop(session);
+        d.shutdown();
+        let manifest: Value = btpub_obs::serde_json::from_str(
+            &std::fs::read_to_string(&manifest_path).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(manifest["bin"].as_str(), Some("btpub-serve"));
+        assert_eq!(manifest["fault_profile"].as_str(), Some("clean"));
+        assert!(manifest["metrics_digest"].as_str().is_some(), "{manifest}");
+        assert!(manifest["snapshot"]["counters"].as_object().is_some(), "{manifest}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

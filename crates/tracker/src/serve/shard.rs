@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use btpub_faults::{key, points, CircuitBreaker, FaultPlan, FaultProfile};
+use btpub_faults::{key, points, BreakerState, CircuitBreaker, FaultPlan, FaultProfile};
 use btpub_fxhash::{FxHashMap, FxHashSet, FxHasher};
 use btpub_proto::tracker::{AnnounceEvent, ScrapeEntry};
 use btpub_proto::types::{InfoHash, PeerId};
@@ -191,6 +191,12 @@ struct EnforceStripe {
     last_refusal: FxHashMap<(u32, u32), u64>,
 }
 
+/// Most unique garbage frames remembered for retransmit dedup
+/// (40-byte frames → ~2.5 MiB worst case). Beyond this a hostile
+/// unique-garbage flood is counted without dedup instead of growing
+/// the set without bound.
+const GARBAGE_SEEN_CAP: usize = 65_536;
+
 /// The sharded swarm plane. The daemon's front ends, the load
 /// generator's oracle and the soak tests all drive *this same type* —
 /// the oracle is simply a one-shard plane fed in arrival order, which is
@@ -209,6 +215,11 @@ pub struct Plane {
     /// Circuit breaker over undecodable input: a garbage flood opens it
     /// and the daemon stops paying for error replies until it cools off.
     breaker: Mutex<CircuitBreaker>,
+    /// Exact garbage frames already tallied, so a retransmitted garbage
+    /// datagram (its error reply was lost in the kernel buffer) re-earns
+    /// the reply without re-counting — the garbled half of the
+    /// retransmit-invariance that `last_refusal` gives refusals.
+    garbage_seen: Mutex<FxHashSet<Vec<u8>>>,
     // Cached obs handles (registry lookups off the hot path).
     obs_total: Arc<btpub_obs::Counter>,
     obs_admitted: Arc<btpub_obs::Counter>,
@@ -261,6 +272,7 @@ impl Plane {
             // Trips after 32 consecutive undecodable inputs; retries
             // after a 5 s cooldown. Valid traffic in between resets it.
             breaker: Mutex::new(CircuitBreaker::new("serve", 32, 5)),
+            garbage_seen: Mutex::new(FxHashSet::default()),
             obs_total: btpub_obs::counter("serve.announce.total"),
             obs_admitted: btpub_obs::counter("serve.announce.admitted"),
             obs_refused: btpub_obs::counter("serve.announce.refused"),
@@ -509,10 +521,44 @@ impl Plane {
         !was_open
     }
 
+    /// Like [`Plane::note_garbled`], but retransmit-invariant: an exact
+    /// byte-for-byte repeat of a garbage frame already tallied counts as
+    /// a `duplicate` instead of a second `garbled`. A driver confirming
+    /// garbage delivery (see `wire::set_garbage_txn`) retransmits the
+    /// identical frame when the error reply is lost, and the snapshot's
+    /// `garbled` count must not drift when that happens. The seen-set is
+    /// capped: past [`GARBAGE_SEEN_CAP`] unique frames the dedup
+    /// degrades to plain counting rather than growing without bound
+    /// under a unique-garbage flood.
+    pub fn note_garbled_frame(&self, now_secs: u64, frame: &[u8]) -> bool {
+        {
+            let mut seen = self.garbage_seen.lock();
+            if seen.contains(frame) {
+                self.counts.duplicate.fetch_add(1, Ordering::Relaxed);
+                self.obs_duplicate.inc();
+                let mut breaker = self.breaker.lock();
+                let was_open = !breaker.allow(now_secs);
+                breaker.on_failure(now_secs);
+                return !was_open;
+            }
+            if seen.len() < GARBAGE_SEEN_CAP {
+                seen.insert(frame.to_vec());
+            }
+        }
+        self.note_garbled(now_secs)
+    }
+
     /// Records one successfully decoded request (closes the breaker's
     /// failure streak).
     pub fn note_decoded(&self) {
         self.breaker.lock().on_success();
+    }
+
+    /// The garble breaker's state at `now_secs` and, while open, when
+    /// it next allows a half-open trial — the `/healthz` summary.
+    pub fn breaker_status(&self, now_secs: u64) -> (BreakerState, Option<u64>) {
+        let breaker = self.breaker.lock();
+        (breaker.state(now_secs), breaker.retry_at(now_secs))
     }
 
     /// Deterministic counter values.
@@ -858,5 +904,19 @@ mod tests {
         // Cooldown passes, valid traffic closes it again.
         plane.note_decoded();
         assert!(plane.note_garbled(100));
+    }
+
+    #[test]
+    fn retransmitted_garbage_counts_duplicate_not_garbled() {
+        let plane = Plane::new(PlaneConfig::new(5, 1, 1));
+        let a = vec![0xFFu8; 40];
+        let mut b = a.clone();
+        b[12] = 0x01; // a different stamped txn = a different frame
+        assert!(plane.note_garbled_frame(1, &a), "first copy earns a reply");
+        assert!(plane.note_garbled_frame(1, &a), "retransmit re-earns it");
+        assert!(plane.note_garbled_frame(1, &b));
+        let c = plane.counts();
+        assert_eq!(c.garbled, 2, "two unique frames");
+        assert_eq!(c.duplicate, 1, "one exact retransmit");
     }
 }

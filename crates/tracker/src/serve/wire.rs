@@ -312,6 +312,17 @@ pub fn garbage(seed: u64, index: u64) -> Vec<u8> {
     buf
 }
 
+/// Stamps a driver-chosen transaction id into a garbage frame's BEP 15
+/// txn slot (bytes 12..16). The daemon still cannot decode the frame —
+/// the action field stays `0xFFFFFFFF` — but its polite error reply
+/// echoes exactly these bytes, which turns a fire-and-forget garbage
+/// send into a confirmable, retransmittable exchange: the driver waits
+/// for the echoed txn and resends the identical frame on loss, and the
+/// plane's exact-retransmit dedup keeps the `garbled` count stable.
+pub fn set_garbage_txn(frame: &mut [u8], txn: u32) {
+    frame[12..16].copy_from_slice(&txn.to_be_bytes());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,7 +410,13 @@ mod tests {
     #[test]
     fn garbage_defeats_every_decoder() {
         for i in 0..50 {
-            let g = garbage(99, i);
+            let mut g = garbage(99, i);
+            assert!(UdpRequest::decode(&g).is_err());
+            assert!(UdpResponse::decode(&g).is_err());
+            assert!(!is_batch(&g));
+            assert!(decode_batch(&g).is_none());
+            // Still garbage with a txn stamped in.
+            set_garbage_txn(&mut g, i as u32);
             assert!(UdpRequest::decode(&g).is_err());
             assert!(UdpResponse::decode(&g).is_err());
             assert!(!is_batch(&g));

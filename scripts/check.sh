@@ -450,4 +450,109 @@ if ! diff -u "$tmpdir/mon-term-baseline.txt" "$tmpdir/mon-term-resumed.txt"; the
 fi
 echo "SIGTERM is indistinguishable from a clean stop"
 
+echo "== ops endpoints: live /metrics + /healthz, incident bundle, triage =="
+# A hostile daemon with periodic manifests and a black-box prefix; 40
+# garbage UDP datagrams trip the serve breaker (threshold 32); the
+# incident is bundled live through the daemon's own HTTP plane and
+# triaged offline. btpub-ops doubles as the HTTP client, so the gate
+# needs no curl.
+opsdir="$tmpdir/ops"
+mkdir -p "$opsdir"
+BTPUB_TRACE=1 BTPUB_TRACE_SNAPSHOT="$opsdir/bb" \
+    ./target/release/btpub-serve --seed 99 --shards 2 --torrents 8 \
+    --profile hostile --duration 30 \
+    --manifest "$opsdir/serve-manifest.json" --manifest-every 1 \
+    > "$opsdir/serve-out.txt" 2>/dev/null &
+servepid=$!
+for _ in $(seq 1 50); do
+    grep -q '^udp=' "$opsdir/serve-out.txt" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q '^udp=' "$opsdir/serve-out.txt"; then
+    echo "FAIL: btpub-serve never printed its bound addresses" >&2
+    exit 1
+fi
+udp_addr=$(sed -n 's/^udp=\([^ ]*\).*/\1/p' "$opsdir/serve-out.txt")
+tcp_addr=$(sed -n 's/^udp=[^ ]* tcp=\([^ ]*\).*/\1/p' "$opsdir/serve-out.txt")
+udp_port="${udp_addr##*:}"
+for _ in $(seq 1 40); do
+    printf 'garbage-datagram' > "/dev/udp/127.0.0.1/$udp_port"
+done
+sleep 2
+./target/release/btpub-ops bundle --out "$opsdir/incident.btinc" \
+    --manifest "$opsdir/serve-manifest.json" --daemon "$tcp_addr" \
+    --blackbox "$opsdir/bb" --note "check.sh ops gate" \
+    > "$opsdir/bundle-out.txt"
+kill "$servepid" 2>/dev/null || true
+set +e
+wait "$servepid" 2>/dev/null
+set -e
+for needle in 'healthz (' 'metrics (' 'blackbox/bb-'; do
+    if ! grep -qF "$needle" "$opsdir/bundle-out.txt"; then
+        echo "FAIL: bundle is missing the '$needle' section:" >&2
+        cat "$opsdir/bundle-out.txt" >&2
+        exit 1
+    fi
+done
+./target/release/btpub-ops triage "$opsdir/incident.btinc" \
+    > "$opsdir/triage-out.txt"
+for needle in 'breaker.serve state=' '\[TRIPPED\]' \
+    'full-rate sampling windows opened:' 'dump bb-'; do
+    if ! grep -q "$needle" "$opsdir/triage-out.txt"; then
+        echo "FAIL: triage did not report '$needle':" >&2
+        cat "$opsdir/triage-out.txt" >&2
+        exit 1
+    fi
+done
+echo "live endpoints scraped; triage names the tripped breaker, the"
+echo "full-rate window, and the black-box dump"
+
+echo "== ops inversion: a corrupted incident archive must be refused =="
+# Flip one byte mid-archive: triage must refuse with the CRC named,
+# never render from a torn file.
+cp "$opsdir/incident.btinc" "$opsdir/incident-corrupt.btinc"
+byte=$(dd if="$opsdir/incident-corrupt.btinc" bs=1 skip=40 count=1 \
+    2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $((byte ^ 1)))" \
+    | dd of="$opsdir/incident-corrupt.btinc" bs=1 seek=40 conv=notrunc \
+    2>/dev/null
+set +e
+./target/release/btpub-ops triage "$opsdir/incident-corrupt.btinc" \
+    >/dev/null 2> "$opsdir/corrupt-err.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "FAIL: triage accepted a corrupted archive (exit $rc, wanted 1)" >&2
+    exit 1
+fi
+if ! grep -q "crc mismatch" "$opsdir/corrupt-err.txt"; then
+    echo "FAIL: corrupted-archive refusal did not name the crc:" >&2
+    cat "$opsdir/corrupt-err.txt" >&2
+    exit 1
+fi
+echo "corrupted archive refused naming the crc (exit 1)"
+
+echo "== adaptive tracing: breaker-keyed full-rate windows must not move a byte =="
+# Armed hostile runs really open full-rate windows (breakers trip under
+# the hostile profile); stdout must stay byte-identical to the disarmed
+# chaos reports at both job counts, and the window counter must prove
+# the swap actually happened.
+for jobs in 1 4; do
+    BTPUB_TRACE_SNAPSHOT="$tmpdir/adapt-bb-j$jobs" \
+        ./target/release/repro --scenario pb10 --scale tiny \
+        --fault-profile hostile --jobs "$jobs" \
+        --trace "$tmpdir/adaptive-j$jobs-trace.json" \
+        --metrics "$tmpdir/adaptive-j$jobs-metrics.json" \
+        > "$tmpdir/adaptive-j$jobs.txt" 2>/dev/null
+    if ! diff -u "$tmpdir/chaos-serial.txt" "$tmpdir/adaptive-j$jobs.txt"; then
+        echo "FAIL: adaptive full-rate windows moved report bytes (jobs $jobs)" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"trace.adaptive.windows"' "$tmpdir/adaptive-j1-metrics.json"; then
+    echo "FAIL: armed hostile run opened no full-rate window (gate is inert)" >&2
+    exit 1
+fi
+echo "adaptive windows opened; reports byte-identical at jobs 1 and 4"
+
 echo "all checks passed"
